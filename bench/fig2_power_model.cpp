@@ -1,0 +1,54 @@
+// Reproduces Fig. 2: measured vs predicted power consumption during the
+// profiling load ladder (0/10/25/50/75 % of capacity, 1 Hz power-meter
+// sampling, low-pass smoothing, linear least-squares fit of Eq. 9).
+//
+// Paper shape: the linear model tracks the measured trace closely ("the
+// model is quite accurate"); our acceptance criteria are R^2 >= 0.99 and a
+// mean absolute percentage error of ~1%.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.h"
+#include "profiling/power_profiler.h"
+#include "util/stats.h"
+
+using namespace coolopt;
+
+int main() {
+  std::printf("Fig. 2 reproduction: measured vs predicted server power\n\n");
+
+  sim::MachineRoom room(benchsup::standard_options().room);
+  profiling::PowerProfilerOptions options;  // the paper's full ladder
+  const auto result = profiling::profile_power(room, options);
+
+  std::printf("Fitted Eq. 9:  P = w1 * L + w2  with  w1 = %.4f W per file/s, "
+              "w2 = %.2f W\n",
+              result.model.w1, result.model.w2);
+  std::printf("Fit quality over %zu pooled samples: R^2 = %.4f, RMSE = %.2f W, "
+              "MAPE = %.2f%%\n\n",
+              result.samples_used, result.r_squared, result.rmse_w,
+              result.mape_pct);
+
+  // The figure's time series, decimated for console output.
+  util::TextTable table({"time (s)", "load (files/s)", "measured (W)", "predicted (W)"});
+  const auto& trace = result.trace;
+  const size_t stride = std::max<size_t>(1, trace.sample_count() / 24);
+  for (size_t s = 0; s < trace.sample_count(); s += stride) {
+    table.row_numeric({trace.times()[s], trace.value(s, 0), trace.value(s, 1),
+                       trace.value(s, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const char* dir = std::getenv("COOLOPT_BENCH_CSV_DIR");
+  if (dir != nullptr) {
+    const std::string path = util::strf("%s/fig2_power_model.csv", dir);
+    trace.write_csv(path);
+    std::printf("(full trace written to %s)\n", path.c_str());
+  }
+
+  const bool pass = result.r_squared >= 0.99 && result.mape_pct <= 2.0;
+  std::printf("\nShape check (R^2 >= 0.99, MAPE <= 2%%): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

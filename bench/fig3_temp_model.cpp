@@ -1,0 +1,59 @@
+// Reproduces Fig. 3: measured vs predicted stable CPU temperature for one
+// server across the (cooling set point x load) profiling grid, fitting the
+// per-machine linear model of Eq. 8.
+//
+// Paper shape: "while not perfect, the linear model was able to predict
+// (with a few percent error) the stable temperature of the server's CPU" —
+// we check a worst-case error under ~2 C (a few percent of the 25-50 C
+// operating range) and report every machine's fit quality.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.h"
+#include "profiling/thermal_profiler.h"
+
+using namespace coolopt;
+
+int main() {
+  std::printf("Fig. 3 reproduction: measured vs predicted stable CPU temperature\n\n");
+
+  sim::MachineRoom room(benchsup::standard_options().room);
+  profiling::ThermalProfilerOptions options;  // full grid
+  const auto result = profiling::profile_thermal(room, options, /*traced_server=*/5);
+
+  std::printf("Per-machine fits of Eq. 8 (T_cpu = alpha*T_ac + beta*P + gamma):\n");
+  util::TextTable fits({"machine", "alpha", "beta", "gamma", "R^2", "RMSE (C)",
+                        "max |err| (C)"});
+  double worst_err = 0.0;
+  for (size_t i = 0; i < result.fits.size(); ++i) {
+    const auto& f = result.fits[i];
+    fits.row({util::strf("%zu", i), util::strf("%.3f", f.coeffs.alpha),
+              util::strf("%.4f", f.coeffs.beta), util::strf("%.2f", f.coeffs.gamma),
+              util::strf("%.4f", f.r_squared), util::strf("%.2f", f.rmse_c),
+              util::strf("%.2f", f.max_abs_err_c)});
+    worst_err = std::max(worst_err, f.max_abs_err_c);
+  }
+  std::printf("%s\n", fits.render().c_str());
+
+  std::printf("Fig. 3 series (server 5), one row per grid point:\n");
+  util::TextTable series({"T_ac (C)", "P (W)", "measured (C)", "predicted (C)"});
+  for (size_t s = 0; s < result.trace.sample_count(); ++s) {
+    series.row_numeric({result.trace.value(s, 0), result.trace.value(s, 1),
+                        result.trace.value(s, 2), result.trace.value(s, 3)});
+  }
+  std::printf("%s", series.render().c_str());
+
+  const char* dir = std::getenv("COOLOPT_BENCH_CSV_DIR");
+  if (dir != nullptr) {
+    const std::string path = util::strf("%s/fig3_temp_model.csv", dir);
+    result.trace.write_csv(path);
+    std::printf("(full series written to %s)\n", path.c_str());
+  }
+
+  const bool pass = worst_err <= 2.0;
+  std::printf("\nShape check (every machine's max prediction error <= 2 C, \"a "
+              "few percent\"): %s (worst %.2f C)\n",
+              pass ? "PASS" : "FAIL", worst_err);
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Algorithm performance for Section III-B: Algorithm 1's O(n^3 lg n)
+// offline preprocessing, Algorithm 2's O(lg n) online query (paper mode) vs
+// the exact per-k query (O(n lg n)) vs the naive O(n 2^n) enumeration the
+// paper argues against.
+
+#include <benchmark/benchmark.h>
+
+#include "core/consolidation.h"
+#include "core/synthetic.h"
+
+using namespace coolopt;
+
+namespace {
+
+core::RoomModel model_of_size(size_t n) {
+  core::SyntheticModelOptions options;
+  options.machines = n;
+  options.seed = 11;
+  return core::make_synthetic_model(options);
+}
+
+void BM_Algorithm1Preprocess(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const core::RoomModel model = model_of_size(n);
+  for (auto _ : state) {
+    core::EventConsolidator consolidator(model);
+    benchmark::DoNotOptimize(consolidator.status_count());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Algorithm1Preprocess)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_Algorithm2QueryPaper(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const core::RoomModel model = model_of_size(n);
+  const core::EventConsolidator consolidator(model);
+  const double load = model.total_capacity() * 0.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consolidator.query(
+        load, core::EventConsolidator::QueryMode::kPaperBinarySearch));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Algorithm2QueryPaper)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_QueryExactPerK(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const core::RoomModel model = model_of_size(n);
+  const core::EventConsolidator consolidator(model);
+  const double load = model.total_capacity() * 0.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        consolidator.query(load, core::EventConsolidator::QueryMode::kExactPerK));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_QueryExactPerK)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_BruteForceNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const core::RoomModel model = model_of_size(n);
+  const core::BruteForceConsolidator brute(model);
+  const double load = model.total_capacity() * 0.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brute.best(load));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BruteForceNaive)->DenseRange(8, 18, 2)->Complexity();
+
+void BM_MaxLoadForBudget(benchmark::State& state) {
+  const core::RoomModel model = model_of_size(64);
+  const core::EventConsolidator consolidator(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consolidator.max_load_for_budget(2000.0, 24));
+  }
+}
+BENCHMARK(BM_MaxLoadForBudget);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Simulator performance: how expensive are the substrate's primitives —
+// one transient RK4 step, a controlled steady-state solve, and a full fast
+// profiling campaign — as the room grows. Guides users sizing their own
+// experiments (the figure benches run thousands of settles).
+
+#include <benchmark/benchmark.h>
+
+#include "profiling/profiler.h"
+#include "sim/room.h"
+
+using namespace coolopt;
+
+namespace {
+
+sim::RoomConfig room_of(size_t n) {
+  sim::RoomConfig cfg;
+  cfg.num_servers = n;
+  cfg.seed = 3;
+  // Keep the CRAC sized to the fleet so large rooms stay physical.
+  const double scale = static_cast<double>(n) / 20.0;
+  cfg.crac.flow_m3s *= scale;
+  cfg.crac.max_cooling_w *= scale;
+  cfg.wall_conductance_w_k *= scale;
+  cfg.ambient_heat_capacity *= scale;
+  return cfg;
+}
+
+void BM_TransientStep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  sim::MachineRoom room(room_of(n));
+  room.set_uniform_utilization(0.6);
+  for (auto _ : state) {
+    room.step(0.5);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TransientStep)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_ControlledSettle(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  sim::MachineRoom room(room_of(n));
+  double u = 0.3;
+  for (auto _ : state) {
+    // Alternate operating points so the solve is never a no-op.
+    u = u > 0.5 ? 0.3 : 0.7;
+    room.set_uniform_utilization(u);
+    room.settle();
+    benchmark::DoNotOptimize(room.total_power_w());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ControlledSettle)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_FastProfilingCampaign(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::MachineRoom room(room_of(n));
+    benchmark::DoNotOptimize(
+        profiling::profile_room(room, profiling::ProfilingOptions::fast()));
+  }
+}
+BENCHMARK(BM_FastProfilingCampaign)->Arg(8)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_SensorRead(benchmark::State& state) {
+  sim::MachineRoom room(room_of(20));
+  room.set_uniform_utilization(0.5);
+  room.settle();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(room.read_cpu_temp_c(i));
+    i = (i + 1) % room.size();
+  }
+}
+BENCHMARK(BM_SensorRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

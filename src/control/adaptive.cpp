@@ -1,0 +1,207 @@
+#include "control/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace coolopt::control {
+
+AdaptiveController::AdaptiveController(sim::MachineRoom& room,
+                                       core::RoomModel model,
+                                       SetPointPlanner setpoints,
+                                       AdaptiveOptions options)
+    : room_(room),
+      model_(std::move(model)),
+      setpoints_(std::move(setpoints)),
+      options_(options),
+      planner_(model_, core::PlannerOptions{options.t_max_margin}),
+      lp_([&] {
+        core::RoomModel margined = model_;
+        margined.t_max -= options.t_max_margin;
+        return margined;
+      }()),
+      // Allow the very first plan to switch machines immediately.
+      last_power_change_s_(room.time_s() - options.min_dwell_s) {
+  if (room_.size() != model_.size()) {
+    throw std::invalid_argument("AdaptiveController: room/model size mismatch");
+  }
+}
+
+double AdaptiveController::on_capacity() const {
+  if (!plan_) return 0.0;
+  double cap = 0.0;
+  for (size_t i = 0; i < model_.size(); ++i) {
+    if (plan_->allocation.on[i]) cap += model_.machines[i].capacity;
+  }
+  return cap;
+}
+
+std::vector<size_t> AdaptiveController::current_on_set() const {
+  std::vector<size_t> on_set;
+  if (!plan_) return on_set;
+  for (size_t i = 0; i < model_.size(); ++i) {
+    if (plan_->allocation.on[i]) on_set.push_back(i);
+  }
+  return on_set;
+}
+
+void AdaptiveController::apply(const core::Allocation& alloc,
+                               bool allow_power_changes) {
+  bool switched = false;
+  for (size_t i = 0; i < room_.size(); ++i) {
+    if (room_.server(i).is_on() != alloc.on[i]) {
+      if (!allow_power_changes) {
+        throw std::logic_error(
+            "AdaptiveController: rebalance attempted a power-state change");
+      }
+      room_.set_power_state(i, alloc.on[i]);
+      ++stats_.power_switches;
+      switched = true;
+    }
+    if (alloc.on[i]) room_.set_load_files_s(i, alloc.loads[i]);
+  }
+  if (switched) last_power_change_s_ = room_.time_s();
+  room_.set_setpoint_c(setpoints_.to_setpoint(alloc.t_ac, alloc.it_power_w));
+}
+
+void AdaptiveController::full_replan(double demand) {
+  // Size the ON set with headroom so ordinary upward drift lands inside it,
+  // then serve the actual demand on the chosen machines.
+  const double sizing = std::min(model_.total_capacity(),
+                                 demand * (1.0 + options_.capacity_headroom));
+  const auto plan = planner_.plan(options_.scenario, sizing);
+  if (!plan) {
+    throw std::runtime_error(
+        "AdaptiveController: no feasible operating point for the demand");
+  }
+  apply(plan->allocation, /*allow_power_changes=*/true);
+  plan_ = *plan;
+  plan_->load = demand;
+  last_full_replan_load_ = demand;
+  ++stats_.full_replans;
+  if (std::abs(sizing - demand) > 1e-9) track_demand(demand);
+}
+
+bool AdaptiveController::try_rebalance(double demand) {
+  if (!options_.allow_rebalance || !plan_) return false;
+  if (demand > on_capacity() + 1e-9) return false;
+  const std::vector<size_t> on_set = current_on_set();
+  if (on_set.empty()) return false;
+  const auto alloc = lp_.solve(on_set, demand);
+  if (!alloc) return false;
+  apply(*alloc, /*allow_power_changes=*/false);
+  plan_->allocation = *alloc;
+  plan_->load = demand;
+  ++stats_.rebalances;
+  return true;
+}
+
+void AdaptiveController::track_demand(double demand) {
+  const std::vector<size_t> on_set = current_on_set();
+  const double current = plan_->allocation.total_load();
+
+  // Proportional scale with capacity-clamped spill (water fill).
+  std::vector<double> loads(model_.size(), 0.0);
+  double remaining = demand;
+  std::vector<size_t> free = on_set;
+  while (remaining > 1e-12 && !free.empty()) {
+    double weight_sum = 0.0;
+    for (const size_t i : free) {
+      weight_sum += current > 1e-12 ? plan_->allocation.loads[i]
+                                    : model_.machines[i].capacity;
+    }
+    if (weight_sum <= 1e-12) break;
+    bool pinned = false;
+    std::vector<size_t> still_free;
+    const double budget = remaining;
+    for (const size_t i : free) {
+      const double w = current > 1e-12 ? plan_->allocation.loads[i]
+                                       : model_.machines[i].capacity;
+      const double want = loads[i] + budget * w / weight_sum;
+      if (want >= model_.machines[i].capacity - 1e-12) {
+        remaining -= model_.machines[i].capacity - loads[i];
+        loads[i] = model_.machines[i].capacity;
+        pinned = true;
+      } else {
+        still_free.push_back(i);
+      }
+    }
+    if (!pinned) {
+      for (const size_t i : still_free) {
+        const double w = current > 1e-12 ? plan_->allocation.loads[i]
+                                         : model_.machines[i].capacity;
+        loads[i] += budget * w / weight_sum;
+      }
+      remaining = 0.0;
+    }
+    free = std::move(still_free);
+  }
+  if (remaining > 1e-6) {
+    throw std::logic_error(
+        "AdaptiveController::track_demand: demand exceeds ON capacity "
+        "(caller must replan first)");
+  }
+
+  for (const size_t i : on_set) room_.set_load_files_s(i, loads[i]);
+  plan_->allocation.loads = loads;
+  plan_->allocation.finalize(model_);
+  ++stats_.load_tracks;
+  // Note: plan_->load is deliberately NOT retargeted here; drift for the
+  // rebalance/replan decisions keeps accumulating against the last
+  // optimized point.
+}
+
+void AdaptiveController::update(double demand_files_s) {
+  if (demand_files_s < 0.0) {
+    throw std::invalid_argument("AdaptiveController: negative demand");
+  }
+  if (demand_files_s > model_.total_capacity() + 1e-9) {
+    throw std::runtime_error(
+        "AdaptiveController: demand exceeds the room's total capacity");
+  }
+  ++stats_.updates;
+
+  if (!plan_) {
+    full_replan(demand_files_s);
+    return;
+  }
+
+  const double capacity = model_.total_capacity();
+  const double drift_structural =
+      std::abs(demand_files_s - last_full_replan_load_) / capacity;
+  const double drift_local =
+      std::abs(demand_files_s - plan_->load) / capacity;
+
+  const bool dwell_ok =
+      room_.time_s() - last_power_change_s_ >= options_.min_dwell_s;
+  const bool over_capacity = demand_files_s > on_capacity() + 1e-9;
+
+  if (over_capacity) {
+    // Availability beats anti-flapping: bring machines up now.
+    if (!dwell_ok) {
+      util::log_debug("AdaptiveController: emergency replan at t=%.0f "
+                      "(demand %.1f > ON capacity %.1f)",
+                      room_.time_s(), demand_files_s, on_capacity());
+      ++stats_.emergency_replans;
+    }
+    full_replan(demand_files_s);
+    return;
+  }
+  if (drift_structural > options_.replan_threshold && dwell_ok) {
+    full_replan(demand_files_s);
+    return;
+  }
+  if (drift_local > options_.replan_threshold &&
+      try_rebalance(demand_files_s)) {
+    return;
+  }
+  // In-band drift (or rebalance unavailable before the dwell expires):
+  // still serve the demand by scaling loads on the current ON set.
+  if (std::abs(demand_files_s - plan_->allocation.total_load()) > 1e-9) {
+    track_demand(demand_files_s);
+  }
+}
+
+}  // namespace coolopt::control

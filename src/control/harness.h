@@ -1,0 +1,66 @@
+// One-stop evaluation harness: build a room, profile it, and measure any
+// (scenario, load) operating point — the loop every figure-reproduction
+// bench runs. Shared here so the benches stay declarative.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "control/runner.h"
+#include "control/setpoint_planner.h"
+#include "core/scenario.h"
+#include "profiling/profiler.h"
+#include "sim/config.h"
+#include "sim/room.h"
+
+namespace coolopt::control {
+
+struct HarnessOptions {
+  sim::RoomConfig room;
+  profiling::ProfilingOptions profiling = profiling::ProfilingOptions::fast();
+  core::PlannerOptions planner;
+  RunOptions run;
+
+  HarnessOptions() { planner.t_max_margin = 1.0; }
+};
+
+/// A measured (scenario, load) point for the figure tables.
+struct EvalPoint {
+  core::Scenario scenario;
+  double load_pct = 0.0;           ///< percent of total room capacity
+  bool feasible = false;           ///< the planner found an operating point
+  Measurement measurement;         ///< valid when feasible
+  core::Plan plan;                 ///< valid when feasible
+};
+
+class EvalHarness {
+ public:
+  explicit EvalHarness(const HarnessOptions& options = {});
+
+  /// Plans and runs one scenario at `load_pct` percent of room capacity.
+  EvalPoint measure(const core::Scenario& scenario, double load_pct);
+
+  /// Full sweep: every scenario at every load (rows in scenario-major
+  /// order).
+  std::vector<EvalPoint> sweep(const std::vector<core::Scenario>& scenarios,
+                               const std::vector<double>& load_pcts);
+
+  const core::RoomModel& model() const { return profile_.model; }
+  const profiling::RoomProfile& profile() const { return profile_; }
+  sim::MachineRoom& room() { return room_; }
+  const core::ScenarioPlanner& planner() const { return planner_; }
+  double capacity_files_s() const { return capacity_; }
+
+ private:
+  HarnessOptions options_;
+  sim::MachineRoom room_;
+  profiling::RoomProfile profile_;
+  core::ScenarioPlanner planner_;
+  ExperimentRunner runner_;
+  double capacity_ = 0.0;
+};
+
+/// The load axis the paper sweeps in Figs. 5-9: 10..100 % in steps of 10.
+std::vector<double> paper_load_axis();
+
+}  // namespace coolopt::control

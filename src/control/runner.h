@@ -1,0 +1,63 @@
+// Applies a planned operating point to the (simulated) machine room and
+// measures the outcome — the actuation half of the paper's evaluation loop.
+#pragma once
+
+#include "control/setpoint_planner.h"
+#include "core/model.h"
+#include "core/scenario.h"
+#include "sim/room.h"
+
+namespace coolopt::control {
+
+struct RunOptions {
+  /// false: jump to the controlled steady state (the paper's evaluation is
+  /// steady-state). true: integrate the transient for `transient_s`.
+  bool transient = false;
+  double transient_s = 1500.0;
+  double dt = 0.5;
+  /// Closed-loop set-point corrections for AC-controlled plans: after
+  /// settling, nudge T_SP by the (planned - achieved) T_ac error and settle
+  /// again. Mops up residual planner-model bias, as an operator would.
+  size_t setpoint_trims = 1;
+};
+
+/// Ground-truth outcome of operating one plan.
+struct Measurement {
+  double it_power_w = 0.0;
+  double crac_power_w = 0.0;
+  double total_power_w = 0.0;
+  double peak_cpu_temp_c = 0.0;   ///< hottest true CPU temperature
+  double t_ac_achieved_c = 0.0;   ///< actual supply temperature
+  double t_sp_c = 0.0;            ///< set point the runner chose
+  double throughput_files_s = 0.0;
+  size_t machines_on = 0;
+  bool temp_violation = false;    ///< any true CPU temp above the model's t_max
+  double predicted_total_power_w = 0.0;  ///< the plan's model prediction
+};
+
+class ExperimentRunner {
+ public:
+  /// `model` is the fitted model the plans were computed against (used for
+  /// the fixed no-AC-control set point and for violation checks).
+  ExperimentRunner(sim::MachineRoom& room, SetPointPlanner planner,
+                   core::RoomModel model);
+
+  /// Actuates the plan (power states, per-machine loads, set point),
+  /// settles or runs the transient, and measures.
+  Measurement run(const core::Plan& plan, const RunOptions& options = {});
+
+  /// The fixed set point used whenever a plan has AC control off: chosen,
+  /// as in the paper, so the conservative cool-air temperature is achieved
+  /// with every machine at full load.
+  double fixed_setpoint_c() const { return fixed_setpoint_c_; }
+
+  sim::MachineRoom& room() { return room_; }
+
+ private:
+  sim::MachineRoom& room_;
+  SetPointPlanner planner_;
+  core::RoomModel model_;
+  double fixed_setpoint_c_ = 0.0;
+};
+
+}  // namespace coolopt::control

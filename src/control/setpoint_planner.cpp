@@ -1,0 +1,47 @@
+#include "control/setpoint_planner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coolopt::control {
+
+SetPointPlanner::SetPointPlanner(double heat_rise_per_watt, double setpoint_gain,
+                                 double heat_rise_offset_c, double min_setpoint_c,
+                                 double max_setpoint_c)
+    : h_(heat_rise_per_watt),
+      g_(setpoint_gain),
+      d_(heat_rise_offset_c),
+      min_sp_(min_setpoint_c),
+      max_sp_(max_setpoint_c) {
+  if (h_ < 0.0) {
+    throw std::invalid_argument("SetPointPlanner: heat rise per watt must be >= 0");
+  }
+  if (g_ >= 1.0) {
+    throw std::invalid_argument(
+        "SetPointPlanner: setpoint gain must be < 1 (otherwise the fitted "
+        "relation is non-invertible, i.e. raising the set point would never "
+        "raise the supply temperature)");
+  }
+  if (!(min_sp_ < max_sp_)) {
+    throw std::invalid_argument("SetPointPlanner: bad set-point range");
+  }
+}
+
+SetPointPlanner SetPointPlanner::from_profile(
+    const profiling::CoolerProfileResult& fit) {
+  return SetPointPlanner(fit.heat_rise_per_watt, fit.setpoint_gain,
+                         fit.heat_rise_offset_c);
+}
+
+double SetPointPlanner::to_setpoint(double t_ac_target,
+                                    double expected_it_power_w) const {
+  const double sp = (t_ac_target + h_ * expected_it_power_w + d_) / (1.0 - g_);
+  return std::clamp(sp, min_sp_, max_sp_);
+}
+
+double SetPointPlanner::expected_t_ac(double setpoint_c,
+                                      double expected_it_power_w) const {
+  return setpoint_c - (h_ * expected_it_power_w + g_ * setpoint_c + d_);
+}
+
+}  // namespace coolopt::control

@@ -1,0 +1,49 @@
+// Set-point planning (Section IV-B, "AC's Temperature").
+//
+// The optimizer outputs a desired cool-air temperature T_ac, but the CRAC's
+// only knob is the return-air set point T_SP. The paper resolves this
+// empirically: "we empirically measured the relation between T_ac and the
+// set point T_SP ... We would then choose the set point that produces the
+// needed T_ac given the load at hand." The measured relation is linear in
+// the room's IT heat load and in the set point itself (steady-state energy
+// balance; the T_SP term carries the envelope losses):
+//
+//   T_SP - T_ac = h * Q_it + g * T_SP + d
+//
+// h, g and d come from profiling::profile_cooler. Inverting for the knob:
+//
+//   T_SP = (T_ac + h * Q_it + d) / (1 - g)
+#pragma once
+
+#include "profiling/cooler_profiler.h"
+
+namespace coolopt::control {
+
+class SetPointPlanner {
+ public:
+  SetPointPlanner(double heat_rise_per_watt, double setpoint_gain,
+                  double heat_rise_offset_c, double min_setpoint_c = 10.0,
+                  double max_setpoint_c = 40.0);
+
+  static SetPointPlanner from_profile(const profiling::CoolerProfileResult& fit);
+
+  /// Set point realizing `t_ac_target` at the expected IT load (clamped to
+  /// the legal set-point range).
+  double to_setpoint(double t_ac_target, double expected_it_power_w) const;
+
+  /// Inverse: cool-air temperature this set point will produce.
+  double expected_t_ac(double setpoint_c, double expected_it_power_w) const;
+
+  double heat_rise_per_watt() const { return h_; }
+  double setpoint_gain() const { return g_; }
+  double heat_rise_offset_c() const { return d_; }
+
+ private:
+  double h_;
+  double g_;
+  double d_;
+  double min_sp_;
+  double max_sp_;
+};
+
+}  // namespace coolopt::control

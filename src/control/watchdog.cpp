@@ -1,0 +1,96 @@
+#include "control/watchdog.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace coolopt::control {
+
+ThermalWatchdog::ThermalWatchdog(sim::MachineRoom& room, double t_max,
+                                 WatchdogOptions options)
+    : room_(room),
+      t_max_(t_max),
+      options_(options),
+      filters_(room.size(), util::LowPassFilter(options.filter_alpha)),
+      over_count_(room.size(), 0),
+      interventions_seen_(room.size(), 0),
+      alarmed_(room.size(), false) {
+  if (options_.consecutive_required == 0) {
+    throw std::invalid_argument("ThermalWatchdog: consecutive_required >= 1");
+  }
+  if (options_.setpoint_step_c <= 0.0) {
+    throw std::invalid_argument("ThermalWatchdog: setpoint step must be > 0");
+  }
+}
+
+std::vector<size_t> ThermalWatchdog::check() {
+  ++stats_.checks;
+  if (cooldown_ > 0) --cooldown_;
+
+  const double threshold = t_max_ - options_.guard_c;
+  bool any_alarm = false;
+  std::vector<size_t> alarms;
+  for (size_t i = 0; i < room_.size(); ++i) {
+    if (!room_.server(i).is_on()) {
+      filters_[i].reset();
+      over_count_[i] = 0;
+      alarmed_[i] = false;
+      continue;
+    }
+    const double reading = filters_[i].update(room_.read_cpu_temp_c(i));
+    if (reading > threshold) {
+      ++over_count_[i];
+    } else {
+      over_count_[i] = 0;
+      if (alarmed_[i]) {
+        alarmed_[i] = false;
+        interventions_seen_[i] = 0;
+      }
+    }
+    if (over_count_[i] >= options_.consecutive_required) {
+      if (!alarmed_[i]) {
+        alarmed_[i] = true;
+        ++stats_.alarms_raised;
+        util::log_warn("ThermalWatchdog: machine %zu reads %.1f C (ceiling %.1f)",
+                       i, reading, t_max_);
+      }
+      alarms.push_back(i);
+      any_alarm = true;
+    }
+  }
+
+  if (any_alarm && cooldown_ == 0) {
+    const double new_sp = room_.crac().setpoint_c() - options_.setpoint_step_c;
+    room_.set_setpoint_c(new_sp);
+    cooldown_ = options_.intervention_cooldown;
+    ++stats_.interventions;
+    util::log_info("ThermalWatchdog: lowering set point to %.1f C", new_sp);
+    for (size_t i = 0; i < room_.size(); ++i) {
+      if (alarmed_[i]) ++interventions_seen_[i];
+    }
+  }
+  return alarms;
+}
+
+std::vector<size_t> ThermalWatchdog::quarantine_recommendations() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < room_.size(); ++i) {
+    if (alarmed_[i] &&
+        interventions_seen_[i] >= options_.interventions_before_quarantine) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+void ThermalWatchdog::acknowledge(size_t machine) {
+  if (machine >= room_.size()) {
+    throw std::out_of_range("ThermalWatchdog: bad machine index");
+  }
+  alarmed_[machine] = false;
+  over_count_[machine] = 0;
+  interventions_seen_[machine] = 0;
+  filters_[machine].reset();
+}
+
+}  // namespace coolopt::control

@@ -1,0 +1,79 @@
+// Thermal watchdog — the runtime safety net the model-based planner needs.
+//
+// The optimizer rides every CPU at (T_max - margin) *by design*, trusting
+// the fitted model. Reality drifts: a fan fails, dust builds up, a model
+// coefficient ages. The watchdog monitors the actual temperature sensors
+// (debounced against their noise/quantization), and when a machine
+// persistently reads above the ceiling it first turns the one knob that is
+// always safe — lowering the CRAC set point — and, if a machine stays hot
+// through repeated interventions (a broken machine no room temperature can
+// fix, e.g. a failed fan), recommends quarantining it so the planner can
+// shed its load.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/room.h"
+#include "util/filter.h"
+
+namespace coolopt::control {
+
+struct WatchdogOptions {
+  /// Alarm threshold: filtered reading above (t_max - guard_c).
+  double guard_c = 0.0;
+  /// Smoothing of raw sensor readings before thresholding.
+  double filter_alpha = 0.35;
+  /// Consecutive over-threshold checks before a machine is in alarm
+  /// (debounce against quantization flicker).
+  size_t consecutive_required = 3;
+  /// Set-point reduction applied per intervention, degrees C.
+  double setpoint_step_c = 1.0;
+  /// Checks between successive set-point interventions (let the room react).
+  size_t intervention_cooldown = 10;
+  /// Interventions a machine may ride through while still alarmed before
+  /// the watchdog recommends quarantining it.
+  size_t interventions_before_quarantine = 3;
+};
+
+struct WatchdogStats {
+  size_t checks = 0;
+  size_t interventions = 0;       ///< set-point reductions applied
+  size_t alarms_raised = 0;       ///< machine-alarm onsets
+};
+
+class ThermalWatchdog {
+ public:
+  /// `t_max` is the hard operating ceiling the watchdog defends (the
+  /// model's constraint, unmargined).
+  ThermalWatchdog(sim::MachineRoom& room, double t_max,
+                  WatchdogOptions options = {});
+
+  /// One watchdog cycle: sample every ON machine's sensor, update alarms,
+  /// and intervene if needed. Returns the machines currently in alarm.
+  std::vector<size_t> check();
+
+  /// Machines that stayed alarmed through the configured number of
+  /// interventions: no set point will save them; shed their load.
+  std::vector<size_t> quarantine_recommendations() const;
+
+  /// Clears alarm/quarantine state for one machine (after the operator or
+  /// controller acted on it).
+  void acknowledge(size_t machine);
+
+  const WatchdogStats& stats() const { return stats_; }
+  double t_max() const { return t_max_; }
+
+ private:
+  sim::MachineRoom& room_;
+  double t_max_;
+  WatchdogOptions options_;
+  std::vector<util::LowPassFilter> filters_;
+  std::vector<size_t> over_count_;          ///< consecutive hot checks
+  std::vector<size_t> interventions_seen_;  ///< interventions while alarmed
+  std::vector<bool> alarmed_;
+  size_t cooldown_ = 0;
+  WatchdogStats stats_;
+};
+
+}  // namespace coolopt::control

@@ -1,0 +1,57 @@
+// A load-allocation decision and its model-predicted consequences.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/model.h"
+
+namespace coolopt::core {
+
+struct Allocation {
+  /// Per-machine load in files/s; indices match RoomModel::machines.
+  /// Zero for machines that are OFF.
+  std::vector<double> loads;
+  /// Power state per machine (an ON machine may still carry zero load).
+  std::vector<bool> on;
+  /// Target cool-air (supply) temperature, degrees C.
+  double t_ac = 0.0;
+
+  // --- model predictions, filled by finalize() ---
+  double it_power_w = 0.0;
+  double cooling_power_w = 0.0;
+  double total_power_w = 0.0;
+
+  size_t count_on() const;
+  double total_load() const;
+
+  /// Recomputes the predicted powers from `model` (Eqs. 9-10).
+  void finalize(const RoomModel& model);
+};
+
+/// Model-predicted CPU temperature of machine i under this allocation.
+double predicted_cpu_temp(const RoomModel& model, const Allocation& alloc, size_t i);
+
+/// Highest predicted CPU temperature across ON machines (-inf if none ON).
+double predicted_peak_cpu_temp(const RoomModel& model, const Allocation& alloc);
+
+/// Verifies structural sanity: sizes match the model, loads are >= 0,
+/// loads on OFF machines are zero, and the load sum equals `total_load`
+/// within tolerance. Throws std::logic_error on violation (these indicate
+/// optimizer bugs, not user input errors).
+void check_allocation(const RoomModel& model, const Allocation& alloc,
+                      double total_load, double tol = 1e-6);
+
+/// Highest cool-air temperature for which every ON machine's predicted CPU
+/// temperature stays at or below t_max given its load (the "AC control"
+/// rule used for the non-optimal scenarios). Returns t_ac clamped into the
+/// model's [t_ac_min, t_ac_max].
+double max_safe_t_ac(const RoomModel& model, const std::vector<double>& loads,
+                     const std::vector<bool>& on);
+
+/// The conservative fixed cool-air temperature used by the "no AC control"
+/// scenarios: the highest T_ac that satisfies the temperature constraint
+/// when every machine runs at full load (paper, Section IV-B).
+double conservative_t_ac(const RoomModel& model);
+
+}  // namespace coolopt::core

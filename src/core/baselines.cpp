@@ -1,0 +1,109 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace coolopt::core {
+
+std::vector<size_t> coolness_order(const RoomModel& model, double reference_t_ac) {
+  std::vector<size_t> order(model.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<double> idle_temp(model.size());
+  for (size_t i = 0; i < model.size(); ++i) {
+    const MachineModel& m = model.machines[i];
+    idle_temp[i] = m.thermal.predict(reference_t_ac, m.power.predict(0.0));
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    if (idle_temp[x] != idle_temp[y]) return idle_temp[x] < idle_temp[y];
+    return x < y;
+  });
+  return order;
+}
+
+size_t min_machines_for(const RoomModel& model, double load,
+                        const std::vector<size_t>& order) {
+  if (load < 0.0) throw std::invalid_argument("min_machines_for: negative load");
+  if (load == 0.0) return 0;
+  double covered = 0.0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    covered += model.machines[order[k]].capacity;
+    if (covered >= load - 1e-9) return k + 1;
+  }
+  throw std::invalid_argument(util::strf(
+      "min_machines_for: load %.3f exceeds room capacity %.3f", load,
+      model.total_capacity()));
+}
+
+Allocation even_allocation(const RoomModel& model, double load,
+                           const std::vector<size_t>& on_set) {
+  if (on_set.empty()) throw std::invalid_argument("even_allocation: empty ON set");
+  Allocation alloc;
+  alloc.loads.assign(model.size(), 0.0);
+  alloc.on.assign(model.size(), false);
+  for (const size_t i : on_set) alloc.on.at(i) = true;
+
+  // Water-fill an even share, pinning machines that hit capacity.
+  std::vector<size_t> free = on_set;
+  double remaining = load;
+  while (remaining > 1e-12) {
+    if (free.empty()) {
+      throw std::invalid_argument(
+          "even_allocation: load exceeds the ON set's capacity");
+    }
+    const double share = remaining / static_cast<double>(free.size());
+    bool pinned_any = false;
+    std::vector<size_t> still_free;
+    for (const size_t i : free) {
+      const double room_left = model.machines[i].capacity - alloc.loads[i];
+      if (share >= room_left - 1e-12) {
+        alloc.loads[i] += room_left;
+        remaining -= room_left;
+        pinned_any = true;
+      } else {
+        still_free.push_back(i);
+      }
+    }
+    if (!pinned_any) {
+      for (const size_t i : still_free) {
+        alloc.loads[i] += share;
+      }
+      remaining = 0.0;
+    }
+    free = std::move(still_free);
+  }
+  alloc.finalize(model);
+  return alloc;
+}
+
+Allocation bottom_up_allocation(const RoomModel& model, double load,
+                                const std::vector<size_t>& on_set) {
+  if (on_set.empty()) {
+    throw std::invalid_argument("bottom_up_allocation: empty ON set");
+  }
+  Allocation alloc;
+  alloc.loads.assign(model.size(), 0.0);
+  alloc.on.assign(model.size(), false);
+  for (const size_t i : on_set) alloc.on.at(i) = true;
+
+  // Fill coolest spots first, to capacity.
+  const std::vector<size_t> order = coolness_order(model);
+  double remaining = load;
+  for (const size_t i : order) {
+    if (!alloc.on[i]) continue;
+    if (remaining <= 1e-12) break;
+    const double take = std::min(remaining, model.machines[i].capacity);
+    alloc.loads[i] = take;
+    remaining -= take;
+  }
+  if (remaining > 1e-9) {
+    throw std::invalid_argument(
+        "bottom_up_allocation: load exceeds the ON set's capacity");
+  }
+  alloc.finalize(model);
+  return alloc;
+}
+
+}  // namespace coolopt::core

@@ -1,0 +1,91 @@
+#include "core/closed_form.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace coolopt::core {
+
+AnalyticOptimizer::AnalyticOptimizer(RoomModel model) : model_(std::move(model)) {
+  model_.validate();
+  if (!model_.uniform_w1(1e-9)) {
+    throw std::invalid_argument(
+        "AnalyticOptimizer: the closed form assumes a uniform w1 across "
+        "machines (paper Eq. 14); use LpOptimizer for heterogeneous fleets");
+  }
+  w1_ = model_.machines.front().power.w1;
+}
+
+ClosedFormResult AnalyticOptimizer::solve(const std::vector<size_t>& on_set,
+                                          double total_load) const {
+  if (on_set.empty()) {
+    throw std::invalid_argument("AnalyticOptimizer::solve: empty ON set");
+  }
+  if (total_load < 0.0) {
+    throw std::invalid_argument("AnalyticOptimizer::solve: negative load");
+  }
+  std::unordered_set<size_t> seen;
+  for (const size_t i : on_set) {
+    if (i >= model_.size()) {
+      throw std::invalid_argument(
+          util::strf("AnalyticOptimizer::solve: machine index %zu out of range", i));
+    }
+    if (!seen.insert(i).second) {
+      throw std::invalid_argument(
+          util::strf("AnalyticOptimizer::solve: duplicate machine index %zu", i));
+    }
+  }
+
+  ClosedFormResult result;
+  result.allocation.loads.assign(model_.size(), 0.0);
+  result.allocation.on.assign(model_.size(), false);
+
+  // Eq. 20-21: optimal cool-air temperature.
+  double sum_k = 0.0;
+  double sum_ab = 0.0;
+  for (const size_t i : on_set) {
+    sum_k += model_.machines[i].k_constant(model_.t_max);
+    sum_ab += model_.machines[i].ab_ratio();
+  }
+  const double t_ac = (sum_k - total_load) * w1_ / sum_ab;
+
+  // Eq. 22: optimal per-machine loads (every ON machine sits at T_max).
+  bool loads_ok = true;
+  for (const size_t i : on_set) {
+    const MachineModel& m = model_.machines[i];
+    const double li =
+        m.k_constant(model_.t_max) - (sum_k - total_load) * m.ab_ratio() / sum_ab;
+    result.allocation.loads[i] = li;
+    result.allocation.on[i] = true;
+    if (li < -1e-9 || li > m.capacity + 1e-9) loads_ok = false;
+  }
+
+  result.allocation.t_ac = t_ac;
+  result.allocation.finalize(model_);
+  result.loads_in_bounds = loads_ok;
+  result.t_ac_in_bounds = t_ac >= model_.t_ac_min - 1e-9 &&
+                          t_ac <= model_.t_ac_max + 1e-9;
+  result.sum_k = sum_k;
+  result.sum_ab = sum_ab;
+
+  // Shadow prices, Eqs. 15-16 (see the header on how the paper's lambda
+  // relates to the full marginal).
+  result.lambda = model_.cooler.cfac * w1_ / sum_ab;
+  result.marginal_power_per_load =
+      result.lambda + (1.0 + model_.cooler.q_coeff) * w1_;
+  result.mu.assign(model_.size(), 0.0);
+  for (const size_t i : on_set) {
+    result.mu[i] = result.lambda / (model_.machines[i].thermal.beta * w1_);
+  }
+  return result;
+}
+
+ClosedFormResult AnalyticOptimizer::solve_all(double total_load) const {
+  std::vector<size_t> all(model_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return solve(all, total_load);
+}
+
+}  // namespace coolopt::core

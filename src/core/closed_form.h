@@ -1,0 +1,76 @@
+// The paper's closed-form optimal solution (Section III-A, Eqs. 18-22).
+//
+// For a fixed set ON of powered machines and total load L, the energy
+// optimum under the linear models places every ON machine exactly at the
+// temperature ceiling T_max (all Lagrange multipliers are strictly
+// positive), which yields:
+//
+//   K_i    = (T_max - beta_i w2 - gamma_i) / (beta_i w1)          (Eq. 19)
+//   T_ac*  = (sum K_i - L) * w1 / sum(alpha_i / beta_i)           (Eq. 21)
+//   L_i*   = K_i - (sum K_i - L) * (alpha_i/beta_i)
+//                                   / sum(alpha_i/beta_i)         (Eq. 22)
+//
+// Solving is O(|ON|). The closed form knows nothing about the bounds
+// 0 <= L_i <= capacity_i or the CRAC's T_ac range; the result therefore
+// carries `within_bounds` diagnostics, and callers that need a guaranteed
+// feasible answer fall back to LpOptimizer when it is false.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/model.h"
+
+namespace coolopt::core {
+
+struct ClosedFormResult {
+  Allocation allocation;
+
+  // --- diagnostics ---
+  bool loads_in_bounds = false;   ///< every L_i* in [0, capacity_i]
+  bool t_ac_in_bounds = false;    ///< T_ac* within [t_ac_min, t_ac_max]
+  double sum_k = 0.0;             ///< sum of K_i over ON
+  double sum_ab = 0.0;            ///< sum of alpha_i/beta_i over ON
+
+  // --- shadow prices (Eqs. 15-16) ---
+  /// The paper's Eq. 16 multiplier, lambda = cfac*w1 / sum(alpha/beta):
+  /// the *cooling-side* marginal power of one more unit of load (each
+  /// extra unit forces colder supply air). Strictly positive — the paper's
+  /// proof that every temperature constraint binds.
+  double lambda = 0.0;
+  /// The full marginal total power per unit of load: lambda plus the
+  /// direct computing term (1 + q_coeff)*w1. This is what dP_total/dL
+  /// actually measures (finite-difference-verified in the tests).
+  double marginal_power_per_load = 0.0;
+  /// mu_i = lambda / (beta_i * w1) (Eq. 15): the total power saved per
+  /// degree of T_max relaxation on machine i (W/K). Indexed like the
+  /// model's machines; zero for OFF machines.
+  std::vector<double> mu;
+
+  bool within_bounds() const { return loads_in_bounds && t_ac_in_bounds; }
+};
+
+class AnalyticOptimizer {
+ public:
+  /// Validates the model; the closed form additionally requires a uniform
+  /// w1 across machines (the paper's assumption) and throws
+  /// std::invalid_argument otherwise.
+  explicit AnalyticOptimizer(RoomModel model);
+
+  /// Closed form over the machines listed in `on_set` (indices into the
+  /// model). Throws std::invalid_argument on an empty set, duplicate
+  /// indices, or negative load.
+  ClosedFormResult solve(const std::vector<size_t>& on_set, double total_load) const;
+
+  /// Convenience: all machines ON.
+  ClosedFormResult solve_all(double total_load) const;
+
+  const RoomModel& model() const { return model_; }
+
+ private:
+  RoomModel model_;
+  double w1_ = 0.0;  // shared by all machines
+};
+
+}  // namespace coolopt::core

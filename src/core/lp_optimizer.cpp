@@ -1,0 +1,95 @@
+#include "core/lp_optimizer.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/simplex.h"
+#include "util/strings.h"
+
+namespace coolopt::core {
+
+LpOptimizer::LpOptimizer(RoomModel model) : model_(std::move(model)) {
+  model_.validate();
+}
+
+std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
+                                             double total_load) const {
+  if (on_set.empty()) {
+    throw std::invalid_argument("LpOptimizer::solve: empty ON set");
+  }
+  if (total_load < 0.0) {
+    throw std::invalid_argument("LpOptimizer::solve: negative load");
+  }
+  std::unordered_set<size_t> seen;
+  for (const size_t i : on_set) {
+    if (i >= model_.size()) {
+      throw std::invalid_argument(
+          util::strf("LpOptimizer::solve: machine index %zu out of range", i));
+    }
+    if (!seen.insert(i).second) {
+      throw std::invalid_argument("LpOptimizer::solve: duplicate machine index");
+    }
+  }
+
+  // Variables: x[0] = T_ac, x[1..k] = loads of on_set machines, all >= 0.
+  // (T_ac >= 0 is implied; the explicit t_ac_min bound dominates it for any
+  // physically meaningful model.)
+  const size_t k = on_set.size();
+  LpProblem lp(1 + k);
+
+  // Objective: minimize IT power + cooling power. Constant terms (w2 sums,
+  // cfac * t_sp_ref, fan) are added back after solving.
+  lp.set_objective(0, -model_.cooler.cfac);
+  for (size_t j = 0; j < k; ++j) {
+    lp.set_objective(1 + j, model_.machines[on_set[j]].power.w1);
+  }
+
+  // Load conservation.
+  {
+    std::vector<double> row(1 + k, 0.0);
+    for (size_t j = 0; j < k; ++j) row[1 + j] = 1.0;
+    lp.add_equality(std::move(row), total_load);
+  }
+
+  // Temperature ceilings: alpha*T_ac + beta*w1*L <= T_max - gamma - beta*w2.
+  for (size_t j = 0; j < k; ++j) {
+    const MachineModel& m = model_.machines[on_set[j]];
+    std::vector<double> row(1 + k, 0.0);
+    row[0] = m.thermal.alpha;
+    row[1 + j] = m.thermal.beta * m.power.w1;
+    lp.add_less_equal(std::move(row),
+                      model_.t_max - m.thermal.gamma - m.thermal.beta * m.power.w2);
+  }
+
+  // Capacity bounds and T_ac range.
+  for (size_t j = 0; j < k; ++j) {
+    lp.add_upper_bound(1 + j, model_.machines[on_set[j]].capacity);
+  }
+  lp.add_upper_bound(0, model_.t_ac_max);
+  lp.add_lower_bound(0, model_.t_ac_min);
+
+  const LpSolution sol = solve_lp(lp);
+  if (sol.status != LpStatus::kOptimal) return std::nullopt;
+
+  Allocation alloc;
+  alloc.loads.assign(model_.size(), 0.0);
+  alloc.on.assign(model_.size(), false);
+  alloc.t_ac = sol.x[0];
+  for (size_t j = 0; j < k; ++j) {
+    alloc.on[on_set[j]] = true;
+    // Snap simplex round-off into the box so downstream checks are clean.
+    double li = sol.x[1 + j];
+    if (li < 0.0 && li > -1e-7) li = 0.0;
+    alloc.loads[on_set[j]] = li;
+  }
+  alloc.finalize(model_);
+  return alloc;
+}
+
+std::optional<Allocation> LpOptimizer::solve_all(double total_load) const {
+  std::vector<size_t> all(model_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return solve(all, total_load);
+}
+
+}  // namespace coolopt::core

@@ -1,0 +1,43 @@
+// LP formulation of the same optimization the closed form solves, with the
+// physically necessary bounds restored:
+//
+//   min   sum_i w1_i L_i - cfac * T_ac      (+ constants)
+//   s.t.  sum_i L_i = L
+//         alpha_i T_ac + beta_i (w1_i L_i + w2_i) + gamma_i <= T_max
+//         0 <= L_i <= capacity_i
+//         t_ac_min <= T_ac <= t_ac_max
+//
+// Uses: (1) an independent cross-check of AnalyticOptimizer on instances
+// where the closed form's assumptions hold (the two must agree, which the
+// property tests assert); (2) the feasible fallback for instances where the
+// closed form emits out-of-bounds loads (low total load, tight capacity);
+// (3) support for heterogeneous w1 fleets, which the closed form excludes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/model.h"
+
+namespace coolopt::core {
+
+class LpOptimizer {
+ public:
+  explicit LpOptimizer(RoomModel model);
+
+  /// Optimal bounded allocation for the given ON set, or std::nullopt when
+  /// infeasible (load above ON capacity, or the temperature ceiling cannot
+  /// be met even at t_ac_min).
+  std::optional<Allocation> solve(const std::vector<size_t>& on_set,
+                                  double total_load) const;
+
+  std::optional<Allocation> solve_all(double total_load) const;
+
+  const RoomModel& model() const { return model_; }
+
+ private:
+  RoomModel model_;
+};
+
+}  // namespace coolopt::core

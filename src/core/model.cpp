@@ -1,0 +1,75 @@
+#include "core/model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace coolopt::core {
+
+double MachineModel::k_constant(double t_max) const {
+  return (t_max - thermal.beta * power.w2 - thermal.gamma) /
+         (thermal.beta * power.w1);
+}
+
+double MachineModel::ab_ratio() const { return thermal.alpha / thermal.beta; }
+
+double MachineModel::load_at_tmax(double t_max, double t_ac) const {
+  // Eq. 18: L_i = K_i - T_ac * alpha_i / (w1 * beta_i)
+  return k_constant(t_max) - t_ac * thermal.alpha / (power.w1 * thermal.beta);
+}
+
+double RoomModel::total_capacity() const {
+  double total = 0.0;
+  for (const MachineModel& m : machines) total += m.capacity;
+  return total;
+}
+
+void RoomModel::validate() const {
+  if (machines.empty()) {
+    throw std::invalid_argument("RoomModel: no machines");
+  }
+  for (const MachineModel& m : machines) {
+    const std::string tag = util::strf("machine %d", m.id);
+    if (!(m.power.w1 > 0.0)) {
+      throw std::invalid_argument(tag + ": w1 must be > 0");
+    }
+    if (!(m.power.w2 >= 0.0)) {
+      throw std::invalid_argument(tag + ": w2 must be >= 0");
+    }
+    if (!(m.thermal.alpha > 0.0)) {
+      throw std::invalid_argument(tag + ": alpha must be > 0");
+    }
+    if (!(m.thermal.beta > 0.0)) {
+      throw std::invalid_argument(tag + ": beta must be > 0");
+    }
+    if (!(m.capacity > 0.0)) {
+      throw std::invalid_argument(tag + ": capacity must be > 0");
+    }
+    if (!(t_max > m.thermal.gamma + m.thermal.beta * m.power.w2)) {
+      throw std::invalid_argument(
+          tag + ": t_max unreachable (<= gamma + beta*w2: the machine would "
+                "violate the constraint while idle even with 0-degree air)");
+    }
+    if (!std::isfinite(m.thermal.gamma)) {
+      throw std::invalid_argument(tag + ": gamma must be finite");
+    }
+  }
+  if (!(cooler.cfac > 0.0)) {
+    throw std::invalid_argument("RoomModel: cooler cfac must be > 0");
+  }
+  if (!(t_ac_min < t_ac_max)) {
+    throw std::invalid_argument("RoomModel: t_ac_min must be < t_ac_max");
+  }
+}
+
+bool RoomModel::uniform_w1(double rel_tol) const {
+  if (machines.empty()) return true;
+  const double ref = machines.front().power.w1;
+  for (const MachineModel& m : machines) {
+    if (std::abs(m.power.w1 - ref) > rel_tol * std::abs(ref)) return false;
+  }
+  return true;
+}
+
+}  // namespace coolopt::core

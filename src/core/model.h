@@ -1,0 +1,107 @@
+// The fitted models the optimizer consumes (Section II of the paper).
+//
+// All three are produced by the profiling module (or constructed synthetically
+// in tests):
+//   PowerModel    P_i   = w1 * L_i + w2                      (Eq. 9)
+//   ThermalCoeffs T_cpu = alpha * T_ac + beta * P + gamma    (Eq. 8)
+//   CoolerModel   P_ac  = cfac * (T_SP - T_ac)               (Eq. 10)
+//
+// Loads are in workload units (files/s in the paper's text-processing app),
+// temperatures in degrees C, powers in Watts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace coolopt::core {
+
+struct PowerModel {
+  double w1 = 0.0;  ///< W per load unit
+  double w2 = 0.0;  ///< load-independent draw, W
+
+  double predict(double load) const { return w1 * load + w2; }
+};
+
+struct ThermalCoeffs {
+  double alpha = 0.0;  ///< sensitivity of T_cpu to the cool-air temperature
+  double beta = 0.0;   ///< K per W of own power (Eq. 6's 1/(F c) + 1/theta)
+  double gamma = 0.0;  ///< offset capturing the machine's spot in the room
+
+  double predict(double t_ac, double power_w) const {
+    return alpha * t_ac + beta * power_w + gamma;
+  }
+};
+
+struct CoolerModel {
+  /// Effective c * f_ac of Eq. 10 (c = c_air/eta), W per K of (T_SP - T_ac).
+  /// Under the default *operational* calibration this is the measured
+  /// sensitivity of CRAC electric power to the supply temperature when the
+  /// set point is moved with it (the knob the optimizer actually turns);
+  /// under the paper-literal calibration it is the raw regression slope of
+  /// P_ac on (T_SP - T_ac), which conflates heat-load-driven and
+  /// knob-driven variation (see profiling::CoolerProfilerOptions).
+  double cfac = 0.0;
+  /// Reference set point used when evaluating the model's P_ac. The
+  /// optimization is invariant to it (it only shifts P_ac by a constant).
+  double t_sp_ref = 0.0;
+  /// Load-independent draw (circulation fan); not in the paper's Eq. 10 but
+  /// fitted by our cooler profiler; constant, so also optimization-neutral.
+  double fan_offset_w = 0.0;
+  /// Marginal CRAC watts per watt of IT heat (0 under the paper-literal
+  /// calibration). Makes the model charge each extra consolidated machine
+  /// for the cooling of its idle draw; the closed form (Eqs. 18-22) is
+  /// unchanged by this term (it never involves cfac or q_coeff).
+  double q_coeff = 0.0;
+  /// Physical floor on the unit's electric draw (the circulation fan never
+  /// stops): predictions saturate here instead of extrapolating the linear
+  /// model into fictitious savings once the coil shuts off. Defaults to
+  /// "no floor" so synthetic pure-linear models behave as written.
+  double min_power_w = -1.0e300;
+
+  double predict(double t_ac, double q_it_w) const {
+    const double linear = cfac * (t_sp_ref - t_ac) + q_coeff * q_it_w + fan_offset_w;
+    return linear > min_power_w ? linear : min_power_w;
+  }
+};
+
+/// One machine as the optimizer sees it.
+struct MachineModel {
+  int id = -1;
+  PowerModel power;
+  ThermalCoeffs thermal;
+  double capacity = 0.0;  ///< max load, files/s
+
+  /// Eq. 19: K_i = (T_max - beta*w2 - gamma) / (beta*w1); the machine's
+  /// particle's initial coordinate a_i in the consolidation view.
+  double k_constant(double t_max) const;
+
+  /// alpha_i / beta_i; the particle's speed b_i.
+  double ab_ratio() const;
+
+  /// Load that pins T_cpu at t_max given cool-air temperature t_ac (Eq. 18).
+  double load_at_tmax(double t_max, double t_ac) const;
+};
+
+/// The full room model plus operating constraints.
+struct RoomModel {
+  std::vector<MachineModel> machines;
+  CoolerModel cooler;
+  double t_max = 0.0;          ///< CPU temperature ceiling, degrees C
+  double t_ac_min = 0.0;       ///< lowest cool-air temp the CRAC can supply
+  double t_ac_max = 100.0;     ///< highest useful cool-air temp
+
+  size_t size() const { return machines.size(); }
+  double total_capacity() const;
+
+  /// Throws std::invalid_argument describing the first problem found
+  /// (non-positive w1/beta/alpha/capacity, t_max not above gamma, ...).
+  /// The optimizer requires a validated model.
+  void validate() const;
+
+  /// True when every machine shares (within rel_tol) the same w1 — the
+  /// assumption under which the paper's closed form is exact.
+  bool uniform_w1(double rel_tol = 1e-6) const;
+};
+
+}  // namespace coolopt::core

@@ -1,0 +1,108 @@
+// The eight evaluation scenarios of Fig. 4, and the planner that turns
+// (scenario, load) into a concrete allocation + cool-air temperature.
+//
+//                 no AC control            AC control
+//   no consol.    #1 Even  #2 Bottom-up    #4 Even  #5 Bottom-up  #6 Optimal
+//   consolidation          #3 Bottom-up             #7 Bottom-up  #8 Optimal
+//
+// Knobs (Section IV-B):
+//   * Load distribution: Even / Bottom-up (cool job allocation) / Optimal
+//     (the paper's closed form; #8 additionally uses the optimal
+//     consolidation algorithm).
+//   * AC control: when ON, the cool-air temperature is raised as high as
+//     the CPU-temperature constraint allows for the chosen allocation;
+//     when OFF it stays at the conservative fixed value that keeps every
+//     machine safe at full load.
+//   * Consolidation: when ON, machines with no load are switched off.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/closed_form.h"
+#include "core/consolidation.h"
+#include "core/lp_optimizer.h"
+#include "core/model.h"
+
+namespace coolopt::core {
+
+enum class Distribution { kEven, kBottomUp, kOptimal };
+
+const char* to_string(Distribution d);
+
+struct Scenario {
+  int number = 0;  ///< 1-8 as in Fig. 4 (0 for ad-hoc combinations)
+  Distribution distribution = Distribution::kEven;
+  bool ac_control = false;
+  bool consolidation = false;
+
+  std::string name() const;
+
+  /// The paper's eight scenarios, in Fig. 4 numbering.
+  static const std::vector<Scenario>& all8();
+  /// Scenario by Fig. 4 number (throws std::out_of_range on bad number).
+  static Scenario by_number(int number);
+};
+
+/// Planner options.
+struct PlannerOptions {
+  /// Safety margin subtracted from T_max when choosing T_ac, so that model
+  /// error on the real system (or simulator) does not push a CPU over the
+  /// ceiling. 0 for pure-model studies.
+  double t_max_margin = 0.0;
+};
+
+/// A planned operating point plus provenance diagnostics.
+struct Plan {
+  Allocation allocation;
+  Scenario scenario;
+  double load = 0.0;
+  /// True when the Optimal distribution came from the closed form alone;
+  /// false when the bounded LP fallback was engaged (out-of-bounds loads).
+  bool closed_form_pure = true;
+};
+
+/// Turns (scenario, load) into an allocation against the fitted model.
+///
+/// Homogeneous fleets (uniform w1/w2, the paper's assumption) use the
+/// closed form and the event-based optimal consolidation; heterogeneous
+/// fleets automatically route through the bounded LP with a heuristic
+/// candidate search over ON-set sizes (exact_paths() reports which).
+class ScenarioPlanner {
+ public:
+  ScenarioPlanner(RoomModel model, PlannerOptions options = {});
+
+  /// True when the paper's exact machinery (closed form + Algorithm 1/2)
+  /// is in use; false for the heterogeneous LP fallback.
+  bool exact_paths() const { return analytic_.has_value(); }
+
+  /// Plans scenario `s` for total load `load` (files/s). Throws
+  /// std::invalid_argument if the load exceeds room capacity; returns
+  /// std::nullopt if no feasible operating point exists under the
+  /// temperature ceiling.
+  std::optional<Plan> plan(const Scenario& s, double load) const;
+
+  const RoomModel& model() const { return model_; }
+  /// Fixed conservative cool-air temperature used when AC control is off.
+  double fixed_t_ac() const { return fixed_t_ac_; }
+
+ private:
+  /// Model with the margin folded into t_max (what the optimizers see).
+  const RoomModel& planning_model() const { return margin_model_; }
+
+  std::optional<Allocation> plan_optimal(const std::vector<size_t>& on_set,
+                                         double load, bool& closed_form_pure) const;
+  std::vector<size_t> all_machines() const;
+
+  RoomModel model_;         // as fitted
+  RoomModel margin_model_;  // t_max reduced by the safety margin
+  PlannerOptions options_;
+  double fixed_t_ac_ = 0.0;
+  std::optional<AnalyticOptimizer> analytic_;     // uniform-w1 fleets only
+  LpOptimizer lp_;
+  std::optional<EventConsolidator> consolidator_; // uniform-w1/w2 fleets only
+};
+
+}  // namespace coolopt::core

@@ -1,0 +1,77 @@
+// Small dense linear-programming solver (two-phase primal simplex with
+// Bland's rule).
+//
+// Why an LP solver in this library: the paper's closed form (Eqs. 18-22)
+// drops the implicit bounds 0 <= L_i <= capacity_i and the CRAC actuation
+// range on T_ac. At low total load (many machines on, little work each) the
+// closed form emits *negative* loads, and near full consolidation it can
+// emit loads above capacity. The energy-minimization problem with those
+// bounds restored is still a linear program, so this solver provides (a) an
+// independent numeric cross-check of the closed form on its own domain and
+// (b) the guaranteed-feasible fallback the scenario engine uses when the
+// closed form steps outside its assumptions.
+//
+// Problems here have tens of variables/constraints; a dense tableau with
+// Bland's anti-cycling rule is simple, exact enough, and fast.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace coolopt::core {
+
+/// min c.x  subject to  eq rows (a.x == b), le rows (a.x <= b), x >= 0.
+class LpProblem {
+ public:
+  explicit LpProblem(size_t num_vars);
+
+  size_t num_vars() const { return num_vars_; }
+
+  /// Sets the objective coefficient of variable j.
+  void set_objective(size_t j, double c);
+
+  void add_equality(std::vector<double> coeffs, double rhs);
+  void add_less_equal(std::vector<double> coeffs, double rhs);
+  void add_greater_equal(std::vector<double> coeffs, double rhs);
+
+  /// Convenience: lower/upper bound on a single variable (on top of x >= 0).
+  void add_upper_bound(size_t j, double ub);
+  void add_lower_bound(size_t j, double lb);
+
+  struct Row {
+    std::vector<double> coeffs;
+    double rhs = 0.0;
+  };
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<Row>& equalities() const { return equalities_; }
+  const std::vector<Row>& inequalities() const { return inequalities_; }
+
+ private:
+  void check_row(const std::vector<double>& coeffs) const;
+
+  size_t num_vars_;
+  std::vector<double> objective_;
+  std::vector<Row> equalities_;
+  std::vector<Row> inequalities_;
+};
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+const char* to_string(LpStatus status);
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+};
+
+/// Solves the LP. Deterministic; terminates on degenerate problems
+/// (Bland's rule). Tolerance ~1e-9 on feasibility/optimality.
+LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace coolopt::core

@@ -1,0 +1,33 @@
+#include "core/synthetic.h"
+
+#include "util/rng.h"
+
+namespace coolopt::core {
+
+RoomModel make_synthetic_model(const SyntheticModelOptions& options) {
+  util::Rng rng(options.seed);
+  RoomModel model;
+  model.machines.reserve(options.machines);
+  for (size_t i = 0; i < options.machines; ++i) {
+    MachineModel m;
+    m.id = static_cast<int>(i);
+    m.power.w1 = options.w1;
+    m.power.w2 = options.w2;
+    m.thermal.alpha = rng.uniform(options.alpha_lo, options.alpha_hi);
+    m.thermal.beta = rng.uniform(options.beta_lo, options.beta_hi);
+    m.thermal.gamma = rng.uniform(options.gamma_lo, options.gamma_hi);
+    m.capacity = rng.uniform(options.capacity_lo, options.capacity_hi);
+    model.machines.push_back(m);
+  }
+  model.cooler.cfac = options.cfac;
+  model.cooler.t_sp_ref = options.t_sp_ref;
+  model.cooler.fan_offset_w = options.fan_offset_w;
+  model.cooler.q_coeff = options.q_coeff;
+  model.t_max = options.t_max;
+  model.t_ac_min = options.t_ac_min;
+  model.t_ac_max = options.t_ac_max;
+  model.validate();
+  return model;
+}
+
+}  // namespace coolopt::core

@@ -1,0 +1,123 @@
+#include "core/verification.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace coolopt::core {
+
+std::string FeasibilityIssue::describe() const {
+  const char* what = "?";
+  switch (kind) {
+    case Kind::kLoadSum: what = "load sum mismatch"; break;
+    case Kind::kNegativeLoad: what = "negative load"; break;
+    case Kind::kOverCapacity: what = "load above capacity"; break;
+    case Kind::kLoadOnOffMachine: what = "load on an OFF machine"; break;
+    case Kind::kTemperature: what = "predicted CPU temp above t_max"; break;
+    case Kind::kTacRange: what = "t_ac outside the actuation range"; break;
+  }
+  if (machine >= 0) {
+    return util::strf("%s (machine %d, magnitude %.6g)", what, machine, magnitude);
+  }
+  return util::strf("%s (magnitude %.6g)", what, magnitude);
+}
+
+std::vector<FeasibilityIssue> audit_feasibility(const RoomModel& model,
+                                                const Allocation& alloc,
+                                                double load, double tol) {
+  std::vector<FeasibilityIssue> issues;
+  using Kind = FeasibilityIssue::Kind;
+
+  double sum = 0.0;
+  for (size_t i = 0; i < model.size(); ++i) {
+    const double li = alloc.loads[i];
+    sum += li;
+    if (li < -tol) {
+      issues.push_back({Kind::kNegativeLoad, static_cast<int>(i), -li});
+    }
+    if (li > model.machines[i].capacity + tol) {
+      issues.push_back({Kind::kOverCapacity, static_cast<int>(i),
+                        li - model.machines[i].capacity});
+    }
+    if (!alloc.on[i] && std::abs(li) > tol) {
+      issues.push_back({Kind::kLoadOnOffMachine, static_cast<int>(i), li});
+    }
+    if (alloc.on[i]) {
+      const double temp = predicted_cpu_temp(model, alloc, i);
+      if (temp > model.t_max + tol) {
+        issues.push_back(
+            {Kind::kTemperature, static_cast<int>(i), temp - model.t_max});
+      }
+    }
+  }
+  if (std::abs(sum - load) > tol * std::max(1.0, std::abs(load))) {
+    issues.push_back({Kind::kLoadSum, -1, sum - load});
+  }
+  if (alloc.t_ac < model.t_ac_min - tol) {
+    issues.push_back({Kind::kTacRange, -1, model.t_ac_min - alloc.t_ac});
+  }
+  if (alloc.t_ac > model.t_ac_max + tol) {
+    issues.push_back({Kind::kTacRange, -1, alloc.t_ac - model.t_ac_max});
+  }
+  return issues;
+}
+
+OptimalityAudit audit_local_optimality(const RoomModel& model,
+                                       const Allocation& alloc, double step,
+                                       double tol_w) {
+  OptimalityAudit audit;
+
+  Allocation base = alloc;
+  base.finalize(model);
+  const double base_power = base.total_power_w;
+  const double load = base.total_load();
+
+  std::vector<size_t> on;
+  for (size_t i = 0; i < model.size(); ++i) {
+    if (alloc.on[i]) on.push_back(i);
+  }
+  if (on.size() < 1) return audit;
+
+  auto consider = [&](Allocation candidate, const std::string& description) {
+    if (!audit_feasibility(model, candidate, load, 1e-9).empty()) return;
+    candidate.finalize(model);
+    const double improvement = base_power - candidate.total_power_w;
+    if (improvement > tol_w && improvement > audit.best_improvement_w) {
+      audit.locally_optimal = false;
+      audit.best_improvement_w = improvement;
+      audit.best_move = description;
+    }
+  };
+
+  const double dt = 0.1 * step;  // temperature nudge, degrees C
+
+  // Pure cool-air nudges (feasible only when no machine is at T_max for a
+  // raise; lowering is always feasible but costs cooling power).
+  for (const double sign : {+1.0, -1.0}) {
+    Allocation candidate = base;
+    candidate.t_ac += sign * dt;
+    consider(std::move(candidate),
+             util::strf("t_ac %+0.2f C", sign * dt));
+  }
+
+  // Load transfers, optionally combined with a cool-air nudge: the full
+  // first-order neighbourhood of the (T_ac, L) polytope.
+  for (const size_t i : on) {
+    if (base.loads[i] < step) continue;  // donor needs at least `step`
+    for (const size_t j : on) {
+      if (i == j) continue;
+      for (const double sign : {0.0, +1.0, -1.0}) {
+        Allocation candidate = base;
+        candidate.loads[i] -= step;
+        candidate.loads[j] += step;
+        candidate.t_ac += sign * dt;
+        consider(std::move(candidate),
+                 util::strf("move %.3g load %zu->%zu, t_ac %+0.2f C", step, i,
+                            j, sign * dt));
+      }
+    }
+  }
+  return audit;
+}
+
+}  // namespace coolopt::core

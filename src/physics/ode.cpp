@@ -1,0 +1,69 @@
+#include "physics/ode.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace coolopt::physics {
+
+void step_euler(const Derivative& f, double t, double dt, std::vector<double>& y) {
+  std::vector<double> dydt(y.size());
+  f(t, y, dydt);
+  for (size_t i = 0; i < y.size(); ++i) y[i] += dt * dydt[i];
+}
+
+void step_rk4(const Derivative& f, double t, double dt, std::vector<double>& y) {
+  Rk4Integrator integ(y.size());
+  integ.step(f, t, dt, y);
+}
+
+void step(Integrator method, const Derivative& f, double t, double dt,
+          std::vector<double>& y) {
+  switch (method) {
+    case Integrator::kEuler:
+      step_euler(f, t, dt, y);
+      return;
+    case Integrator::kRk4:
+      step_rk4(f, t, dt, y);
+      return;
+  }
+  throw std::invalid_argument("unknown integrator");
+}
+
+double integrate(Integrator method, const Derivative& f, double t0, double t1,
+                 double dt, std::vector<double>& y) {
+  if (dt <= 0.0) throw std::invalid_argument("integrate: dt must be > 0");
+  if (t1 < t0) throw std::invalid_argument("integrate: t1 < t0");
+  Rk4Integrator rk4(y.size());
+  double t = t0;
+  while (t < t1) {
+    const double h = std::min(dt, t1 - t);
+    if (method == Integrator::kRk4) {
+      rk4.step(f, t, h, y);
+    } else {
+      step_euler(f, t, h, y);
+    }
+    t += h;
+  }
+  return t;
+}
+
+Rk4Integrator::Rk4Integrator(size_t state_size)
+    : k1_(state_size), k2_(state_size), k3_(state_size), k4_(state_size), tmp_(state_size) {}
+
+void Rk4Integrator::step(const Derivative& f, double t, double dt, std::vector<double>& y) {
+  const size_t n = y.size();
+  assert(k1_.size() == n && "Rk4Integrator sized for a different system");
+
+  f(t, y, k1_);
+  for (size_t i = 0; i < n; ++i) tmp_[i] = y[i] + 0.5 * dt * k1_[i];
+  f(t + 0.5 * dt, tmp_, k2_);
+  for (size_t i = 0; i < n; ++i) tmp_[i] = y[i] + 0.5 * dt * k2_[i];
+  f(t + 0.5 * dt, tmp_, k3_);
+  for (size_t i = 0; i < n; ++i) tmp_[i] = y[i] + dt * k3_[i];
+  f(t + dt, tmp_, k4_);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += dt / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+  }
+}
+
+}  // namespace coolopt::physics

@@ -1,0 +1,47 @@
+// Fixed-step ODE integrators for the thermal models (Eqs. 1-2 of the paper
+// and their room-scale generalization).
+//
+// The systems we integrate are small (tens of state variables), stiff only
+// mildly (CPU time constant ~ tens of seconds, room ~ minutes), and run for
+// simulated hours; classic RK4 with a ~0.25-1 s step is both fast and far
+// more accurate than needed. Explicit Euler is kept for convergence tests.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace coolopt::physics {
+
+/// dy/dt = f(t, y, dydt_out). `dydt_out` is pre-sized to y.size().
+using Derivative =
+    std::function<void(double t, std::span<const double> y, std::span<double> dydt)>;
+
+enum class Integrator {
+  kEuler,
+  kRk4,
+};
+
+/// Advances `y` in place by one step of size dt.
+void step_euler(const Derivative& f, double t, double dt, std::vector<double>& y);
+void step_rk4(const Derivative& f, double t, double dt, std::vector<double>& y);
+void step(Integrator method, const Derivative& f, double t, double dt,
+          std::vector<double>& y);
+
+/// Integrates from t0 to t1 with fixed steps of (at most) dt, clamping the
+/// final step so the trajectory lands exactly on t1. Returns the final time.
+double integrate(Integrator method, const Derivative& f, double t0, double t1,
+                 double dt, std::vector<double>& y);
+
+/// Scratch-free integrator object for hot loops (reuses work buffers).
+class Rk4Integrator {
+ public:
+  explicit Rk4Integrator(size_t state_size);
+
+  void step(const Derivative& f, double t, double dt, std::vector<double>& y);
+
+ private:
+  std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+};
+
+}  // namespace coolopt::physics

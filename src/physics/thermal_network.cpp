@@ -1,0 +1,236 @@
+#include "physics/thermal_network.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/linalg.h"
+#include "util/strings.h"
+
+namespace coolopt::physics {
+
+NodeId ThermalNetwork::add_node(std::string name, double heat_capacity,
+                                double initial_temp_c) {
+  if (heat_capacity <= 0.0) {
+    throw std::invalid_argument("ThermalNetwork: heat capacity must be > 0");
+  }
+  Node n;
+  n.name = std::move(name);
+  n.heat_capacity = heat_capacity;
+  n.temp_c = initial_temp_c;
+  nodes_.push_back(std::move(n));
+  return NodeId{static_cast<uint32_t>(nodes_.size() - 1)};
+}
+
+NodeId ThermalNetwork::add_boundary(std::string name, double temp_c) {
+  Node n;
+  n.name = std::move(name);
+  n.temp_c = temp_c;
+  n.boundary = true;
+  nodes_.push_back(std::move(n));
+  return NodeId{static_cast<uint32_t>(nodes_.size() - 1)};
+}
+
+void ThermalNetwork::add_conduction(NodeId a, NodeId b, double conductance_w_per_k) {
+  check_node(a);
+  check_node(b);
+  if (conductance_w_per_k < 0.0) {
+    throw std::invalid_argument("ThermalNetwork: conductance must be >= 0");
+  }
+  conductions_.push_back(Conduction{a.index, b.index, conductance_w_per_k});
+}
+
+size_t ThermalNetwork::add_advection(NodeId from, NodeId to, double flow_m3s,
+                                     double c_air_j_per_k_m3) {
+  check_node(from);
+  check_node(to);
+  if (flow_m3s < 0.0 || c_air_j_per_k_m3 <= 0.0) {
+    throw std::invalid_argument("ThermalNetwork: flow >= 0 and c_air > 0 required");
+  }
+  advections_.push_back(Advection{from.index, to.index, flow_m3s, c_air_j_per_k_m3});
+  return advections_.size() - 1;
+}
+
+void ThermalNetwork::set_advection_flow(size_t link, double flow_m3s) {
+  if (link >= advections_.size()) throw std::out_of_range("bad advection link");
+  if (flow_m3s < 0.0) throw std::invalid_argument("flow must be >= 0");
+  advections_[link].flow = flow_m3s;
+}
+
+void ThermalNetwork::set_heat_input(NodeId node, double watts) {
+  check_node(node);
+  nodes_[node.index].heat_input_w = watts;
+}
+
+double ThermalNetwork::heat_input(NodeId node) const {
+  check_node(node);
+  return nodes_[node.index].heat_input_w;
+}
+
+void ThermalNetwork::set_boundary_temp(NodeId node, double temp_c) {
+  check_node(node);
+  if (!nodes_[node.index].boundary) {
+    throw std::invalid_argument("set_boundary_temp on a capacitive node");
+  }
+  nodes_[node.index].temp_c = temp_c;
+}
+
+void ThermalNetwork::set_temp(NodeId node, double temp_c) {
+  check_node(node);
+  nodes_[node.index].temp_c = temp_c;
+}
+
+double ThermalNetwork::temp(NodeId node) const {
+  check_node(node);
+  return nodes_[node.index].temp_c;
+}
+
+const std::string& ThermalNetwork::name(NodeId node) const {
+  check_node(node);
+  return nodes_[node.index].name;
+}
+
+bool ThermalNetwork::is_boundary(NodeId node) const {
+  check_node(node);
+  return nodes_[node.index].boundary;
+}
+
+size_t ThermalNetwork::free_node_count() const {
+  size_t n = 0;
+  for (const Node& node : nodes_) {
+    if (!node.boundary) ++n;
+  }
+  return n;
+}
+
+double ThermalNetwork::net_heat_flow(NodeId node) const {
+  check_node(node);
+  const uint32_t idx = node.index;
+  double q = nodes_[idx].heat_input_w;
+  for (const Conduction& c : conductions_) {
+    if (c.a == idx) q += c.g * (nodes_[c.b].temp_c - nodes_[c.a].temp_c);
+    if (c.b == idx) q += c.g * (nodes_[c.a].temp_c - nodes_[c.b].temp_c);
+  }
+  for (const Advection& a : advections_) {
+    if (a.to == idx) q += a.flow * a.c_air * (nodes_[a.from].temp_c - nodes_[a.to].temp_c);
+  }
+  return q;
+}
+
+void ThermalNetwork::derivatives(std::span<const double> temps,
+                                 std::span<double> dydt) const {
+  assert(temps.size() == nodes_.size() && dydt.size() == nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) dydt[i] = 0.0;
+
+  // Accumulate heat flows in W...
+  for (const Conduction& c : conductions_) {
+    const double q = c.g * (temps[c.a] - temps[c.b]);
+    dydt[c.b] += q;
+    dydt[c.a] -= q;
+  }
+  for (const Advection& a : advections_) {
+    dydt[a.to] += a.flow * a.c_air * (temps[a.from] - temps[a.to]);
+  }
+  // ...then convert to K/s and clamp boundaries.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].boundary) {
+      dydt[i] = 0.0;
+    } else {
+      dydt[i] = (dydt[i] + nodes_[i].heat_input_w) / nodes_[i].heat_capacity;
+    }
+  }
+}
+
+void ThermalNetwork::step(double dt) {
+  std::vector<double> y(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) y[i] = nodes_[i].temp_c;
+  const Derivative f = [this](double, std::span<const double> temps,
+                              std::span<double> dydt) { derivatives(temps, dydt); };
+  step_rk4(f, 0.0, dt, y);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].boundary) nodes_[i].temp_c = y[i];
+  }
+}
+
+void ThermalNetwork::run(double duration, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("ThermalNetwork::run: dt must be > 0");
+  double t = 0.0;
+  while (t < duration) {
+    const double h = std::min(dt, duration - t);
+    step(h);
+    t += h;
+  }
+}
+
+std::vector<double> ThermalNetwork::steady_state() const {
+  // Map capacitive nodes to unknown indices.
+  std::vector<int> unknown_of(nodes_.size(), -1);
+  int n_unknown = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].boundary) unknown_of[i] = n_unknown++;
+  }
+  if (n_unknown == 0) {
+    std::vector<double> out(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) out[i] = nodes_[i].temp_c;
+    return out;
+  }
+
+  // Balance at node i: sum_links coef * (T_other - T_i) + Q_i = 0
+  // =>  (sum coef) * T_i - sum coef*T_other = Q_i
+  util::Matrix a(static_cast<size_t>(n_unknown), static_cast<size_t>(n_unknown));
+  std::vector<double> b(static_cast<size_t>(n_unknown), 0.0);
+
+  auto couple = [&](uint32_t node, uint32_t other, double coef) {
+    const int row = unknown_of[node];
+    if (row < 0) return;  // boundary: no equation
+    a.at(static_cast<size_t>(row), static_cast<size_t>(row)) += coef;
+    const int col = unknown_of[other];
+    if (col >= 0) {
+      a.at(static_cast<size_t>(row), static_cast<size_t>(col)) -= coef;
+    } else {
+      b[static_cast<size_t>(row)] += coef * nodes_[other].temp_c;
+    }
+  };
+
+  for (const Conduction& c : conductions_) {
+    couple(c.a, c.b, c.g);
+    couple(c.b, c.a, c.g);
+  }
+  for (const Advection& adv : advections_) {
+    couple(adv.to, adv.from, adv.flow * adv.c_air);
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const int row = unknown_of[i];
+    if (row >= 0) b[static_cast<size_t>(row)] += nodes_[i].heat_input_w;
+  }
+
+  std::vector<double> solution;
+  try {
+    solution = util::solve_linear_system(std::move(a), std::move(b));
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error(
+        "ThermalNetwork::steady_state: singular network (a node has no "
+        "thermal path to any boundary)");
+  }
+
+  std::vector<double> out(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const int row = unknown_of[i];
+    out[i] = row >= 0 ? solution[static_cast<size_t>(row)] : nodes_[i].temp_c;
+  }
+  return out;
+}
+
+void ThermalNetwork::settle() {
+  const std::vector<double> temps = steady_state();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].boundary) nodes_[i].temp_c = temps[i];
+  }
+}
+
+void ThermalNetwork::check_node(NodeId id) const {
+  if (!id.valid() || id.index >= nodes_.size()) {
+    throw std::out_of_range(util::strf("ThermalNetwork: bad node id %u", id.index));
+  }
+}
+
+}  // namespace coolopt::physics

@@ -1,0 +1,113 @@
+// A lumped-parameter thermal network: capacitive nodes connected by
+// conductive links (Newton cooling, theta * dT) and advective links (air
+// displacement, F * c_air * dT — exactly the F*c*(T_in - T_out) terms of
+// Eqs. 1-2 in the paper).
+//
+// Two evaluation modes:
+//  * transient:    dT/dt per node, integrated with physics/ode.h
+//  * steady state: the network is linear in T, so the equilibrium solves a
+//    small linear system directly (used by tests to cross-check the paper's
+//    closed-form Eq. 5, and by fast "settled" simulations).
+//
+// Boundary nodes have fixed temperature (infinite capacity): the cool-air
+// supply, the outside wall, etc.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "physics/ode.h"
+
+namespace coolopt::physics {
+
+/// Index of a node inside a ThermalNetwork.
+struct NodeId {
+  uint32_t index = UINT32_MAX;
+  bool valid() const { return index != UINT32_MAX; }
+  friend bool operator==(NodeId a, NodeId b) { return a.index == b.index; }
+};
+
+class ThermalNetwork {
+ public:
+  /// Adds a capacitive node. `heat_capacity` in J/K must be > 0.
+  NodeId add_node(std::string name, double heat_capacity, double initial_temp_c);
+
+  /// Adds a fixed-temperature boundary node.
+  NodeId add_boundary(std::string name, double temp_c);
+
+  /// Conduction a<->b with conductance W/K (symmetric).
+  void add_conduction(NodeId a, NodeId b, double conductance_w_per_k);
+
+  /// Advection: air at node `from`'s temperature enters `to` at `flow` m^3/s,
+  /// displacing an equal volume of `to`'s air. Adds
+  /// flow * c_air * (T_from - T_to) watts to `to` (one-directional by
+  /// design; the matched outflow's enthalpy is carried by the displacement
+  /// formulation). Returns a handle for later flow updates.
+  size_t add_advection(NodeId from, NodeId to, double flow_m3s,
+                       double c_air_j_per_k_m3);
+
+  void set_advection_flow(size_t link, double flow_m3s);
+
+  /// External heat injected into a node (CPU dissipation), W.
+  void set_heat_input(NodeId node, double watts);
+  double heat_input(NodeId node) const;
+
+  void set_boundary_temp(NodeId node, double temp_c);
+  void set_temp(NodeId node, double temp_c);
+  double temp(NodeId node) const;
+  const std::string& name(NodeId node) const;
+  bool is_boundary(NodeId node) const;
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t free_node_count() const;  // non-boundary nodes
+
+  /// Net heat flow into `node` right now, W (conduction + advection + input).
+  double net_heat_flow(NodeId node) const;
+
+  /// Advances all capacitive nodes by dt seconds (RK4).
+  void step(double dt);
+
+  /// Integrates for `duration` seconds using steps of at most `dt`.
+  void run(double duration, double dt);
+
+  /// Solves the steady-state temperatures of all capacitive nodes (given the
+  /// current boundary temperatures, flows and heat inputs) and writes them
+  /// into the node states. Throws std::runtime_error if the network is
+  /// singular (e.g. a node with no path to any boundary and no input balance).
+  void settle();
+
+  /// As settle(), but returns the temperatures without mutating state;
+  /// out[i] corresponds to node index i (boundary nodes echo their fixed T).
+  std::vector<double> steady_state() const;
+
+ private:
+  struct Node {
+    std::string name;
+    double heat_capacity = 0.0;  // J/K; 0 marks a boundary node
+    double temp_c = 0.0;
+    double heat_input_w = 0.0;
+    bool boundary = false;
+  };
+  struct Conduction {
+    uint32_t a = 0;
+    uint32_t b = 0;
+    double g = 0.0;  // W/K
+  };
+  struct Advection {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    double flow = 0.0;   // m^3/s
+    double c_air = 0.0;  // J/(K m^3)
+  };
+
+  void check_node(NodeId id) const;
+  void derivatives(std::span<const double> temps, std::span<double> dydt) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Conduction> conductions_;
+  std::vector<Advection> advections_;
+};
+
+}  // namespace coolopt::physics

@@ -1,0 +1,7 @@
+// units.h is header-only; this TU exists so the target always has at least
+// one object file and to host any future non-inline helpers.
+#include "physics/units.h"
+
+namespace coolopt::physics {
+// Intentionally empty.
+}  // namespace coolopt::physics

@@ -1,0 +1,181 @@
+// Physical quantities from Table I of the paper, as strong types.
+//
+//   T, T_box, T_in        K            temperature
+//   nu_cpu, nu_box        J K^-1       heat capacity
+//   theta_cpu_box         J K^-1 s^-1  heat-exchange rate (== W/K)
+//   F_in, F_out           m^3 s^-1     air flow
+//   c_air                 J K^-1 m^-3  volumetric heat-capacity density
+//   P_cpu                 J s^-1       heat-producing rate (== W)
+//
+// Library-wide convention: the simulator and optimizer APIs carry plain
+// doubles in *degrees Celsius*, Watts, m^3/s, etc. (all model equations are
+// affine, so Celsius is safe). These strong types guard the physics layer,
+// where Kelvin-vs-Celsius mistakes are easiest to make, and provide the
+// dimensional identities the unit tests pin down.
+#pragma once
+
+#include <compare>
+
+namespace coolopt::physics {
+
+/// Absolute thermodynamic temperature.
+class Kelvin {
+ public:
+  constexpr Kelvin() = default;
+  constexpr explicit Kelvin(double value) : value_(value) {}
+  constexpr double value() const { return value_; }
+
+  constexpr double celsius() const { return value_ - 273.15; }
+  static constexpr Kelvin from_celsius(double c) { return Kelvin(c + 273.15); }
+
+  friend constexpr bool operator==(Kelvin a, Kelvin b) { return a.value_ == b.value_; }
+  friend constexpr auto operator<=>(Kelvin a, Kelvin b) { return a.value_ <=> b.value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Temperature difference (Kelvin and Celsius deltas coincide).
+class TempDelta {
+ public:
+  constexpr TempDelta() = default;
+  constexpr explicit TempDelta(double kelvin) : value_(kelvin) {}
+  constexpr double value() const { return value_; }
+
+  friend constexpr TempDelta operator+(TempDelta a, TempDelta b) { return TempDelta(a.value_ + b.value_); }
+  friend constexpr TempDelta operator-(TempDelta a, TempDelta b) { return TempDelta(a.value_ - b.value_); }
+  friend constexpr TempDelta operator*(double s, TempDelta d) { return TempDelta(s * d.value_); }
+  friend constexpr TempDelta operator*(TempDelta d, double s) { return TempDelta(s * d.value_); }
+  friend constexpr bool operator==(TempDelta a, TempDelta b) { return a.value_ == b.value_; }
+  friend constexpr auto operator<=>(TempDelta a, TempDelta b) { return a.value_ <=> b.value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr TempDelta operator-(Kelvin a, Kelvin b) { return TempDelta(a.value() - b.value()); }
+constexpr Kelvin operator+(Kelvin t, TempDelta d) { return Kelvin(t.value() + d.value()); }
+constexpr Kelvin operator-(Kelvin t, TempDelta d) { return Kelvin(t.value() - d.value()); }
+
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double value) : value_(value) {}
+  constexpr double value() const { return value_; }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) { return Seconds(a.value_ + b.value_); }
+  friend constexpr auto operator<=>(Seconds a, Seconds b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+class Joules;
+
+/// Heat-producing / power rate, J s^-1.
+class Watts {
+ public:
+  constexpr Watts() = default;
+  constexpr explicit Watts(double value) : value_(value) {}
+  constexpr double value() const { return value_; }
+  friend constexpr Watts operator+(Watts a, Watts b) { return Watts(a.value_ + b.value_); }
+  friend constexpr Watts operator-(Watts a, Watts b) { return Watts(a.value_ - b.value_); }
+  friend constexpr Watts operator*(double s, Watts w) { return Watts(s * w.value_); }
+  friend constexpr auto operator<=>(Watts a, Watts b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+class Joules {
+ public:
+  constexpr Joules() = default;
+  constexpr explicit Joules(double value) : value_(value) {}
+  constexpr double value() const { return value_; }
+  friend constexpr Joules operator+(Joules a, Joules b) { return Joules(a.value_ + b.value_); }
+  friend constexpr Joules operator-(Joules a, Joules b) { return Joules(a.value_ - b.value_); }
+  friend constexpr auto operator<=>(Joules a, Joules b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// J = W * s  (energy accumulated over a step).
+constexpr Joules operator*(Watts p, Seconds t) { return Joules(p.value() * t.value()); }
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+
+/// Heat capacity nu, J K^-1.
+class HeatCapacity {
+ public:
+  constexpr HeatCapacity() = default;
+  constexpr explicit HeatCapacity(double value) : value_(value) {}
+  constexpr double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// dT = Q / nu : adding energy to a capacity raises its temperature.
+constexpr TempDelta operator/(Joules q, HeatCapacity nu) {
+  return TempDelta(q.value() / nu.value());
+}
+
+/// Heat-exchange rate theta, J K^-1 s^-1 == W K^-1.
+class HeatExchangeRate {
+ public:
+  constexpr HeatExchangeRate() = default;
+  constexpr explicit HeatExchangeRate(double value) : value_(value) {}
+  constexpr double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// W = theta * dT  (Newton's law of cooling across an interface).
+constexpr Watts operator*(HeatExchangeRate theta, TempDelta dt) {
+  return Watts(theta.value() * dt.value());
+}
+constexpr Watts operator*(TempDelta dt, HeatExchangeRate theta) { return theta * dt; }
+
+/// Air flow F, m^3 s^-1.
+class AirFlow {
+ public:
+  constexpr AirFlow() = default;
+  constexpr explicit AirFlow(double value) : value_(value) {}
+  constexpr double value() const { return value_; }
+  friend constexpr AirFlow operator+(AirFlow a, AirFlow b) { return AirFlow(a.value_ + b.value_); }
+  friend constexpr auto operator<=>(AirFlow a, AirFlow b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Volumetric heat-capacity density c_air, J K^-1 m^-3.
+class HeatCapacityDensity {
+ public:
+  constexpr HeatCapacityDensity() = default;
+  constexpr explicit HeatCapacityDensity(double value) : value_(value) {}
+  constexpr double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// F * c_air has units W K^-1: an advective "conductance".
+constexpr HeatExchangeRate operator*(AirFlow f, HeatCapacityDensity c) {
+  return HeatExchangeRate(f.value() * c.value());
+}
+constexpr HeatExchangeRate operator*(HeatCapacityDensity c, AirFlow f) { return f * c; }
+
+/// Standard volumetric heat capacity of air near room conditions:
+/// rho (1.204 kg/m^3 at 20 C) * c_p (1005 J/(kg K)) ~= 1210 J K^-1 m^-3.
+inline constexpr HeatCapacityDensity kAirHeatCapacityDensity{1210.0};
+
+namespace literals {
+constexpr Kelvin operator""_K(long double v) { return Kelvin(static_cast<double>(v)); }
+constexpr Kelvin operator""_degC(long double v) { return Kelvin::from_celsius(static_cast<double>(v)); }
+constexpr Watts operator""_W(long double v) { return Watts(static_cast<double>(v)); }
+constexpr Seconds operator""_s(long double v) { return Seconds(static_cast<double>(v)); }
+constexpr Joules operator""_J(long double v) { return Joules(static_cast<double>(v)); }
+}  // namespace literals
+
+}  // namespace coolopt::physics

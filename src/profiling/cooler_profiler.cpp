@@ -1,0 +1,134 @@
+#include "profiling/cooler_profiler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/linalg.h"
+
+namespace coolopt::profiling {
+
+CoolerProfileResult profile_cooler(sim::MachineRoom& room,
+                                   const CoolerProfilerOptions& options) {
+  if (options.setpoints_c.empty() || options.load_levels.empty()) {
+    throw std::invalid_argument("profile_cooler: empty grid");
+  }
+
+  std::vector<double> dt_sp;       // T_SP - T_ac (achieved)
+  std::vector<double> crac_power;  // W
+  std::vector<double> it_power;    // measured sum, W
+  std::vector<double> setpoints;   // T_SP of the grid point
+
+  room.set_all_power(true);
+  CoolerProfileResult result;
+
+  // Dedicated coil-off point: warm set point, idle fleet. What the unit
+  // draws here is its irreducible floor (circulation fan).
+  {
+    room.set_uniform_utilization(0.0);
+    room.set_setpoint_c(options.setpoints_c.back() + 4.0);
+    if (options.fast_settle) {
+      room.settle();
+    } else {
+      room.run(options.settle_s, 1.0);
+    }
+    result.model.min_power_w = room.crac_power_w();
+  }
+
+  for (const double sp : options.setpoints_c) {
+    room.set_setpoint_c(sp);
+    for (const double level : options.load_levels) {
+      room.set_uniform_utilization(level);
+      if (options.fast_settle) {
+        room.settle();
+      } else {
+        room.run(options.settle_s, 1.0);
+      }
+      ++result.grid_points;
+
+      double q_it = 0.0;
+      for (size_t s = 0; s < options.samples_per_point; ++s) {
+        if (!options.fast_settle) room.step(1.0);
+        double sum = 0.0;
+        for (size_t i = 0; i < room.size(); ++i) sum += room.read_server_power_w(i);
+        q_it += sum;
+      }
+      q_it /= static_cast<double>(options.samples_per_point);
+
+      dt_sp.push_back(sp - room.supply_temp_c());
+      crac_power.push_back(room.crac_power_w());
+      it_power.push_back(q_it);
+      setpoints.push_back(sp);
+      result.model.min_power_w =
+          std::min(result.model.min_power_w, room.crac_power_w());
+    }
+  }
+
+  // Coil-off grid points (unit drawing only its fan floor) sit in a
+  // different physical regime: the floor handles them in the model, and
+  // keeping them in the linear regressions would drag both fits. Exclude
+  // them, but require enough active points to identify the coefficients.
+  {
+    const double active_threshold = result.model.min_power_w * 1.05 + 1.0;
+    std::vector<double> f_dt, f_p, f_q, f_sp;
+    for (size_t r = 0; r < crac_power.size(); ++r) {
+      if (crac_power[r] < active_threshold) continue;
+      f_dt.push_back(dt_sp[r]);
+      f_p.push_back(crac_power[r]);
+      f_q.push_back(it_power[r]);
+      f_sp.push_back(setpoints[r]);
+    }
+    if (f_p.size() < 4) {
+      throw std::runtime_error(
+          "profile_cooler: fewer than 4 coil-active grid points; extend the "
+          "grid toward colder set points or higher loads");
+    }
+    dt_sp = std::move(f_dt);
+    crac_power = std::move(f_p);
+    it_power = std::move(f_q);
+    setpoints = std::move(f_sp);
+  }
+
+  // Paper-literal Eq. 10 regression (always reported).
+  const util::LeastSquaresFit paper_fit = util::fit_line(dt_sp, crac_power);
+  result.paper_cfac = paper_fit.coefficients[0];
+  result.paper_fan_offset_w = paper_fit.coefficients[1];
+  result.paper_fit_r2 = paper_fit.r_squared;
+
+  result.model.t_sp_ref = options.reference_setpoint_c;
+  if (options.operational_fit) {
+    // P_ac ~ -s*T_ac + u*Q_it + v, refolded into the Eq. 10 form
+    // cfac*(t_sp_ref - T_ac) + q_coeff*Q_it + fan_offset.
+    util::Matrix design(dt_sp.size(), 3);
+    for (size_t r = 0; r < dt_sp.size(); ++r) {
+      design.at(r, 0) = setpoints[r] - dt_sp[r];  // achieved T_ac
+      design.at(r, 1) = it_power[r];
+      design.at(r, 2) = 1.0;
+    }
+    const util::LeastSquaresFit fit = util::least_squares(design, crac_power);
+    result.model.cfac = -fit.coefficients[0];
+    result.model.q_coeff = fit.coefficients[1];
+    result.model.fan_offset_w =
+        fit.coefficients[2] - result.model.cfac * result.model.t_sp_ref;
+    result.power_fit_r2 = fit.r_squared;
+  } else {
+    result.model.cfac = result.paper_cfac;
+    result.model.fan_offset_w = result.paper_fan_offset_w;
+    result.model.q_coeff = 0.0;
+    result.power_fit_r2 = result.paper_fit_r2;
+  }
+
+  util::Matrix rise_design(dt_sp.size(), 3);
+  for (size_t r = 0; r < dt_sp.size(); ++r) {
+    rise_design.at(r, 0) = it_power[r];
+    rise_design.at(r, 1) = setpoints[r];
+    rise_design.at(r, 2) = 1.0;
+  }
+  const util::LeastSquaresFit rise_fit = util::least_squares(rise_design, dt_sp);
+  result.heat_rise_per_watt = rise_fit.coefficients[0];
+  result.setpoint_gain = rise_fit.coefficients[1];
+  result.heat_rise_offset_c = rise_fit.coefficients[2];
+  result.heat_rise_fit_r2 = rise_fit.r_squared;
+  return result;
+}
+
+}  // namespace coolopt::profiling

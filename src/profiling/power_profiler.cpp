@@ -1,0 +1,104 @@
+#include "profiling/power_profiler.h"
+
+#include <stdexcept>
+
+#include "util/filter.h"
+#include "util/linalg.h"
+#include "util/stats.h"
+
+namespace coolopt::profiling {
+
+PowerProfileResult profile_power(sim::MachineRoom& room,
+                                 const PowerProfilerOptions& options) {
+  if (options.load_levels.empty()) {
+    throw std::invalid_argument("profile_power: need at least one load level");
+  }
+  if (options.dwell_s <= 0.0 || options.sample_period_s <= 0.0) {
+    throw std::invalid_argument("profile_power: dwell and sample period must be > 0");
+  }
+
+  PowerProfileResult result;
+  const size_t n = room.size();
+
+  std::vector<double> loads;      // files/s, regressor (pooled)
+  std::vector<double> powers;     // smoothed measured W, response (pooled)
+  std::vector<std::vector<double>> m_loads(n), m_powers(n);  // per machine
+  std::vector<util::LowPassFilter> filters(n, util::LowPassFilter(options.lpf_alpha));
+  std::vector<util::MedianFilter> medians(
+      n, util::MedianFilter(std::max<size_t>(1, options.median_window)));
+
+  // Fig. 2 trace rows: (time, load, measured, predicted). Prediction is
+  // filled after the fit below.
+  std::vector<double> trace_time;
+  std::vector<double> trace_load;
+  std::vector<double> trace_meas;
+
+  room.set_all_power(true);
+
+  for (const double level : options.load_levels) {
+    if (level < 0.0 || level > 1.0) {
+      throw std::invalid_argument("profile_power: load level outside [0,1]");
+    }
+    // The paper idles the machines briefly before each level.
+    if (options.idle_gap_s > 0.0) {
+      room.set_uniform_utilization(0.0);
+      room.run(options.idle_gap_s, options.sample_period_s);
+    }
+    room.set_uniform_utilization(level);
+    for (auto& f : filters) f.reset();
+    for (auto& m : medians) m.reset();
+
+    const size_t steps =
+        static_cast<size_t>(options.dwell_s / options.sample_period_s);
+    const size_t settle_after =
+        static_cast<size_t>(static_cast<double>(steps) *
+                            (1.0 - options.settled_fraction));
+    for (size_t step = 0; step < steps; ++step) {
+      room.step(options.sample_period_s);
+      for (size_t i = 0; i < n; ++i) {
+        double reading = room.read_server_power_w(i);
+        if (options.median_window > 1) reading = medians[i].update(reading);
+        const double smoothed = filters[i].update(reading);
+        if (step >= settle_after) {
+          loads.push_back(room.server(i).load_files_s());
+          powers.push_back(smoothed);
+          if (options.per_machine) {
+            m_loads[i].push_back(room.server(i).load_files_s());
+            m_powers[i].push_back(smoothed);
+          }
+        }
+        if (i == 0) {
+          trace_time.push_back(room.time_s());
+          trace_load.push_back(room.server(0).load_files_s());
+          trace_meas.push_back(smoothed);
+        }
+      }
+    }
+  }
+
+  const util::LeastSquaresFit fit = util::fit_line(loads, powers);
+  result.model.w1 = fit.coefficients[0];
+  result.model.w2 = fit.coefficients[1];
+  result.r_squared = fit.r_squared;
+  result.rmse_w = fit.rmse;
+  result.mape_pct = util::mape(powers, fit.predicted);
+  result.samples_used = loads.size();
+
+  if (options.per_machine) {
+    result.per_machine_models.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const util::LeastSquaresFit mfit = util::fit_line(m_loads[i], m_powers[i]);
+      result.per_machine_models[i].w1 = mfit.coefficients[0];
+      result.per_machine_models[i].w2 = mfit.coefficients[1];
+    }
+  }
+
+  for (size_t s = 0; s < trace_time.size(); ++s) {
+    const double predicted = result.model.predict(trace_load[s]);
+    const double row[3] = {trace_load[s], trace_meas[s], predicted};
+    result.trace.record(trace_time[s], row);
+  }
+  return result;
+}
+
+}  // namespace coolopt::profiling

@@ -1,0 +1,58 @@
+// Power-model profiling (Section IV-A, "Profiling the Power Consumption
+// Model", Fig. 2).
+//
+// Procedure, mirroring the paper: run the text-processing workload at a
+// ladder of load levels (0, 10, 25, 50, 75 % of capacity by default), dwell
+// at each level, sample every server's plug meter at 1 Hz, low-pass filter
+// the readings, and least-squares fit P = w1*L + w2 on the pooled
+// (load, power) samples. One PowerModel is fitted for the whole fleet (the
+// machines share a hardware configuration, as in the paper's testbed).
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "sim/room.h"
+#include "sim/trace.h"
+
+namespace coolopt::profiling {
+
+struct PowerProfilerOptions {
+  /// Load levels as fractions of capacity (the paper's ladder).
+  std::vector<double> load_levels{0.0, 0.10, 0.25, 0.50, 0.75};
+  double dwell_s = 600.0;        ///< time at each level (paper: 15 min)
+  double idle_gap_s = 60.0;      ///< idle period before each level (paper)
+  double sample_period_s = 1.0;  ///< meter sampling (paper: every second)
+  double lpf_alpha = 0.05;       ///< smoothing, as in the paper's plots
+  /// Sliding-median window applied before the low-pass filter; 1 disables
+  /// it. Use >= 5 on instruments with glitch spikes (a low-pass alone
+  /// smears a spike into many biased samples instead of rejecting it).
+  size_t median_window = 1;
+  /// Fraction of each dwell treated as settled and used for fitting
+  /// (drops the transient right after a load change).
+  double settled_fraction = 0.5;
+  /// Also fit one PowerModel per machine (needed for heterogeneous fleets;
+  /// the paper's testbed is homogeneous and uses the pooled fleet fit).
+  bool per_machine = false;
+};
+
+struct PowerProfileResult {
+  core::PowerModel model;  ///< pooled fleet-wide fit (the paper's)
+  /// Per-machine fits; filled only when options.per_machine is set.
+  std::vector<core::PowerModel> per_machine_models;
+  double r_squared = 0.0;
+  double rmse_w = 0.0;
+  double mape_pct = 0.0;
+  size_t samples_used = 0;
+  /// Fig. 2 series for server 0: time, measured (smoothed) power, model
+  /// prediction. Channels: load_files_s, measured_w, predicted_w.
+  sim::TraceRecorder trace{std::vector<std::string>{
+      "load_files_s", "measured_w", "predicted_w"}};
+};
+
+/// Runs the ladder on the room (transient simulation; the room is left at
+/// the last level). Deterministic given the room's seed.
+PowerProfileResult profile_power(sim::MachineRoom& room,
+                                 const PowerProfilerOptions& options = {});
+
+}  // namespace coolopt::profiling

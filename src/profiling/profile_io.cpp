@@ -1,0 +1,91 @@
+#include "profiling/profile_io.h"
+
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace coolopt::profiling {
+namespace {
+
+const std::vector<std::string> kColumns = {
+    "kind", "id", "w1", "w2", "alpha", "beta", "gamma", "capacity"};
+
+double field_as_double(const std::vector<std::string>& row, size_t idx,
+                       const char* what) {
+  double v = 0.0;
+  if (!util::parse_double(row.at(idx), v)) {
+    throw std::runtime_error(util::strf("load_model: bad %s: '%s'", what,
+                                        row.at(idx).c_str()));
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_model(const core::RoomModel& model, const std::string& path) {
+  util::CsvWriter w(path, kColumns);
+  w.row({"constraints", "", util::strf("%.17g", model.t_max),
+         util::strf("%.17g", model.t_ac_min), util::strf("%.17g", model.t_ac_max),
+         "", "", ""});
+  w.row({"cooler", "", util::strf("%.17g", model.cooler.cfac),
+         util::strf("%.17g", model.cooler.t_sp_ref),
+         util::strf("%.17g", model.cooler.fan_offset_w),
+         util::strf("%.17g", model.cooler.q_coeff),
+         util::strf("%.17g", model.cooler.min_power_w), ""});
+  for (const core::MachineModel& m : model.machines) {
+    w.row({"machine", util::strf("%d", m.id), util::strf("%.17g", m.power.w1),
+           util::strf("%.17g", m.power.w2), util::strf("%.17g", m.thermal.alpha),
+           util::strf("%.17g", m.thermal.beta), util::strf("%.17g", m.thermal.gamma),
+           util::strf("%.17g", m.capacity)});
+  }
+}
+
+core::RoomModel load_model(const std::string& path) {
+  const util::CsvTable table = util::load_csv(path);
+  if (table.columns != kColumns) {
+    throw std::runtime_error("load_model: unexpected header in " + path);
+  }
+  core::RoomModel model;
+  bool saw_constraints = false;
+  bool saw_cooler = false;
+  for (const auto& row : table.rows) {
+    const std::string& kind = row[0];
+    if (kind == "constraints") {
+      model.t_max = field_as_double(row, 2, "t_max");
+      model.t_ac_min = field_as_double(row, 3, "t_ac_min");
+      model.t_ac_max = field_as_double(row, 4, "t_ac_max");
+      saw_constraints = true;
+    } else if (kind == "cooler") {
+      model.cooler.cfac = field_as_double(row, 2, "cfac");
+      model.cooler.t_sp_ref = field_as_double(row, 3, "t_sp_ref");
+      model.cooler.fan_offset_w = field_as_double(row, 4, "fan_offset");
+      model.cooler.q_coeff = field_as_double(row, 5, "q_coeff");
+      model.cooler.min_power_w = field_as_double(row, 6, "min_power");
+      saw_cooler = true;
+    } else if (kind == "machine") {
+      core::MachineModel m;
+      int id = 0;
+      if (!util::parse_int(row[1], id)) {
+        throw std::runtime_error("load_model: bad machine id '" + row[1] + "'");
+      }
+      m.id = id;
+      m.power.w1 = field_as_double(row, 2, "w1");
+      m.power.w2 = field_as_double(row, 3, "w2");
+      m.thermal.alpha = field_as_double(row, 4, "alpha");
+      m.thermal.beta = field_as_double(row, 5, "beta");
+      m.thermal.gamma = field_as_double(row, 6, "gamma");
+      m.capacity = field_as_double(row, 7, "capacity");
+      model.machines.push_back(m);
+    } else {
+      throw std::runtime_error("load_model: unknown row kind '" + kind + "'");
+    }
+  }
+  if (!saw_constraints || !saw_cooler) {
+    throw std::runtime_error("load_model: missing constraints/cooler rows");
+  }
+  model.validate();
+  return model;
+}
+
+}  // namespace coolopt::profiling

@@ -1,0 +1,25 @@
+// Serialization of fitted RoomModels, so a profiling campaign can be run
+// once and the model reused across tools (the examples ship models this
+// way).
+//
+// Format: a CSV file with a `kind` discriminator column —
+//   kind,id,w1,w2,alpha,beta,gamma,capacity
+//   constraints,,t_max,t_ac_min,t_ac_max,,,
+//   cooler,,cfac,t_sp_ref,fan_offset,,,
+//   machine,0,...
+#pragma once
+
+#include <string>
+
+#include "core/model.h"
+
+namespace coolopt::profiling {
+
+/// Writes the model; throws std::runtime_error on I/O failure.
+void save_model(const core::RoomModel& model, const std::string& path);
+
+/// Reads a model written by save_model; throws std::runtime_error on
+/// malformed files. The loaded model is validate()d before returning.
+core::RoomModel load_model(const std::string& path);
+
+}  // namespace coolopt::profiling

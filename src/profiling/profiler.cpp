@@ -1,0 +1,50 @@
+#include "profiling/profiler.h"
+
+namespace coolopt::profiling {
+
+ProfilingOptions ProfilingOptions::fast() {
+  ProfilingOptions o;
+  o.power.dwell_s = 180.0;
+  o.power.idle_gap_s = 20.0;
+  o.power.load_levels = {0.0, 0.25, 0.50, 0.75};
+  o.thermal.fast_settle = true;
+  o.thermal.setpoints_c = {20.0, 24.0, 28.0};
+  o.thermal.load_levels = {0.0, 0.5, 1.0};
+  o.thermal.samples_per_point = 12;
+  o.cooler.fast_settle = true;
+  o.cooler.setpoints_c = {20.0, 24.0, 28.0};
+  o.cooler.load_levels = {0.2, 0.6, 1.0};
+  o.cooler.samples_per_point = 8;
+  return o;
+}
+
+RoomProfile profile_room(sim::MachineRoom& room, const ProfilingOptions& options) {
+  PowerProfilerOptions power_options = options.power;
+  if (options.heterogeneous_power) power_options.per_machine = true;
+  RoomProfile profile{
+      core::RoomModel{},
+      profile_power(room, power_options),
+      profile_thermal(room, options.thermal),
+      profile_cooler(room, options.cooler),
+  };
+
+  core::RoomModel& model = profile.model;
+  model.machines.reserve(room.size());
+  for (size_t i = 0; i < room.size(); ++i) {
+    core::MachineModel m;
+    m.id = static_cast<int>(i);
+    m.power = options.heterogeneous_power ? profile.power.per_machine_models[i]
+                                          : profile.power.model;
+    m.thermal = profile.thermal.fits[i].coeffs;
+    m.capacity = room.server(i).truth().capacity_files_s;
+    model.machines.push_back(m);
+  }
+  model.cooler = profile.cooler.model;
+  model.t_max = options.t_max;
+  model.t_ac_min = options.t_ac_min;
+  model.t_ac_max = options.t_ac_max;
+  model.validate();
+  return profile;
+}
+
+}  // namespace coolopt::profiling

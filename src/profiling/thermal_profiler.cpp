@@ -1,0 +1,115 @@
+#include "profiling/thermal_profiler.h"
+
+#include <stdexcept>
+
+#include "util/linalg.h"
+#include "util/stats.h"
+
+namespace coolopt::profiling {
+
+ThermalProfileResult profile_thermal(sim::MachineRoom& room,
+                                     const ThermalProfilerOptions& options,
+                                     size_t traced_server) {
+  if (options.setpoints_c.empty() || options.load_levels.empty()) {
+    throw std::invalid_argument("profile_thermal: empty grid");
+  }
+  if (traced_server >= room.size()) {
+    throw std::invalid_argument("profile_thermal: traced_server out of range");
+  }
+
+  const size_t n = room.size();
+  // Per machine: rows of (t_ac, p, 1) -> t_cpu.
+  std::vector<std::vector<double>> t_ac_col(n), p_col(n), t_cpu_col(n);
+
+  room.set_all_power(true);
+
+  ThermalProfileResult result;
+  double trace_clock = 0.0;
+
+  for (const double level : options.load_levels) {
+    if (level < 0.0 || level > 1.0) {
+      throw std::invalid_argument("profile_thermal: load level outside [0,1]");
+    }
+  }
+
+  size_t grid_index = 0;
+  for (const double sp : options.setpoints_c) {
+    room.set_setpoint_c(sp);
+    for (size_t li = 0; li < options.load_levels.size(); ++li) {
+      if (options.stagger_loads) {
+        for (size_t i = 0; i < n; ++i) {
+          room.set_utilization(
+              i, options.load_levels[(grid_index + i) % options.load_levels.size()]);
+        }
+      } else {
+        room.set_uniform_utilization(options.load_levels[li]);
+      }
+      ++grid_index;
+      if (options.fast_settle) {
+        room.settle();
+      } else {
+        room.run(options.settle_s, 1.0);
+      }
+      ++result.grid_points;
+
+      // Average a window of sensor readings per machine (the paper smooths
+      // with a low-pass filter; an average over a settled window is the
+      // steady-state equivalent and keeps the grid loop simple).
+      std::vector<double> t_acc(n, 0.0), p_acc(n, 0.0);
+      for (size_t s = 0; s < options.samples_per_point; ++s) {
+        if (!options.fast_settle) room.step(options.sample_period_s);
+        for (size_t i = 0; i < n; ++i) {
+          t_acc[i] += room.read_cpu_temp_c(i);
+          p_acc[i] += room.read_server_power_w(i);
+        }
+      }
+      const double inv = 1.0 / static_cast<double>(options.samples_per_point);
+      const double t_ac = room.supply_temp_c();
+      for (size_t i = 0; i < n; ++i) {
+        t_ac_col[i].push_back(t_ac);
+        p_col[i].push_back(p_acc[i] * inv);
+        t_cpu_col[i].push_back(t_acc[i] * inv);
+      }
+      trace_clock += options.fast_settle
+                         ? options.settle_s
+                         : options.settle_s + static_cast<double>(
+                                                  options.samples_per_point) *
+                                                  options.sample_period_s;
+      // The prediction column is appended after fitting, below; remember
+      // the grid point for the traced server via the parallel arrays.
+      (void)trace_clock;
+    }
+  }
+
+  // Per-machine least squares of Eq. 8.
+  result.fits.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t rows = t_ac_col[i].size();
+    util::Matrix design(rows, 3);
+    for (size_t r = 0; r < rows; ++r) {
+      design.at(r, 0) = t_ac_col[i][r];
+      design.at(r, 1) = p_col[i][r];
+      design.at(r, 2) = 1.0;
+    }
+    const util::LeastSquaresFit fit = util::least_squares(design, t_cpu_col[i]);
+    result.fits[i].coeffs.alpha = fit.coefficients[0];
+    result.fits[i].coeffs.beta = fit.coefficients[1];
+    result.fits[i].coeffs.gamma = fit.coefficients[2];
+    result.fits[i].r_squared = fit.r_squared;
+    result.fits[i].rmse_c = fit.rmse;
+    result.fits[i].max_abs_err_c = util::max_abs_error(t_cpu_col[i], fit.predicted);
+  }
+
+  // Fig. 3 trace for the chosen server.
+  const core::ThermalCoeffs& tc = result.fits[traced_server].coeffs;
+  for (size_t r = 0; r < t_ac_col[traced_server].size(); ++r) {
+    const double t_ac = t_ac_col[traced_server][r];
+    const double p = p_col[traced_server][r];
+    const double measured = t_cpu_col[traced_server][r];
+    const double row[4] = {t_ac, p, measured, tc.predict(t_ac, p)};
+    result.trace.record(static_cast<double>(r), row);
+  }
+  return result;
+}
+
+}  // namespace coolopt::profiling

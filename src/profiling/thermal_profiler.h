@@ -1,0 +1,71 @@
+// Per-machine thermal-model profiling (Section IV-A, "Profiling Stable CPU
+// Temperature Model", Fig. 3).
+//
+// Procedure, mirroring the paper: for a grid of cooling set points and load
+// levels, run every machine at the level, wait for CPU temperatures to
+// stabilize (~200 s on the testbed), then record (T_ac, P_i, T_cpu_i) per
+// machine — T from lm-sensors-like readouts, P from the plug meter, both
+// low-pass filtered. A per-machine least-squares fit of Eq. 8
+// (T_cpu = alpha*T_ac + beta*P + gamma) yields alpha_i, beta_i, gamma_i;
+// the coefficients DIFFER across machines because of rack position, which
+// is exactly the spatial diversity the optimizer exploits.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "sim/room.h"
+#include "sim/trace.h"
+
+namespace coolopt::profiling {
+
+struct ThermalProfilerOptions {
+  std::vector<double> setpoints_c{20.0, 23.0, 26.0, 29.0};
+  std::vector<double> load_levels{0.0, 0.25, 0.50, 0.75, 1.0};
+  /// Stabilization time per grid point before sampling (paper: ~200 s).
+  double settle_s = 300.0;
+  /// Number of 1 Hz samples averaged per grid point after stabilization.
+  size_t samples_per_point = 30;
+  double sample_period_s = 1.0;
+  double lpf_alpha = 0.15;
+  /// When true, jump each grid point to the exact steady state (fast; used
+  /// by tests and benches) instead of integrating the transient.
+  bool fast_settle = true;
+
+  /// When true (default), machines are stepped through the load ladder in a
+  /// staggered pattern (machine i runs level (point+i) mod #levels) instead
+  /// of all together. Simultaneous ramping makes every machine's own power
+  /// perfectly correlated with the room's total heat, so the per-machine
+  /// beta_i absorbs the room-coupling term and the fitted model mispredicts
+  /// under non-uniform operational allocations (by 1-2 C, enough to breach
+  /// T_max). Staggering keeps the room heat roughly constant per grid
+  /// point, which attributes airflow quality to beta_i and spot warmth to
+  /// gamma_i — a methodological improvement over the paper's procedure,
+  /// documented in EXPERIMENTS.md.
+  bool stagger_loads = true;
+};
+
+struct ThermalFit {
+  core::ThermalCoeffs coeffs;
+  double r_squared = 0.0;
+  double rmse_c = 0.0;
+  double max_abs_err_c = 0.0;
+};
+
+struct ThermalProfileResult {
+  std::vector<ThermalFit> fits;  ///< one per machine
+  /// Fig. 3 series for one server across the grid: measured (smoothed)
+  /// stable temperature vs the linear model's prediction.
+  /// Channels: t_ac_c, power_w, measured_c, predicted_c.
+  sim::TraceRecorder trace{std::vector<std::string>{
+      "t_ac_c", "power_w", "measured_c", "predicted_c"}};
+  size_t grid_points = 0;
+};
+
+/// Runs the set-point x load grid. The room is left at the last grid point.
+/// `traced_server` selects which machine fills the Fig. 3 trace.
+ThermalProfileResult profile_thermal(sim::MachineRoom& room,
+                                     const ThermalProfilerOptions& options = {},
+                                     size_t traced_server = 0);
+
+}  // namespace coolopt::profiling

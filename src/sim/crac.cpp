@@ -1,0 +1,62 @@
+#include "sim/crac.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coolopt::sim {
+
+CracSim::CracSim(const CracConfig& cfg)
+    : cfg_(cfg),
+      setpoint_c_(cfg.default_setpoint_c),
+      supply_temp_c_(cfg.default_setpoint_c) {
+  if (cfg_.flow_m3s <= 0.0 || cfg_.c_air <= 0.0) {
+    throw std::invalid_argument("CracSim: flow and c_air must be > 0");
+  }
+}
+
+void CracSim::set_setpoint_c(double t_sp_c) { setpoint_c_ = t_sp_c; }
+
+double CracSim::cop_at(double supply_temp_c) const {
+  const double cop =
+      cfg_.cop_ref + cfg_.cop_slope_per_k * (supply_temp_c - cfg_.cop_ref_temp_c);
+  return std::max(cfg_.cop_min, cop);
+}
+
+void CracSim::apply_cooling(double return_temp_c, double cooling_cmd_w) {
+  const double thermal_conductance = cfg_.c_air * cfg_.flow_m3s;  // W/K
+  // The coil can't cool below min_supply_c: that caps the extraction rate.
+  const double max_by_supply =
+      std::max(0.0, (return_temp_c - cfg_.min_supply_c) * thermal_conductance);
+  const double limit = std::min(cfg_.max_cooling_w, max_by_supply);
+  cooling_w_ = std::clamp(cooling_cmd_w, 0.0, limit);
+  saturated_ = cooling_cmd_w > limit + 1e-9;
+  supply_temp_c_ = return_temp_c - cooling_w_ / thermal_conductance;
+}
+
+void CracSim::step(double dt, double return_temp_c) {
+  const double error = return_temp_c - setpoint_c_;  // positive -> need cooling
+  integral_w_ += cfg_.pi_ki * error * dt;
+  // Anti-windup: keep the integral inside the actuator range.
+  integral_w_ = std::clamp(integral_w_, 0.0, cfg_.max_cooling_w);
+  const double cmd = cfg_.pi_kp * error + integral_w_;
+  apply_cooling(return_temp_c, cmd);
+}
+
+double CracSim::set_steady_operating_point(double return_temp_c,
+                                           double required_cooling_w) {
+  apply_cooling(return_temp_c, required_cooling_w);
+  // Leave the PI integral consistent with the operating point so a
+  // subsequent transient run doesn't jump.
+  integral_w_ = cooling_w_;
+  return cooling_w_;
+}
+
+double CracSim::electric_power_w() const {
+  return cooling_w_ / cop_at(supply_temp_c_) + cfg_.fan_power_w;
+}
+
+void CracSim::reset_controller() {
+  integral_w_ = 0.0;
+}
+
+}  // namespace coolopt::sim

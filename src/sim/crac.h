@@ -1,0 +1,62 @@
+// Simulated CRAC unit (Section II-B of the paper).
+//
+// Mirrors the Liebert Challenger 3000 behaviour the paper describes: a
+// constant-speed circulation fan, and an internal control loop that
+// modulates chilled-water cooling so the *return/exhaust* air temperature
+// tracks the operator set point T_SP. The supply temperature T_ac is an
+// emergent quantity: T_ac = T_return - Q_cool / (c_air * f_ac).
+//
+// Electrical draw is Q_cool / COP(T_ac) + fan. COP rises with supply
+// temperature; this is the physical reason raising T_ac saves energy and is
+// what the paper's linear P_ac = c*f_ac*(T_SP - T_ac) model linearizes.
+#pragma once
+
+#include "sim/config.h"
+
+namespace coolopt::sim {
+
+class CracSim {
+ public:
+  explicit CracSim(const CracConfig& cfg);
+
+  // --- operator knob ---
+  void set_setpoint_c(double t_sp_c);
+  double setpoint_c() const { return setpoint_c_; }
+
+  /// COP at a given supply temperature (ground truth).
+  double cop_at(double supply_temp_c) const;
+
+  /// Advances the internal PI loop by dt given the measured return-air
+  /// temperature; updates the commanded cooling rate and supply temperature.
+  void step(double dt, double return_temp_c);
+
+  /// Directly fixes the steady operating point (used by the fast
+  /// steady-state solver): given the return temperature and required heat
+  /// extraction, applies saturation limits and sets state accordingly.
+  /// Returns the achieved cooling rate (W) after limits.
+  double set_steady_operating_point(double return_temp_c, double required_cooling_w);
+
+  // --- observables ---
+  double supply_temp_c() const { return supply_temp_c_; }
+  double cooling_rate_w() const { return cooling_w_; }
+  /// Instantaneous electrical draw, W (compressor/chilled water + fan).
+  double electric_power_w() const;
+  bool saturated() const { return saturated_; }
+
+  const CracConfig& config() const { return cfg_; }
+
+  /// Resets the PI integrator (e.g. after a set-point change in tests).
+  void reset_controller();
+
+ private:
+  void apply_cooling(double return_temp_c, double cooling_cmd_w);
+
+  CracConfig cfg_;
+  double setpoint_c_;
+  double cooling_w_ = 0.0;
+  double supply_temp_c_;
+  double integral_w_ = 0.0;
+  bool saturated_ = false;
+};
+
+}  // namespace coolopt::sim

@@ -1,0 +1,301 @@
+#include "sim/room.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace coolopt::sim {
+
+MachineRoom::MachineRoom(const RoomConfig& cfg) : cfg_(cfg), crac_(cfg.crac) {
+  util::Rng rng(cfg_.seed);
+
+  // --- build servers with slot- and rack-dependent airflow/recirculation ---
+  const size_t n = cfg_.total_servers();
+  if (n == 0) {
+    throw std::invalid_argument("MachineRoom: need at least one server");
+  }
+  if (cfg_.num_racks == 0) {
+    throw std::invalid_argument("MachineRoom: need at least one rack");
+  }
+  // Per-server hardware class: homogeneous by default, block-wise when a
+  // heterogeneous fleet is configured.
+  std::vector<const ServerConfig*> class_of(n, &cfg_.server);
+  if (!cfg_.fleet.empty()) {
+    size_t idx = 0;
+    for (const RoomConfig::FleetBlock& block : cfg_.fleet) {
+      for (size_t c = 0; c < block.count && idx < n; ++c) {
+        class_of[idx++] = &block.server;
+      }
+    }
+  }
+  const size_t per_rack = (n + cfg_.num_racks - 1) / cfg_.num_racks;
+  for (size_t i = 0; i < n; ++i) {
+    util::Rng unit_rng = rng.fork(util::strf("server-%zu", i));
+    servers_.emplace_back(i, *class_of[i], cfg_.unit_jitter,
+                          cfg_.airflow_jitter * cfg_.diversity_scale,
+                          cfg_.exchange_jitter * cfg_.diversity_scale, unit_rng);
+
+    const size_t rack = i / per_rack;
+    const size_t slot = i % per_rack;
+    const double frac =
+        per_rack > 1 ? static_cast<double>(slot) / static_cast<double>(per_rack - 1)
+                     : 0.0;
+    const double r_nominal =
+        cfg_.recirc_bottom + (cfg_.recirc_top - cfg_.recirc_bottom) * frac +
+        cfg_.rack_recirc_penalty * static_cast<double>(rack);
+    const double r_mean = 0.5 * (cfg_.recirc_bottom + cfg_.recirc_top);
+    const double r = r_mean + cfg_.diversity_scale * (r_nominal - r_mean);
+    servers_.back().set_recirc_fraction(std::clamp(r, 0.0, 0.95));
+
+    const double derate_nominal = 1.0 + (cfg_.flow_derate_top - 1.0) * frac;
+    const double derate_mean = 0.5 * (1.0 + cfg_.flow_derate_top);
+    const double derate =
+        derate_mean + cfg_.diversity_scale * (derate_nominal - derate_mean);
+    servers_.back().scale_fan_flow(derate);
+  }
+
+  // --- thermal network ---
+  supply_node_ = net_.add_boundary("supply", crac_.supply_temp_c());
+  outside_node_ = net_.add_boundary("outside", cfg_.outside_temp_c);
+  ambient_node_ =
+      net_.add_node("ambient", cfg_.ambient_heat_capacity, cfg_.outside_temp_c);
+  net_.add_conduction(ambient_node_, outside_node_, cfg_.wall_conductance_w_k);
+
+  for (size_t i = 0; i < n; ++i) {
+    const ServerTruth& t = servers_[i].truth();
+    cpu_nodes_.push_back(net_.add_node(util::strf("cpu-%zu", i),
+                                       t.cpu_heat_capacity, cfg_.outside_temp_c));
+    box_nodes_.push_back(net_.add_node(util::strf("box-%zu", i),
+                                       t.box_heat_capacity, cfg_.outside_temp_c));
+    net_.add_conduction(cpu_nodes_[i], box_nodes_[i], t.cpu_box_exchange);
+    supply_to_box_.push_back(
+        net_.add_advection(supply_node_, box_nodes_[i], 0.0, cfg_.crac.c_air));
+    ambient_to_box_.push_back(
+        net_.add_advection(ambient_node_, box_nodes_[i], 0.0, cfg_.crac.c_air));
+    box_to_ambient_.push_back(
+        net_.add_advection(box_nodes_[i], ambient_node_, 0.0, cfg_.crac.c_air));
+  }
+  supply_to_ambient_ =
+      net_.add_advection(supply_node_, ambient_node_, 0.0, cfg_.crac.c_air);
+
+  // --- instruments ---
+  for (size_t i = 0; i < n; ++i) {
+    power_meters_.emplace_back(rng.fork(util::strf("meter-%zu", i)),
+                               cfg_.power_meter_noise_w, cfg_.power_meter_quantum_w,
+                               cfg_.power_meter_spike_prob,
+                               cfg_.power_meter_spike_w);
+    temp_sensors_.emplace_back(rng.fork(util::strf("temp-%zu", i)),
+                               cfg_.temp_sensor_noise_c, cfg_.temp_sensor_quantum_c,
+                               cfg_.temp_sensor_stuck_prob);
+  }
+
+  refresh_flows();
+  refresh_heat_inputs();
+  settle();
+}
+
+void MachineRoom::set_power_state(size_t i, bool on) {
+  servers_.at(i).set_on(on);
+  refresh_flows();
+  refresh_heat_inputs();
+}
+
+void MachineRoom::set_fan_failed(size_t i, bool failed) {
+  servers_.at(i).set_fan_failed(failed);
+  refresh_flows();
+}
+
+void MachineRoom::set_utilization(size_t i, double u) {
+  servers_.at(i).set_utilization(u);
+  refresh_heat_inputs();
+}
+
+void MachineRoom::set_load_files_s(size_t i, double files_s) {
+  servers_.at(i).set_load_files_s(files_s);
+  refresh_heat_inputs();
+}
+
+void MachineRoom::set_uniform_utilization(double u) {
+  for (ServerSim& s : servers_) {
+    if (s.is_on()) s.set_utilization(u);
+  }
+  refresh_heat_inputs();
+}
+
+void MachineRoom::set_all_power(bool on) {
+  for (ServerSim& s : servers_) s.set_on(on);
+  refresh_flows();
+  refresh_heat_inputs();
+}
+
+void MachineRoom::refresh_flows() {
+  // First pass: how much of the cold supply stream the fleet wants.
+  double supply_wanted = 0.0;
+  for (const ServerSim& s : servers_) {
+    supply_wanted += (1.0 - s.truth().recirc_fraction) * s.airflow_m3s();
+  }
+  // If the fleet wants more supply air than the CRAC moves, the shortfall
+  // is physically drawn from the room instead (higher effective
+  // recirculation for everyone). Scaling the supply share keeps the air
+  // mass balance exact, which the energy-conservation invariant depends on.
+  double supply_scale = 1.0;
+  if (supply_wanted > cfg_.crac.flow_m3s) {
+    supply_scale = cfg_.crac.flow_m3s / supply_wanted;
+    util::log_debug(
+        "MachineRoom: server intake (%.3f m3/s) exceeds CRAC supply (%.3f "
+        "m3/s); %.0f%% of the shortfall recirculates from the room",
+        supply_wanted, cfg_.crac.flow_m3s, 100.0 * (1.0 - supply_scale));
+  }
+
+  double supply_consumed = 0.0;
+  supply_fraction_.assign(servers_.size(), 0.0);
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    const double flow = servers_[i].airflow_m3s();
+    const double r = servers_[i].truth().recirc_fraction;
+    const double from_supply = (1.0 - r) * flow * supply_scale;
+    supply_fraction_[i] = flow > 0.0 ? from_supply / flow : 0.0;
+    net_.set_advection_flow(supply_to_box_[i], from_supply);
+    net_.set_advection_flow(ambient_to_box_[i], flow - from_supply);
+    net_.set_advection_flow(box_to_ambient_[i], flow);
+    supply_consumed += from_supply;
+  }
+  net_.set_advection_flow(supply_to_ambient_,
+                          std::max(0.0, cfg_.crac.flow_m3s - supply_consumed));
+}
+
+void MachineRoom::refresh_heat_inputs() {
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    const double p = servers_[i].power_draw_w();
+    const double f = servers_[i].truth().cpu_heat_fraction;
+    net_.set_heat_input(cpu_nodes_[i], f * p);
+    net_.set_heat_input(box_nodes_[i], (1.0 - f) * p);
+  }
+}
+
+void MachineRoom::step(double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("MachineRoom::step: dt must be > 0");
+  crac_.step(dt, return_temp_c());
+  net_.set_boundary_temp(supply_node_, crac_.supply_temp_c());
+  net_.step(dt);
+  time_s_ += dt;
+  it_energy_j_ += it_power_w() * dt;
+  cooling_energy_j_ += crac_power_w() * dt;
+}
+
+void MachineRoom::run(double seconds, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("MachineRoom::run: dt must be > 0");
+  double t = 0.0;
+  while (t < seconds) {
+    const double h = std::min(dt, seconds - t);
+    step(h);
+    t += h;
+  }
+}
+
+void MachineRoom::return_affine(double& a, double& b) {
+  const double saved = net_.temp(supply_node_);
+  const double s1 = 10.0;
+  const double s2 = 20.0;
+  net_.set_boundary_temp(supply_node_, s1);
+  const double r1 = net_.steady_state()[ambient_node_.index];
+  net_.set_boundary_temp(supply_node_, s2);
+  const double r2 = net_.steady_state()[ambient_node_.index];
+  net_.set_boundary_temp(supply_node_, saved);
+  b = (r2 - r1) / (s2 - s1);
+  a = r1 - b * s1;
+}
+
+void MachineRoom::settle() {
+  double a = 0.0;
+  double b = 0.0;
+  return_affine(a, b);
+  // b is the steady-state gain dT_return/dT_supply; with nonzero wall
+  // conductance it lies strictly inside (0, 1).
+  const double conductance = cfg_.crac.c_air * cfg_.crac.flow_m3s;
+  const double t_sp = crac_.setpoint_c();
+
+  // Unconstrained solution: supply temp that makes T_return == T_SP.
+  double supply = (t_sp - a) / b;
+  double cooling = conductance * (t_sp - supply);
+
+  if (cooling < 0.0) {
+    // Room is naturally colder than the set point: coil off, supply air is
+    // just recirculated return air. T_return = a + b*T_return.
+    const double t_return = a / (1.0 - b);
+    supply = t_return;
+    cooling = 0.0;
+  } else if (supply < cfg_.crac.min_supply_c) {
+    // Coil temperature limit: pin the supply and let the return float high.
+    supply = cfg_.crac.min_supply_c;
+    cooling = conductance * ((a + b * supply) - supply);
+  }
+  if (cooling > cfg_.crac.max_cooling_w) {
+    // Capacity limit: T_s = T_r - q_max/cf and T_r = a + b*T_s.
+    const double t_return =
+        (a - b * cfg_.crac.max_cooling_w / conductance) / (1.0 - b);
+    supply = t_return - cfg_.crac.max_cooling_w / conductance;
+    cooling = cfg_.crac.max_cooling_w;
+  }
+
+  net_.set_boundary_temp(supply_node_, supply);
+  net_.settle();
+  crac_.set_steady_operating_point(return_temp_c(), cooling);
+}
+
+double MachineRoom::true_cpu_temp_c(size_t i) const {
+  return net_.temp(cpu_nodes_.at(i));
+}
+
+double MachineRoom::true_box_temp_c(size_t i) const {
+  return net_.temp(box_nodes_.at(i));
+}
+
+double MachineRoom::true_inlet_temp_c(size_t i) const {
+  const double f = supply_fraction_.at(i);
+  return f * net_.temp(supply_node_) + (1.0 - f) * ambient_temp_c();
+}
+
+double MachineRoom::ambient_temp_c() const { return net_.temp(ambient_node_); }
+
+double MachineRoom::server_power_w(size_t i) const {
+  return servers_.at(i).power_draw_w();
+}
+
+double MachineRoom::it_power_w() const {
+  double total = 0.0;
+  for (const ServerSim& s : servers_) total += s.power_draw_w();
+  return total;
+}
+
+double MachineRoom::heat_balance_residual_w() const {
+  const double produced = it_power_w();
+  const double wall_loss =
+      cfg_.wall_conductance_w_k * (ambient_temp_c() - cfg_.outside_temp_c);
+  return produced - crac_.cooling_rate_w() - wall_loss;
+}
+
+double MachineRoom::read_cpu_temp_c(size_t i) {
+  return temp_sensors_.at(i).read_celsius(true_cpu_temp_c(i));
+}
+
+double MachineRoom::read_server_power_w(size_t i) {
+  return power_meters_.at(i).read_watts(server_power_w(i));
+}
+
+void MachineRoom::reset_energy() {
+  it_energy_j_ = 0.0;
+  cooling_energy_j_ = 0.0;
+}
+
+double MachineRoom::throughput_files_s() const {
+  double total = 0.0;
+  for (const ServerSim& s : servers_) {
+    if (s.is_on()) total += s.load_files_s();
+  }
+  return total;
+}
+
+}  // namespace coolopt::sim

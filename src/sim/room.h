@@ -1,0 +1,134 @@
+// The simulated machine room: one rack of servers, a single CRAC, and the
+// room air volume, coupled through a lumped thermal network.
+//
+// Air-path model (displacement formulation, matching Eqs. 1-2):
+//   * the CRAC supplies cool air at T_ac (emergent, see CracSim) at f_ac;
+//   * server i inhales F_i of which a slot-dependent fraction r_i is warm
+//     recirculated room air and (1-r_i) is the cold supply stream — this is
+//     what makes T_in_i = alpha_i*T_ac + gamma_i (Eq. 7) with *different*
+//     coefficients per rack position;
+//   * server exhaust and unconsumed supply mix into the room ambient, from
+//     which the CRAC draws its return air (the paper's unit controls on
+//     return temperature);
+//   * walls leak a little heat to the building corridor.
+//
+// Two time-evolution modes:
+//   * step()/run(): transient integration (RK4) with the CRAC's PI loop —
+//     used for profiling traces (Figs. 2-3) and the dynamics tests;
+//   * settle(): direct steady-state solve including the CRAC control law
+//     (the network is linear, and return temperature is affine in supply
+//     temperature) — used by the evaluation benches, which only need the
+//     paper's steady-state operating points.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "physics/thermal_network.h"
+#include "sim/config.h"
+#include "sim/crac.h"
+#include "sim/sensors.h"
+#include "sim/server.h"
+
+namespace coolopt::sim {
+
+class MachineRoom {
+ public:
+  explicit MachineRoom(const RoomConfig& cfg);
+
+  size_t size() const { return servers_.size(); }
+  ServerSim& server(size_t i) { return servers_.at(i); }
+  const ServerSim& server(size_t i) const { return servers_.at(i); }
+  CracSim& crac() { return crac_; }
+  const CracSim& crac() const { return crac_; }
+  const RoomConfig& config() const { return cfg_; }
+
+  // --- actuation ---
+  void set_setpoint_c(double t_sp_c) { crac_.set_setpoint_c(t_sp_c); }
+  void set_power_state(size_t i, bool on);
+  /// Injects/repairs a fan failure on server i (updates the airflow paths).
+  void set_fan_failed(size_t i, bool failed);
+  void set_utilization(size_t i, double u);
+  void set_load_files_s(size_t i, double files_s);
+  /// Convenience: same utilization on every ON server.
+  void set_uniform_utilization(double u);
+  /// Turns every server on/off.
+  void set_all_power(bool on);
+
+  // --- time evolution ---
+  /// One transient step of `dt` seconds (also advances the CRAC PI loop and
+  /// accumulates energy counters).
+  void step(double dt);
+  void run(double seconds, double dt = 0.5);
+  /// Jumps to the controlled steady state (does not advance clocks or
+  /// accumulate energy).
+  void settle();
+  double time_s() const { return time_s_; }
+
+  // --- ground-truth observables ---
+  double true_cpu_temp_c(size_t i) const;
+  double true_box_temp_c(size_t i) const;
+  /// Mixed inlet temperature seen by server i (Eq. 7's T_in).
+  double true_inlet_temp_c(size_t i) const;
+  double ambient_temp_c() const;
+  double supply_temp_c() const { return crac_.supply_temp_c(); }
+  double return_temp_c() const { return ambient_temp_c(); }
+
+  double server_power_w(size_t i) const;
+  /// Sum of server electrical draw ("computing energy" side).
+  double it_power_w() const;
+  double crac_power_w() const { return crac_.electric_power_w(); }
+  double total_power_w() const { return it_power_w() + crac_power_w(); }
+
+  /// Heat generated minus heat removed (CRAC + walls) right now, W.
+  /// ~0 at steady state; the conservation tests pin this down.
+  double heat_balance_residual_w() const;
+
+  // --- instruments (stateful: noise streams advance per read) ---
+  double read_cpu_temp_c(size_t i);
+  double read_server_power_w(size_t i);
+
+  // --- integrated energy (transient mode only) ---
+  double it_energy_j() const { return it_energy_j_; }
+  double cooling_energy_j() const { return cooling_energy_j_; }
+  double total_energy_j() const { return it_energy_j_ + cooling_energy_j_; }
+  void reset_energy();
+
+  /// Total throughput currently being served, files/s (ON servers).
+  double throughput_files_s() const;
+
+ private:
+  void refresh_flows();
+  void refresh_heat_inputs();
+  /// Steady-state return temperature as a function of supply temperature is
+  /// affine: fills `a` and `b` with T_return = a + b * T_supply.
+  void return_affine(double& a, double& b);
+
+  RoomConfig cfg_;
+  std::vector<ServerSim> servers_;
+  CracSim crac_;
+
+  physics::ThermalNetwork net_;
+  physics::NodeId supply_node_;
+  physics::NodeId outside_node_;
+  physics::NodeId ambient_node_;
+  std::vector<physics::NodeId> cpu_nodes_;
+  std::vector<physics::NodeId> box_nodes_;
+  std::vector<size_t> supply_to_box_;
+  std::vector<size_t> ambient_to_box_;
+  std::vector<size_t> box_to_ambient_;
+  size_t supply_to_ambient_ = 0;
+  /// Effective fraction of each server's intake drawn from the supply
+  /// stream (== 1 - recirc normally; lower when the fleet over-subscribes
+  /// the CRAC flow). Kept in sync by refresh_flows().
+  std::vector<double> supply_fraction_;
+
+  std::vector<PowerMeter> power_meters_;
+  std::vector<TempSensor> temp_sensors_;
+
+  double time_s_ = 0.0;
+  double it_energy_j_ = 0.0;
+  double cooling_energy_j_ = 0.0;
+};
+
+}  // namespace coolopt::sim

@@ -1,0 +1,42 @@
+#include "sim/sensors.h"
+
+#include <cmath>
+
+namespace coolopt::sim {
+
+NoisySensor::NoisySensor(util::Rng rng, double noise_std, double quantum)
+    : rng_(rng), noise_std_(noise_std), quantum_(quantum) {}
+
+double NoisySensor::read(double truth) {
+  double v = truth;
+  if (noise_std_ > 0.0) v += rng_.normal(0.0, noise_std_);
+  if (quantum_ > 0.0) v = std::round(v / quantum_) * quantum_;
+  return v;
+}
+
+PowerMeter::PowerMeter(util::Rng rng, double noise_w, double quantum_w,
+                       double spike_prob, double spike_w)
+    : sensor_(rng, noise_w, quantum_w), spike_prob_(spike_prob), spike_w_(spike_w) {}
+
+double PowerMeter::read_watts(double truth_w) {
+  double v = sensor_.read(truth_w);
+  if (spike_prob_ > 0.0 && sensor_.rng().chance(spike_prob_)) {
+    v += sensor_.rng().chance(0.5) ? spike_w_ : -spike_w_;
+  }
+  return v;
+}
+
+TempSensor::TempSensor(util::Rng rng, double noise_c, double quantum_c,
+                       double stuck_prob)
+    : sensor_(rng, noise_c, quantum_c), stuck_prob_(stuck_prob) {}
+
+double TempSensor::read_celsius(double truth_c) {
+  if (stuck_prob_ > 0.0 && has_last_ && sensor_.rng().chance(stuck_prob_)) {
+    return last_c_;
+  }
+  last_c_ = sensor_.read(truth_c);
+  has_last_ = true;
+  return last_c_;
+}
+
+}  // namespace coolopt::sim

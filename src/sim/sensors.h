@@ -1,0 +1,64 @@
+// Measurement devices.
+//
+// The paper instruments its rack with Watts up Pro power meters (per-server
+// electrical draw) and lm-sensors CPU temperature readouts, then low-pass
+// filters both before regression. These classes reproduce the measurement
+// path: ground truth -> additive noise -> quantization — plus optional
+// fault injection (meter glitch spikes, stuck temperature registers) for
+// the robustness tests.
+#pragma once
+
+#include "util/rng.h"
+
+namespace coolopt::sim {
+
+/// Quantizing, noisy scalar sensor; the base for both meters below.
+class NoisySensor {
+ public:
+  /// `noise_std` is the additive Gaussian noise, `quantum` the readout
+  /// resolution (0 disables quantization).
+  NoisySensor(util::Rng rng, double noise_std, double quantum);
+
+  /// One sample of the instrument given the true value.
+  double read(double truth);
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  util::Rng rng_;
+  double noise_std_;
+  double quantum_;
+};
+
+/// Watts-up-Pro-like plug meter: ~0.1 W resolution, small noise floor,
+/// optional glitch spikes of +- spike_w.
+class PowerMeter {
+ public:
+  PowerMeter(util::Rng rng, double noise_w, double quantum_w,
+             double spike_prob = 0.0, double spike_w = 300.0);
+  /// Reads the instantaneous electrical draw, W.
+  double read_watts(double truth_w);
+
+ private:
+  NoisySensor sensor_;
+  double spike_prob_;
+  double spike_w_;
+};
+
+/// lm-sensors-like on-die temperature readout: integer degrees C, optional
+/// stuck-register samples that repeat the previous reading.
+class TempSensor {
+ public:
+  TempSensor(util::Rng rng, double noise_c, double quantum_c,
+             double stuck_prob = 0.0);
+  /// Reads the CPU temperature, degrees C.
+  double read_celsius(double truth_c);
+
+ private:
+  NoisySensor sensor_;
+  double stuck_prob_;
+  bool has_last_ = false;
+  double last_c_ = 0.0;
+};
+
+}  // namespace coolopt::sim

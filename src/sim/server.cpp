@@ -1,0 +1,64 @@
+#include "sim/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coolopt::sim {
+namespace {
+
+double jittered(util::Rng& rng, double value, double rel_std) {
+  if (rel_std <= 0.0) return value;
+  // Clamp at +-3 sigma so a pathological draw can't flip a sign.
+  const double f = std::clamp(rng.normal(1.0, rel_std), 1.0 - 3.0 * rel_std,
+                              1.0 + 3.0 * rel_std);
+  return value * f;
+}
+
+}  // namespace
+
+ServerSim::ServerSim(size_t slot, const ServerConfig& cfg, double unit_jitter,
+                     double airflow_jitter, double exchange_jitter, util::Rng rng)
+    : slot_(slot) {
+  truth_.idle_power_w = jittered(rng, cfg.idle_power_w, unit_jitter);
+  truth_.peak_delta_w = jittered(rng, cfg.peak_delta_w, unit_jitter);
+  truth_.standby_power_w = cfg.standby_power_w;
+  truth_.power_nonlinearity = cfg.power_nonlinearity;
+  truth_.capacity_files_s = jittered(rng, cfg.capacity_files_s, unit_jitter);
+  truth_.cpu_heat_capacity = jittered(rng, cfg.cpu_heat_capacity, unit_jitter);
+  truth_.box_heat_capacity = jittered(rng, cfg.box_heat_capacity, unit_jitter);
+  truth_.cpu_box_exchange = jittered(rng, cfg.cpu_box_exchange, exchange_jitter);
+  truth_.fan_flow_m3s = jittered(rng, cfg.fan_flow_m3s, airflow_jitter);
+  truth_.off_flow_m3s = cfg.off_flow_m3s;
+  truth_.cpu_heat_fraction = cfg.cpu_heat_fraction;
+}
+
+void ServerSim::set_on(bool on) {
+  on_ = on;
+  if (!on_) utilization_ = 0.0;
+}
+
+void ServerSim::set_utilization(double u) {
+  if (u < 0.0 || u > 1.0) {
+    throw std::invalid_argument("ServerSim: utilization must be in [0,1]");
+  }
+  utilization_ = on_ ? u : 0.0;
+}
+
+void ServerSim::set_load_files_s(double files_s) {
+  if (files_s < 0.0) throw std::invalid_argument("ServerSim: negative load");
+  set_utilization(std::min(1.0, files_s / truth_.capacity_files_s));
+}
+
+double ServerSim::power_draw_w() const {
+  if (!on_) return truth_.standby_power_w;
+  const double u = utilization_;
+  const double shape = u + truth_.power_nonlinearity * u * (1.0 - u);
+  return truth_.idle_power_w + truth_.peak_delta_w * shape;
+}
+
+double ServerSim::airflow_m3s() const {
+  if (!on_ || fan_failed_) return truth_.off_flow_m3s;
+  return truth_.fan_flow_m3s;
+}
+
+}  // namespace coolopt::sim

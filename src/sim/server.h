@@ -1,0 +1,85 @@
+// One simulated computing unit (Section II-A of the paper): a CPU heat
+// source inside a chassis air volume with intake/outtake airflow.
+//
+// The electrical model here is the *ground truth* the profiler regresses
+// against: affine in load plus a mild concave term and per-unit jitter, so
+// the paper's linear Eq. 9 fit has realistic sub-percent residuals.
+// Thermal integration lives in MachineRoom (the chassis nodes are part of
+// the room-level thermal network).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/config.h"
+#include "util/rng.h"
+
+namespace coolopt::sim {
+
+/// Effective (jittered) per-unit parameters; exposed for tests and for
+/// computing "oracle" model coefficients.
+struct ServerTruth {
+  double idle_power_w = 0.0;
+  double peak_delta_w = 0.0;
+  double standby_power_w = 0.0;
+  double power_nonlinearity = 0.0;
+  double capacity_files_s = 0.0;
+  double cpu_heat_capacity = 0.0;
+  double box_heat_capacity = 0.0;
+  double cpu_box_exchange = 0.0;
+  double fan_flow_m3s = 0.0;
+  double off_flow_m3s = 0.0;
+  double cpu_heat_fraction = 0.0;
+  double recirc_fraction = 0.0;  ///< set by the room from the slot position
+};
+
+class ServerSim {
+ public:
+  /// `slot` is the rack position, 0 == bottom. Jitter is drawn from `rng`;
+  /// `airflow_jitter` applies to the fan flow, `exchange_jitter` to the
+  /// CPU-to-air heat-exchange rate (see RoomConfig).
+  ServerSim(size_t slot, const ServerConfig& cfg, double unit_jitter,
+            double airflow_jitter, double exchange_jitter, util::Rng rng);
+
+  size_t slot() const { return slot_; }
+  const ServerTruth& truth() const { return truth_; }
+  void set_recirc_fraction(double r) { truth_.recirc_fraction = r; }
+  void scale_fan_flow(double factor) { truth_.fan_flow_m3s *= factor; }
+
+  // --- power state ---
+  bool is_on() const { return on_; }
+  void set_on(bool on);
+
+  // --- load ---
+  /// Utilization in [0,1] (fraction of this unit's capacity).
+  double utilization() const { return utilization_; }
+  /// Sets utilization; ignored (forced to 0) while the unit is OFF.
+  void set_utilization(double u);
+
+  /// Load in workload units (files/s) corresponding to current utilization.
+  double load_files_s() const { return utilization_ * truth_.capacity_files_s; }
+  /// Sets utilization from a files/s assignment (clamped to capacity).
+  void set_load_files_s(double files_s);
+
+  // --- electrical ---
+  /// Instantaneous true electrical draw, W.
+  double power_draw_w() const;
+
+  // --- airflow ---
+  /// Current chassis airflow (fans off when the unit is off or failed).
+  double airflow_m3s() const;
+
+  // --- failure injection ---
+  /// A failed fan moves only passive draft even while the unit is ON; the
+  /// CPU then runs far hotter than any fitted model predicts.
+  void set_fan_failed(bool failed) { fan_failed_ = failed; }
+  bool fan_failed() const { return fan_failed_; }
+
+ private:
+  size_t slot_;
+  ServerTruth truth_;
+  bool on_ = true;
+  bool fan_failed_ = false;
+  double utilization_ = 0.0;
+};
+
+}  // namespace coolopt::sim

@@ -1,0 +1,60 @@
+#include "sim/trace.h"
+
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace coolopt::sim {
+
+TraceRecorder::TraceRecorder(std::vector<std::string> channels)
+    : channels_(std::move(channels)) {
+  if (channels_.empty()) {
+    throw std::invalid_argument("TraceRecorder: need at least one channel");
+  }
+}
+
+void TraceRecorder::record(double time_s, std::span<const double> values) {
+  if (values.size() != channels_.size()) {
+    throw std::invalid_argument(util::strf(
+        "TraceRecorder: %zu values for %zu channels", values.size(), channels_.size()));
+  }
+  times_.push_back(time_s);
+  data_.insert(data_.end(), values.begin(), values.end());
+}
+
+std::vector<double> TraceRecorder::column(const std::string& channel) const {
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    if (channels_[c] == channel) {
+      std::vector<double> out;
+      out.reserve(times_.size());
+      for (size_t s = 0; s < times_.size(); ++s) out.push_back(value(s, c));
+      return out;
+    }
+  }
+  throw std::out_of_range("TraceRecorder: unknown channel " + channel);
+}
+
+double TraceRecorder::value(size_t sample, size_t channel) const {
+  if (sample >= times_.size() || channel >= channels_.size()) {
+    throw std::out_of_range("TraceRecorder: bad sample/channel index");
+  }
+  return data_[sample * channels_.size() + channel];
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  std::vector<std::string> columns;
+  columns.reserve(channels_.size() + 1);
+  columns.emplace_back("time_s");
+  for (const std::string& c : channels_) columns.push_back(c);
+  util::CsvWriter writer(path, std::move(columns));
+  for (size_t s = 0; s < times_.size(); ++s) {
+    std::vector<double> row;
+    row.reserve(channels_.size() + 1);
+    row.push_back(times_[s]);
+    for (size_t c = 0; c < channels_.size(); ++c) row.push_back(value(s, c));
+    writer.row_numeric(row);
+  }
+}
+
+}  // namespace coolopt::sim

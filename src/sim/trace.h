@@ -1,0 +1,38 @@
+// Time-series recording for profiling runs and figure reproduction.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coolopt::sim {
+
+/// Fixed-schema time-series buffer: one row per sample, first column is
+/// always "time_s".
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::vector<std::string> channels);
+
+  /// Appends a sample; `values` must match the channel count.
+  void record(double time_s, std::span<const double> values);
+
+  size_t sample_count() const { return times_.size(); }
+  const std::vector<std::string>& channels() const { return channels_; }
+  const std::vector<double>& times() const { return times_; }
+
+  /// Column by name (throws std::out_of_range on unknown channel).
+  std::vector<double> column(const std::string& channel) const;
+
+  /// Value at (sample, channel index).
+  double value(size_t sample, size_t channel) const;
+
+  /// Writes "time_s,<channels...>" CSV to `path`.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> channels_;
+  std::vector<double> times_;
+  std::vector<double> data_;  // row-major, sample_count x channels
+};
+
+}  // namespace coolopt::sim

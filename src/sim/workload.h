@@ -1,0 +1,77 @@
+// The paper's workload: a steady stream of long-lived batch text-processing
+// jobs (html -> word histogram), dispatched by a central load balancer.
+//
+// The evaluation only needs "total demand = X% of cluster capacity, split
+// across machines per an allocation", but the examples and integration
+// tests also exercise a stochastic arrival stream with per-server queues to
+// verify the throughput constraint holds end to end.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace coolopt::sim {
+
+class MachineRoom;
+
+/// Counters accumulated by WorkloadDriver::step.
+struct WorkloadStats {
+  double arrived = 0.0;    ///< files offered
+  double completed = 0.0;  ///< files fully processed
+  double backlog = 0.0;    ///< files currently queued
+  double elapsed_s = 0.0;
+  /// Time integral of the backlog (file-seconds); the numerator of
+  /// Little's law.
+  double backlog_time_integral = 0.0;
+
+  double throughput_files_s() const {
+    return elapsed_s > 0.0 ? completed / elapsed_s : 0.0;
+  }
+
+  /// Mean time a job spends queued, via Little's law
+  /// (mean backlog / throughput). 0 until anything completes.
+  double mean_sojourn_s() const {
+    if (elapsed_s <= 0.0 || completed <= 0.0) return 0.0;
+    const double mean_backlog = backlog_time_integral / elapsed_s;
+    return mean_backlog / throughput_files_s();
+  }
+};
+
+/// Dispatches a Poisson stream of jobs to servers according to an
+/// allocation (files/s per server) and drains per-server queues at the
+/// allocated service rates.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(MachineRoom& room, double demand_files_s, util::Rng rng);
+
+  /// Sets the per-server allocated service rates (files/s); also programs
+  /// the room's server loads. Size must match the room. Rates on OFF
+  /// servers must be 0.
+  void apply_allocation(const std::vector<double>& rates_files_s);
+
+  /// Advances arrivals/service by dt seconds (call alongside room.step).
+  void step(double dt);
+
+  void set_demand_files_s(double demand);
+  double demand_files_s() const { return demand_files_s_; }
+
+  const WorkloadStats& stats() const { return stats_; }
+  void reset_stats();
+
+  const std::vector<double>& queue_depths() const { return queues_; }
+
+ private:
+  MachineRoom& room_;
+  double demand_files_s_;
+  util::Rng rng_;
+  std::vector<double> rates_;
+  std::vector<double> queues_;
+  WorkloadStats stats_;
+};
+
+/// Total capacity (files/s) of the ON servers in the room.
+double cluster_capacity_files_s(const MachineRoom& room, bool only_on = false);
+
+}  // namespace coolopt::sim

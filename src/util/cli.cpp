@@ -1,0 +1,106 @@
+#include "util/cli.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace coolopt::util {
+
+void CliFlags::define(const std::string& name, const std::string& help,
+                      const std::string& default_value) {
+  specs_[name] = Spec{help, default_value};
+}
+
+bool CliFlags::parse(int argc, const char* const* argv, std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      const auto it = specs_.find(name);
+      if (it == specs_.end()) {
+        error = strf("unknown flag --%s", name.c_str());
+        return false;
+      }
+      // Boolean-style flag if no value follows or the next token is a flag.
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+      values_[name] = value;
+      continue;
+    }
+    if (specs_.find(name) == specs_.end()) {
+      error = strf("unknown flag --%s", name.c_str());
+      return false;
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string CliFlags::usage(const std::string& program_summary) const {
+  std::ostringstream out;
+  out << program_summary << "\n\nFlags:\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << name;
+    if (!spec.default_value.empty()) out << " (default: " << spec.default_value << ")";
+    out << "\n      " << spec.help << "\n";
+  }
+  out << "  --help\n      Show this message.\n";
+  return out.str();
+}
+
+std::optional<std::string> CliFlags::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  const auto spec = specs_.find(name);
+  if (spec != specs_.end() && !spec->second.default_value.empty()) {
+    return spec->second.default_value;
+  }
+  return std::nullopt;
+}
+
+std::string CliFlags::get_string(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  double out = fallback;
+  if (v && parse_double(*v, out)) return out;
+  return fallback;
+}
+
+int CliFlags::get_int(const std::string& name, int fallback) const {
+  const auto v = get(name);
+  int out = fallback;
+  if (v && parse_int(*v, out)) return out;
+  return fallback;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  const std::string lower = to_lower(*v);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") return false;
+  return fallback;
+}
+
+}  // namespace coolopt::util

@@ -1,0 +1,47 @@
+// Tiny flag parser for examples and bench binaries.
+//
+// Supports --name=value, --name value, and boolean --name. Unknown flags are
+// an error so typos fail fast instead of silently running defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace coolopt::util {
+
+class CliFlags {
+ public:
+  /// Registers a flag with a help string and default rendering.
+  void define(const std::string& name, const std::string& help,
+              const std::string& default_value = "");
+
+  /// Parses argv. Returns false (and fills `error`) on unknown flags or a
+  /// missing value. `--help` sets help_requested() instead.
+  bool parse(int argc, const char* const* argv, std::string& error);
+
+  bool help_requested() const { return help_requested_; }
+  std::string usage(const std::string& program_summary) const;
+
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace coolopt::util

@@ -1,0 +1,151 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace coolopt::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!file->is_open()) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  owned_ = std::move(file);
+  os_ = owned_.get();
+  write_record(columns_);
+}
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> columns)
+    : os_(&os), columns_(std::move(columns)) {
+  write_record(columns_);
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::write_record(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *os_ << ',';
+    *os_ << csv_escape(fields[i]);
+  }
+  *os_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_.size()) {
+    throw std::invalid_argument(strf(
+        "CsvWriter: row has %zu fields, header has %zu", fields.size(), columns_.size()));
+  }
+  write_record(fields);
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& fields) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (const double v : fields) text.push_back(strf("%.6g", v));
+  row(text);
+}
+
+int CsvTable::column_index(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+CsvTable parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quoted field");
+  if (field_started || !current.empty()) end_record();
+
+  CsvTable table;
+  if (records.empty()) return table;
+  table.columns = records.front();
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != table.columns.size()) {
+      throw std::runtime_error(strf(
+          "parse_csv: row %zu has %zu fields, header has %zu", r,
+          records[r].size(), table.columns.size()));
+    }
+    table.rows.push_back(std::move(records[r]));
+  }
+  return table;
+}
+
+CsvTable load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) throw std::runtime_error("load_csv: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+}  // namespace coolopt::util

@@ -1,0 +1,62 @@
+// CSV writing/reading for experiment traces and bench output.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace coolopt::util {
+
+/// Streams rows of a fixed-width schema as RFC-4180-ish CSV.
+/// Fields containing separators/quotes/newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  /// Writes to an owned file. Throws std::runtime_error if it cannot open.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Writes to an external stream (not owned). Useful for tests/stdout.
+  CsvWriter(std::ostream& os, std::vector<std::string> columns);
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; must match the column count.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with %.6g.
+  void row_numeric(const std::vector<double>& fields);
+
+  size_t rows_written() const { return rows_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  void write_record(const std::vector<std::string>& fields);
+
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+  std::vector<std::string> columns_;
+  size_t rows_ = 0;
+};
+
+/// Fully materialized CSV table (small files only).
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index or -1.
+  int column_index(const std::string& name) const;
+};
+
+/// Parses CSV text with the same quoting rules CsvWriter emits.
+/// Throws std::runtime_error on ragged rows or unterminated quotes.
+CsvTable parse_csv(const std::string& text);
+
+/// Loads and parses a CSV file.
+CsvTable load_csv(const std::string& path);
+
+/// Escapes one CSV field (exposed for tests).
+std::string csv_escape(const std::string& field);
+
+}  // namespace coolopt::util

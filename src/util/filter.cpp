@@ -1,0 +1,92 @@
+#include "util/filter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace coolopt::util {
+
+LowPassFilter::LowPassFilter(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("LowPassFilter alpha must be in (0, 1]");
+  }
+}
+
+LowPassFilter LowPassFilter::from_time_constant(double tau_seconds, double dt_seconds) {
+  if (tau_seconds < 0.0 || dt_seconds <= 0.0) {
+    throw std::invalid_argument("LowPassFilter: tau must be >= 0, dt > 0");
+  }
+  return LowPassFilter(dt_seconds / (tau_seconds + dt_seconds));
+}
+
+double LowPassFilter::update(double x) {
+  if (!primed_) {
+    y_ = x;
+    primed_ = true;
+  } else {
+    y_ += alpha_ * (x - y_);
+  }
+  return y_;
+}
+
+void LowPassFilter::reset() {
+  y_ = 0.0;
+  primed_ = false;
+}
+
+MovingAverage::MovingAverage(size_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("MovingAverage window must be > 0");
+}
+
+double MovingAverage::update(double x) {
+  buf_.push_back(x);
+  sum_ += x;
+  if (buf_.size() > window_) {
+    sum_ -= buf_.front();
+    buf_.pop_front();
+  }
+  return value();
+}
+
+double MovingAverage::value() const {
+  if (buf_.empty()) return 0.0;
+  return sum_ / static_cast<double>(buf_.size());
+}
+
+void MovingAverage::reset() {
+  buf_.clear();
+  sum_ = 0.0;
+}
+
+MedianFilter::MedianFilter(size_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("MedianFilter window must be > 0");
+}
+
+double MedianFilter::update(double x) {
+  buf_.push_back(x);
+  if (buf_.size() > window_) buf_.pop_front();
+  return value();
+}
+
+double MedianFilter::value() const {
+  if (buf_.empty()) return 0.0;
+  std::vector<double> sorted(buf_.begin(), buf_.end());
+  const size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(mid), sorted.end());
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  const double hi = sorted[mid];
+  const double lo = *std::max_element(sorted.begin(), sorted.begin() + static_cast<long>(mid));
+  return 0.5 * (lo + hi);
+}
+
+void MedianFilter::reset() { buf_.clear(); }
+
+std::vector<double> low_pass(std::span<const double> xs, double alpha) {
+  LowPassFilter f(alpha);
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.push_back(f.update(x));
+  return out;
+}
+
+}  // namespace coolopt::util

@@ -1,0 +1,70 @@
+// Signal filters.
+//
+// The paper smooths both power-meter and lm-sensors traces with a low-pass
+// filter before regression ("measured data is smoothed by a lower-pass
+// filter to eliminate noise"). These are the equivalents our profilers use.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace coolopt::util {
+
+/// First-order exponential low-pass: y += alpha * (x - y).
+/// alpha in (0, 1]; alpha == 1 passes the signal through unchanged.
+class LowPassFilter {
+ public:
+  explicit LowPassFilter(double alpha);
+
+  /// Build from a time constant: alpha = dt / (tau + dt).
+  static LowPassFilter from_time_constant(double tau_seconds, double dt_seconds);
+
+  double update(double x);
+  double value() const { return y_; }
+  bool primed() const { return primed_; }
+  void reset();
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double y_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Sliding-window moving average.
+class MovingAverage {
+ public:
+  explicit MovingAverage(size_t window);
+
+  double update(double x);
+  double value() const;
+  size_t window() const { return window_; }
+  void reset();
+
+ private:
+  size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+};
+
+/// Sliding-window median (robust to meter spikes).
+class MedianFilter {
+ public:
+  explicit MedianFilter(size_t window);
+
+  double update(double x);
+  double value() const;
+  void reset();
+
+ private:
+  size_t window_;
+  std::deque<double> buf_;
+};
+
+/// Offline smoothing of a whole series with a LowPassFilter.
+std::vector<double> low_pass(std::span<const double> xs, double alpha);
+
+}  // namespace coolopt::util

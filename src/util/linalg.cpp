@@ -1,0 +1,140 @@
+#include "util/linalg.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace coolopt::util {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(size_t r, size_t c) {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(size_t r, size_t c) const {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument(strf("Matrix multiply: %zux%zu * %zux%zu",
+                                     rows_, cols_, rhs.rows_, rhs.cols_));
+  }
+  Matrix out(rows_, rhs.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double v = at(r, k);
+      if (v == 0.0) continue;
+      for (size_t c = 0; c < rhs.cols_; ++c) out.at(r, c) += v * rhs.at(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> v) const {
+  if (cols_ != v.size()) {
+    throw std::invalid_argument(strf("Matrix*vector: %zux%zu * %zu", rows_,
+                                     cols_, v.size()));
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_linear_system: A must be square, |b| == n");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::abs(a.at(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double cand = std::abs(a.at(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a.at(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= a.at(ri, c) * x[c];
+    x[ri] = acc / a.at(ri, ri);
+  }
+  return x;
+}
+
+LeastSquaresFit least_squares(const Matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("least_squares: X rows must match |y|");
+  }
+  if (x.rows() < x.cols()) {
+    throw std::invalid_argument("least_squares: underdetermined system");
+  }
+  const Matrix xt = x.transpose();
+  Matrix xtx = xt.multiply(x);
+  std::vector<double> xty = xt.multiply(y);
+
+  LeastSquaresFit fit;
+  fit.coefficients = solve_linear_system(std::move(xtx), std::move(xty));
+  fit.predicted = x.multiply(fit.coefficients);
+  fit.residuals.resize(y.size());
+  for (size_t i = 0; i < y.size(); ++i) fit.residuals[i] = y[i] - fit.predicted[i];
+  fit.r_squared = r_squared(y, fit.predicted);
+  fit.rmse = rmse(y, fit.predicted);
+  return fit;
+}
+
+LeastSquaresFit fit_line(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("fit_line: size mismatch");
+  Matrix design(x.size(), 2);
+  for (size_t i = 0; i < x.size(); ++i) {
+    design.at(i, 0) = x[i];
+    design.at(i, 1) = 1.0;
+  }
+  return least_squares(design, y);
+}
+
+}  // namespace coolopt::util

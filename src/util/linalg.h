@@ -1,0 +1,58 @@
+// Small dense linear algebra: just enough for least-squares fitting of the
+// paper's models (2-3 regressors). Row-major Matrix, Gaussian elimination
+// with partial pivoting, and an ordinary-least-squares driver.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace coolopt::util {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  static Matrix identity(size_t n);
+
+  double& at(size_t r, size_t c);
+  double at(size_t r, size_t c) const;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& rhs) const;
+  std::vector<double> multiply(std::span<const double> v) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Throws std::runtime_error if A is (numerically) singular.
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b);
+
+/// Result of an ordinary-least-squares fit y ~ X beta.
+struct LeastSquaresFit {
+  std::vector<double> coefficients;
+  double r_squared = 0.0;
+  double rmse = 0.0;
+  std::vector<double> residuals;
+  std::vector<double> predicted;
+};
+
+/// Fits beta minimizing ||y - X beta||^2 via the normal equations.
+/// `x` has one row per observation. Throws if shapes disagree, there are
+/// fewer observations than coefficients, or X^T X is singular
+/// (e.g. perfectly collinear regressors).
+LeastSquaresFit least_squares(const Matrix& x, std::span<const double> y);
+
+/// Convenience: simple regression y ~ a*x + b. Returns {a, b} in `fit
+/// .coefficients`.
+LeastSquaresFit fit_line(std::span<const double> x, std::span<const double> y);
+
+}  // namespace coolopt::util

@@ -1,0 +1,67 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "util/strings.h"
+
+namespace coolopt::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_sink_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+bool parse_log_level(std::string_view name, LogLevel& out) {
+  const std::string lower = to_lower(name);
+  if (lower == "debug") { out = LogLevel::kDebug; return true; }
+  if (lower == "info")  { out = LogLevel::kInfo;  return true; }
+  if (lower == "warn")  { out = LogLevel::kWarn;  return true; }
+  if (lower == "error") { out = LogLevel::kError; return true; }
+  if (lower == "off")   { out = LogLevel::kOff;   return true; }
+  return false;
+}
+
+void log_message(LogLevel level, const char* fmt, std::va_list args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const std::string body = vstrf(fmt, args);
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), body.c_str());
+}
+
+#define COOLOPT_DEFINE_LOG_FN(name, level)              \
+  void name(const char* fmt, ...) {                     \
+    if (static_cast<int>(level) <                       \
+        static_cast<int>(log_level()))                  \
+      return;                                           \
+    std::va_list args;                                  \
+    va_start(args, fmt);                                \
+    log_message(level, fmt, args);                      \
+    va_end(args);                                       \
+  }
+
+COOLOPT_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+COOLOPT_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+COOLOPT_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+COOLOPT_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef COOLOPT_DEFINE_LOG_FN
+
+}  // namespace coolopt::util

@@ -1,0 +1,36 @@
+// Minimal leveled logger.
+//
+// Design goals: zero configuration for library users, printf-style call
+// sites, a global level gate cheap enough to leave log statements in hot
+// simulation loops, and thread safety for the (rare) multi-threaded bench.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace coolopt::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global level; messages below it are dropped before formatting.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "debug"/"info"/"warn"/"error"/"off"; returns false on junk.
+bool parse_log_level(std::string_view name, LogLevel& out);
+
+/// Core sink. Writes "[LEVEL] message\n" to stderr under a mutex.
+void log_message(LogLevel level, const char* fmt, std::va_list args);
+
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace coolopt::util

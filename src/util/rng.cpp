@@ -1,0 +1,80 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace coolopt::util {
+namespace {
+
+// splitmix64: tiny, fast, passes BigCrush as a stream seeder; ideal for a
+// deterministic simulation where statistical perfection is not the point.
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a over the tag, used to derive fork seeds.
+uint64_t hash_tag(std::string_view tag) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed), state_(seed) {
+  // Warm up so that small seeds (0, 1, 2...) diverge immediately.
+  for (int i = 0; i < 4; ++i) (void)splitmix64(state_);
+}
+
+Rng Rng::fork(std::string_view tag) const {
+  uint64_t mix = seed_ ^ hash_tag(tag);
+  // One extra scramble so fork("a").fork("b") != fork("ab") style collisions
+  // are vanishingly unlikely.
+  (void)splitmix64(mix);
+  return Rng(mix);
+}
+
+uint64_t Rng::next_u64() { return splitmix64(state_); }
+
+double Rng::uniform() {
+  // 53 random bits -> [0,1) double.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int Rng::uniform_int(int lo, int hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(next_u64() % span);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 is kept away from zero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+}  // namespace coolopt::util

@@ -1,0 +1,135 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace coolopt::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ = (na * mean_ + nb * other.mean_) / total;
+  sum_ += other.sum_;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev(std::span<const double> xs) {
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double rmse(std::span<const double> actual, std::span<const double> predicted) {
+  assert(actual.size() == predicted.size());
+  if (actual.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const double e = actual[i] - predicted[i];
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+double mape(std::span<const double> actual, std::span<const double> predicted,
+            double eps) {
+  assert(actual.size() == predicted.size());
+  double acc = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(actual[i]) < eps) continue;
+    acc += std::abs((actual[i] - predicted[i]) / actual[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n) * 100.0;
+}
+
+double r_squared(std::span<const double> actual, std::span<const double> predicted) {
+  assert(actual.size() == predicted.size());
+  if (actual.size() < 2) return 0.0;
+  const double m = mean(actual);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - m) * (actual[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double max_abs_error(std::span<const double> actual, std::span<const double> predicted) {
+  assert(actual.size() == predicted.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    worst = std::max(worst, std::abs(actual[i] - predicted[i]));
+  }
+  return worst;
+}
+
+}  // namespace coolopt::util

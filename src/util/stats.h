@@ -1,0 +1,63 @@
+// Descriptive statistics used by profiling, model validation and benches.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace coolopt::util {
+
+/// Single-pass running mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Mean of a sample span; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0,100]. Copies and sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Root-mean-square error between two equally sized series.
+double rmse(std::span<const double> actual, std::span<const double> predicted);
+
+/// Mean absolute percentage error, skipping points where |actual| < eps.
+double mape(std::span<const double> actual, std::span<const double> predicted,
+            double eps = 1e-9);
+
+/// Coefficient of determination of `predicted` explaining `actual`.
+/// Returns 1.0 for a perfect fit; can be negative for terrible fits.
+double r_squared(std::span<const double> actual, std::span<const double> predicted);
+
+/// Pearson correlation; 0 if either series is constant.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Largest |actual-predicted| over the series; 0 for empty input.
+double max_abs_error(std::span<const double> actual, std::span<const double> predicted);
+
+}  // namespace coolopt::util

@@ -1,0 +1,97 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace coolopt::util {
+
+std::string vstrf(const char* fmt, std::va_list args) {
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  if (needed <= 0) return {};
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+std::string strf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::string out = vstrf(fmt, args);
+  va_end(args);
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const std::string buf(trim(s));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  out = v;
+  return true;
+}
+
+bool parse_int(std::string_view s, int& out) {
+  const std::string buf(trim(s));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace coolopt::util

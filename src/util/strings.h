@@ -1,0 +1,44 @@
+// String formatting and parsing helpers.
+//
+// GCC 12 (our toolchain) ships no <format>, so `strf` provides a typed,
+// printf-style formatter returning std::string. It is the single formatting
+// entry point for the rest of the library.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coolopt::util {
+
+/// printf-style formatting into a std::string.
+/// Example: strf("load=%.1f%%  power=%.2f W", 42.0, 96.5)
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// vprintf-style variant for forwarding varargs.
+std::string vstrf(const char* fmt, std::va_list args);
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Case-sensitive prefix / suffix tests (thin wrappers, kept for call-site
+/// clarity on pre-C++20-string_view call sites).
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Lowercase an ASCII string.
+std::string to_lower(std::string_view s);
+
+/// Parse helpers returning false on malformed input instead of throwing.
+bool parse_double(std::string_view s, double& out);
+bool parse_int(std::string_view s, int& out);
+
+/// Join elements with a separator: join({"a","b"}, ", ") -> "a, b".
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace coolopt::util

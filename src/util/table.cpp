@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace coolopt::util {
+
+TextTable::TextTable(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("TextTable needs >= 1 column");
+}
+
+void TextTable::row(std::vector<std::string> fields) {
+  if (fields.size() != columns_.size()) {
+    throw std::invalid_argument(strf(
+        "TextTable: row has %zu fields, header has %zu", fields.size(), columns_.size()));
+  }
+  rows_.push_back(std::move(fields));
+}
+
+void TextTable::row_numeric(const std::vector<double>& fields, const char* spec) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (const double v : fields) text.push_back(strf(spec, v));
+  row(std::move(text));
+}
+
+void TextTable::labeled_row(std::string label, const std::vector<double>& numbers,
+                            const char* spec) {
+  std::vector<std::string> text;
+  text.reserve(numbers.size() + 1);
+  text.push_back(std::move(label));
+  for (const double v : numbers) text.push_back(strf(spec, v));
+  row(std::move(text));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& fields) {
+    for (size_t c = 0; c < fields.size(); ++c) {
+      if (c != 0) out << "  ";
+      out << fields[c];
+      for (size_t pad = fields[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  size_t total = 0;
+  for (const size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+}  // namespace coolopt::util

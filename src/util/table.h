@@ -1,0 +1,38 @@
+// Aligned console tables for bench/example output.
+//
+// The reproduction binaries print the paper's figure series as plain-text
+// tables; this keeps that output legible without external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coolopt::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  void row(std::vector<std::string> fields);
+
+  /// Formats doubles with the given printf spec (default "%.2f").
+  void row_numeric(const std::vector<double>& fields, const char* spec = "%.2f");
+
+  /// Mixed row: first field is a label, the rest numeric.
+  void labeled_row(std::string label, const std::vector<double>& numbers,
+                   const char* spec = "%.2f");
+
+  /// Renders with a header rule; columns padded to the widest cell.
+  std::string render() const;
+
+  void print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace coolopt::util

@@ -1,0 +1,157 @@
+#include "control/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "profiling/profiler.h"
+
+namespace coolopt::control {
+namespace {
+
+struct Fixture {
+  sim::MachineRoom room;
+  profiling::RoomProfile profile;
+
+  explicit Fixture(size_t n = 10, uint64_t seed = 81)
+      : room([&] {
+          sim::RoomConfig cfg;
+          cfg.num_servers = n;
+          cfg.seed = seed;
+          return cfg;
+        }()),
+        profile(profiling::profile_room(room, profiling::ProfilingOptions::fast())) {}
+
+  AdaptiveController controller(AdaptiveOptions options = {}) {
+    return AdaptiveController(room, profile.model,
+                              SetPointPlanner::from_profile(profile.cooler),
+                              options);
+  }
+  double capacity() const { return profile.model.total_capacity(); }
+};
+
+TEST(AdaptiveController, FirstUpdatePlansImmediately) {
+  Fixture f;
+  auto ctl = f.controller();
+  EXPECT_FALSE(ctl.has_plan());
+  ctl.update(f.capacity() * 0.4);
+  EXPECT_TRUE(ctl.has_plan());
+  EXPECT_EQ(ctl.stats().full_replans, 1u);
+  EXPECT_GT(ctl.stats().power_switches, 0u);  // consolidation turned some off
+  EXPECT_NEAR(f.room.throughput_files_s(), f.capacity() * 0.4, 1e-6);
+}
+
+TEST(AdaptiveController, SmallDriftTracksWithoutReoptimizing) {
+  Fixture f;
+  AdaptiveOptions o;
+  o.replan_threshold = 0.05;
+  auto ctl = f.controller(o);
+  ctl.update(f.capacity() * 0.5);
+  const auto before = ctl.stats();
+  ctl.update(f.capacity() * 0.52);  // 2% drift < 5% threshold
+  EXPECT_EQ(ctl.stats().full_replans, before.full_replans);
+  EXPECT_EQ(ctl.stats().rebalances, before.rebalances);
+  // ...but the demand is still served, by proportional load tracking.
+  EXPECT_GT(ctl.stats().load_tracks, before.load_tracks);
+  EXPECT_NEAR(f.room.throughput_files_s(), f.capacity() * 0.52, 1e-6);
+}
+
+TEST(AdaptiveController, DwellBlocksPowerChurnButRebalances) {
+  Fixture f;
+  AdaptiveOptions o;
+  o.min_dwell_s = 3600.0;
+  o.replan_threshold = 0.03;
+  auto ctl = f.controller(o);
+  ctl.update(f.capacity() * 0.6);
+  const size_t switches_after_first = ctl.stats().power_switches;
+  f.room.run(60.0, 1.0);  // well inside the dwell window
+  ctl.update(f.capacity() * 0.5);  // 10% drop: drift, but dwell holds
+  EXPECT_EQ(ctl.stats().power_switches, switches_after_first);
+  EXPECT_EQ(ctl.stats().full_replans, 1u);
+  EXPECT_EQ(ctl.stats().rebalances, 1u);
+  EXPECT_NEAR(f.room.throughput_files_s(), f.capacity() * 0.5, 1e-6);
+}
+
+TEST(AdaptiveController, ReplansOnceDwellExpires) {
+  Fixture f;
+  AdaptiveOptions o;
+  o.min_dwell_s = 120.0;
+  o.replan_threshold = 0.03;
+  auto ctl = f.controller(o);
+  ctl.update(f.capacity() * 0.8);
+  const size_t on_high = ctl.current_plan().allocation.count_on();
+  f.room.run(200.0, 1.0);  // dwell expired
+  ctl.update(f.capacity() * 0.3);
+  EXPECT_EQ(ctl.stats().full_replans, 2u);
+  EXPECT_LT(ctl.current_plan().allocation.count_on(), on_high);
+}
+
+TEST(AdaptiveController, RebalanceDoesNotMaskStructuralDrift) {
+  // A slow downward ramp held inside the dwell gets rebalanced, but once
+  // the dwell expires the controller must still consolidate (the rebalance
+  // must not have reset the structural reference point).
+  Fixture f;
+  AdaptiveOptions o;
+  o.min_dwell_s = 500.0;
+  o.replan_threshold = 0.03;
+  auto ctl = f.controller(o);
+  // 60% load consolidates: some machines switch off, starting the dwell.
+  ctl.update(f.capacity() * 0.6);
+  const size_t on_high = ctl.current_plan().allocation.count_on();
+  ASSERT_LT(on_high, f.room.size());
+  f.room.run(100.0, 1.0);
+  ctl.update(f.capacity() * 0.5);  // inside the dwell: rebalance only
+  EXPECT_EQ(ctl.stats().full_replans, 1u);
+  EXPECT_EQ(ctl.stats().rebalances, 1u);
+  f.room.run(450.0, 1.0);  // dwell now expired
+  ctl.update(f.capacity() * 0.45);
+  EXPECT_EQ(ctl.stats().full_replans, 2u);
+  EXPECT_LT(ctl.current_plan().allocation.count_on(), on_high);
+}
+
+TEST(AdaptiveController, EmergencyOverridesDwell) {
+  Fixture f;
+  AdaptiveOptions o;
+  o.min_dwell_s = 3600.0;
+  auto ctl = f.controller(o);
+  ctl.update(f.capacity() * 0.2);  // few machines on
+  f.room.run(30.0, 1.0);
+  ctl.update(f.capacity() * 0.9);  // demand outgrows the ON set
+  EXPECT_EQ(ctl.stats().emergency_replans, 1u);
+  EXPECT_NEAR(f.room.throughput_files_s(), f.capacity() * 0.9, 1e-6);
+}
+
+TEST(AdaptiveController, LiveRampKeepsTemperatureAndThroughputSafe) {
+  Fixture f;
+  AdaptiveOptions o;
+  o.min_dwell_s = 300.0;
+  auto ctl = f.controller(o);
+  double worst_temp = 0.0;
+  // 2-hour sinusoidal ramp between 25% and 75% load, live transient room.
+  for (int minute = 0; minute < 120; ++minute) {
+    const double phase = static_cast<double>(minute) / 120.0;
+    const double demand =
+        f.capacity() * (0.5 + 0.25 * std::sin(2.0 * 3.14159 * phase));
+    ctl.update(demand);
+    f.room.run(60.0, 1.0);
+    for (size_t i = 0; i < f.room.size(); ++i) {
+      if (f.room.server(i).is_on()) {
+        worst_temp = std::max(worst_temp, f.room.true_cpu_temp_c(i));
+      }
+    }
+    EXPECT_NEAR(f.room.throughput_files_s(), demand, 1e-6);
+  }
+  EXPECT_LE(worst_temp, f.profile.model.t_max + 0.5);
+  EXPECT_GT(ctl.stats().full_replans, 2u);
+  EXPECT_GT(ctl.stats().rebalances, 0u);
+}
+
+TEST(AdaptiveController, InputValidation) {
+  Fixture f;
+  auto ctl = f.controller();
+  EXPECT_THROW(ctl.update(-1.0), std::invalid_argument);
+  EXPECT_THROW(ctl.update(f.capacity() * 2.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace coolopt::control

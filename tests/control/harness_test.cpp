@@ -1,0 +1,51 @@
+#include "control/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace coolopt::control {
+namespace {
+
+HarnessOptions small() {
+  HarnessOptions o;
+  o.room.num_servers = 8;
+  o.room.seed = 61;
+  return o;
+}
+
+TEST(EvalHarness, MeasureProducesFeasiblePoints) {
+  EvalHarness harness(small());
+  const EvalPoint p = harness.measure(core::Scenario::by_number(8), 50.0);
+  EXPECT_TRUE(p.feasible);
+  EXPECT_GT(p.measurement.total_power_w, 0.0);
+  EXPECT_EQ(p.scenario.number, 8);
+  EXPECT_DOUBLE_EQ(p.load_pct, 50.0);
+  EXPECT_NEAR(p.measurement.throughput_files_s,
+              harness.capacity_files_s() * 0.5, 1e-6);
+}
+
+TEST(EvalHarness, SweepCoversTheGrid) {
+  EvalHarness harness(small());
+  const auto rows = harness.sweep(
+      {core::Scenario::by_number(1), core::Scenario::by_number(8)}, {20.0, 60.0});
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].scenario.number, 1);
+  EXPECT_DOUBLE_EQ(rows[1].load_pct, 60.0);
+  EXPECT_EQ(rows[3].scenario.number, 8);
+}
+
+TEST(EvalHarness, PaperLoadAxis) {
+  const auto axis = paper_load_axis();
+  ASSERT_EQ(axis.size(), 10u);
+  EXPECT_DOUBLE_EQ(axis.front(), 10.0);
+  EXPECT_DOUBLE_EQ(axis.back(), 100.0);
+}
+
+TEST(EvalHarness, ModelAccessorsAreCoherent) {
+  EvalHarness harness(small());
+  EXPECT_EQ(harness.model().size(), 8u);
+  EXPECT_NEAR(harness.capacity_files_s(), harness.model().total_capacity(), 1e-9);
+  EXPECT_GT(harness.profile().power.r_squared, 0.98);
+}
+
+}  // namespace
+}  // namespace coolopt::control

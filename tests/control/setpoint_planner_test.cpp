@@ -1,0 +1,56 @@
+#include "control/setpoint_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace coolopt::control {
+namespace {
+
+TEST(SetPointPlanner, ForwardInverseRoundTrip) {
+  const SetPointPlanner planner(0.002, 0.1, -0.5);
+  const double q = 1200.0;
+  const double sp = planner.to_setpoint(26.0, q);
+  EXPECT_NEAR(planner.expected_t_ac(sp, q), 26.0, 1e-9);
+}
+
+TEST(SetPointPlanner, HotterRoomNeedsHigherSetPoint) {
+  const SetPointPlanner planner(0.002, 0.05, 0.0);
+  EXPECT_GT(planner.to_setpoint(26.0, 2000.0), planner.to_setpoint(26.0, 500.0));
+}
+
+TEST(SetPointPlanner, WarmerTargetNeedsHigherSetPoint) {
+  const SetPointPlanner planner(0.002, 0.05, 0.0);
+  EXPECT_GT(planner.to_setpoint(28.0, 1000.0), planner.to_setpoint(24.0, 1000.0));
+}
+
+TEST(SetPointPlanner, ZeroGainReducesToSimpleOffset) {
+  const SetPointPlanner planner(0.003, 0.0, 1.0);
+  EXPECT_NEAR(planner.to_setpoint(20.0, 1000.0), 20.0 + 3.0 + 1.0, 1e-12);
+}
+
+TEST(SetPointPlanner, ClampsToLegalRange) {
+  const SetPointPlanner planner(0.002, 0.0, 0.0, 15.0, 30.0);
+  EXPECT_DOUBLE_EQ(planner.to_setpoint(60.0, 0.0), 30.0);
+  EXPECT_DOUBLE_EQ(planner.to_setpoint(-20.0, 0.0), 15.0);
+}
+
+TEST(SetPointPlanner, RejectsNonInvertibleFits) {
+  EXPECT_THROW(SetPointPlanner(-0.001, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(SetPointPlanner(0.001, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(SetPointPlanner(0.001, 0.0, 0.0, 30.0, 20.0), std::invalid_argument);
+}
+
+TEST(SetPointPlanner, FromProfileCopiesCoefficients) {
+  profiling::CoolerProfileResult fit;
+  fit.heat_rise_per_watt = 0.0021;
+  fit.setpoint_gain = 0.08;
+  fit.heat_rise_offset_c = -0.3;
+  const auto planner = SetPointPlanner::from_profile(fit);
+  EXPECT_DOUBLE_EQ(planner.heat_rise_per_watt(), 0.0021);
+  EXPECT_DOUBLE_EQ(planner.setpoint_gain(), 0.08);
+  EXPECT_DOUBLE_EQ(planner.heat_rise_offset_c(), -0.3);
+}
+
+}  // namespace
+}  // namespace coolopt::control

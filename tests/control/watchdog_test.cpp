@@ -1,0 +1,138 @@
+#include "control/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include "profiling/profiler.h"
+
+namespace coolopt::control {
+namespace {
+
+struct Fixture {
+  sim::MachineRoom room;
+  double t_max;
+
+  explicit Fixture(uint64_t seed = 101)
+      : room([&] {
+          sim::RoomConfig cfg;
+          cfg.num_servers = 8;
+          cfg.seed = seed;
+          return cfg;
+        }()),
+        t_max(48.0) {
+    // Run a sane operating point: ~85% load, set point lowered until the
+    // hottest machine sits at least ~2 C under the ceiling.
+    room.set_uniform_utilization(0.85);
+    double sp = 26.0;
+    room.set_setpoint_c(sp);
+    room.settle();
+    while (hottest_true() > t_max - 2.0 && sp > 12.0) {
+      sp -= 1.0;
+      room.set_setpoint_c(sp);
+      room.settle();
+    }
+  }
+
+  double hottest_true() {
+    double worst = -1e30;
+    for (size_t i = 0; i < room.size(); ++i) {
+      if (room.server(i).is_on()) {
+        worst = std::max(worst, room.true_cpu_temp_c(i));
+      }
+    }
+    return worst;
+  }
+
+  /// Advance the room and the watchdog together.
+  void run(ThermalWatchdog& dog, int cycles, double cycle_s = 30.0) {
+    for (int c = 0; c < cycles; ++c) {
+      dog.check();
+      room.run(cycle_s, 1.0);
+    }
+  }
+};
+
+TEST(ThermalWatchdog, QuietUnderNormalOperation) {
+  Fixture f;
+  ASSERT_LT(f.hottest_true(), f.t_max);
+  ThermalWatchdog dog(f.room, f.t_max);
+  f.run(dog, 40);
+  EXPECT_EQ(dog.stats().alarms_raised, 0u);
+  EXPECT_EQ(dog.stats().interventions, 0u);
+  EXPECT_TRUE(dog.check().empty());
+}
+
+TEST(ThermalWatchdog, SensorNoiseAloneDoesNotTrip) {
+  // Run right at the threshold guard band: quantized readings flicker, the
+  // debounce must hold as long as the smoothed signal stays below.
+  Fixture f;
+  WatchdogOptions o;
+  o.guard_c = -0.5;  // threshold slightly above t_max
+  ThermalWatchdog dog(f.room, f.t_max, o);
+  f.run(dog, 40);
+  EXPECT_EQ(dog.stats().alarms_raised, 0u);
+}
+
+TEST(ThermalWatchdog, FanFailureRaisesAlarmAndIntervenes) {
+  Fixture f;
+  ThermalWatchdog dog(f.room, f.t_max);
+  f.run(dog, 5);
+  const double sp_before = f.room.crac().setpoint_c();
+
+  f.room.set_fan_failed(3, true);
+  f.room.run(600.0, 1.0);  // let the failure develop
+  ASSERT_GT(f.room.true_cpu_temp_c(3), f.t_max);
+
+  f.run(dog, 20);
+  EXPECT_GE(dog.stats().alarms_raised, 1u);
+  EXPECT_GE(dog.stats().interventions, 1u);
+  EXPECT_LT(f.room.crac().setpoint_c(), sp_before);
+
+  const auto alarms = dog.check();
+  EXPECT_NE(std::find(alarms.begin(), alarms.end(), 3u), alarms.end());
+}
+
+TEST(ThermalWatchdog, BrokenFanEscalatesToQuarantine) {
+  Fixture f;
+  WatchdogOptions o;
+  o.intervention_cooldown = 2;
+  o.interventions_before_quarantine = 3;
+  ThermalWatchdog dog(f.room, f.t_max, o);
+
+  f.room.set_fan_failed(3, true);
+  f.room.run(600.0, 1.0);
+  f.run(dog, 30);
+
+  const auto quarantine = dog.quarantine_recommendations();
+  ASSERT_EQ(quarantine.size(), 1u);
+  EXPECT_EQ(quarantine[0], 3u);
+
+  // Act on the recommendation: shed the machine's load and power it off.
+  f.room.set_power_state(3, false);
+  dog.acknowledge(3);
+  f.room.run(900.0, 1.0);
+  f.run(dog, 10);
+  EXPECT_TRUE(dog.quarantine_recommendations().empty());
+  EXPECT_TRUE(dog.check().empty());
+}
+
+TEST(ThermalWatchdog, OffMachinesAreIgnored) {
+  Fixture f;
+  f.room.set_fan_failed(2, true);
+  f.room.set_power_state(2, false);  // failed but off: harmless
+  f.room.run(600.0, 1.0);
+  ThermalWatchdog dog(f.room, f.t_max);
+  f.run(dog, 15);
+  EXPECT_EQ(dog.stats().alarms_raised, 0u);
+}
+
+TEST(ThermalWatchdog, Validation) {
+  Fixture f;
+  WatchdogOptions bad;
+  bad.consecutive_required = 0;
+  EXPECT_THROW(ThermalWatchdog(f.room, f.t_max, bad), std::invalid_argument);
+  ThermalWatchdog dog(f.room, f.t_max);
+  EXPECT_THROW(dog.acknowledge(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace coolopt::control

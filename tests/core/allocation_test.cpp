@@ -1,0 +1,146 @@
+#include "core/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/synthetic.h"
+
+namespace coolopt::core {
+namespace {
+
+RoomModel model3() {
+  SyntheticModelOptions o;
+  o.machines = 3;
+  o.seed = 4;
+  return make_synthetic_model(o);
+}
+
+Allocation alloc_for(const RoomModel& model) {
+  Allocation a;
+  a.loads.assign(model.size(), 0.0);
+  a.on.assign(model.size(), true);
+  return a;
+}
+
+TEST(Allocation, CountOnAndTotalLoad) {
+  const RoomModel model = model3();
+  Allocation a = alloc_for(model);
+  a.on[1] = false;
+  a.loads[0] = 10.0;
+  a.loads[2] = 5.0;
+  EXPECT_EQ(a.count_on(), 2u);
+  EXPECT_DOUBLE_EQ(a.total_load(), 15.0);
+}
+
+TEST(Allocation, FinalizeComputesModelPowers) {
+  const RoomModel model = model3();
+  Allocation a = alloc_for(model);
+  a.loads = {10.0, 0.0, 20.0};
+  a.on[1] = false;
+  a.t_ac = 24.0;
+  a.finalize(model);
+  const double expected_it = model.machines[0].power.predict(10.0) +
+                             model.machines[2].power.predict(20.0);
+  EXPECT_NEAR(a.it_power_w, expected_it, 1e-9);
+  EXPECT_NEAR(a.cooling_power_w, model.cooler.predict(24.0, expected_it), 1e-9);
+  EXPECT_NEAR(a.total_power_w, a.it_power_w + a.cooling_power_w, 1e-12);
+}
+
+TEST(Allocation, FinalizeSizeMismatchThrows) {
+  const RoomModel model = model3();
+  Allocation a;
+  a.loads = {1.0};
+  a.on = {true};
+  EXPECT_THROW(a.finalize(model), std::logic_error);
+}
+
+TEST(Allocation, PredictedTempsFollowEq8) {
+  const RoomModel model = model3();
+  Allocation a = alloc_for(model);
+  a.loads = {30.0, 0.0, 10.0};
+  a.t_ac = 22.0;
+  for (size_t i = 0; i < model.size(); ++i) {
+    const MachineModel& m = model.machines[i];
+    EXPECT_NEAR(predicted_cpu_temp(model, a, i),
+                m.thermal.predict(22.0, m.power.predict(a.loads[i])), 1e-12);
+  }
+  // Peak is over ON machines only.
+  a.on = {false, true, false};
+  EXPECT_NEAR(predicted_peak_cpu_temp(model, a),
+              predicted_cpu_temp(model, a, 1), 1e-12);
+}
+
+TEST(Allocation, CheckAllocationAcceptsConsistent) {
+  const RoomModel model = model3();
+  Allocation a = alloc_for(model);
+  a.loads = {5.0, 10.0, 15.0};
+  EXPECT_NO_THROW(check_allocation(model, a, 30.0));
+}
+
+TEST(Allocation, CheckAllocationCatchesDefects) {
+  const RoomModel model = model3();
+  {
+    Allocation a = alloc_for(model);
+    a.loads = {-1.0, 16.0, 15.0};
+    EXPECT_THROW(check_allocation(model, a, 30.0), std::logic_error);
+  }
+  {
+    Allocation a = alloc_for(model);
+    a.loads = {5.0, 10.0, 15.0};
+    a.on[0] = false;  // load on OFF machine
+    EXPECT_THROW(check_allocation(model, a, 30.0), std::logic_error);
+  }
+  {
+    Allocation a = alloc_for(model);
+    a.loads = {5.0, 10.0, 15.0};
+    EXPECT_THROW(check_allocation(model, a, 31.0), std::logic_error);  // sum off
+  }
+}
+
+TEST(MaxSafeTac, BindingMachineDeterminesBound) {
+  const RoomModel model = model3();
+  std::vector<double> loads = {model.machines[0].capacity, 0.0, 0.0};
+  std::vector<bool> on = {true, true, true};
+  const double t_ac = max_safe_t_ac(model, loads, on);
+  // At the bound, the hottest machine's predicted temp reaches t_max
+  // (unless the bound was clamped by the actuation range).
+  Allocation a = alloc_for(model);
+  a.loads = loads;
+  a.t_ac = t_ac;
+  const double peak = predicted_peak_cpu_temp(model, a);
+  EXPECT_LE(peak, model.t_max + 1e-9);
+  if (t_ac < model.t_ac_max - 1e-9) {
+    EXPECT_NEAR(peak, model.t_max, 1e-9);
+  }
+}
+
+TEST(MaxSafeTac, OffMachinesDoNotConstrain) {
+  const RoomModel model = model3();
+  std::vector<double> loads = {model.machines[0].capacity, 0.0, 0.0};
+  const double all_on = max_safe_t_ac(model, loads, {true, true, true});
+  const double hot_off = max_safe_t_ac(model, loads, {false, true, true});
+  EXPECT_GE(hot_off, all_on);
+}
+
+TEST(MaxSafeTac, ClampsToActuationRange) {
+  RoomModel model = model3();
+  std::vector<double> zero(model.size(), 0.0);
+  std::vector<bool> on(model.size(), true);
+  // Idle machines allow very warm air; the bound clamps at t_ac_max.
+  EXPECT_DOUBLE_EQ(max_safe_t_ac(model, zero, on), model.t_ac_max);
+}
+
+TEST(ConservativeTac, IsFullLoadBound) {
+  const RoomModel model = model3();
+  std::vector<double> full;
+  for (const auto& m : model.machines) full.push_back(m.capacity);
+  std::vector<bool> on(model.size(), true);
+  EXPECT_DOUBLE_EQ(conservative_t_ac(model), max_safe_t_ac(model, full, on));
+  // And it is no warmer than any partial-load bound.
+  std::vector<double> partial(model.size(), 1.0);
+  EXPECT_LE(conservative_t_ac(model), max_safe_t_ac(model, partial, on));
+}
+
+}  // namespace
+}  // namespace coolopt::core

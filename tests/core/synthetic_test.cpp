@@ -1,0 +1,54 @@
+#include "core/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace coolopt::core {
+namespace {
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SyntheticModelOptions o;
+  o.seed = 5;
+  const RoomModel a = make_synthetic_model(o);
+  const RoomModel b = make_synthetic_model(o);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.machines[i].thermal.beta, b.machines[i].thermal.beta);
+    EXPECT_DOUBLE_EQ(a.machines[i].capacity, b.machines[i].capacity);
+  }
+}
+
+TEST(Synthetic, SeedsDiffer) {
+  SyntheticModelOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  EXPECT_NE(make_synthetic_model(o1).machines[0].thermal.beta,
+            make_synthetic_model(o2).machines[0].thermal.beta);
+}
+
+TEST(Synthetic, ProducesValidatedModels) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    SyntheticModelOptions o;
+    o.seed = seed;
+    o.machines = 15;
+    EXPECT_NO_THROW(make_synthetic_model(o).validate()) << "seed " << seed;
+  }
+}
+
+TEST(Synthetic, DrawsWithinConfiguredRanges) {
+  SyntheticModelOptions o;
+  o.machines = 50;
+  const RoomModel model = make_synthetic_model(o);
+  for (const MachineModel& m : model.machines) {
+    EXPECT_GE(m.thermal.alpha, o.alpha_lo);
+    EXPECT_LT(m.thermal.alpha, o.alpha_hi);
+    EXPECT_GE(m.thermal.beta, o.beta_lo);
+    EXPECT_LT(m.thermal.beta, o.beta_hi);
+    EXPECT_GE(m.capacity, o.capacity_lo);
+    EXPECT_LT(m.capacity, o.capacity_hi);
+    EXPECT_DOUBLE_EQ(m.power.w1, o.w1);
+  }
+  EXPECT_EQ(model.size(), 50u);
+}
+
+}  // namespace
+}  // namespace coolopt::core

@@ -1,0 +1,99 @@
+#include "physics/ode.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace coolopt::physics {
+namespace {
+
+// dy/dt = -y, y(0) = 1: y(t) = exp(-t).
+const Derivative kDecay = [](double, std::span<const double> y,
+                             std::span<double> dydt) { dydt[0] = -y[0]; };
+
+TEST(Ode, EulerApproximatesDecay) {
+  std::vector<double> y = {1.0};
+  integrate(Integrator::kEuler, kDecay, 0.0, 1.0, 1e-3, y);
+  EXPECT_NEAR(y[0], std::exp(-1.0), 1e-3);
+}
+
+TEST(Ode, Rk4IsFarMoreAccurate) {
+  std::vector<double> y = {1.0};
+  integrate(Integrator::kRk4, kDecay, 0.0, 1.0, 1e-2, y);
+  EXPECT_NEAR(y[0], std::exp(-1.0), 1e-9);
+}
+
+TEST(Ode, EulerFirstOrderConvergence) {
+  auto err = [](double h) {
+    std::vector<double> y = {1.0};
+    integrate(Integrator::kEuler, kDecay, 0.0, 1.0, h, y);
+    return std::abs(y[0] - std::exp(-1.0));
+  };
+  const double ratio = err(0.01) / err(0.005);
+  EXPECT_NEAR(ratio, 2.0, 0.2);  // halving h halves the error
+}
+
+TEST(Ode, Rk4FourthOrderConvergence) {
+  auto err = [](double h) {
+    std::vector<double> y = {1.0};
+    integrate(Integrator::kRk4, kDecay, 0.0, 1.0, h, y);
+    return std::abs(y[0] - std::exp(-1.0));
+  };
+  const double ratio = err(0.1) / err(0.05);
+  EXPECT_NEAR(ratio, 16.0, 3.0);  // halving h cuts the error ~16x
+}
+
+TEST(Ode, CoupledOscillatorConservesAmplitude) {
+  // y'' = -y as a system; RK4 should track sin/cos closely over 2*pi.
+  const Derivative osc = [](double, std::span<const double> y,
+                            std::span<double> dydt) {
+    dydt[0] = y[1];
+    dydt[1] = -y[0];
+  };
+  std::vector<double> y = {1.0, 0.0};
+  integrate(Integrator::kRk4, osc, 0.0, 2.0 * 3.14159265358979, 1e-3, y);
+  EXPECT_NEAR(y[0], 1.0, 1e-8);
+  EXPECT_NEAR(y[1], 0.0, 1e-8);
+}
+
+TEST(Ode, IntegrateLandsExactlyOnT1) {
+  // dt does not divide the interval; the last step must be clamped.
+  const Derivative constant = [](double, std::span<const double>,
+                                 std::span<double> dydt) { dydt[0] = 1.0; };
+  std::vector<double> y = {0.0};
+  const double t_end = integrate(Integrator::kRk4, constant, 0.0, 1.0, 0.3, y);
+  EXPECT_DOUBLE_EQ(t_end, 1.0);
+  EXPECT_NEAR(y[0], 1.0, 1e-12);
+}
+
+TEST(Ode, TimeDependentDerivative) {
+  // dy/dt = t -> y(1) = 0.5.
+  const Derivative ramp = [](double t, std::span<const double>,
+                             std::span<double> dydt) { dydt[0] = t; };
+  std::vector<double> y = {0.0};
+  integrate(Integrator::kRk4, ramp, 0.0, 1.0, 0.1, y);
+  EXPECT_NEAR(y[0], 0.5, 1e-12);
+}
+
+TEST(Ode, BadArgumentsThrow) {
+  std::vector<double> y = {1.0};
+  EXPECT_THROW(integrate(Integrator::kRk4, kDecay, 0.0, 1.0, 0.0, y),
+               std::invalid_argument);
+  EXPECT_THROW(integrate(Integrator::kRk4, kDecay, 1.0, 0.0, 0.1, y),
+               std::invalid_argument);
+}
+
+TEST(Ode, ReusableIntegratorMatchesFreeFunction) {
+  std::vector<double> y1 = {1.0};
+  std::vector<double> y2 = {1.0};
+  Rk4Integrator integ(1);
+  for (int i = 0; i < 10; ++i) {
+    step_rk4(kDecay, 0.0, 0.05, y1);
+    integ.step(kDecay, 0.0, 0.05, y2);
+  }
+  EXPECT_DOUBLE_EQ(y1[0], y2[0]);
+}
+
+}  // namespace
+}  // namespace coolopt::physics

@@ -1,0 +1,185 @@
+#include "physics/thermal_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace coolopt::physics {
+namespace {
+
+TEST(ThermalNetwork, SingleNodeConductionSteadyState) {
+  // Node heated at Q, conducting G to a boundary at T0:
+  // steady T = T0 + Q/G.
+  ThermalNetwork net;
+  const NodeId boundary = net.add_boundary("wall", 20.0);
+  const NodeId node = net.add_node("cpu", 100.0, 20.0);
+  net.add_conduction(node, boundary, 4.0);
+  net.set_heat_input(node, 60.0);
+  net.settle();
+  EXPECT_NEAR(net.temp(node), 20.0 + 15.0, 1e-9);
+}
+
+TEST(ThermalNetwork, TransientApproachesSteadyStateExponentially) {
+  ThermalNetwork net;
+  const NodeId boundary = net.add_boundary("wall", 0.0);
+  const NodeId node = net.add_node("cpu", 100.0, 0.0);
+  net.add_conduction(node, boundary, 4.0);
+  net.set_heat_input(node, 40.0);
+  // tau = C/G = 25 s; final = 10 C. After one tau: 10*(1-1/e).
+  net.run(25.0, 0.05);
+  EXPECT_NEAR(net.temp(node), 10.0 * (1.0 - std::exp(-1.0)), 0.01);
+  net.run(500.0, 0.1);
+  EXPECT_NEAR(net.temp(node), 10.0, 1e-6);
+}
+
+TEST(ThermalNetwork, TwoNodeChainMatchesHandSolution) {
+  // boundary --G1-- A --G2-- B, heat into B.
+  // Steady: all of B's heat flows through both links.
+  ThermalNetwork net;
+  const NodeId w = net.add_boundary("w", 10.0);
+  const NodeId a = net.add_node("a", 50.0, 10.0);
+  const NodeId b = net.add_node("b", 50.0, 10.0);
+  net.add_conduction(w, a, 2.0);
+  net.add_conduction(a, b, 5.0);
+  net.set_heat_input(b, 20.0);
+  net.settle();
+  EXPECT_NEAR(net.temp(a), 10.0 + 20.0 / 2.0, 1e-9);
+  EXPECT_NEAR(net.temp(b), 10.0 + 20.0 / 2.0 + 20.0 / 5.0, 1e-9);
+}
+
+TEST(ThermalNetwork, AdvectionDisplacementMatchesEq4) {
+  // A box fed with supply air at T_in, heated at P: Eq. 4 gives
+  // P = F*c*(T_box - T_in) at steady state.
+  ThermalNetwork net;
+  const NodeId supply = net.add_boundary("supply", 18.0);
+  const NodeId box = net.add_node("box", 40.0, 18.0);
+  net.add_advection(supply, box, 0.02, 1210.0);
+  net.set_heat_input(box, 60.0);
+  net.settle();
+  EXPECT_NEAR(net.temp(box), 18.0 + 60.0 / (0.02 * 1210.0), 1e-9);
+}
+
+TEST(ThermalNetwork, ServerModelMatchesEq5ClosedForm) {
+  // Full Eq. 1-2 unit: CPU (theta to box) + box (airflow from supply).
+  // Eq. 5: T_cpu = (1/(F c) + 1/theta) * P + T_in.
+  const double theta = 4.0;
+  const double flow = 0.02;
+  const double c_air = 1210.0;
+  const double p = 75.0;
+  const double t_in = 21.0;
+
+  ThermalNetwork net;
+  const NodeId supply = net.add_boundary("supply", t_in);
+  const NodeId box = net.add_node("box", 40.0, t_in);
+  const NodeId cpu = net.add_node("cpu", 450.0, t_in);
+  net.add_conduction(cpu, box, theta);
+  net.add_advection(supply, box, flow, c_air);
+  net.set_heat_input(cpu, p);
+  net.settle();
+
+  const double beta = 1.0 / (flow * c_air) + 1.0 / theta;
+  EXPECT_NEAR(net.temp(cpu), t_in + beta * p, 1e-9);
+  EXPECT_NEAR(net.temp(box), t_in + p / (flow * c_air), 1e-9);
+}
+
+TEST(ThermalNetwork, SettleMatchesLongTransient) {
+  ThermalNetwork net;
+  const NodeId supply = net.add_boundary("supply", 15.0);
+  const NodeId a = net.add_node("a", 30.0, 15.0);
+  const NodeId b = net.add_node("b", 200.0, 15.0);
+  net.add_advection(supply, a, 0.01, 1210.0);
+  net.add_advection(a, b, 0.01, 1210.0);
+  net.add_conduction(a, b, 3.0);
+  net.set_heat_input(a, 30.0);
+  net.set_heat_input(b, 10.0);
+
+  const auto steady = net.steady_state();
+  net.run(5000.0, 0.25);
+  EXPECT_NEAR(net.temp(a), steady[a.index], 1e-6);
+  EXPECT_NEAR(net.temp(b), steady[b.index], 1e-6);
+}
+
+TEST(ThermalNetwork, SteadyStateDoesNotMutate) {
+  ThermalNetwork net;
+  const NodeId w = net.add_boundary("w", 0.0);
+  const NodeId n = net.add_node("n", 10.0, 5.0);
+  net.add_conduction(w, n, 1.0);
+  net.set_heat_input(n, 10.0);
+  const auto steady = net.steady_state();
+  EXPECT_NEAR(steady[n.index], 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(net.temp(n), 5.0);  // unchanged
+}
+
+TEST(ThermalNetwork, NetHeatFlowZeroAtSteadyState) {
+  ThermalNetwork net;
+  const NodeId w = net.add_boundary("w", 20.0);
+  const NodeId n = net.add_node("n", 10.0, 20.0);
+  net.add_conduction(w, n, 2.0);
+  net.set_heat_input(n, 14.0);
+  net.settle();
+  EXPECT_NEAR(net.net_heat_flow(n), 0.0, 1e-9);
+}
+
+TEST(ThermalNetwork, IsolatedHeatedNodeIsSingular) {
+  ThermalNetwork net;
+  (void)net.add_boundary("w", 0.0);
+  const NodeId n = net.add_node("n", 10.0, 0.0);
+  net.set_heat_input(n, 5.0);  // no path anywhere
+  EXPECT_THROW(net.steady_state(), std::runtime_error);
+}
+
+TEST(ThermalNetwork, BoundaryTempUpdatesShiftSteadyState) {
+  ThermalNetwork net;
+  const NodeId w = net.add_boundary("w", 0.0);
+  const NodeId n = net.add_node("n", 10.0, 0.0);
+  net.add_conduction(w, n, 1.0);
+  net.set_heat_input(n, 3.0);
+  net.settle();
+  EXPECT_NEAR(net.temp(n), 3.0, 1e-9);
+  net.set_boundary_temp(w, 10.0);
+  net.settle();
+  EXPECT_NEAR(net.temp(n), 13.0, 1e-9);
+}
+
+TEST(ThermalNetwork, AdvectionFlowCanBeUpdated) {
+  ThermalNetwork net;
+  const NodeId s = net.add_boundary("s", 10.0);
+  const NodeId n = net.add_node("n", 10.0, 10.0);
+  const size_t link = net.add_advection(s, n, 0.01, 1000.0);
+  net.set_heat_input(n, 10.0);
+  net.settle();
+  EXPECT_NEAR(net.temp(n), 11.0, 1e-9);
+  net.set_advection_flow(link, 0.02);
+  net.settle();
+  EXPECT_NEAR(net.temp(n), 10.5, 1e-9);
+}
+
+TEST(ThermalNetwork, ArgumentValidation) {
+  ThermalNetwork net;
+  const NodeId n = net.add_node("n", 10.0, 0.0);
+  EXPECT_THROW(net.add_node("bad", 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_conduction(n, NodeId{}, 1.0), std::out_of_range);
+  EXPECT_THROW(net.add_conduction(n, n, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_advection(n, n, -0.1, 1000.0), std::invalid_argument);
+  EXPECT_THROW(net.add_advection(n, n, 0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.set_advection_flow(99, 0.1), std::out_of_range);
+  EXPECT_THROW(net.set_boundary_temp(n, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.run(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ThermalNetwork, NodeBookkeeping) {
+  ThermalNetwork net;
+  const NodeId b = net.add_boundary("b", 1.0);
+  const NodeId n = net.add_node("n", 2.0, 3.0);
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_EQ(net.free_node_count(), 1u);
+  EXPECT_TRUE(net.is_boundary(b));
+  EXPECT_FALSE(net.is_boundary(n));
+  EXPECT_EQ(net.name(n), "n");
+  net.set_heat_input(n, 7.0);
+  EXPECT_DOUBLE_EQ(net.heat_input(n), 7.0);
+}
+
+}  // namespace
+}  // namespace coolopt::physics

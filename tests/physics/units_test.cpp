@@ -1,0 +1,103 @@
+// Pins down Table I of the paper: the physical quantities and the
+// dimensional identities the thermal model is built from.
+#include "physics/units.h"
+
+#include <gtest/gtest.h>
+
+namespace coolopt::physics {
+namespace {
+
+using namespace coolopt::physics::literals;
+
+TEST(Units, KelvinCelsiusConversion) {
+  EXPECT_DOUBLE_EQ(Kelvin::from_celsius(0.0).value(), 273.15);
+  EXPECT_NEAR(Kelvin(300.0).celsius(), 26.85, 1e-12);
+  EXPECT_DOUBLE_EQ((25.0_degC).value(), 298.15);
+}
+
+TEST(Units, TemperatureDifferencesAreDeltas) {
+  const Kelvin hot = Kelvin::from_celsius(50.0);
+  const Kelvin cold = Kelvin::from_celsius(20.0);
+  const TempDelta d = hot - cold;
+  EXPECT_DOUBLE_EQ(d.value(), 30.0);  // K and C deltas coincide
+  EXPECT_DOUBLE_EQ((cold + d).value(), hot.value());
+  EXPECT_DOUBLE_EQ((hot - d).value(), cold.value());
+}
+
+TEST(Units, DeltaArithmetic) {
+  const TempDelta a(2.0);
+  const TempDelta b(3.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 5.0);
+  EXPECT_DOUBLE_EQ((b - a).value(), 1.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 4.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 4.0);
+}
+
+TEST(Units, EnergyIsPowerTimesTime) {
+  // Table I: P_cpu in J s^-1; accumulating over seconds gives Joules.
+  const Joules e = 60.0_W * 10.0_s;
+  EXPECT_DOUBLE_EQ(e.value(), 600.0);
+  EXPECT_DOUBLE_EQ((10.0_s * 60.0_W).value(), 600.0);
+}
+
+TEST(Units, HeatExchangeRateTimesDeltaIsPower) {
+  // Table I: theta_cpu_box in J K^-1 s^-1; times a temperature difference
+  // gives watts — Eq. 1's (T_cpu - T_out) * theta term.
+  const HeatExchangeRate theta(4.0);
+  const TempDelta d(15.0);
+  EXPECT_DOUBLE_EQ((theta * d).value(), 60.0);
+  EXPECT_DOUBLE_EQ((d * theta).value(), 60.0);
+}
+
+TEST(Units, FlowTimesDensityIsAdvectiveConductance) {
+  // Table I: F in m^3 s^-1, c_air in J K^-1 m^-3; the product has W/K —
+  // Eq. 2's F * c_air coefficient.
+  const AirFlow f(0.02);
+  const HeatExchangeRate g = f * kAirHeatCapacityDensity;
+  EXPECT_NEAR(g.value(), 24.2, 1e-9);
+  EXPECT_NEAR((kAirHeatCapacityDensity * f).value(), 24.2, 1e-9);
+}
+
+TEST(Units, EnergyOverCapacityIsDelta) {
+  // Table I: nu in J K^-1; adding Q joules raises temperature by Q/nu.
+  const Joules q(900.0);
+  const HeatCapacity nu(450.0);
+  EXPECT_DOUBLE_EQ((q / nu).value(), 2.0);
+}
+
+TEST(Units, SteadyStateOfEq5Dimensionally) {
+  // T_cpu = (1/(F c) + 1/theta) * P + T_in  (Eq. 5): both terms of beta have
+  // K/W, so beta*P is a TempDelta addable to a Kelvin.
+  const AirFlow f(0.02);
+  const HeatExchangeRate fc = f * kAirHeatCapacityDensity;
+  const HeatExchangeRate theta(4.0);
+  const Watts p(60.0);
+  const TempDelta rise(p.value() / fc.value() + p.value() / theta.value());
+  const Kelvin t_in = Kelvin::from_celsius(22.0);
+  const Kelvin t_cpu = t_in + rise;
+  EXPECT_NEAR(t_cpu.celsius(), 22.0 + 60.0 / 24.2 + 15.0, 1e-9);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Kelvin(280.0), Kelvin(290.0));
+  EXPECT_EQ(Kelvin(280.0), Kelvin(280.0));
+  EXPECT_GT(Watts(10.0), Watts(5.0));
+  EXPECT_LT(TempDelta(1.0), TempDelta(2.0));
+  EXPECT_LT(Seconds(1.0), Seconds(2.0));
+  EXPECT_LT(Joules(1.0), Joules(2.0));
+  EXPECT_LT(AirFlow(0.01), AirFlow(0.02));
+}
+
+TEST(Units, WattArithmetic) {
+  EXPECT_DOUBLE_EQ((Watts(3) + Watts(4)).value(), 7.0);
+  EXPECT_DOUBLE_EQ((Watts(9) - Watts(4)).value(), 5.0);
+  EXPECT_DOUBLE_EQ((2.0 * Watts(4)).value(), 8.0);
+}
+
+TEST(Units, StandardAirDensityConstant) {
+  // rho * c_p of air near room temperature, J K^-1 m^-3.
+  EXPECT_NEAR(kAirHeatCapacityDensity.value(), 1210.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace coolopt::physics

@@ -1,0 +1,117 @@
+#include "profiling/cooler_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace coolopt::profiling {
+namespace {
+
+sim::RoomConfig test_room() {
+  sim::RoomConfig cfg;
+  cfg.num_servers = 8;
+  cfg.seed = 23;
+  return cfg;
+}
+
+CoolerProfilerOptions quick() {
+  CoolerProfilerOptions o;
+  o.fast_settle = true;
+  o.setpoints_c = {20.0, 24.0, 28.0};
+  o.load_levels = {0.2, 0.6, 1.0};
+  o.samples_per_point = 6;
+  return o;
+}
+
+TEST(CoolerProfiler, OperationalFitIsPhysical) {
+  sim::MachineRoom room(test_room());
+  const auto result = profile_cooler(room, quick());
+  EXPECT_GT(result.model.cfac, 0.0);          // warmer air saves power
+  EXPECT_GT(result.model.q_coeff, 0.0);       // IT heat costs cooling
+  EXPECT_LT(result.model.q_coeff, 1.0);       // ...but less than 1 W per W
+  EXPECT_GT(result.power_fit_r2, 0.9);
+  EXPECT_EQ(result.grid_points, 9u);
+}
+
+TEST(CoolerProfiler, PaperLiteralSlopeOverstatesTheKnob) {
+  // The reproduction's central calibration finding: the raw Eq. 10 slope
+  // (driven by heat-load variation) is several times larger than the
+  // operational sensitivity to the supply-temperature knob.
+  sim::MachineRoom room(test_room());
+  const auto result = profile_cooler(room, quick());
+  EXPECT_GT(result.paper_cfac, 2.0 * result.model.cfac);
+}
+
+TEST(CoolerProfiler, PaperModeFillsModelFromLiteralFit) {
+  sim::MachineRoom room(test_room());
+  auto o = quick();
+  o.operational_fit = false;
+  const auto result = profile_cooler(room, o);
+  EXPECT_DOUBLE_EQ(result.model.cfac, result.paper_cfac);
+  EXPECT_DOUBLE_EQ(result.model.q_coeff, 0.0);
+}
+
+TEST(CoolerProfiler, FloorIsTheFanPower) {
+  sim::MachineRoom room(test_room());
+  const auto result = profile_cooler(room, quick());
+  EXPECT_NEAR(result.model.min_power_w, room.config().crac.fan_power_w,
+              room.config().crac.fan_power_w * 0.1);
+}
+
+TEST(CoolerProfiler, HeatRiseFitPredictsTheGap) {
+  sim::MachineRoom room(test_room());
+  const auto result = profile_cooler(room, quick());
+  EXPECT_GT(result.heat_rise_per_watt, 0.0);
+  EXPECT_LT(result.setpoint_gain, 1.0);
+  EXPECT_GT(result.heat_rise_fit_r2, 0.95);
+  // Spot-check the fitted relation against a fresh operating point.
+  room.set_uniform_utilization(0.8);
+  room.set_setpoint_c(25.0);
+  room.settle();
+  const double q = room.it_power_w();
+  const double predicted_gap =
+      result.heat_rise_per_watt * q + result.setpoint_gain * 25.0 +
+      result.heat_rise_offset_c;
+  EXPECT_NEAR(25.0 - room.supply_temp_c(), predicted_gap, 0.35);
+}
+
+TEST(CoolerProfiler, OptionValidation) {
+  sim::MachineRoom room(test_room());
+  auto o = quick();
+  o.setpoints_c = {};
+  EXPECT_THROW(profile_cooler(room, o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coolopt::profiling
+
+namespace coolopt::profiling {
+namespace {
+
+TEST(CoolerProfiler, TransientModeProducesComparableFit) {
+  sim::RoomConfig cfg;
+  cfg.num_servers = 6;
+  cfg.seed = 23;
+
+  CoolerProfilerOptions o;
+  o.setpoints_c = {20.0, 26.0};
+  o.load_levels = {0.4, 1.0};
+  o.samples_per_point = 5;
+
+  sim::MachineRoom fast_room(cfg);
+  o.fast_settle = true;
+  const auto fast = profile_cooler(fast_room, o);
+
+  sim::MachineRoom slow_room(cfg);
+  o.fast_settle = false;
+  o.settle_s = 2500.0;
+  const auto slow = profile_cooler(slow_room, o);
+
+  EXPECT_NEAR(slow.model.cfac, fast.model.cfac,
+              std::abs(fast.model.cfac) * 0.25);
+  EXPECT_NEAR(slow.heat_rise_per_watt, fast.heat_rise_per_watt,
+              fast.heat_rise_per_watt * 0.25);
+}
+
+}  // namespace
+}  // namespace coolopt::profiling

@@ -1,0 +1,88 @@
+#include "profiling/power_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace coolopt::profiling {
+namespace {
+
+sim::RoomConfig test_room() {
+  sim::RoomConfig cfg;
+  cfg.num_servers = 6;
+  cfg.seed = 99;
+  return cfg;
+}
+
+PowerProfilerOptions quick() {
+  PowerProfilerOptions o;
+  o.dwell_s = 120.0;
+  o.idle_gap_s = 10.0;
+  o.load_levels = {0.0, 0.25, 0.5, 0.75};
+  return o;
+}
+
+TEST(PowerProfiler, RecoversTheTruePowerLaw) {
+  sim::MachineRoom room(test_room());
+  const auto result = profile_power(room, quick());
+  // Ground truth: w1 = peak_delta / capacity, w2 = idle (fleet averages).
+  const double true_w1 =
+      room.config().server.peak_delta_w / room.config().server.capacity_files_s;
+  EXPECT_NEAR(result.model.w1, true_w1, true_w1 * 0.08);
+  EXPECT_NEAR(result.model.w2, room.config().server.idle_power_w,
+              room.config().server.idle_power_w * 0.05);
+}
+
+TEST(PowerProfiler, FitQualityMatchesThePaper) {
+  sim::MachineRoom room(test_room());
+  const auto result = profile_power(room, quick());
+  EXPECT_GT(result.r_squared, 0.99);
+  EXPECT_LT(result.mape_pct, 2.0);
+  EXPECT_LT(result.rmse_w, 1.5);
+}
+
+TEST(PowerProfiler, TraceCoversTheLadder) {
+  sim::MachineRoom room(test_room());
+  const auto o = quick();
+  const auto result = profile_power(room, o);
+  EXPECT_GT(result.trace.sample_count(), 100u);
+  // The trace's load channel visits every ladder level.
+  const auto loads = result.trace.column("load_files_s");
+  const double cap = room.server(0).truth().capacity_files_s;
+  for (const double level : o.load_levels) {
+    bool seen = false;
+    for (const double l : loads) {
+      if (std::abs(l - level * cap) < 0.5) {
+        seen = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(seen) << "level " << level;
+  }
+}
+
+TEST(PowerProfiler, SamplesScaleWithFleetAndDwell) {
+  sim::MachineRoom room(test_room());
+  auto o = quick();
+  o.settled_fraction = 0.5;
+  const auto result = profile_power(room, o);
+  // 4 levels x 120 s x 6 machines, half kept.
+  EXPECT_NEAR(static_cast<double>(result.samples_used), 4 * 120 * 6 * 0.5,
+              4 * 120 * 6 * 0.1);
+}
+
+TEST(PowerProfiler, OptionValidation) {
+  sim::MachineRoom room(test_room());
+  PowerProfilerOptions o = quick();
+  o.load_levels = {};
+  EXPECT_THROW(profile_power(room, o), std::invalid_argument);
+  o = quick();
+  o.dwell_s = 0.0;
+  EXPECT_THROW(profile_power(room, o), std::invalid_argument);
+  o = quick();
+  o.load_levels = {1.5};
+  EXPECT_THROW(profile_power(room, o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coolopt::profiling

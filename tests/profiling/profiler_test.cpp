@@ -1,0 +1,71 @@
+#include "profiling/profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace coolopt::profiling {
+namespace {
+
+TEST(ProfileRoom, AssemblesAValidatedModel) {
+  sim::RoomConfig cfg;
+  cfg.num_servers = 6;
+  cfg.seed = 31;
+  sim::MachineRoom room(cfg);
+  const RoomProfile profile = profile_room(room, ProfilingOptions::fast());
+  EXPECT_EQ(profile.model.size(), 6u);
+  EXPECT_NO_THROW(profile.model.validate());
+  for (size_t i = 0; i < room.size(); ++i) {
+    EXPECT_DOUBLE_EQ(profile.model.machines[i].capacity,
+                     room.server(i).truth().capacity_files_s);
+    EXPECT_EQ(profile.model.machines[i].id, static_cast<int>(i));
+    // One fleet-wide power model, as in the paper.
+    EXPECT_DOUBLE_EQ(profile.model.machines[i].power.w1,
+                     profile.power.model.w1);
+  }
+  EXPECT_DOUBLE_EQ(profile.model.cooler.cfac, profile.cooler.model.cfac);
+}
+
+TEST(ProfileRoom, ConstraintsComeFromOptions) {
+  sim::RoomConfig cfg;
+  cfg.num_servers = 4;
+  sim::MachineRoom room(cfg);
+  ProfilingOptions options = ProfilingOptions::fast();
+  options.t_max = 52.0;
+  options.t_ac_min = 12.0;
+  options.t_ac_max = 27.0;
+  const RoomProfile profile = profile_room(room, options);
+  EXPECT_DOUBLE_EQ(profile.model.t_max, 52.0);
+  EXPECT_DOUBLE_EQ(profile.model.t_ac_min, 12.0);
+  EXPECT_DOUBLE_EQ(profile.model.t_ac_max, 27.0);
+}
+
+TEST(ProfileRoom, FastPresetIsActuallyFast) {
+  sim::RoomConfig cfg;
+  cfg.num_servers = 4;
+  sim::MachineRoom room(cfg);
+  const auto options = ProfilingOptions::fast();
+  EXPECT_TRUE(options.thermal.fast_settle);
+  EXPECT_TRUE(options.cooler.fast_settle);
+  EXPECT_LE(options.power.dwell_s, 300.0);
+}
+
+TEST(ProfileRoom, ModelPredictsTheRoomItWasFittedOn) {
+  // The paper's adequacy claim, end to end: fitted model vs ground truth on
+  // a fresh uniform operating point.
+  sim::RoomConfig cfg;
+  cfg.num_servers = 6;
+  cfg.seed = 33;
+  sim::MachineRoom room(cfg);
+  const RoomProfile profile = profile_room(room, ProfilingOptions::fast());
+
+  room.set_uniform_utilization(0.65);
+  room.set_setpoint_c(25.0);
+  room.settle();
+  for (size_t i = 0; i < room.size(); ++i) {
+    const double predicted = profile.model.machines[i].thermal.predict(
+        room.supply_temp_c(), room.server(i).power_draw_w());
+    EXPECT_NEAR(predicted, room.true_cpu_temp_c(i), 1.2) << "machine " << i;
+  }
+}
+
+}  // namespace
+}  // namespace coolopt::profiling

@@ -1,0 +1,157 @@
+#include "profiling/thermal_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace coolopt::profiling {
+namespace {
+
+sim::RoomConfig test_room() {
+  sim::RoomConfig cfg;
+  cfg.num_servers = 8;
+  cfg.seed = 17;
+  return cfg;
+}
+
+ThermalProfilerOptions quick() {
+  ThermalProfilerOptions o;
+  o.fast_settle = true;
+  o.setpoints_c = {20.0, 24.0, 28.0};
+  o.load_levels = {0.0, 0.5, 1.0};
+  o.samples_per_point = 10;
+  return o;
+}
+
+TEST(ThermalProfiler, FitsHaveHighQuality) {
+  sim::MachineRoom room(test_room());
+  const auto result = profile_thermal(room, quick());
+  ASSERT_EQ(result.fits.size(), room.size());
+  for (size_t i = 0; i < result.fits.size(); ++i) {
+    EXPECT_GT(result.fits[i].r_squared, 0.97) << "machine " << i;
+    EXPECT_LT(result.fits[i].max_abs_err_c, 2.0) << "machine " << i;
+  }
+}
+
+TEST(ThermalProfiler, AlphaNearUnityBetaNearPhysical) {
+  sim::MachineRoom room(test_room());
+  const auto result = profile_thermal(room, quick());
+  for (size_t i = 0; i < result.fits.size(); ++i) {
+    const auto& c = result.fits[i].coeffs;
+    EXPECT_NEAR(c.alpha, 1.0, 0.25) << "machine " << i;
+    const auto& t = room.server(i).truth();
+    const double beta_true =
+        1.0 / (t.fan_flow_m3s * room.config().crac.c_air) +
+        t.cpu_heat_fraction / t.cpu_box_exchange;
+    // Staggered profiling attributes beta mostly to the machine itself; a
+    // small room-coupling share remains.
+    EXPECT_NEAR(c.beta, beta_true, beta_true * 0.35) << "machine " << i;
+    EXPECT_GT(c.beta, 0.0);
+  }
+}
+
+TEST(ThermalProfiler, CoefficientsReflectRackPosition) {
+  // Disable idiosyncratic jitter: position is then the only diversity, and
+  // the top machine must look strictly harder to cool than the bottom one.
+  sim::RoomConfig cfg = test_room();
+  cfg.unit_jitter = 0.0;
+  cfg.airflow_jitter = 0.0;
+  cfg.exchange_jitter = 0.0;
+  sim::MachineRoom room(cfg);
+  const auto result = profile_thermal(room, quick());
+  const auto& bottom = result.fits.front().coeffs;
+  const auto& top = result.fits.back().coeffs;
+  const double t_ac = 24.0;
+  const double p = 90.0;
+  EXPECT_GT(top.predict(t_ac, p), bottom.predict(t_ac, p) + 0.5);
+}
+
+TEST(ThermalProfiler, StaggeredBeatsUniformOnNonUniformWorkloads) {
+  // Fit both ways, then evaluate prediction error on a consolidated
+  // operating point (half the machines loaded, half off-like idle).
+  sim::RoomConfig cfg = test_room();
+  auto fit_with = [&](bool stagger) {
+    sim::MachineRoom room(cfg);
+    auto o = quick();
+    o.stagger_loads = stagger;
+    return profile_thermal(room, o);
+  };
+  const auto staggered = fit_with(true);
+  const auto uniform = fit_with(false);
+
+  sim::MachineRoom room(cfg);
+  for (size_t i = 0; i < room.size(); ++i) {
+    room.set_utilization(i, i < room.size() / 2 ? 1.0 : 0.0);
+  }
+  room.set_setpoint_c(26.0);
+  room.settle();
+  auto worst_error = [&](const ThermalProfileResult& r) {
+    double worst = 0.0;
+    for (size_t i = 0; i < room.size(); ++i) {
+      const double predicted = r.fits[i].coeffs.predict(
+          room.supply_temp_c(), room.server(i).power_draw_w());
+      worst = std::max(worst, std::abs(predicted - room.true_cpu_temp_c(i)));
+    }
+    return worst;
+  };
+  EXPECT_LT(worst_error(staggered), worst_error(uniform));
+  EXPECT_LT(worst_error(staggered), 1.5);
+}
+
+TEST(ThermalProfiler, TraceHasOneRowPerGridPoint) {
+  sim::MachineRoom room(test_room());
+  const auto o = quick();
+  const auto result = profile_thermal(room, o, /*traced_server=*/3);
+  EXPECT_EQ(result.grid_points, o.setpoints_c.size() * o.load_levels.size());
+  EXPECT_EQ(result.trace.sample_count(), result.grid_points);
+}
+
+TEST(ThermalProfiler, OptionValidation) {
+  sim::MachineRoom room(test_room());
+  auto o = quick();
+  o.setpoints_c = {};
+  EXPECT_THROW(profile_thermal(room, o), std::invalid_argument);
+  o = quick();
+  o.load_levels = {2.0};
+  EXPECT_THROW(profile_thermal(room, o), std::invalid_argument);
+  EXPECT_THROW(profile_thermal(room, quick(), /*traced_server=*/99),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coolopt::profiling
+
+namespace coolopt::profiling {
+namespace {
+
+TEST(ThermalProfiler, TransientModeMatchesFastSettle) {
+  // The slow path (real transient integration + sampled readings) must fit
+  // essentially the same coefficients as the steady-state jump.
+  sim::RoomConfig cfg;
+  cfg.num_servers = 4;
+  cfg.seed = 17;
+
+  ThermalProfilerOptions o;
+  o.setpoints_c = {21.0, 27.0};
+  o.load_levels = {0.0, 1.0};
+  o.samples_per_point = 10;
+
+  sim::MachineRoom fast_room(cfg);
+  o.fast_settle = true;
+  const auto fast = profile_thermal(fast_room, o);
+
+  sim::MachineRoom slow_room(cfg);
+  o.fast_settle = false;
+  o.settle_s = 2500.0;  // several room time constants
+  const auto slow = profile_thermal(slow_room, o);
+
+  for (size_t i = 0; i < fast.fits.size(); ++i) {
+    EXPECT_NEAR(slow.fits[i].coeffs.beta, fast.fits[i].coeffs.beta, 0.05)
+        << "machine " << i;
+    EXPECT_NEAR(slow.fits[i].coeffs.alpha, fast.fits[i].coeffs.alpha, 0.15)
+        << "machine " << i;
+  }
+}
+
+}  // namespace
+}  // namespace coolopt::profiling

@@ -1,0 +1,156 @@
+#include "sim/crac.h"
+
+#include <gtest/gtest.h>
+
+namespace coolopt::sim {
+namespace {
+
+TEST(CracSim, CopRisesWithSupplyTemperature) {
+  CracSim crac{CracConfig{}};
+  EXPECT_GT(crac.cop_at(25.0), crac.cop_at(15.0));
+  const CracConfig cfg;
+  EXPECT_DOUBLE_EQ(crac.cop_at(cfg.cop_ref_temp_c), cfg.cop_ref);
+}
+
+TEST(CracSim, CopFloorsAtMinimum) {
+  CracSim crac{CracConfig{}};
+  EXPECT_DOUBLE_EQ(crac.cop_at(-100.0), CracConfig{}.cop_min);
+}
+
+TEST(CracSim, SteadyOperatingPointSetsSupplyTemp) {
+  CracConfig cfg;
+  CracSim crac{cfg};
+  const double conductance = cfg.c_air * cfg.flow_m3s;
+  const double achieved = crac.set_steady_operating_point(28.0, 1000.0);
+  EXPECT_DOUBLE_EQ(achieved, 1000.0);
+  EXPECT_NEAR(crac.supply_temp_c(), 28.0 - 1000.0 / conductance, 1e-12);
+  EXPECT_FALSE(crac.saturated());
+}
+
+TEST(CracSim, CoolingSaturatesAtMinSupply) {
+  CracConfig cfg;
+  CracSim crac{cfg};
+  const double conductance = cfg.c_air * cfg.flow_m3s;
+  const double demand = (28.0 - cfg.min_supply_c) * conductance * 2.0;
+  const double achieved = crac.set_steady_operating_point(28.0, demand);
+  EXPECT_LT(achieved, demand);
+  EXPECT_NEAR(crac.supply_temp_c(), cfg.min_supply_c, 1e-9);
+  EXPECT_TRUE(crac.saturated());
+}
+
+TEST(CracSim, CoolingSaturatesAtCoilCapacity) {
+  CracConfig cfg;
+  cfg.max_cooling_w = 500.0;
+  cfg.min_supply_c = -50.0;  // so only the coil limit binds
+  CracSim crac{cfg};
+  const double achieved = crac.set_steady_operating_point(28.0, 5000.0);
+  EXPECT_DOUBLE_EQ(achieved, 500.0);
+  EXPECT_TRUE(crac.saturated());
+}
+
+TEST(CracSim, NegativeDemandMeansCoilOff) {
+  CracSim crac{CracConfig{}};
+  const double achieved = crac.set_steady_operating_point(20.0, -100.0);
+  EXPECT_DOUBLE_EQ(achieved, 0.0);
+  EXPECT_DOUBLE_EQ(crac.supply_temp_c(), 20.0);  // air passes through
+}
+
+TEST(CracSim, ElectricPowerIsFanPlusCompressor) {
+  CracConfig cfg;
+  CracSim crac{cfg};
+  crac.set_steady_operating_point(28.0, 0.0);
+  EXPECT_DOUBLE_EQ(crac.electric_power_w(), cfg.fan_power_w);
+  crac.set_steady_operating_point(28.0, 1000.0);
+  const double expected =
+      1000.0 / crac.cop_at(crac.supply_temp_c()) + cfg.fan_power_w;
+  EXPECT_NEAR(crac.electric_power_w(), expected, 1e-9);
+}
+
+TEST(CracSim, WarmerSupplySameHeatDrawsLess) {
+  CracSim crac{CracConfig{}};
+  crac.set_steady_operating_point(26.0, 800.0);
+  const double cold = crac.electric_power_w();
+  crac.set_steady_operating_point(31.0, 800.0);
+  const double warm = crac.electric_power_w();
+  EXPECT_LT(warm, cold);
+}
+
+TEST(CracSim, PiLoopTracksReturnTemperatureInClosedLoop) {
+  // Couple the PI loop to a toy room: return temp relaxes toward
+  // (outside + Q/G) but is cooled by the CRAC's extraction.
+  CracConfig cfg;
+  CracSim crac{cfg};
+  crac.set_setpoint_c(26.0);
+  double t_room = 35.0;
+  const double q_it = 1200.0;
+  const double room_capacity = 5.0e4;  // J/K
+  for (int step = 0; step < 4000; ++step) {
+    crac.step(1.0, t_room);
+    const double net = q_it - crac.cooling_rate_w();
+    t_room += net / room_capacity;
+  }
+  EXPECT_NEAR(t_room, 26.0, 0.15);
+  EXPECT_NEAR(crac.cooling_rate_w(), q_it, 40.0);
+}
+
+TEST(CracSim, RejectsNonPhysicalConfig) {
+  CracConfig cfg;
+  cfg.flow_m3s = 0.0;
+  EXPECT_THROW(CracSim{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coolopt::sim
+
+namespace coolopt::sim {
+namespace {
+
+TEST(CracDynamics, SetPointStepSettlesWithoutPersistentError) {
+  // Closed loop against a toy room: step the set point down 4 C and check
+  // the PI loop re-converges with no steady-state offset.
+  CracConfig cfg;
+  CracSim crac{cfg};
+  crac.set_setpoint_c(28.0);
+  double t_room = 30.0;
+  const double q_it = 900.0;
+  const double c_room = 4.0e4;
+  auto run = [&](double seconds) {
+    for (double t = 0.0; t < seconds; t += 1.0) {
+      crac.step(1.0, t_room);
+      t_room += (q_it - crac.cooling_rate_w()) / c_room;
+    }
+  };
+  run(3000.0);
+  ASSERT_NEAR(t_room, 28.0, 0.15);
+  crac.set_setpoint_c(24.0);
+  run(3000.0);
+  EXPECT_NEAR(t_room, 24.0, 0.15);
+}
+
+TEST(CracDynamics, AntiWindupRecoversFromSaturation) {
+  // Demand far beyond capacity saturates the coil; once the demand drops,
+  // the wound-up integral must not keep the coil pinned.
+  CracConfig cfg;
+  cfg.max_cooling_w = 800.0;
+  CracSim crac{cfg};
+  crac.set_setpoint_c(24.0);
+  double t_room = 38.0;
+  double q_it = 2500.0;  // unservable
+  const double c_room = 1.0e4;
+  for (double t = 0.0; t < 300.0; t += 1.0) {
+    crac.step(1.0, t_room);
+    t_room += (q_it - crac.cooling_rate_w()) / c_room;
+  }
+  EXPECT_TRUE(crac.saturated());
+  EXPECT_GT(t_room, 38.0);  // the overload genuinely heated the room
+  q_it = 500.0;  // now easily servable
+  for (double t = 0.0; t < 6000.0; t += 1.0) {
+    crac.step(1.0, t_room);
+    t_room += (q_it - crac.cooling_rate_w()) / c_room;
+  }
+  EXPECT_NEAR(t_room, 24.0, 0.25);
+  EXPECT_FALSE(crac.saturated());
+}
+
+}  // namespace
+}  // namespace coolopt::sim

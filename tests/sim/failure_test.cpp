@@ -1,0 +1,125 @@
+// Failure injection: glitchy meters, stuck temperature registers, failed
+// server fans — and what they do to measurements, profiling and the
+// temperature constraint.
+#include <gtest/gtest.h>
+
+#include "profiling/power_profiler.h"
+#include "sim/room.h"
+#include "util/stats.h"
+
+namespace coolopt::sim {
+namespace {
+
+RoomConfig faulty_room(size_t n = 6) {
+  RoomConfig cfg;
+  cfg.num_servers = n;
+  cfg.seed = 71;
+  return cfg;
+}
+
+TEST(FailureInjection, MeterSpikesOccurAtConfiguredRate) {
+  RoomConfig cfg = faulty_room();
+  cfg.power_meter_spike_prob = 0.05;
+  cfg.power_meter_spike_w = 300.0;
+  MachineRoom room(cfg);
+  room.set_uniform_utilization(0.5);
+  room.settle();
+  const double truth = room.server_power_w(0);
+  int spikes = 0;
+  const int samples = 5000;
+  for (int s = 0; s < samples; ++s) {
+    if (std::abs(room.read_server_power_w(0) - truth) > 150.0) ++spikes;
+  }
+  EXPECT_NEAR(static_cast<double>(spikes) / samples, 0.05, 0.01);
+}
+
+TEST(FailureInjection, StuckSensorRepeatsReadings) {
+  RoomConfig cfg = faulty_room();
+  cfg.temp_sensor_stuck_prob = 0.3;
+  cfg.temp_sensor_noise_c = 0.5;
+  cfg.temp_sensor_quantum_c = 0.0;  // continuous, so repeats are detectable
+  MachineRoom room(cfg);
+  room.set_uniform_utilization(0.5);
+  room.settle();
+  int repeats = 0;
+  double last = room.read_cpu_temp_c(0);
+  const int samples = 3000;
+  for (int s = 0; s < samples; ++s) {
+    const double v = room.read_cpu_temp_c(0);
+    if (v == last) ++repeats;
+    last = v;
+  }
+  EXPECT_NEAR(static_cast<double>(repeats) / samples, 0.3, 0.05);
+}
+
+TEST(FailureInjection, FanFailureOverheatsTheCpu) {
+  MachineRoom room(faulty_room());
+  room.set_uniform_utilization(0.9);
+  room.settle();
+  const double healthy = room.true_cpu_temp_c(2);
+  room.set_fan_failed(2, true);
+  room.settle();
+  const double failed = room.true_cpu_temp_c(2);
+  // Passive draft moves ~10x less air: the CPU runs dramatically hotter —
+  // far beyond anything the fitted linear model would predict.
+  EXPECT_GT(failed, healthy + 15.0);
+  // Repairing the fan restores the healthy operating point.
+  room.set_fan_failed(2, false);
+  room.settle();
+  EXPECT_NEAR(room.true_cpu_temp_c(2), healthy, 1e-6);
+}
+
+TEST(FailureInjection, FanFailurePreservesEnergyConservation) {
+  MachineRoom room(faulty_room());
+  room.set_uniform_utilization(0.7);
+  room.set_fan_failed(0, true);
+  room.set_fan_failed(3, true);
+  room.settle();
+  EXPECT_NEAR(room.heat_balance_residual_w(), 0.0, 1e-5);
+}
+
+TEST(FailureInjection, SpikesBiasThePlainPowerFit) {
+  // With 2% +-300 W glitches, the LPF-only pipeline degrades noticeably.
+  RoomConfig cfg = faulty_room();
+  cfg.power_meter_spike_prob = 0.02;
+  MachineRoom room(cfg);
+  profiling::PowerProfilerOptions o;
+  o.dwell_s = 120.0;
+  o.idle_gap_s = 10.0;
+  o.load_levels = {0.0, 0.5, 1.0};
+  const auto plain = profiling::profile_power(room, o);
+  EXPECT_GT(plain.rmse_w, 2.0);  // visibly corrupted
+}
+
+TEST(FailureInjection, MedianWindowRestoresTheFit) {
+  RoomConfig cfg = faulty_room();
+  cfg.power_meter_spike_prob = 0.02;
+  profiling::PowerProfilerOptions o;
+  o.dwell_s = 120.0;
+  o.idle_gap_s = 10.0;
+  o.load_levels = {0.0, 0.5, 1.0};
+
+  MachineRoom plain_room(cfg);
+  const auto plain = profiling::profile_power(plain_room, o);
+
+  o.median_window = 5;
+  MachineRoom robust_room(cfg);
+  const auto robust = profiling::profile_power(robust_room, o);
+
+  EXPECT_LT(robust.rmse_w, plain.rmse_w * 0.5);
+  const double true_w1 = cfg.server.peak_delta_w / cfg.server.capacity_files_s;
+  EXPECT_NEAR(robust.model.w1, true_w1, true_w1 * 0.08);
+  EXPECT_NEAR(robust.model.w2, cfg.server.idle_power_w,
+              cfg.server.idle_power_w * 0.06);
+}
+
+TEST(FailureInjection, DefaultsAreFaultFree) {
+  const RoomConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.power_meter_spike_prob, 0.0);
+  EXPECT_DOUBLE_EQ(cfg.temp_sensor_stuck_prob, 0.0);
+  MachineRoom room(faulty_room());
+  EXPECT_FALSE(room.server(0).fan_failed());
+}
+
+}  // namespace
+}  // namespace coolopt::sim

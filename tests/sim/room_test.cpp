@@ -1,0 +1,211 @@
+#include "sim/room.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace coolopt::sim {
+namespace {
+
+RoomConfig small_room(size_t n = 6) {
+  RoomConfig cfg;
+  cfg.num_servers = n;
+  cfg.seed = 7;
+  return cfg;
+}
+
+RoomConfig noiseless_room(size_t n = 6) {
+  RoomConfig cfg = small_room(n);
+  cfg.unit_jitter = 0.0;
+  cfg.airflow_jitter = 0.0;
+  cfg.exchange_jitter = 0.0;
+  cfg.power_meter_noise_w = 0.0;
+  cfg.power_meter_quantum_w = 0.0;
+  cfg.temp_sensor_noise_c = 0.0;
+  cfg.temp_sensor_quantum_c = 0.0;
+  return cfg;
+}
+
+TEST(MachineRoom, HeatBalanceClosesAtSteadyState) {
+  MachineRoom room(small_room());
+  room.set_uniform_utilization(0.6);
+  room.settle();
+  // Heat produced == heat removed by CRAC + walls (energy conservation).
+  EXPECT_NEAR(room.heat_balance_residual_w(), 0.0, 1e-6);
+}
+
+TEST(MachineRoom, HeatBalanceClosesAcrossOperatingPoints) {
+  MachineRoom room(small_room());
+  for (const double u : {0.0, 0.3, 1.0}) {
+    for (const double sp : {20.0, 26.0, 31.0}) {
+      room.set_uniform_utilization(u);
+      room.set_setpoint_c(sp);
+      room.settle();
+      EXPECT_NEAR(room.heat_balance_residual_w(), 0.0, 1e-6)
+          << "u=" << u << " sp=" << sp;
+    }
+  }
+}
+
+TEST(MachineRoom, SteadyStateFollowsEq5Form) {
+  // With the true per-server parameters, T_cpu - T_in must equal
+  // beta_true * P with beta = 1/(F c) + cpu_fraction/theta (the Eq. 5
+  // closed form generalized for the heat split).
+  MachineRoom room(noiseless_room());
+  room.set_uniform_utilization(0.8);
+  room.settle();
+  for (size_t i = 0; i < room.size(); ++i) {
+    const ServerTruth& t = room.server(i).truth();
+    const double p = room.server(i).power_draw_w();
+    const double beta =
+        1.0 / (t.fan_flow_m3s * room.config().crac.c_air) +
+        t.cpu_heat_fraction / t.cpu_box_exchange;
+    const double predicted = room.true_inlet_temp_c(i) + beta * p;
+    EXPECT_NEAR(room.true_cpu_temp_c(i), predicted, 1e-6) << "server " << i;
+  }
+}
+
+TEST(MachineRoom, ControllerHoldsReturnAtSetPoint) {
+  MachineRoom room(small_room());
+  room.set_uniform_utilization(0.9);
+  room.set_setpoint_c(25.0);
+  room.settle();
+  EXPECT_NEAR(room.return_temp_c(), 25.0, 1e-6);
+}
+
+TEST(MachineRoom, CoilOffWhenRoomNaturallyCold) {
+  MachineRoom room(small_room());
+  room.set_uniform_utilization(0.0);
+  room.set_setpoint_c(35.0);  // warmer than the room can get
+  room.settle();
+  EXPECT_DOUBLE_EQ(room.crac().cooling_rate_w(), 0.0);
+  EXPECT_LT(room.return_temp_c(), 35.0);
+  EXPECT_NEAR(room.crac_power_w(), room.config().crac.fan_power_w, 1e-9);
+}
+
+TEST(MachineRoom, TransientConvergesToSettle) {
+  MachineRoom room1(small_room());
+  MachineRoom room2(small_room());
+  for (MachineRoom* r : {&room1, &room2}) {
+    r->set_uniform_utilization(0.5);
+    r->set_setpoint_c(24.0);
+  }
+  room1.settle();
+  room2.run(6000.0, 0.5);
+  EXPECT_NEAR(room2.return_temp_c(), room1.return_temp_c(), 0.05);
+  for (size_t i = 0; i < room1.size(); ++i) {
+    EXPECT_NEAR(room2.true_cpu_temp_c(i), room1.true_cpu_temp_c(i), 0.1);
+  }
+}
+
+TEST(MachineRoom, HigherSlotsRunHotterInlets) {
+  RoomConfig cfg = noiseless_room(8);
+  MachineRoom room(cfg);
+  room.set_uniform_utilization(0.9);
+  room.settle();
+  // Recirculation grows with the slot, so inlet temps must be monotone.
+  for (size_t i = 1; i < room.size(); ++i) {
+    EXPECT_GT(room.true_inlet_temp_c(i), room.true_inlet_temp_c(i - 1) - 1e-9);
+  }
+  EXPECT_GT(room.true_inlet_temp_c(7) - room.true_inlet_temp_c(0), 0.5);
+}
+
+TEST(MachineRoom, DiversityScaleZeroCollapsesSpread) {
+  RoomConfig cfg = noiseless_room(8);
+  cfg.diversity_scale = 0.0;
+  MachineRoom room(cfg);
+  room.set_uniform_utilization(0.9);
+  room.settle();
+  EXPECT_NEAR(room.true_inlet_temp_c(7), room.true_inlet_temp_c(0), 1e-9);
+}
+
+TEST(MachineRoom, WarmerSetPointDrawsLessCracPower) {
+  MachineRoom room(small_room());
+  room.set_uniform_utilization(0.8);
+  room.set_setpoint_c(22.0);
+  room.settle();
+  const double cold = room.crac_power_w();
+  room.set_setpoint_c(27.0);
+  room.settle();
+  EXPECT_LT(room.crac_power_w(), cold);
+}
+
+TEST(MachineRoom, PowerAccounting) {
+  MachineRoom room(small_room());
+  room.set_uniform_utilization(0.4);
+  room.settle();
+  double sum = 0.0;
+  for (size_t i = 0; i < room.size(); ++i) sum += room.server_power_w(i);
+  EXPECT_NEAR(room.it_power_w(), sum, 1e-9);
+  EXPECT_NEAR(room.total_power_w(), sum + room.crac_power_w(), 1e-9);
+}
+
+TEST(MachineRoom, EnergyIntegrationMatchesPowerTimesTime) {
+  MachineRoom room(small_room());
+  room.set_uniform_utilization(0.5);
+  room.settle();  // start at steady state so power is constant
+  room.reset_energy();
+  const double it = room.it_power_w();
+  room.run(100.0, 0.5);
+  EXPECT_NEAR(room.it_energy_j(), it * 100.0, it * 100.0 * 0.01);
+  EXPECT_GT(room.cooling_energy_j(), 0.0);
+  EXPECT_NEAR(room.total_energy_j(),
+              room.it_energy_j() + room.cooling_energy_j(), 1e-9);
+}
+
+TEST(MachineRoom, SwitchingServersOffRemovesTheirHeat) {
+  MachineRoom room(small_room());
+  room.set_uniform_utilization(1.0);
+  room.settle();
+  const double all_on = room.it_power_w();
+  room.set_power_state(0, false);
+  room.set_power_state(1, false);
+  room.settle();
+  EXPECT_LT(room.it_power_w(), all_on - 2.0 * 90.0);
+  EXPECT_NEAR(room.heat_balance_residual_w(), 0.0, 1e-6);
+}
+
+TEST(MachineRoom, OffServerCoolsToAmbientNeighborhood) {
+  MachineRoom room(small_room());
+  room.set_uniform_utilization(1.0);
+  room.set_power_state(2, false);
+  room.settle();
+  // An off machine has no heat input: its CPU sits at its box temperature,
+  // well below the loaded machines.
+  EXPECT_LT(room.true_cpu_temp_c(2), room.true_cpu_temp_c(3) - 5.0);
+}
+
+TEST(MachineRoom, ThroughputSumsLoadedServers) {
+  MachineRoom room(small_room());
+  room.set_all_power(true);
+  room.set_load_files_s(0, 10.0);
+  room.set_load_files_s(1, 15.5);
+  EXPECT_NEAR(room.throughput_files_s(), 25.5, 1e-9);
+  room.set_power_state(1, false);
+  EXPECT_NEAR(room.throughput_files_s(), 10.0, 1e-9);
+}
+
+TEST(MachineRoom, DeterministicForSameSeed) {
+  MachineRoom a(small_room());
+  MachineRoom b(small_room());
+  a.set_uniform_utilization(0.5);
+  b.set_uniform_utilization(0.5);
+  a.settle();
+  b.settle();
+  EXPECT_DOUBLE_EQ(a.true_cpu_temp_c(3), b.true_cpu_temp_c(3));
+  EXPECT_DOUBLE_EQ(a.read_cpu_temp_c(3), b.read_cpu_temp_c(3));
+}
+
+TEST(MachineRoom, InvalidConfigAndArgsThrow) {
+  RoomConfig cfg;
+  cfg.num_servers = 0;
+  EXPECT_THROW(MachineRoom{cfg}, std::invalid_argument);
+  MachineRoom room(small_room());
+  EXPECT_THROW(room.step(0.0), std::invalid_argument);
+  EXPECT_THROW(room.run(10.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(room.set_utilization(99, 0.5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace coolopt::sim

@@ -1,0 +1,52 @@
+#include "sim/sensors.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace coolopt::sim {
+namespace {
+
+TEST(Sensors, NoiselessUnquantizedIsIdentity) {
+  NoisySensor s(util::Rng(1), 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.read(42.37), 42.37);
+}
+
+TEST(Sensors, QuantizationRoundsToGrid) {
+  NoisySensor s(util::Rng(1), 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(s.read(42.2), 42.0);
+  EXPECT_DOUBLE_EQ(s.read(42.3), 42.5);
+  EXPECT_DOUBLE_EQ(s.read(-1.2), -1.0);
+}
+
+TEST(Sensors, NoiseHasConfiguredSpread) {
+  NoisySensor s(util::Rng(5), 0.4, 0.0);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(s.read(10.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 0.4, 0.02);
+}
+
+TEST(Sensors, TempSensorQuantizesToIntegerDegrees) {
+  TempSensor t(util::Rng(2), 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(t.read_celsius(41.4), 41.0);
+  EXPECT_DOUBLE_EQ(t.read_celsius(41.6), 42.0);
+}
+
+TEST(Sensors, PowerMeterTracksUnbiased) {
+  PowerMeter m(util::Rng(3), 0.35, 0.1);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(m.read_watts(63.0));
+  EXPECT_NEAR(stats.mean(), 63.0, 0.03);
+}
+
+TEST(Sensors, DifferentSeedsGiveDifferentStreams) {
+  TempSensor a(util::Rng(1), 0.5, 0.0);
+  TempSensor b(util::Rng(2), 0.5, 0.0);
+  EXPECT_NE(a.read_celsius(30.0), b.read_celsius(30.0));
+}
+
+}  // namespace
+}  // namespace coolopt::sim

@@ -1,0 +1,100 @@
+#include "sim/server.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace coolopt::sim {
+namespace {
+
+ServerSim make_server(double jitter = 0.0) {
+  ServerConfig cfg;
+  return ServerSim(0, cfg, jitter, jitter, jitter, util::Rng(1));
+}
+
+TEST(ServerSim, IdleAndPeakPower) {
+  ServerSim s = make_server();
+  s.set_utilization(0.0);
+  EXPECT_DOUBLE_EQ(s.power_draw_w(), 36.0);
+  s.set_utilization(1.0);
+  // At u=1 the nonlinear term vanishes: exactly idle + delta.
+  EXPECT_DOUBLE_EQ(s.power_draw_w(), 95.0);
+}
+
+TEST(ServerSim, MidLoadPowerIsSlightlyAboveLinear) {
+  ServerSim s = make_server();
+  s.set_utilization(0.5);
+  const double linear = 36.0 + 0.5 * 59.0;
+  EXPECT_GT(s.power_draw_w(), linear);
+  EXPECT_LT(s.power_draw_w(), linear + 0.06 * 0.25 * 59.0 + 1e-9);
+}
+
+TEST(ServerSim, OffDrawsStandbyAndSheds) {
+  ServerSim s = make_server();
+  s.set_utilization(0.7);
+  s.set_on(false);
+  EXPECT_DOUBLE_EQ(s.power_draw_w(), 0.0);
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);
+  // Setting utilization while off is ignored.
+  s.set_utilization(0.5);
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);
+}
+
+TEST(ServerSim, FanStopsWhenOff) {
+  ServerSim s = make_server();
+  const double on_flow = s.airflow_m3s();
+  s.set_on(false);
+  EXPECT_LT(s.airflow_m3s(), on_flow);
+  EXPECT_DOUBLE_EQ(s.airflow_m3s(), s.truth().off_flow_m3s);
+}
+
+TEST(ServerSim, LoadInFilesPerSecond) {
+  ServerSim s = make_server();
+  s.set_load_files_s(20.0);
+  EXPECT_NEAR(s.utilization(), 20.0 / s.truth().capacity_files_s, 1e-12);
+  EXPECT_NEAR(s.load_files_s(), 20.0, 1e-12);
+}
+
+TEST(ServerSim, LoadClampsAtCapacity) {
+  ServerSim s = make_server();
+  s.set_load_files_s(1e6);
+  EXPECT_DOUBLE_EQ(s.utilization(), 1.0);
+}
+
+TEST(ServerSim, InvalidInputsThrow) {
+  ServerSim s = make_server();
+  EXPECT_THROW(s.set_utilization(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.set_utilization(1.1), std::invalid_argument);
+  EXPECT_THROW(s.set_load_files_s(-1.0), std::invalid_argument);
+}
+
+TEST(ServerSim, JitterIsDeterministicPerSeed) {
+  ServerConfig cfg;
+  ServerSim a(3, cfg, 0.05, 0.1, 0.1, util::Rng(42));
+  ServerSim b(3, cfg, 0.05, 0.1, 0.1, util::Rng(42));
+  EXPECT_DOUBLE_EQ(a.truth().idle_power_w, b.truth().idle_power_w);
+  EXPECT_DOUBLE_EQ(a.truth().fan_flow_m3s, b.truth().fan_flow_m3s);
+}
+
+TEST(ServerSim, JitterStaysWithinThreeSigma) {
+  ServerConfig cfg;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    ServerSim s(0, cfg, 0.02, 0.2, 0.15, util::Rng(seed));
+    EXPECT_GT(s.truth().fan_flow_m3s, cfg.fan_flow_m3s * (1.0 - 3.0 * 0.2) - 1e-12);
+    EXPECT_LT(s.truth().fan_flow_m3s, cfg.fan_flow_m3s * (1.0 + 3.0 * 0.2) + 1e-12);
+    EXPECT_GT(s.truth().idle_power_w, 0.0);
+    EXPECT_GT(s.truth().cpu_box_exchange, 0.0);
+  }
+}
+
+TEST(ServerSim, ZeroJitterReproducesConfig) {
+  ServerSim s = make_server(0.0);
+  EXPECT_DOUBLE_EQ(s.truth().idle_power_w, 36.0);
+  EXPECT_DOUBLE_EQ(s.truth().capacity_files_s, 40.0);
+  EXPECT_DOUBLE_EQ(s.truth().cpu_box_exchange, 4.0);
+}
+
+}  // namespace
+}  // namespace coolopt::sim

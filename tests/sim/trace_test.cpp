@@ -1,0 +1,57 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace coolopt::sim {
+namespace {
+
+TEST(TraceRecorder, RecordAndReadBack) {
+  TraceRecorder trace({"a", "b"});
+  const double row1[2] = {1.0, 2.0};
+  const double row2[2] = {3.0, 4.0};
+  trace.record(0.0, row1);
+  trace.record(1.0, row2);
+  EXPECT_EQ(trace.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(trace.value(1, 0), 3.0);
+  const auto col = trace.column("b");
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[1], 4.0);
+}
+
+TEST(TraceRecorder, UnknownChannelThrows) {
+  TraceRecorder trace({"a"});
+  EXPECT_THROW(trace.column("nope"), std::out_of_range);
+  EXPECT_THROW(trace.value(0, 0), std::out_of_range);  // empty
+}
+
+TEST(TraceRecorder, WrongWidthThrows) {
+  TraceRecorder trace({"a", "b"});
+  const double row[1] = {1.0};
+  EXPECT_THROW(trace.record(0.0, row), std::invalid_argument);
+}
+
+TEST(TraceRecorder, EmptySchemaThrows) {
+  EXPECT_THROW(TraceRecorder({}), std::invalid_argument);
+}
+
+TEST(TraceRecorder, CsvRoundTrip) {
+  TraceRecorder trace({"x", "y"});
+  const double row[2] = {1.5, -2.25};
+  trace.record(10.0, row);
+  const std::string path = testing::TempDir() + "/coolopt_trace_test.csv";
+  trace.write_csv(path);
+  const util::CsvTable table = util::load_csv(path);
+  ASSERT_EQ(table.columns.size(), 3u);
+  EXPECT_EQ(table.columns[0], "time_s");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "1.5");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace coolopt::sim

@@ -1,0 +1,132 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/room.h"
+
+namespace coolopt::sim {
+namespace {
+
+RoomConfig small_room() {
+  RoomConfig cfg;
+  cfg.num_servers = 4;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Workload, ClusterCapacitySums) {
+  MachineRoom room(small_room());
+  const double all = cluster_capacity_files_s(room);
+  EXPECT_NEAR(all, 4 * 40.0, 4 * 40.0 * 0.1);
+  room.set_power_state(0, false);
+  const double on_only = cluster_capacity_files_s(room, /*only_on=*/true);
+  EXPECT_LT(on_only, all);
+  EXPECT_NEAR(all - on_only, room.server(0).truth().capacity_files_s, 1e-9);
+}
+
+TEST(Workload, ApplyAllocationProgramsRoomLoads) {
+  MachineRoom room(small_room());
+  WorkloadDriver driver(room, 50.0, util::Rng(1));
+  driver.apply_allocation({10.0, 20.0, 0.0, 5.0});
+  EXPECT_NEAR(room.server(0).load_files_s(), 10.0, 1e-9);
+  EXPECT_NEAR(room.server(1).load_files_s(), 20.0, 1e-9);
+  EXPECT_NEAR(room.throughput_files_s(), 35.0, 1e-9);
+}
+
+TEST(Workload, RejectsBadAllocations) {
+  MachineRoom room(small_room());
+  WorkloadDriver driver(room, 50.0, util::Rng(1));
+  EXPECT_THROW(driver.apply_allocation({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(driver.apply_allocation({-1.0, 0.0, 0.0, 0.0}), std::invalid_argument);
+  room.set_power_state(2, false);
+  EXPECT_THROW(driver.apply_allocation({0.0, 0.0, 5.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Workload, ThroughputMatchesDemandWhenProvisioned) {
+  MachineRoom room(small_room());
+  const double demand = 60.0;
+  WorkloadDriver driver(room, demand, util::Rng(11));
+  driver.apply_allocation({20.0, 20.0, 20.0, 20.0});  // 33% headroom
+  for (int i = 0; i < 3000; ++i) driver.step(1.0);
+  EXPECT_NEAR(driver.stats().throughput_files_s(), demand, demand * 0.03);
+  EXPECT_LT(driver.stats().backlog, 200.0);
+}
+
+TEST(Workload, UnderProvisionedBacklogGrows) {
+  MachineRoom room(small_room());
+  WorkloadDriver driver(room, 80.0, util::Rng(13));
+  driver.apply_allocation({10.0, 10.0, 10.0, 10.0});  // half the demand
+  for (int i = 0; i < 1000; ++i) driver.step(1.0);
+  EXPECT_GT(driver.stats().backlog, 1000.0);
+  EXPECT_LT(driver.stats().throughput_files_s(), 45.0);
+}
+
+TEST(Workload, ZeroDemandProducesNothing) {
+  MachineRoom room(small_room());
+  WorkloadDriver driver(room, 0.0, util::Rng(17));
+  driver.apply_allocation({10.0, 0.0, 0.0, 0.0});
+  for (int i = 0; i < 100; ++i) driver.step(1.0);
+  EXPECT_DOUBLE_EQ(driver.stats().arrived, 0.0);
+  EXPECT_DOUBLE_EQ(driver.stats().completed, 0.0);
+}
+
+TEST(Workload, ResetStatsClears) {
+  MachineRoom room(small_room());
+  WorkloadDriver driver(room, 40.0, util::Rng(19));
+  driver.apply_allocation({20.0, 20.0, 0.0, 0.0});
+  for (int i = 0; i < 50; ++i) driver.step(1.0);
+  driver.reset_stats();
+  EXPECT_DOUBLE_EQ(driver.stats().arrived, 0.0);
+  EXPECT_DOUBLE_EQ(driver.stats().elapsed_s, 0.0);
+}
+
+TEST(Workload, InvalidArgsThrow) {
+  MachineRoom room(small_room());
+  EXPECT_THROW(WorkloadDriver(room, -1.0, util::Rng(1)), std::invalid_argument);
+  WorkloadDriver driver(room, 10.0, util::Rng(1));
+  EXPECT_THROW(driver.step(0.0), std::invalid_argument);
+  EXPECT_THROW(driver.set_demand_files_s(-2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coolopt::sim
+
+namespace coolopt::sim {
+namespace {
+
+TEST(Workload, SojournSmallWhenProvisioned) {
+  RoomConfig cfg;
+  cfg.num_servers = 4;
+  cfg.seed = 5;
+  MachineRoom room(cfg);
+  WorkloadDriver driver(room, 60.0, util::Rng(23));
+  driver.apply_allocation({20.0, 20.0, 20.0, 20.0});  // 33% headroom
+  for (int i = 0; i < 2000; ++i) driver.step(1.0);
+  // Plenty of service headroom: queues drain almost immediately.
+  EXPECT_LT(driver.stats().mean_sojourn_s(), 5.0);
+}
+
+TEST(Workload, SojournGrowsUnderOverload) {
+  RoomConfig cfg;
+  cfg.num_servers = 4;
+  cfg.seed = 5;
+  MachineRoom room(cfg);
+  WorkloadDriver driver(room, 60.0, util::Rng(29));
+  driver.apply_allocation({10.0, 10.0, 10.0, 10.0});  // 2/3 of demand
+  for (int i = 0; i < 1000; ++i) driver.step(1.0);
+  // Overloaded: the queue (and hence the wait) grows with the horizon.
+  EXPECT_GT(driver.stats().mean_sojourn_s(), 60.0);
+}
+
+TEST(Workload, SojournZeroBeforeAnyCompletion) {
+  RoomConfig cfg;
+  cfg.num_servers = 4;
+  MachineRoom room(cfg);
+  WorkloadDriver driver(room, 10.0, util::Rng(31));
+  EXPECT_DOUBLE_EQ(driver.stats().mean_sojourn_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace coolopt::sim

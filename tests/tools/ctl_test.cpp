@@ -1,0 +1,116 @@
+#include "tools/ctl_commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace coolopt::tools {
+namespace {
+
+struct CtlResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CtlResult run(std::vector<const char*> args) {
+  args.insert(args.begin(), "cooloptctl");
+  std::ostringstream out;
+  std::ostringstream err;
+  CtlResult r;
+  r.code = run_cooloptctl(static_cast<int>(args.size()), args.data(), out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+std::string temp_model_path() {
+  return testing::TempDir() + "/cooloptctl_test_model.csv";
+}
+
+TEST(Cooloptctl, NoArgsPrintsUsage) {
+  const CtlResult r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("Commands:"), std::string::npos);
+}
+
+TEST(Cooloptctl, HelpIsSuccessful) {
+  const CtlResult r = run({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("profile"), std::string::npos);
+}
+
+TEST(Cooloptctl, UnknownCommandFails) {
+  const CtlResult r = run({"defragment"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cooloptctl, ProfileThenPlanThenAuditPipeline) {
+  const std::string model = temp_model_path();
+  const CtlResult profile =
+      run({"profile", "--servers=6", "--seed=5", ("--out=" + model).c_str()});
+  ASSERT_EQ(profile.code, 0) << profile.err;
+  EXPECT_NE(profile.out.find("Model written"), std::string::npos);
+
+  const CtlResult plan = run(
+      {"plan", ("--model=" + model).c_str(), "--scenario=8", "--load-pct=50"});
+  ASSERT_EQ(plan.code, 0) << plan.err;
+  EXPECT_NE(plan.out.find("T_ac"), std::string::npos);
+  EXPECT_NE(plan.out.find("#8"), std::string::npos);
+
+  const CtlResult audit = run(
+      {"audit", ("--model=" + model).c_str(), "--scenario=8", "--load-pct=50"});
+  EXPECT_EQ(audit.code, 0) << audit.out << audit.err;
+  EXPECT_NE(audit.out.find("feasibility: OK"), std::string::npos);
+  EXPECT_NE(audit.out.find("local optimality: OK"), std::string::npos);
+
+  const CtlResult frontier =
+      run({"frontier", ("--model=" + model).c_str(), "--k=2,4",
+           "--budgets=300,600"});
+  EXPECT_EQ(frontier.code, 0) << frontier.err;
+  EXPECT_NE(frontier.out.find("k=2"), std::string::npos);
+
+  std::remove(model.c_str());
+}
+
+TEST(Cooloptctl, PlanWithMissingModelFails) {
+  const CtlResult r = run({"plan", "--model=/no/such/model.csv"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("cannot load model"), std::string::npos);
+}
+
+TEST(Cooloptctl, PlanWithBadScenarioFails) {
+  const std::string model = temp_model_path();
+  ASSERT_EQ(run({"profile", "--servers=4", ("--out=" + model).c_str()}).code, 0);
+  const CtlResult r =
+      run({"plan", ("--model=" + model).c_str(), "--scenario=11"});
+  EXPECT_EQ(r.code, 2);
+  std::remove(model.c_str());
+}
+
+TEST(Cooloptctl, SweepPrintsRequestedScenarios) {
+  const CtlResult r = run({"sweep", "--servers=6", "--seed=3", "--scenarios=7,8"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("#7"), std::string::npos);
+  EXPECT_NE(r.out.find("#8"), std::string::npos);
+  EXPECT_NE(r.out.find("100"), std::string::npos);
+}
+
+TEST(Cooloptctl, SweepRejectsBadScenarioList) {
+  const CtlResult r = run({"sweep", "--scenarios=7,x"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cooloptctl, CommandHelpWorks) {
+  for (const char* cmd : {"profile", "sweep", "frontier"}) {
+    const CtlResult r = run({cmd, "--help"});
+    EXPECT_EQ(r.code, 0) << cmd;
+    EXPECT_FALSE(r.out.empty()) << cmd;
+  }
+}
+
+}  // namespace
+}  // namespace coolopt::tools

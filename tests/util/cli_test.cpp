@@ -1,0 +1,95 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace coolopt::util {
+namespace {
+
+bool parse(CliFlags& flags, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  std::string error;
+  return flags.parse(static_cast<int>(argv.size()), argv.data(), error);
+}
+
+TEST(CliFlags, EqualsSyntax) {
+  CliFlags f;
+  f.define("load", "the load");
+  ASSERT_TRUE(parse(f, {"--load=42.5"}));
+  EXPECT_DOUBLE_EQ(f.get_double("load", 0.0), 42.5);
+}
+
+TEST(CliFlags, SpaceSyntax) {
+  CliFlags f;
+  f.define("name", "a name");
+  ASSERT_TRUE(parse(f, {"--name", "alice"}));
+  EXPECT_EQ(f.get_string("name", ""), "alice");
+}
+
+TEST(CliFlags, BooleanFlagWithoutValue) {
+  CliFlags f;
+  f.define("verbose", "talk a lot");
+  ASSERT_TRUE(parse(f, {"--verbose"}));
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(CliFlags, BoolSpellings) {
+  CliFlags f;
+  f.define("x", "");
+  ASSERT_TRUE(parse(f, {"--x=off"}));
+  EXPECT_FALSE(f.get_bool("x", true));
+  CliFlags g;
+  g.define("x", "");
+  ASSERT_TRUE(parse(g, {"--x=YES"}));
+  EXPECT_TRUE(g.get_bool("x", false));
+}
+
+TEST(CliFlags, UnknownFlagFails) {
+  CliFlags f;
+  std::vector<const char*> argv = {"prog", "--mystery=1"};
+  std::string error;
+  EXPECT_FALSE(f.parse(2, argv.data(), error));
+  EXPECT_NE(error.find("mystery"), std::string::npos);
+}
+
+TEST(CliFlags, DefaultsApply) {
+  CliFlags f;
+  f.define("n", "count", "7");
+  ASSERT_TRUE(parse(f, {}));
+  EXPECT_EQ(f.get_int("n", 0), 7);
+}
+
+TEST(CliFlags, FallbackWhenUnsetAndNoDefault) {
+  CliFlags f;
+  f.define("n", "count");
+  ASSERT_TRUE(parse(f, {}));
+  EXPECT_EQ(f.get_int("n", 13), 13);
+  EXPECT_FALSE(f.get("n").has_value());
+}
+
+TEST(CliFlags, MalformedNumberFallsBack) {
+  CliFlags f;
+  f.define("n", "count");
+  ASSERT_TRUE(parse(f, {"--n=abc"}));
+  EXPECT_EQ(f.get_int("n", 3), 3);
+  EXPECT_DOUBLE_EQ(f.get_double("n", 2.5), 2.5);
+}
+
+TEST(CliFlags, PositionalArguments) {
+  CliFlags f;
+  f.define("x", "");
+  ASSERT_TRUE(parse(f, {"first", "--x=1", "second"}));
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "first");
+  EXPECT_EQ(f.positional()[1], "second");
+}
+
+TEST(CliFlags, HelpRequested) {
+  CliFlags f;
+  f.define("x", "does x");
+  ASSERT_TRUE(parse(f, {"--help"}));
+  EXPECT_TRUE(f.help_requested());
+  EXPECT_NE(f.usage("prog").find("does x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coolopt::util

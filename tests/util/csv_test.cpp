@@ -1,0 +1,102 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace coolopt::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("he said \"hi\""), "\"he said \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  w.row({"1", "2"});
+  w.row_numeric({3.5, 4.25});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3.5,4.25\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriter, RejectsWrongWidth) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+TEST(ParseCsv, Basic) {
+  const CsvTable t = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(t.columns.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST(ParseCsv, QuotedFieldsRoundTrip) {
+  std::ostringstream os;
+  CsvWriter w(os, {"text"});
+  w.row({"a,b \"quoted\"\nnewline"});
+  const CsvTable t = parse_csv(os.str());
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "a,b \"quoted\"\nnewline");
+}
+
+TEST(ParseCsv, ToleratesCrlfAndMissingFinalNewline) {
+  const CsvTable t = parse_csv("a,b\r\n1,2");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(ParseCsv, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(ParseCsv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n"), std::runtime_error);
+}
+
+TEST(ParseCsv, EmptyInput) {
+  const CsvTable t = parse_csv("");
+  EXPECT_TRUE(t.columns.empty());
+  EXPECT_TRUE(t.rows.empty());
+}
+
+TEST(CsvTable, ColumnIndex) {
+  const CsvTable t = parse_csv("x,y,z\n1,2,3\n");
+  EXPECT_EQ(t.column_index("y"), 1);
+  EXPECT_EQ(t.column_index("missing"), -1);
+}
+
+TEST(LoadCsv, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/coolopt_csv_test.csv";
+  {
+    CsvWriter w(path, {"k", "v"});
+    w.row({"alpha", "1.5"});
+  }
+  const CsvTable t = load_csv(path);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "alpha");
+  std::remove(path.c_str());
+}
+
+TEST(LoadCsv, MissingFileThrows) {
+  EXPECT_THROW(load_csv("/no/such/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace coolopt::util

@@ -1,0 +1,107 @@
+#include "util/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace coolopt::util {
+namespace {
+
+TEST(LowPassFilter, FirstSamplePrimes) {
+  LowPassFilter f(0.1);
+  EXPECT_FALSE(f.primed());
+  EXPECT_DOUBLE_EQ(f.update(5.0), 5.0);
+  EXPECT_TRUE(f.primed());
+}
+
+TEST(LowPassFilter, AlphaOnePassesThrough) {
+  LowPassFilter f(1.0);
+  f.update(1.0);
+  EXPECT_DOUBLE_EQ(f.update(7.0), 7.0);
+}
+
+TEST(LowPassFilter, ConvergesToConstantInput) {
+  LowPassFilter f(0.2);
+  f.update(0.0);
+  double y = 0.0;
+  for (int i = 0; i < 200; ++i) y = f.update(10.0);
+  EXPECT_NEAR(y, 10.0, 1e-6);
+}
+
+TEST(LowPassFilter, SmoothsSteps) {
+  LowPassFilter f(0.5);
+  f.update(0.0);
+  const double y = f.update(10.0);
+  EXPECT_DOUBLE_EQ(y, 5.0);
+}
+
+TEST(LowPassFilter, RejectsBadAlpha) {
+  EXPECT_THROW(LowPassFilter(0.0), std::invalid_argument);
+  EXPECT_THROW(LowPassFilter(-0.1), std::invalid_argument);
+  EXPECT_THROW(LowPassFilter(1.5), std::invalid_argument);
+}
+
+TEST(LowPassFilter, FromTimeConstant) {
+  const auto f = LowPassFilter::from_time_constant(9.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.alpha(), 0.1);
+  EXPECT_THROW(LowPassFilter::from_time_constant(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LowPassFilter::from_time_constant(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(LowPassFilter, Reset) {
+  LowPassFilter f(0.5);
+  f.update(10.0);
+  f.reset();
+  EXPECT_FALSE(f.primed());
+  EXPECT_DOUBLE_EQ(f.update(2.0), 2.0);
+}
+
+TEST(MovingAverage, WindowedMean) {
+  MovingAverage m(3);
+  EXPECT_DOUBLE_EQ(m.update(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(m.update(6.0), 4.5);
+  EXPECT_DOUBLE_EQ(m.update(9.0), 6.0);
+  EXPECT_DOUBLE_EQ(m.update(12.0), 9.0);  // 3 dropped
+}
+
+TEST(MovingAverage, RejectsZeroWindow) {
+  EXPECT_THROW(MovingAverage(0), std::invalid_argument);
+}
+
+TEST(MovingAverage, EmptyValueIsZero) {
+  MovingAverage m(4);
+  EXPECT_DOUBLE_EQ(m.value(), 0.0);
+}
+
+TEST(MedianFilter, RejectsSpikes) {
+  MedianFilter m(3);
+  m.update(10.0);
+  m.update(10.0);
+  EXPECT_DOUBLE_EQ(m.update(1000.0), 10.0);  // spike suppressed
+}
+
+TEST(MedianFilter, EvenWindowAveragesMiddle) {
+  MedianFilter m(4);
+  m.update(1.0);
+  m.update(2.0);
+  m.update(3.0);
+  EXPECT_DOUBLE_EQ(m.update(4.0), 2.5);
+}
+
+TEST(MedianFilter, RejectsZeroWindow) {
+  EXPECT_THROW(MedianFilter(0), std::invalid_argument);
+}
+
+TEST(LowPassOffline, MatchesIncremental) {
+  const std::vector<double> xs = {1.0, 5.0, 3.0, 8.0};
+  const auto smoothed = low_pass(xs, 0.3);
+  LowPassFilter f(0.3);
+  ASSERT_EQ(smoothed.size(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(smoothed[i], f.update(xs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace coolopt::util

@@ -1,0 +1,195 @@
+#include "util/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace coolopt::util {
+namespace {
+
+TEST(Matrix, IdentityAndAt) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id.at(0, 1), 0.0);
+  EXPECT_EQ(id.rows(), 3u);
+  EXPECT_EQ(id.cols(), 3u);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m.at(0, 1) = 5.0;
+  m.at(1, 2) = -2.0;
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), -2.0);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  const Matrix sq = a.multiply(a);
+  EXPECT_DOUBLE_EQ(sq.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(sq.at(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(sq.at(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(sq.at(1, 1), 22.0);
+}
+
+TEST(Matrix, MultiplyByIdentity) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 3;
+  a.at(1, 1) = -7;
+  const Matrix out = a.multiply(Matrix::identity(2));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), -7.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+  EXPECT_THROW(a.multiply(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Matrix, VectorMultiply) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  const std::vector<double> v = {1.0, -1.0};
+  const auto out = a.multiply(v);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(SolveLinearSystem, Known2x2) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const auto x = solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  const auto x = solve_linear_system(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(SolveLinearSystem, ShapeChecks) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SolveLinearSystem, RandomRoundTrip) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 5;
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (size_t r = 0; r < n; ++r) {
+      x_true[r] = rng.uniform(-10, 10);
+      for (size_t c = 0; c < n; ++c) a.at(r, c) = rng.uniform(-1, 1);
+      a.at(r, r) += 5.0;  // well conditioned
+    }
+    const auto b = a.multiply(x_true);
+    const auto x = solve_linear_system(a, b);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(LeastSquares, ExactRecoveryNoiseFree) {
+  // y = 2*x1 - 3*x2 + 7
+  Rng rng(9);
+  Matrix design(30, 3);
+  std::vector<double> y(30);
+  for (size_t r = 0; r < 30; ++r) {
+    const double x1 = rng.uniform(0, 10);
+    const double x2 = rng.uniform(0, 10);
+    design.at(r, 0) = x1;
+    design.at(r, 1) = x2;
+    design.at(r, 2) = 1.0;
+    y[r] = 2.0 * x1 - 3.0 * x2 + 7.0;
+  }
+  const auto fit = least_squares(design, y);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], -3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], 7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+}
+
+TEST(LeastSquares, NoisyRecoveryWithinTolerance) {
+  Rng rng(10);
+  Matrix design(500, 2);
+  std::vector<double> y(500);
+  for (size_t r = 0; r < 500; ++r) {
+    const double x = rng.uniform(0, 100);
+    design.at(r, 0) = x;
+    design.at(r, 1) = 1.0;
+    y[r] = 1.5 * x + 36.0 + rng.normal(0.0, 1.0);
+  }
+  const auto fit = least_squares(design, y);
+  EXPECT_NEAR(fit.coefficients[0], 1.5, 0.01);
+  EXPECT_NEAR(fit.coefficients[1], 36.0, 0.5);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  Matrix design(2, 3);
+  EXPECT_THROW(least_squares(design, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LeastSquares, CollinearRegressorsThrow) {
+  Matrix design(4, 2);
+  std::vector<double> y(4);
+  for (size_t r = 0; r < 4; ++r) {
+    design.at(r, 0) = static_cast<double>(r);
+    design.at(r, 1) = 2.0 * static_cast<double>(r);  // perfectly collinear
+    y[r] = static_cast<double>(r);
+  }
+  EXPECT_THROW(least_squares(design, y), std::runtime_error);
+}
+
+TEST(FitLine, SlopeAndIntercept) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-12);
+  EXPECT_NEAR(fit.coefficients[1], 1.0, 1e-12);
+}
+
+TEST(FitLine, SizeMismatchThrows) {
+  EXPECT_THROW(fit_line(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coolopt::util

@@ -1,0 +1,59 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace coolopt::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Log, ParseLevelNames) {
+  LogLevel out = LogLevel::kOff;
+  EXPECT_TRUE(parse_log_level("debug", out));
+  EXPECT_EQ(out, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("INFO", out));
+  EXPECT_EQ(out, LogLevel::kInfo);
+  EXPECT_TRUE(parse_log_level("Warn", out));
+  EXPECT_EQ(out, LogLevel::kWarn);
+  EXPECT_TRUE(parse_log_level("error", out));
+  EXPECT_EQ(out, LogLevel::kError);
+  EXPECT_TRUE(parse_log_level("off", out));
+  EXPECT_EQ(out, LogLevel::kOff);
+}
+
+TEST(Log, ParseRejectsJunk) {
+  LogLevel out = LogLevel::kInfo;
+  EXPECT_FALSE(parse_log_level("loud", out));
+  EXPECT_FALSE(parse_log_level("", out));
+  EXPECT_EQ(out, LogLevel::kInfo);  // untouched
+}
+
+TEST(Log, SuppressedLevelsDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // All of these format varargs; with the gate closed they must be no-ops.
+  log_debug("d %d", 1);
+  log_info("i %s", "x");
+  log_warn("w %.1f", 2.0);
+  log_error("e");
+  set_log_level(LogLevel::kDebug);
+  log_debug("now visible %d", 42);  // exercises the sink path
+}
+
+}  // namespace
+}  // namespace coolopt::util

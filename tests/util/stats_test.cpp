@@ -1,0 +1,159 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace coolopt::util {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesPooled) {
+  RunningStats a, b, pooled;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    pooled.add(i);
+  }
+  for (int i = 50; i < 70; ++i) {
+    b.add(i * 0.5);
+    pooled.add(i * 0.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), mean_before);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Mean, Basics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stddev, MatchesRunningStats) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 17.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200.0), 2.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> p = {1.0, 2.0, 5.0};
+  EXPECT_NEAR(rmse(a, p), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Mape, SkipsNearZeroActuals) {
+  const std::vector<double> a = {0.0, 10.0};
+  const std::vector<double> p = {5.0, 11.0};
+  // Only the second point counts: |1/10| = 10%.
+  EXPECT_NEAR(mape(a, p), 10.0, 1e-12);
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r_squared(a, a), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> p = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(a, p), 0.0, 1e-12);
+}
+
+TEST(RSquared, ConstantActuals) {
+  const std::vector<double> a = {2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(a, a), 1.0);
+  const std::vector<double> p = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(a, p), 0.0);
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(correlation(x, y), 0.0);
+}
+
+TEST(MaxAbsError, Basics) {
+  const std::vector<double> a = {1.0, 5.0};
+  const std::vector<double> p = {2.0, 3.5};
+  EXPECT_DOUBLE_EQ(max_abs_error(a, p), 1.5);
+  EXPECT_DOUBLE_EQ(max_abs_error(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace coolopt::util

@@ -1,0 +1,108 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace coolopt::util {
+namespace {
+
+TEST(Strf, FormatsBasicTypes) {
+  EXPECT_EQ(strf("x=%d", 42), "x=42");
+  EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strf("%s-%s", "a", "b"), "a-b");
+}
+
+TEST(Strf, EmptyFormat) { EXPECT_EQ(strf("%s", ""), ""); }
+
+TEST(Strf, LongOutputIsNotTruncated) {
+  const std::string big(5000, 'x');
+  EXPECT_EQ(strf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("coolopt", "cool"));
+  EXPECT_FALSE(starts_with("cool", "coolopt"));
+  EXPECT_TRUE(ends_with("coolopt", "opt"));
+  EXPECT_FALSE(ends_with("opt", "coolopt"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+}
+
+TEST(ParseDouble, ValidInputs) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.5", v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(parse_double("  -2e3 ", v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_TRUE(parse_double("0", v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ParseDouble, RejectsJunk) {
+  double v = 1.0;
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("1.5x", v));
+  EXPECT_DOUBLE_EQ(v, 1.0);  // untouched on failure
+}
+
+TEST(ParseInt, ValidInputs) {
+  int v = 0;
+  EXPECT_TRUE(parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int(" -7 ", v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(ParseInt, RejectsJunkAndOverflow) {
+  int v = 5;
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("1.5", v));
+  EXPECT_FALSE(parse_int("99999999999999999999", v));
+  EXPECT_EQ(v, 5);
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace coolopt::util

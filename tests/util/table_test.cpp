@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace coolopt::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "w"});
+  t.row({"a", "100"});
+  t.row({"longer", "2"});
+  const std::string out = t.render();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Every line (except possibly the last) ends with \n; rows align: the
+  // "100" under "w" starts at the same column in both rows.
+  const size_t line1 = out.find("a  ");
+  EXPECT_NE(line1, std::string::npos);
+}
+
+TEST(TextTable, RowNumericFormatting) {
+  TextTable t({"x"});
+  t.row_numeric({3.14159}, "%.1f");
+  EXPECT_NE(t.render().find("3.1"), std::string::npos);
+}
+
+TEST(TextTable, LabeledRow) {
+  TextTable t({"label", "v1", "v2"});
+  t.labeled_row("row", {1.0, 2.0});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.render().find("row"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.labeled_row("x", {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coolopt::util

@@ -1,0 +1,8 @@
+// cooloptctl — operator command line for the coolopt library.
+#include <iostream>
+
+#include "tools/ctl_commands.h"
+
+int main(int argc, char** argv) {
+  return coolopt::tools::run_cooloptctl(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,317 @@
+#include "tools/ctl_commands.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "control/harness.h"
+#include "core/consolidation.h"
+#include "core/verification.h"
+#include "profiling/profile_io.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace coolopt::tools {
+namespace {
+
+constexpr const char* kUsage =
+    "cooloptctl <command> [flags]\n"
+    "\n"
+    "Commands:\n"
+    "  profile   profile a simulated room and save the fitted model\n"
+    "  plan      compute an operating point from a saved model\n"
+    "  audit     plan + feasibility/local-optimality audit\n"
+    "  sweep     run scenarios across the load axis on a simulated room\n"
+    "  frontier  print the maxL power-budget capacity frontier\n"
+    "\n"
+    "Run `cooloptctl <command> --help` for the command's flags.\n";
+
+sim::RoomConfig room_from_flags(const util::CliFlags& flags) {
+  sim::RoomConfig cfg;
+  cfg.num_servers = static_cast<size_t>(flags.get_int("servers", 20));
+  cfg.num_racks = static_cast<size_t>(flags.get_int("racks", 1));
+  cfg.seed = static_cast<uint64_t>(flags.get_int("seed", 42));
+  return cfg;
+}
+
+int cmd_profile(util::CliFlags& flags, int argc, const char* const* argv,
+                std::ostream& out, std::ostream& err) {
+  flags.define("servers", "machines in the room", "20");
+  flags.define("racks", "racks in the room", "1");
+  flags.define("seed", "simulation seed", "42");
+  flags.define("out", "path for the fitted model CSV", "room_model.csv");
+  flags.define("full", "paper-length campaign instead of the fast preset", "false");
+  std::string error;
+  if (!flags.parse(argc, argv, error)) {
+    err << error << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    out << flags.usage("cooloptctl profile");
+    return 0;
+  }
+
+  sim::MachineRoom room(room_from_flags(flags));
+  const auto options = flags.get_bool("full", false)
+                           ? profiling::ProfilingOptions{}
+                           : profiling::ProfilingOptions::fast();
+  const auto profile = profiling::profile_room(room, options);
+  const std::string path = flags.get_string("out", "room_model.csv");
+  profiling::save_model(profile.model, path);
+  out << util::strf(
+      "Profiled %zu machines: power R^2 %.4f, cooler cfac %.1f W/K.\n",
+      room.size(), profile.power.r_squared, profile.model.cooler.cfac);
+  out << "Model written to " << path << "\n";
+  return 0;
+}
+
+/// Shared by plan/audit: parse model+scenario+load, produce the plan.
+struct PlanArgs {
+  core::RoomModel model;
+  core::Scenario scenario;
+  double load = 0.0;
+};
+
+int parse_plan_args(util::CliFlags& flags, int argc, const char* const* argv,
+                    const char* name, std::ostream& out, std::ostream& err,
+                    PlanArgs& parsed) {
+  flags.define("model", "path to a model CSV from `cooloptctl profile`",
+               "room_model.csv");
+  flags.define("scenario", "Fig. 4 scenario number (1-8)", "8");
+  flags.define("load-pct", "total load, percent of capacity", "50");
+  std::string error;
+  if (!flags.parse(argc, argv, error)) {
+    err << error << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    out << flags.usage(name);
+    return 1;  // handled, but no work
+  }
+  try {
+    parsed.model = profiling::load_model(flags.get_string("model", "room_model.csv"));
+  } catch (const std::exception& e) {
+    err << "cannot load model: " << e.what() << "\n";
+    return 2;
+  }
+  try {
+    parsed.scenario = core::Scenario::by_number(flags.get_int("scenario", 8));
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+  parsed.load =
+      parsed.model.total_capacity() * flags.get_double("load-pct", 50.0) / 100.0;
+  return 0;
+}
+
+void print_plan(const core::RoomModel& model, const core::Plan& plan,
+                std::ostream& out) {
+  util::TextTable table({"machine", "state", "load", "util %", "pred CPU (C)"});
+  for (size_t i = 0; i < model.size(); ++i) {
+    const bool on = plan.allocation.on[i];
+    table.row({util::strf("%zu", i), on ? "ON" : "off",
+               on ? util::strf("%.1f", plan.allocation.loads[i]) : "-",
+               on ? util::strf("%.0f", 100.0 * plan.allocation.loads[i] /
+                                           model.machines[i].capacity)
+                  : "-",
+               on ? util::strf("%.1f",
+                               core::predicted_cpu_temp(model, plan.allocation, i))
+                  : "-"});
+  }
+  out << table.render();
+  out << util::strf(
+      "T_ac %.2f C; predicted IT %.0f W + cooling %.0f W = %.0f W total\n",
+      plan.allocation.t_ac, plan.allocation.it_power_w,
+      plan.allocation.cooling_power_w, plan.allocation.total_power_w);
+}
+
+int cmd_plan(util::CliFlags& flags, int argc, const char* const* argv,
+             std::ostream& out, std::ostream& err) {
+  PlanArgs args{core::RoomModel{}, core::Scenario{}, 0.0};
+  const int rc = parse_plan_args(flags, argc, argv, "cooloptctl plan", out, err, args);
+  if (rc != 0) return rc == 1 ? 0 : rc;
+
+  const core::ScenarioPlanner planner(args.model);
+  const auto plan = planner.plan(args.scenario, args.load);
+  if (!plan) {
+    err << "no feasible operating point for " << args.scenario.name() << "\n";
+    return 1;
+  }
+  out << args.scenario.name() << " at " << util::strf("%.1f", args.load)
+      << " load units:\n";
+  print_plan(args.model, *plan, out);
+  return 0;
+}
+
+int cmd_audit(util::CliFlags& flags, int argc, const char* const* argv,
+              std::ostream& out, std::ostream& err) {
+  PlanArgs args{core::RoomModel{}, core::Scenario{}, 0.0};
+  const int rc =
+      parse_plan_args(flags, argc, argv, "cooloptctl audit", out, err, args);
+  if (rc != 0) return rc == 1 ? 0 : rc;
+
+  const core::ScenarioPlanner planner(args.model);
+  const auto plan = planner.plan(args.scenario, args.load);
+  if (!plan) {
+    err << "no feasible operating point\n";
+    return 1;
+  }
+  const auto issues =
+      core::audit_feasibility(args.model, plan->allocation, args.load);
+  if (issues.empty()) {
+    out << "feasibility: OK\n";
+  } else {
+    for (const auto& issue : issues) {
+      out << "feasibility: " << issue.describe() << "\n";
+    }
+  }
+  const auto audit = core::audit_local_optimality(args.model, plan->allocation);
+  if (audit.locally_optimal) {
+    out << "local optimality: OK (no improving perturbation found)\n";
+  } else {
+    out << util::strf("local optimality: IMPROVABLE by %.3f W via %s\n",
+                      audit.best_improvement_w, audit.best_move.c_str());
+  }
+  return issues.empty() && audit.locally_optimal ? 0 : 1;
+}
+
+int cmd_sweep(util::CliFlags& flags, int argc, const char* const* argv,
+              std::ostream& out, std::ostream& err) {
+  flags.define("servers", "machines in the room", "20");
+  flags.define("racks", "racks in the room", "1");
+  flags.define("seed", "simulation seed", "42");
+  flags.define("scenarios", "comma-separated Fig. 4 numbers", "1,7,8");
+  std::string error;
+  if (!flags.parse(argc, argv, error)) {
+    err << error << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    out << flags.usage("cooloptctl sweep");
+    return 0;
+  }
+  std::vector<core::Scenario> scenarios;
+  for (const std::string& tok :
+       util::split(flags.get_string("scenarios", "1,7,8"), ',')) {
+    int num = 0;
+    if (!util::parse_int(tok, num)) {
+      err << "bad scenario list entry: '" << tok << "'\n";
+      return 2;
+    }
+    try {
+      scenarios.push_back(core::Scenario::by_number(num));
+    } catch (const std::exception& e) {
+      err << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  control::HarnessOptions options;
+  options.room = room_from_flags(flags);
+  control::EvalHarness harness(options);
+  std::vector<std::string> columns{"load %"};
+  for (const auto& s : scenarios) columns.push_back(s.name());
+  util::TextTable table(columns);
+  for (const double pct : control::paper_load_axis()) {
+    std::vector<std::string> row{util::strf("%.0f", pct)};
+    for (const auto& s : scenarios) {
+      const auto point = harness.measure(s, pct);
+      row.push_back(point.feasible
+                        ? util::strf("%.0f", point.measurement.total_power_w)
+                        : std::string("infeasible"));
+    }
+    table.row(std::move(row));
+  }
+  out << "Measured total power (W):\n" << table.render();
+  return 0;
+}
+
+int cmd_frontier(util::CliFlags& flags, int argc, const char* const* argv,
+                 std::ostream& out, std::ostream& err) {
+  flags.define("model", "path to a model CSV", "room_model.csv");
+  flags.define("k", "comma-separated machine counts", "4,8,12,16,20");
+  flags.define("budgets", "comma-separated power budgets, W",
+               "400,700,1000,1400,1900,2500");
+  std::string error;
+  if (!flags.parse(argc, argv, error)) {
+    err << error << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    out << flags.usage("cooloptctl frontier");
+    return 0;
+  }
+  core::RoomModel model;
+  try {
+    model = profiling::load_model(flags.get_string("model", "room_model.csv"));
+  } catch (const std::exception& e) {
+    err << "cannot load model: " << e.what() << "\n";
+    return 2;
+  }
+  const core::EventConsolidator consolidator(model);
+
+  std::vector<size_t> ks;
+  for (const std::string& tok : util::split(flags.get_string("k", ""), ',')) {
+    int k = 0;
+    if (!util::parse_int(tok, k) || k <= 0 ||
+        static_cast<size_t>(k) > model.size()) {
+      err << "bad k: '" << tok << "'\n";
+      return 2;
+    }
+    ks.push_back(static_cast<size_t>(k));
+  }
+  std::vector<std::string> columns{"budget (W)"};
+  for (const size_t k : ks) columns.push_back(util::strf("k=%zu", k));
+  util::TextTable table(columns);
+  for (const std::string& tok : util::split(flags.get_string("budgets", ""), ',')) {
+    double budget = 0.0;
+    if (!util::parse_double(tok, budget)) {
+      err << "bad budget: '" << tok << "'\n";
+      return 2;
+    }
+    std::vector<std::string> row{util::strf("%.0f", budget)};
+    for (const size_t k : ks) {
+      const double l = consolidator.max_load_for_budget(budget, k);
+      row.push_back(l > 0.0 ? util::strf("%.0f", l) : std::string("-"));
+    }
+    table.row(std::move(row));
+  }
+  out << "Servable load (files/s) per budget and fleet size:\n" << table.render();
+  return 0;
+}
+
+}  // namespace
+
+int run_cooloptctl(int argc, const char* const* argv, std::ostream& out,
+                   std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  // Re-point argv so each command's CliFlags sees its own flags.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+
+  util::CliFlags flags;
+  try {
+    if (command == "profile") return cmd_profile(flags, sub_argc, sub_argv, out, err);
+    if (command == "plan") return cmd_plan(flags, sub_argc, sub_argv, out, err);
+    if (command == "audit") return cmd_audit(flags, sub_argc, sub_argv, out, err);
+    if (command == "sweep") return cmd_sweep(flags, sub_argc, sub_argv, out, err);
+    if (command == "frontier") return cmd_frontier(flags, sub_argc, sub_argv, out, err);
+  } catch (const std::exception& e) {
+    err << "cooloptctl " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+  if (command == "--help" || command == "help") {
+    out << kUsage;
+    return 0;
+  }
+  err << "unknown command '" << command << "'\n\n" << kUsage;
+  return 2;
+}
+
+}  // namespace coolopt::tools

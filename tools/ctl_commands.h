@@ -1,0 +1,21 @@
+// cooloptctl — the operator command-line tool, as a library so the
+// subcommands are unit-testable.
+//
+// Subcommands:
+//   profile   build/profile a simulated room and save the fitted model
+//   plan      compute an operating point from a saved model (pure model)
+//   audit     plan + feasibility/optimality audit report
+//   sweep     run scenarios across the load axis on a simulated room
+//   frontier  print the maxL power-budget capacity frontier of a model
+#pragma once
+
+#include <iosfwd>
+
+namespace coolopt::tools {
+
+/// Entry point (argv[0] is the program name). Writes human-readable output
+/// to `out` and diagnostics to `err`; returns a process exit code.
+int run_cooloptctl(int argc, const char* const* argv, std::ostream& out,
+                   std::ostream& err);
+
+}  // namespace coolopt::tools
