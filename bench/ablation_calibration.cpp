@@ -55,7 +55,8 @@ CalibResult run(bool operational) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Ablation: paper-literal vs operational cooler calibration\n\n");
 
   const CalibResult paper = run(/*operational=*/false);

@@ -14,7 +14,8 @@
 
 using namespace coolopt;
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Ablation: holistic advantage vs spatial diversity\n\n");
 
   const std::vector<double> scales = {0.0, 0.25, 0.5, 0.75, 1.0, 1.25};

@@ -28,7 +28,8 @@ control::HarnessOptions scaled_room(size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Ablation: holistic advantage vs room size\n");
   std::printf("(CRAC flow/capacity and envelope scaled with the fleet)\n\n");
 

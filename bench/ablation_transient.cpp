@@ -107,7 +107,8 @@ StepResult run_step(control::EvalHarness& harness,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Ablation: load-step transients under the holistic policy (#8)\n\n");
 
   control::EvalHarness harness(benchsup::standard_options());

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "control/harness.h"
+#include "obs/session.h"
 #include "util/csv.h"
 #include "util/strings.h"
 #include "util/table.h"

@@ -16,7 +16,8 @@
 
 using namespace coolopt;
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("maxL frontier: servable load (files/s) vs power budget, "
               "exactly-k machines\n\n");
 

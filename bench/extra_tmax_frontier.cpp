@@ -18,7 +18,8 @@
 
 using namespace coolopt;
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Extra: total power vs the CPU temperature ceiling (scenario #8, "
               "65%% load)\n\n");
 

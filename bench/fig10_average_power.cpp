@@ -13,7 +13,8 @@
 
 using namespace coolopt;
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Fig. 10 reproduction: average power of all methods\n\n");
 
   control::EvalHarness harness(benchsup::standard_options());

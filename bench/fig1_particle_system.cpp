@@ -14,6 +14,7 @@
 #include <set>
 
 #include "core/consolidation.h"
+#include "obs/session.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -59,7 +60,8 @@ std::string order_at(const core::ParticleSystem& ps, double t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Fig. 1 reproduction: the consolidation particle system "
               "(n = 4, k = 2, two events)\n\n");
 

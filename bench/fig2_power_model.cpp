@@ -15,7 +15,8 @@
 
 using namespace coolopt;
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Fig. 2 reproduction: measured vs predicted server power\n\n");
 
   sim::MachineRoom room(benchsup::standard_options().room);

@@ -12,7 +12,8 @@
 
 using namespace coolopt;
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Fig. 5 reproduction: matched methods with vs without consolidation\n\n");
 
   control::EvalHarness harness(benchsup::standard_options());

@@ -11,7 +11,8 @@
 
 using namespace coolopt;
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Fig. 6 reproduction: consolidation benefit vs load\n\n");
 
   control::EvalHarness harness(benchsup::standard_options());

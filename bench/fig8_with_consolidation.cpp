@@ -12,7 +12,8 @@
 
 using namespace coolopt;
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Fig. 8 reproduction: Even vs Bottom-up vs Optimal "
               "(AC control + consolidation)\n\n");
 

@@ -11,7 +11,8 @@
 
 using namespace coolopt;
 
-int main() {
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
   std::printf("Fig. 9 reproduction: total power of all 8 methods vs load\n");
   std::printf("Scenario key (Fig. 4): distribution / AC control / consolidation\n");
   for (const core::Scenario& s : core::Scenario::all8()) {

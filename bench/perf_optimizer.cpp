@@ -10,6 +10,7 @@
 #include "core/lp_optimizer.h"
 #include "core/scenario.h"
 #include "core/synthetic.h"
+#include "obs/session.h"
 
 using namespace coolopt;
 
@@ -79,4 +80,14 @@ BENCHMARK(BM_MaxSafeTac)->RangeMultiplier(4)->Range(8, 2048)->Complexity(benchma
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but peels off --metrics-out/--trace-out first so
+// the perf suites can export telemetry (benchmark::Initialize rejects flags
+// it does not know about).
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

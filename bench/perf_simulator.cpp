@@ -7,6 +7,7 @@
 
 #include "profiling/profiler.h"
 #include "sim/room.h"
+#include "obs/session.h"
 
 using namespace coolopt;
 
@@ -75,4 +76,14 @@ BENCHMARK(BM_SensorRead);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but peels off --metrics-out/--trace-out first so
+// the perf suites can export telemetry (benchmark::Initialize rejects flags
+// it does not know about).
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/log.h"
 
 namespace coolopt::control {
@@ -58,6 +59,12 @@ void AdaptiveController::apply(const core::Allocation& alloc,
       }
       room_.set_power_state(i, alloc.on[i]);
       ++stats_.power_switches;
+      obs::count("control.adaptive.power_switches");
+      if (obs::RunTrace* tr = obs::trace()) {
+        tr->record_event(obs::EventSample{
+            room_.time_s(), alloc.on[i] ? "adaptive.power_on" : "adaptive.power_off",
+            static_cast<double>(i), ""});
+      }
       switched = true;
     }
     if (alloc.on[i]) room_.set_load_files_s(i, alloc.loads[i]);
@@ -81,6 +88,11 @@ void AdaptiveController::full_replan(double demand) {
   plan_->load = demand;
   last_full_replan_load_ = demand;
   ++stats_.full_replans;
+  obs::count("control.adaptive.full_replans");
+  if (obs::RunTrace* tr = obs::trace()) {
+    tr->record_event(
+        obs::EventSample{room_.time_s(), "adaptive.full_replan", demand, ""});
+  }
   if (std::abs(sizing - demand) > 1e-9) track_demand(demand);
 }
 
@@ -95,6 +107,11 @@ bool AdaptiveController::try_rebalance(double demand) {
   plan_->allocation = *alloc;
   plan_->load = demand;
   ++stats_.rebalances;
+  obs::count("control.adaptive.rebalances");
+  if (obs::RunTrace* tr = obs::trace()) {
+    tr->record_event(
+        obs::EventSample{room_.time_s(), "adaptive.rebalance", demand, ""});
+  }
   return true;
 }
 
@@ -148,6 +165,7 @@ void AdaptiveController::track_demand(double demand) {
   plan_->allocation.loads = loads;
   plan_->allocation.finalize(model_);
   ++stats_.load_tracks;
+  obs::count("control.adaptive.load_tracks");
   // Note: plan_->load is deliberately NOT retargeted here; drift for the
   // rebalance/replan decisions keeps accumulating against the last
   // optimized point.
@@ -185,6 +203,7 @@ void AdaptiveController::update(double demand_files_s) {
                       "(demand %.1f > ON capacity %.1f)",
                       room_.time_s(), demand_files_s, on_capacity());
       ++stats_.emergency_replans;
+      obs::count("control.adaptive.emergency_replans");
     }
     full_replan(demand_files_s);
     return;

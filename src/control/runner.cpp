@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/allocation.h"
+#include "obs/obs.h"
 
 namespace coolopt::control {
 
@@ -38,10 +39,15 @@ Measurement ExperimentRunner::run(const core::Plan& plan, const RunOptions& opti
     if (alloc.on[i]) room_.set_load_files_s(i, alloc.loads[i]);
   }
 
+  obs::count("control.runs");
   double t_sp = plan.scenario.ac_control
                     ? planner_.to_setpoint(alloc.t_ac, alloc.it_power_w)
                     : fixed_setpoint_c_;
   room_.set_setpoint_c(t_sp);
+  if (obs::RunTrace* tr = obs::trace()) {
+    tr->record_event(obs::EventSample{room_.time_s(), "setpoint", t_sp,
+                                      plan.scenario.name()});
+  }
   room_.settle();
 
   // Closed-loop trim: correct residual planner bias against the achieved
@@ -55,6 +61,11 @@ Measurement ExperimentRunner::run(const core::Plan& plan, const RunOptions& opti
       if (std::abs(error) < 0.02) break;
       if (error < 0.0 && room_.crac().cooling_rate_w() <= 1e-9) break;
       t_sp -= error;
+      obs::count("control.setpoint_trims");
+      if (obs::RunTrace* tr = obs::trace()) {
+        tr->record_event(obs::EventSample{room_.time_s(), "setpoint.trim", t_sp,
+                                          plan.scenario.name()});
+      }
       room_.set_setpoint_c(t_sp);
       room_.settle();
     }

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/log.h"
+#include "util/strings.h"
 
 namespace coolopt::control {
 
@@ -25,6 +27,7 @@ ThermalWatchdog::ThermalWatchdog(sim::MachineRoom& room, double t_max,
 
 std::vector<size_t> ThermalWatchdog::check() {
   ++stats_.checks;
+  obs::count("control.watchdog.checks");
   if (cooldown_ > 0) --cooldown_;
 
   const double threshold = t_max_ - options_.guard_c;
@@ -51,6 +54,12 @@ std::vector<size_t> ThermalWatchdog::check() {
       if (!alarmed_[i]) {
         alarmed_[i] = true;
         ++stats_.alarms_raised;
+        obs::count("control.watchdog.alarms");
+        if (obs::RunTrace* tr = obs::trace()) {
+          tr->record_event(obs::EventSample{
+              room_.time_s(), "watchdog.alarm", reading,
+              util::strf("machine %zu over %.1f C", i, threshold)});
+        }
         util::log_warn("ThermalWatchdog: machine %zu reads %.1f C (ceiling %.1f)",
                        i, reading, t_max_);
       }
@@ -64,6 +73,11 @@ std::vector<size_t> ThermalWatchdog::check() {
     room_.set_setpoint_c(new_sp);
     cooldown_ = options_.intervention_cooldown;
     ++stats_.interventions;
+    obs::count("control.watchdog.interventions");
+    if (obs::RunTrace* tr = obs::trace()) {
+      tr->record_event(obs::EventSample{room_.time_s(), "watchdog.intervention",
+                                        new_sp, "set point lowered"});
+    }
     util::log_info("ThermalWatchdog: lowering set point to %.1f C", new_sp);
     for (size_t i = 0; i < room_.size(); ++i) {
       if (alarmed_[i]) ++interventions_seen_[i];

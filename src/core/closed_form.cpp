@@ -1,9 +1,12 @@
 #include "core/closed_form.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/obs.h"
+#include "obs/scoped_timer.h"
 #include "util/strings.h"
 
 namespace coolopt::core {
@@ -37,6 +40,8 @@ ClosedFormResult AnalyticOptimizer::solve(const std::vector<size_t>& on_set,
           util::strf("AnalyticOptimizer::solve: duplicate machine index %zu", i));
     }
   }
+
+  obs::ScopedTimer timer(obs::maybe_histogram("optimizer.closed_form.solve_us"));
 
   ClosedFormResult result;
   result.allocation.loads.assign(model_.size(), 0.0);
@@ -78,6 +83,25 @@ ClosedFormResult AnalyticOptimizer::solve(const std::vector<size_t>& on_set,
   result.mu.assign(model_.size(), 0.0);
   for (const size_t i : on_set) {
     result.mu[i] = result.lambda / (model_.machines[i].thermal.beta * w1_);
+  }
+
+  obs::count("optimizer.closed_form.solves");
+  if (obs::metrics() != nullptr || obs::trace() != nullptr) {
+    // KKT stationarity puts every ON machine exactly at T_max (Eq. 17); the
+    // residual is how far the emitted allocation actually lands from that.
+    double residual = 0.0;
+    for (const size_t i : on_set) {
+      const MachineModel& m = model_.machines[i];
+      const double t_cpu =
+          m.thermal.predict(t_ac, m.power.predict(result.allocation.loads[i]));
+      residual = std::max(residual, std::abs(t_cpu - model_.t_max));
+    }
+    obs::observe("optimizer.closed_form.kkt_residual_c", residual);
+    if (obs::RunTrace* tr = obs::trace()) {
+      tr->record_solve(obs::SolveSample{
+          "closed_form", static_cast<uint64_t>(on_set.size()), 0,
+          timer.elapsed_us(), loads_ok && result.t_ac_in_bounds, residual});
+    }
   }
   return result;
 }

@@ -7,6 +7,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.h"
+#include "obs/scoped_timer.h"
 #include "util/strings.h"
 
 namespace coolopt::core {
@@ -148,6 +150,7 @@ std::optional<ConsolidationChoice> BruteForceConsolidator::best_of_size(
 // ---------------------------------------------------------------------------
 
 EventConsolidator::EventConsolidator(RoomModel model) : model_(std::move(model)) {
+  obs::ScopedTimer timer(obs::maybe_histogram("consolidation.preprocess_us"));
   model_.validate();
   require_uniform(model_);
   particles_ = ParticleSystem::from_model(model_);
@@ -217,6 +220,11 @@ EventConsolidator::EventConsolidator(RoomModel model) : model_(std::move(model))
   }
   std::sort(statuses_.begin(), statuses_.end(),
             [](const Status& x, const Status& y) { return x.l_max < y.l_max; });
+
+  obs::count("consolidation.preprocesses");
+  obs::gauge_set("consolidation.events", static_cast<double>(events_.size()));
+  obs::gauge_set("consolidation.segments", static_cast<double>(segments_.size()));
+  obs::gauge_set("consolidation.statuses", static_cast<double>(statuses_.size()));
 }
 
 double EventConsolidator::g(size_t k, double t) const {
@@ -300,6 +308,19 @@ std::optional<ConsolidationChoice> EventConsolidator::query(double load,
                                                             QueryMode mode) const {
   if (load < 0.0) throw std::invalid_argument("EventConsolidator: negative load");
 
+  obs::ScopedTimer timer(obs::maybe_histogram("consolidation.query_us"));
+  obs::count("consolidation.queries");
+  const auto report = [&](const std::optional<ConsolidationChoice>& choice)
+      -> const std::optional<ConsolidationChoice>& {
+    if (!choice) obs::count("consolidation.infeasible_queries");
+    if (obs::RunTrace* tr = obs::trace()) {
+      tr->record_solve(obs::SolveSample{
+          "consolidation.query", static_cast<uint64_t>(particles_.size()), 0,
+          timer.elapsed_us(), choice.has_value(), 0.0});
+    }
+    return choice;
+  };
+
   if (mode == QueryMode::kExactPerK) {
     std::optional<ConsolidationChoice> best;
     for (size_t k = 1; k <= particles_.size(); ++k) {
@@ -310,7 +331,7 @@ std::optional<ConsolidationChoice> EventConsolidator::query(double load,
         best = cand;
       }
     }
-    return best;
+    return report(best);
   }
 
   // The paper's Algorithm 2: binary search allStatus (sorted by Lmax) for
@@ -327,15 +348,25 @@ std::optional<ConsolidationChoice> EventConsolidator::query(double load,
     const double t_subset =
         (seg.prefix_a[cand->k] - load) / seg.prefix_b[cand->k];
     if (t_subset < particles_.t_lo - kFeasEps) continue;
-    return make_choice(cand->segment, cand->k, load);
+    return report(make_choice(cand->segment, cand->k, load));
   }
-  return std::nullopt;
+  return report(std::nullopt);
 }
 
 std::vector<ConsolidationChoice> EventConsolidator::rank_all_k(double load) const {
+  // Instrumented as a query: this is the Algorithm 2 machinery run once per
+  // k, and it is the entry point the scenario planner actually exercises.
+  obs::ScopedTimer timer(obs::maybe_histogram("consolidation.query_us"));
+  obs::count("consolidation.queries");
   std::vector<ConsolidationChoice> out;
   for (size_t k = 1; k <= particles_.size(); ++k) {
     if (auto cand = solve_for_k(load, k)) out.push_back(std::move(*cand));
+  }
+  if (out.empty()) obs::count("consolidation.infeasible_queries");
+  if (obs::RunTrace* tr = obs::trace()) {
+    tr->record_solve(obs::SolveSample{
+        "consolidation.rank_all_k", static_cast<uint64_t>(particles_.size()),
+        0, timer.elapsed_us(), !out.empty(), 0.0});
   }
   std::sort(out.begin(), out.end(),
             [](const ConsolidationChoice& x, const ConsolidationChoice& y) {

@@ -1,12 +1,41 @@
 #include "core/lp_optimizer.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "core/simplex.h"
+#include "obs/obs.h"
+#include "obs/scoped_timer.h"
 #include "util/strings.h"
 
 namespace coolopt::core {
+namespace {
+
+/// Worst primal-feasibility violation of an LP solution against the model's
+/// own constraints (load conservation, temperature ceilings, boxes) —
+/// observability's KKT residual for the bounded solver. Only evaluated when
+/// a sink is attached.
+double lp_residual(const RoomModel& model, const std::vector<size_t>& on_set,
+                   double total_load, const LpSolution& sol) {
+  const double t_ac = sol.x[0];
+  double residual = std::max(0.0, model.t_ac_min - t_ac);
+  residual = std::max(residual, t_ac - model.t_ac_max);
+  double load_sum = 0.0;
+  for (size_t j = 0; j < on_set.size(); ++j) {
+    const MachineModel& m = model.machines[on_set[j]];
+    const double li = sol.x[1 + j];
+    load_sum += li;
+    residual = std::max(residual, -li);
+    residual = std::max(residual, li - m.capacity);
+    const double t_cpu = m.thermal.predict(t_ac, m.power.predict(li));
+    residual = std::max(residual, t_cpu - model.t_max);
+  }
+  return std::max(residual, std::abs(load_sum - total_load));
+}
+
+}  // namespace
 
 LpOptimizer::LpOptimizer(RoomModel model) : model_(std::move(model)) {
   model_.validate();
@@ -68,8 +97,25 @@ std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
   lp.add_upper_bound(0, model_.t_ac_max);
   lp.add_lower_bound(0, model_.t_ac_min);
 
+  obs::ScopedTimer timer(obs::maybe_histogram("optimizer.lp.solve_us"));
   const LpSolution sol = solve_lp(lp);
-  if (sol.status != LpStatus::kOptimal) return std::nullopt;
+  const bool feasible = sol.status == LpStatus::kOptimal;
+
+  obs::count("optimizer.lp.solves");
+  if (!feasible) obs::count("optimizer.lp.infeasible");
+  obs::observe("optimizer.lp.iterations", static_cast<double>(sol.iterations));
+  double residual = 0.0;
+  if ((obs::metrics() != nullptr || obs::trace() != nullptr) && feasible) {
+    residual = lp_residual(model_, on_set, total_load, sol);
+    obs::observe("optimizer.lp.kkt_residual", residual);
+  }
+  if (obs::RunTrace* tr = obs::trace()) {
+    tr->record_solve(obs::SolveSample{"lp", static_cast<uint64_t>(k),
+                                      static_cast<uint64_t>(sol.iterations),
+                                      timer.elapsed_us(), feasible, residual});
+  }
+
+  if (!feasible) return std::nullopt;
 
   Allocation alloc;
   alloc.loads.assign(model_.size(), 0.0);

@@ -20,6 +20,7 @@ struct PowerModel {
   double w1 = 0.0;  ///< W per load unit
   double w2 = 0.0;  ///< load-independent draw, W
 
+  /// Eq. 9: P = w1*L + w2.
   double predict(double load) const { return w1 * load + w2; }
 };
 
@@ -28,6 +29,7 @@ struct ThermalCoeffs {
   double beta = 0.0;   ///< K per W of own power (Eq. 6's 1/(F c) + 1/theta)
   double gamma = 0.0;  ///< offset capturing the machine's spot in the room
 
+  /// Eq. 8: T_cpu = alpha*T_ac + beta*P + gamma.
   double predict(double t_ac, double power_w) const {
     return alpha * t_ac + beta * power_w + gamma;
   }
@@ -59,6 +61,7 @@ struct CoolerModel {
   /// "no floor" so synthetic pure-linear models behave as written.
   double min_power_w = -1.0e300;
 
+  /// Eq. 10: P_ac = cfac*(T_SP - T_ac), plus the fitted extensions above.
   double predict(double t_ac, double q_it_w) const {
     const double linear = cfac * (t_sp_ref - t_ac) + q_coeff * q_it_w + fan_offset_w;
     return linear > min_power_w ? linear : min_power_w;

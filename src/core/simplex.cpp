@@ -72,7 +72,10 @@ class Tableau {
     }
   }
 
+  size_t pivots() const { return pivots_; }
+
   void pivot(size_t row, size_t col) {
+    ++pivots_;
     const double p = a(row, col);
     for (size_t j = 0; j < cols_; ++j) a(row, j) /= p;
     b_[row] /= p;
@@ -103,6 +106,7 @@ class Tableau {
   size_t cols_;
   std::vector<double> a_;
   double obj_shift_ = 0.0;
+  size_t pivots_ = 0;
 };
 
 }  // namespace
@@ -198,13 +202,13 @@ LpSolution solve_lp(const LpProblem& problem) {
   for (size_t j = art0; j < cols; ++j) t.c_[j] = 1.0;
   if (!t.optimize()) {
     // Phase-1 objective is bounded below by 0; unbounded cannot happen.
-    return LpSolution{LpStatus::kInfeasible, {}, 0.0};
+    return LpSolution{LpStatus::kInfeasible, {}, 0.0, t.pivots()};
   }
   double phase1 = 0.0;
   for (size_t r = 0; r < m; ++r) {
     if (t.basis_[r] >= art0) phase1 += t.b_[r];
   }
-  if (phase1 > 1e-7) return LpSolution{LpStatus::kInfeasible, {}, 0.0};
+  if (phase1 > 1e-7) return LpSolution{LpStatus::kInfeasible, {}, 0.0, t.pivots()};
 
   // Drive any residual (degenerate) artificials out of the basis.
   for (size_t r = 0; r < m; ++r) {
@@ -232,10 +236,11 @@ LpSolution solve_lp(const LpProblem& problem) {
   for (const double c : problem.objective()) big += std::abs(c);
   for (size_t j = art0; j < cols; ++j) full_c[j] = 1e6 * big;
   t.c_ = full_c;
-  if (!t.optimize()) return LpSolution{LpStatus::kUnbounded, {}, 0.0};
+  if (!t.optimize()) return LpSolution{LpStatus::kUnbounded, {}, 0.0, t.pivots()};
 
   LpSolution sol;
   sol.status = LpStatus::kOptimal;
+  sol.iterations = t.pivots();
   sol.x.assign(n, 0.0);
   for (size_t r = 0; r < m; ++r) {
     if (t.basis_[r] < n) sol.x[t.basis_[r]] = t.b_[r];

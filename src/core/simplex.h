@@ -68,6 +68,9 @@ struct LpSolution {
   LpStatus status = LpStatus::kInfeasible;
   std::vector<double> x;
   double objective = 0.0;
+  /// Simplex pivots across both phases (observability: exported as the
+  /// `optimizer.lp.iterations` histogram when a metrics sink is attached).
+  size_t iterations = 0;
 };
 
 /// Solves the LP. Deterministic; terminates on degenerate problems

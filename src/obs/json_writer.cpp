@@ -1,0 +1,311 @@
+#include "obs/json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace coolopt::obs {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::strf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+void JsonWriter::before_value() {
+  if (root_done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) return;  // the root container itself
+  if (stack_.back() == Scope::kObject && !key_pending_) {
+    throw std::logic_error("JsonWriter: value in object without a key");
+  }
+  if (stack_.back() == Scope::kArray && has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  key_pending_ = false;
+}
+
+void JsonWriter::push(Scope s) {
+  before_value();
+  os_ << (s == Scope::kObject ? '{' : '[');
+  stack_.push_back(s);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::pop(Scope s) {
+  if (stack_.empty() || stack_.back() != s) {
+    throw std::logic_error("JsonWriter: mismatched container close");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: dangling key at close");
+  os_ << (s == Scope::kObject ? '}' : ']');
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::begin_object() { push(Scope::kObject); }
+void JsonWriter::end_object() { pop(Scope::kObject); }
+void JsonWriter::begin_array() { push(Scope::kArray); }
+void JsonWriter::end_array() { pop(Scope::kArray); }
+
+void JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Scope::kObject) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: two keys in a row");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  os_ << json_quote(name) << ':';
+  key_pending_ = true;
+  // The upcoming value's separator was emitted here; mark "no item yet" so
+  // before_value() does not add a second comma.
+  has_items_.back() = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  if (key_pending_) {
+    key_pending_ = false;
+    os_ << json_quote(s);
+    return;
+  }
+  before_value();
+  os_ << json_quote(s);
+}
+
+void JsonWriter::value(const char* s) { value(std::string_view(s)); }
+
+void JsonWriter::value(double v) {
+  if (!std::isfinite(v)) {
+    value_null();
+    return;
+  }
+  const std::string text = util::strf("%.12g", v);
+  if (key_pending_) {
+    key_pending_ = false;
+    os_ << text;
+    return;
+  }
+  before_value();
+  os_ << text;
+}
+
+void JsonWriter::value(bool v) {
+  const char* text = v ? "true" : "false";
+  if (key_pending_) {
+    key_pending_ = false;
+    os_ << text;
+    return;
+  }
+  before_value();
+  os_ << text;
+}
+
+void JsonWriter::value(uint64_t v) {
+  const std::string text = util::strf("%llu", static_cast<unsigned long long>(v));
+  if (key_pending_) {
+    key_pending_ = false;
+    os_ << text;
+    return;
+  }
+  before_value();
+  os_ << text;
+}
+
+void JsonWriter::value(int64_t v) {
+  const std::string text = util::strf("%lld", static_cast<long long>(v));
+  if (key_pending_) {
+    key_pending_ = false;
+    os_ << text;
+    return;
+  }
+  before_value();
+  os_ << text;
+}
+
+void JsonWriter::value_null() {
+  if (key_pending_) {
+    key_pending_ = false;
+    os_ << "null";
+    return;
+  }
+  before_value();
+  os_ << "null";
+}
+
+// ---------------------------------------------------------------------------
+// Syntax checker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : s_(text) {}
+
+  bool run(std::string* error) {
+    if (!value()) {
+      if (error != nullptr) {
+        *error = util::strf("JSON syntax error near offset %zu", pos_);
+      }
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      if (error != nullptr) {
+        *error = util::strf("trailing garbage at offset %zu", pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      pos_ = start;
+      return false;
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) return false;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) return false;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    return true;
+  }
+
+  bool value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      if (!eat(':')) return false;
+      if (!value()) return false;
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_syntax_valid(std::string_view text, std::string* error) {
+  return JsonChecker(text).run(error);
+}
+
+}  // namespace coolopt::obs

@@ -1,0 +1,81 @@
+// Minimal streaming JSON emission (and a syntax checker for tests).
+//
+// The observability exports (metrics registry dump, run traces) need JSON
+// with zero third-party dependencies. JsonWriter produces a single
+// well-formed document on an ostream: objects, arrays, strings (escaped per
+// RFC 8259), numbers (non-finite doubles become null, which strict parsers
+// accept where NaN would not), and booleans. Nesting is tracked so keys and
+// values cannot be emitted in an invalid position — misuse throws
+// std::logic_error rather than producing silently broken output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coolopt::obs {
+
+/// Escapes `s` into a double-quoted JSON string literal.
+std::string json_quote(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// Writes to an external stream (not owned). The document root may be an
+  /// object or an array; one root per writer.
+  explicit JsonWriter(std::ostream& os);
+  ~JsonWriter() = default;
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // --- structure ---
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  /// Inside an object: the key of the next value/container.
+  void key(std::string_view name);
+
+  // --- scalars ---
+  void value(std::string_view s);
+  void value(const char* s);
+  void value(double v);       ///< non-finite -> null
+  void value(bool v);
+  void value(uint64_t v);
+  void value(int64_t v);
+  void value_null();
+
+  // --- conveniences ---
+  void kv(std::string_view name, std::string_view v) { key(name); value(v); }
+  /// Without this overload a string literal would pick the bool overload
+  /// (pointer-to-bool is a standard conversion; const char* to string_view
+  /// is not).
+  void kv(std::string_view name, const char* v) { key(name); value(v); }
+  void kv(std::string_view name, double v) { key(name); value(v); }
+  void kv(std::string_view name, bool v) { key(name); value(v); }
+  void kv(std::string_view name, uint64_t v) { key(name); value(v); }
+
+  /// True once the root container has been closed.
+  bool complete() const { return root_done_; }
+
+ private:
+  enum class Scope : uint8_t { kObject, kArray };
+  void before_value();  // separators + state checks
+  void push(Scope s);
+  void pop(Scope s);
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool key_pending_ = false;
+  bool root_done_ = false;
+};
+
+/// Lightweight recursive-descent JSON syntax check (full RFC 8259 grammar,
+/// no document materialization). Used by the tests to assert every export
+/// is machine-readable; `error` (optional) receives a description on
+/// failure.
+bool json_syntax_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace coolopt::obs

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json_writer.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace coolopt::obs {
+
+Histogram::Histogram(size_t sample_cap) : sample_cap_(std::max<size_t>(1, sample_cap)) {
+  samples_.reserve(std::min<size_t>(sample_cap_, 1024));
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (samples_.size() < sample_cap_) {
+    samples_.push_back(v);
+    return;
+  }
+  // Reservoir (Algorithm R): keep sample i with probability cap/i.
+  lcg_ = lcg_ * 6364136223846793005ull + 1442695040888963407ull;
+  const uint64_t slot = (lcg_ >> 16) % count_;
+  if (slot < sample_cap_) samples_[slot] = v;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("Histogram::percentile: p outside [0,100]");
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.count = count_;
+    s.sum = sum_;
+    s.min = count_ > 0 ? min_ : 0.0;
+    s.max = count_ > 0 ? max_ : 0.0;
+    s.mean = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+    sorted = samples_;
+  }
+  if (!sorted.empty()) {
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double p) {
+      const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+      const size_t lo = static_cast<size_t>(rank);
+      const size_t hi = std::min(lo + 1, sorted.size() - 1);
+      const double frac = rank - static_cast<double>(lo);
+      return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    };
+    s.p50 = at(50.0);
+    s.p95 = at(95.0);
+    s.p99 = at(99.0);
+  }
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+template <typename Map>
+std::vector<std::string> keys_of(std::mutex& mu, const Map& map) {
+  std::lock_guard<std::mutex> lock(mu);
+  std::vector<std::string> names;
+  names.reserve(map.size());
+  for (const auto& [name, _] : map) names.push_back(name);
+  return names;
+}
+
+}  // namespace
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  return keys_of(mu_, counters_);
+}
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  return keys_of(mu_, gauges_);
+}
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  return keys_of(mu_, histograms_);
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.kv(name, g->value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    w.key(name);
+    w.begin_object();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.kv("mean", s.mean);
+    w.kv("p50", s.p50);
+    w.kv("p95", s.p95);
+    w.kv("p99", s.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void MetricsRegistry::to_json(std::ostream& os) const {
+  JsonWriter w(os);
+  write_json(w);
+}
+
+void MetricsRegistry::to_csv(std::ostream& os) const {
+  util::CsvWriter w(os, {"name", "kind", "count", "sum", "min", "max", "mean",
+                         "p50", "p95", "p99"});
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    w.row({name, "counter", util::strf("%llu", static_cast<unsigned long long>(c->value())),
+           "", "", "", "", "", "", ""});
+  }
+  for (const auto& [name, g] : gauges_) {
+    w.row({name, "gauge", "", util::strf("%.6g", g->value()), "", "", "", "", "", ""});
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    w.row({name, "histogram",
+           util::strf("%llu", static_cast<unsigned long long>(s.count)),
+           util::strf("%.6g", s.sum), util::strf("%.6g", s.min),
+           util::strf("%.6g", s.max), util::strf("%.6g", s.mean),
+           util::strf("%.6g", s.p50), util::strf("%.6g", s.p95),
+           util::strf("%.6g", s.p99)});
+  }
+}
+
+}  // namespace coolopt::obs

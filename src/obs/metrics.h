@@ -1,0 +1,126 @@
+// Thread-safe metrics: counters, gauges, and latency histograms.
+//
+// Design (issue: "instrumentation must compile to near-zero cost when no
+// sink is attached"): the library's hot paths never talk to a
+// MetricsRegistry directly — they go through the nullable global attach
+// point in obs/obs.h, so an unattached run pays one relaxed atomic load and
+// a predictable branch per instrumented site. When a registry IS attached,
+// instruments are looked up by name under the registry mutex and updated
+// with relaxed atomics (counters/gauges) or a short critical section
+// (histograms).
+//
+// Histograms retain exact samples up to a cap and then switch to uniform
+// reservoir sampling (Vitter's Algorithm R with a deterministic LCG), so
+// p50/p95/p99 stay exact for every workload this repo ships and remain
+// unbiased estimates for pathological multi-million-sample runs. count,
+// sum, min and max are always exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace coolopt::obs {
+
+class JsonWriter;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Aggregate view of a histogram at one instant.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;   ///< 0 when empty
+  double max = 0.0;   ///< 0 when empty
+  double mean = 0.0;  ///< 0 when empty
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class Histogram {
+ public:
+  /// `sample_cap` bounds retained samples (>= 1); beyond it, reservoir
+  /// sampling keeps an unbiased subset.
+  explicit Histogram(size_t sample_cap = kDefaultSampleCap);
+
+  void observe(double v);
+
+  uint64_t count() const;
+  HistogramSnapshot snapshot() const;
+  /// Linear-interpolated percentile over the retained samples, p in [0,100].
+  double percentile(double p) const;
+
+  static constexpr size_t kDefaultSampleCap = 1 << 18;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  size_t sample_cap_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  uint64_t lcg_ = 0x9e3779b97f4a7c15ull;  // deterministic reservoir stream
+};
+
+/// Named instrument directory. Instruments are created on first use and
+/// live as long as the registry (references remain valid; the registry is
+/// append-only).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Sorted instrument names per kind (for export and tests).
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// Emits {"counters":{...},"gauges":{...},"histograms":{...}} as one JSON
+  /// object into an in-flight writer (callers own the enclosing document).
+  void write_json(JsonWriter& w) const;
+  /// Convenience: the same object as a standalone JSON document.
+  void to_json(std::ostream& os) const;
+
+  /// Flat CSV export: name,kind,count,sum,min,max,mean,p50,p95,p99 —
+  /// counters fill `count`, gauges fill `sum` (their value), histograms
+  /// fill everything.
+  void to_csv(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace coolopt::obs

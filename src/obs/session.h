@@ -1,0 +1,69 @@
+// Process-level observability session for CLI binaries.
+//
+// Owns a MetricsRegistry + RunTrace, attaches them to the global sinks for
+// the life of the session, and writes the exports on destruction:
+//
+//   * metrics path — one combined JSON document:
+//       {"schema":"coolopt.obs.v1","metrics":{...},"trace":{...}}
+//   * trace path   — the per-timestep series as CSV.
+//
+// Construction either consumes the standard flags from argv (so every
+// bench/fig binary gains `--metrics-out` / `--trace-out` by creating one
+// before doing work), or takes explicit paths (cooloptctl). The env vars
+// COOLOPT_METRICS_OUT / COOLOPT_TRACE_OUT are fallbacks for binaries whose
+// argv is owned by another parser. Empty paths mean "no sink": nothing is
+// allocated or attached and instrumentation stays on its zero-cost path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/run_trace.h"
+
+namespace coolopt::obs {
+
+/// Removes `--metrics-out[= ]PATH` and `--trace-out[= ]PATH` from `args`,
+/// returning the remaining arguments. Later occurrences win.
+std::vector<std::string> strip_obs_flags(const std::vector<std::string>& args,
+                                         std::string& metrics_out,
+                                         std::string& trace_out);
+
+class ObsSession {
+ public:
+  /// Consumes the obs flags from (argc, argv) in place (argv[0] is kept);
+  /// falls back to COOLOPT_METRICS_OUT / COOLOPT_TRACE_OUT.
+  ObsSession(int& argc, char** argv);
+
+  /// Explicit paths; empty string disables the corresponding sink.
+  ObsSession(std::string metrics_out, std::string trace_out);
+
+  /// Flushes the exports and detaches the global sinks.
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// True when at least one output path is configured.
+  bool active() const { return registry_ != nullptr; }
+
+  /// Writes the configured outputs now (also called by the destructor;
+  /// rewrites whole files, so calling twice is safe). Throws
+  /// std::runtime_error if an output file cannot be opened — except from
+  /// the destructor, where failures are logged instead.
+  void flush();
+
+  MetricsRegistry* registry() { return registry_.get(); }
+  RunTrace* run_trace() { return trace_.get(); }
+
+ private:
+  void init();
+
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<RunTrace> trace_;
+};
+
+}  // namespace coolopt::obs

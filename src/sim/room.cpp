@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -183,6 +184,8 @@ void MachineRoom::step(double dt) {
   time_s_ += dt;
   it_energy_j_ += it_power_w() * dt;
   cooling_energy_j_ += crac_power_w() * dt;
+  obs::count("sim.steps");
+  record_trace_sample(/*steady=*/false);
 }
 
 void MachineRoom::run(double seconds, double dt) {
@@ -243,6 +246,40 @@ void MachineRoom::settle() {
   net_.set_boundary_temp(supply_node_, supply);
   net_.settle();
   crac_.set_steady_operating_point(return_temp_c(), cooling);
+  obs::count("sim.settles");
+  record_trace_sample(/*steady=*/true);
+}
+
+void MachineRoom::record_trace_sample(bool steady) const {
+  obs::RunTrace* tr = obs::trace();
+  if (tr == nullptr) return;
+  obs::StepSample s;
+  s.time_s = time_s_;
+  s.steady = steady;
+  s.t_ac_c = supply_temp_c();
+  s.t_return_c = return_temp_c();
+  s.p_ac_w = crac_power_w();
+  s.p_it_w = it_power_w();
+  s.p_total_w = s.p_ac_w + s.p_it_w;
+  s.peak_cpu_c = ambient_temp_c();
+  const bool per_server = tr->options().per_server;
+  if (per_server) {
+    s.server_load_files_s.reserve(servers_.size());
+    s.server_power_w.reserve(servers_.size());
+    s.server_cpu_c.reserve(servers_.size());
+  }
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    const double cpu_c = true_cpu_temp_c(i);
+    if (servers_[i].is_on()) s.peak_cpu_c = std::max(s.peak_cpu_c, cpu_c);
+    if (per_server) {
+      s.server_load_files_s.push_back(servers_[i].is_on()
+                                          ? servers_[i].load_files_s()
+                                          : 0.0);
+      s.server_power_w.push_back(server_power_w(i));
+      s.server_cpu_c.push_back(cpu_c);
+    }
+  }
+  tr->record_step(std::move(s));
 }
 
 double MachineRoom::true_cpu_temp_c(size_t i) const {

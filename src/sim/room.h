@@ -100,6 +100,9 @@ class MachineRoom {
  private:
   void refresh_flows();
   void refresh_heat_inputs();
+  /// Appends a StepSample (T_ac, P_ac, aggregate/per-server P_i, peak CPU)
+  /// to the attached obs::RunTrace, if any. Called by step() and settle().
+  void record_trace_sample(bool steady) const;
   /// Steady-state return temperature as a function of supply temperature is
   /// affine: fills `a` and `b` with T_return = a + b * T_supply.
   void return_affine(double& a, double& b);

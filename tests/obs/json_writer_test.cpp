@@ -1,0 +1,103 @@
+#include "obs/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace coolopt::obs {
+namespace {
+
+TEST(JsonQuote, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_quote(std::string("nul\0byte", 8)), "\"nul\\u0000byte\"");
+}
+
+TEST(JsonWriter, EmitsNestedDocument) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "room");
+  w.kv("power", 410.5);
+  w.kv("on", true);
+  w.kv("steps", uint64_t{42});
+  w.key("series");
+  w.begin_array();
+  w.value(1.0);
+  w.value(2.0);
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"room\",\"power\":410.5,\"on\":true,\"steps\":42,"
+            "\"series\":[1,2]}");
+  EXPECT_TRUE(json_syntax_valid(os.str()));
+}
+
+// Regression: a C string literal must serialize as a JSON string, not decay
+// to the bool overload ("schema":true).
+TEST(JsonWriter, CStringKvIsAString) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "coolopt.obs.v1");
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"schema\":\"coolopt.obs.v1\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(INFINITY);
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null,1.5]");
+  EXPECT_TRUE(json_syntax_valid(os.str()));
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("x"), std::logic_error);  // key inside array
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+}
+
+TEST(JsonSyntaxValid, AcceptsValidDocuments) {
+  EXPECT_TRUE(json_syntax_valid("{}"));
+  EXPECT_TRUE(json_syntax_valid("[]"));
+  EXPECT_TRUE(json_syntax_valid("{\"a\":[1,2.5,-3e4,null,true,\"s\"]}"));
+  EXPECT_TRUE(json_syntax_valid("  {\"a\" : {\"b\" : []}}  "));
+}
+
+TEST(JsonSyntaxValid, RejectsInvalidDocuments) {
+  std::string error;
+  EXPECT_FALSE(json_syntax_valid("", &error));
+  EXPECT_FALSE(json_syntax_valid("{", &error));
+  EXPECT_FALSE(json_syntax_valid("{\"a\":}", &error));
+  EXPECT_FALSE(json_syntax_valid("[1,]", &error));
+  EXPECT_FALSE(json_syntax_valid("{\"a\":1}garbage", &error));
+  EXPECT_FALSE(json_syntax_valid("{'a':1}", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace coolopt::obs

@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "util/csv.h"
+
+namespace coolopt::obs {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  Gauge g;
+  g.set(3.5);
+  g.set(-7.25);
+  EXPECT_DOUBLE_EQ(g.value(), -7.25);
+}
+
+TEST(Histogram, PercentilesAreExactUnderTheSampleCap) {
+  Histogram h;
+  // 1..101 inserted out of order; rank p/100*(n-1) lands on integers.
+  for (int v = 101; v >= 1; --v) h.observe(static_cast<double>(v));
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 51.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95.0), 96.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 101.0);
+  // Interpolation between ranks: p25 of 0..100 over 101 samples is exact,
+  // p between grid points interpolates linearly.
+  EXPECT_NEAR(h.percentile(49.5), 50.5, 1e-9);
+
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_DOUBLE_EQ(s.mean, 51.0);
+  EXPECT_DOUBLE_EQ(s.p50, 51.0);
+  EXPECT_DOUBLE_EQ(s.p95, 96.0);
+  EXPECT_DOUBLE_EQ(s.p99, 100.0);
+}
+
+TEST(Histogram, PercentileRejectsOutOfRangeP) {
+  Histogram h;
+  h.observe(1.0);
+  EXPECT_THROW(h.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW(h.percentile(100.5), std::invalid_argument);
+}
+
+TEST(Histogram, EmptyHistogramSnapshotsToZeros) {
+  Histogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, ReservoirKeepsExactAggregatesBeyondTheCap) {
+  Histogram h(/*sample_cap=*/64);
+  const int n = 10000;
+  double sum = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    h.observe(static_cast<double>(i));
+    sum += i;
+  }
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(n));
+  EXPECT_DOUBLE_EQ(s.sum, sum);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(n));
+  // The reservoir subsample is uniform; its median should land in the bulk
+  // of the uniform distribution (loose bound, deterministic LCG stream).
+  EXPECT_GT(s.p50, 0.1 * n);
+  EXPECT_LT(s.p50, 0.9 * n);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsFromMultipleThreads) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter("shared.counter").inc();
+        registry.histogram("shared.hist").observe(static_cast<double>(t));
+        registry.gauge("shared.gauge").set(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(registry.counter("shared.counter").value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.histogram("shared.hist").count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const HistogramSnapshot s = registry.histogram("shared.hist").snapshot();
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, kThreads - 1.0);
+}
+
+TEST(MetricsRegistry, InstrumentReferencesStayValid) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("a");
+  first.inc();
+  // Creating more instruments must not invalidate the reference.
+  for (int i = 0; i < 100; ++i) registry.counter("c" + std::to_string(i));
+  first.inc();
+  EXPECT_EQ(registry.counter("a").value(), 2u);
+  EXPECT_EQ(&registry.counter("a"), &first);
+}
+
+TEST(MetricsRegistry, JsonExportIsSyntaxValidAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("optimizer.lp.solves").inc(3);
+  registry.gauge("consolidation.events").set(12.0);
+  registry.histogram("optimizer.lp.solve_us").observe(100.0);
+  registry.histogram("optimizer.lp.solve_us").observe(200.0);
+
+  std::ostringstream os;
+  registry.to_json(os);
+  const std::string doc = os.str();
+  std::string error;
+  EXPECT_TRUE(json_syntax_valid(doc, &error)) << error;
+  EXPECT_NE(doc.find("\"optimizer.lp.solves\":3"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"consolidation.events\":12"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"p50\""), std::string::npos) << doc;
+}
+
+TEST(MetricsRegistry, CsvExportRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("runs").inc(7);
+  registry.gauge("level").set(2.5);
+  for (int i = 1; i <= 4; ++i) registry.histogram("lat").observe(i);
+
+  std::ostringstream os;
+  registry.to_csv(os);
+  const util::CsvTable table = util::parse_csv(os.str());
+  ASSERT_EQ(table.columns.size(), 10u);
+  EXPECT_EQ(table.columns[0], "name");
+  EXPECT_EQ(table.columns[1], "kind");
+  ASSERT_EQ(table.rows.size(), 3u);  // one per instrument
+
+  bool saw_counter = false;
+  bool saw_hist = false;
+  for (const auto& row : table.rows) {
+    if (row[0] == "runs") {
+      saw_counter = true;
+      EXPECT_EQ(row[1], "counter");
+      EXPECT_EQ(row[2], "7");
+    }
+    if (row[0] == "lat") {
+      saw_hist = true;
+      EXPECT_EQ(row[1], "histogram");
+      EXPECT_EQ(row[2], "4");
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+}
+
+}  // namespace
+}  // namespace coolopt::obs

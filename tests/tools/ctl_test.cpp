@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
+
+#include "obs/json_writer.h"
 
 namespace coolopt::tools {
 namespace {
@@ -102,6 +105,31 @@ TEST(Cooloptctl, SweepPrintsRequestedScenarios) {
 TEST(Cooloptctl, SweepRejectsBadScenarioList) {
   const CtlResult r = run({"sweep", "--scenarios=7,x"});
   EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cooloptctl, SweepMetricsOutWritesValidTelemetryJson) {
+  const std::string metrics_path = testing::TempDir() + "/ctl_sweep_metrics.json";
+  const std::string flag = "--metrics-out=" + metrics_path;
+  const CtlResult r =
+      run({"sweep", "--servers=6", "--scenarios=8", flag.c_str()});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::ifstream f(metrics_path);
+  ASSERT_TRUE(f.good()) << metrics_path;
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string doc = buf.str();
+  std::string error;
+  EXPECT_TRUE(obs::json_syntax_valid(doc, &error)) << error;
+  EXPECT_NE(doc.find("\"schema\":\"coolopt.obs.v1\""), std::string::npos);
+  // The acceptance surface: optimizer solves + latency histogram,
+  // consolidation query latency histogram, and the per-step series.
+  EXPECT_NE(doc.find("\"optimizer.lp.solves\""), std::string::npos);
+  EXPECT_NE(doc.find("\"optimizer.lp.solve_us\""), std::string::npos);
+  EXPECT_NE(doc.find("\"consolidation.query_us\""), std::string::npos);
+  EXPECT_NE(doc.find("\"t_ac_c\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p_ac_w\""), std::string::npos);
+  std::remove(metrics_path.c_str());
 }
 
 TEST(Cooloptctl, CommandHelpWorks) {

@@ -7,6 +7,7 @@
 #include "control/harness.h"
 #include "core/consolidation.h"
 #include "core/verification.h"
+#include "obs/session.h"
 #include "profiling/profile_io.h"
 #include "util/cli.h"
 #include "util/strings.h"
@@ -24,6 +25,10 @@ constexpr const char* kUsage =
     "  audit     plan + feasibility/local-optimality audit\n"
     "  sweep     run scenarios across the load axis on a simulated room\n"
     "  frontier  print the maxL power-budget capacity frontier\n"
+    "\n"
+    "Global flags (any command):\n"
+    "  --metrics-out PATH  write the metrics + run-trace JSON on exit\n"
+    "  --trace-out PATH    write the per-timestep trace CSV on exit\n"
     "\n"
     "Run `cooloptctl <command> --help` for the command's flags.\n";
 
@@ -286,6 +291,20 @@ int cmd_frontier(util::CliFlags& flags, int argc, const char* const* argv,
 
 int run_cooloptctl(int argc, const char* const* argv, std::ostream& out,
                    std::ostream& err) {
+  // Peel off the global observability flags before command dispatch so every
+  // command gains --metrics-out/--trace-out without declaring them; the
+  // session flushes its exports when this function returns.
+  std::string metrics_out;
+  std::string trace_out;
+  const std::vector<std::string> args = obs::strip_obs_flags(
+      std::vector<std::string>(argv, argv + argc), metrics_out, trace_out);
+  obs::ObsSession obs_session(metrics_out, trace_out);
+  std::vector<const char*> argv_stripped;
+  argv_stripped.reserve(args.size());
+  for (const std::string& a : args) argv_stripped.push_back(a.c_str());
+  argc = static_cast<int>(argv_stripped.size());
+  argv = argv_stripped.data();
+
   if (argc < 2) {
     err << kUsage;
     return 2;
