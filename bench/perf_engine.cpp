@@ -1,0 +1,134 @@
+// PlanEngine performance: what the shared caches buy.
+//
+// Cold-construct-and-solve rebuilds the whole solver stack per plan — the
+// pre-engine call pattern, where every ScenarioPlanner construction re-ran
+// model validation and (for consolidation scenarios) the O(n^3 lg n)
+// Algorithm 1 preprocessing. Warm replan reuses one engine across plans, so
+// every model-derived artifact is a cache hit; the gap between the two is
+// the engine's whole reason to exist (>= 10x at n = 200). Batch throughput
+// measures solve_batch fan-out over the worker pool; scenario #6 (Optimal
+// +AC, no consolidation) keeps n = 500 within the closed form + LP paths,
+// where Algorithm 1's event table would otherwise dominate memory.
+//
+// Run with --metrics-out PATH to export the engine.* metrics (cache
+// hit/miss counts, solve and batch latency histograms) alongside the
+// benchmark numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/engine.h"
+#include "core/synthetic.h"
+#include "obs/session.h"
+
+using namespace coolopt;
+
+namespace {
+
+core::RoomModel model_of_size(size_t n) {
+  core::SyntheticModelOptions options;
+  options.machines = n;
+  options.seed = 7;
+  return core::make_synthetic_model(options);
+}
+
+std::vector<double> load_points(const core::RoomModel& model, size_t count) {
+  std::vector<double> loads(count);
+  for (size_t i = 0; i < count; ++i) {
+    loads[i] = model.total_capacity() * (0.25 + 0.5 * static_cast<double>(i) /
+                                                    static_cast<double>(count));
+  }
+  return loads;
+}
+
+/// Pre-engine behavior: a fresh solver stack per plan (validation +
+/// Algorithm 1 preprocessing every time).
+void BM_ColdConstructAndSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const core::RoomModel model = model_of_size(n);
+  const core::Scenario holistic = core::Scenario::by_number(8);
+  const core::SharedRoomModel shared = core::share_model(model);
+  const double load = model.total_capacity() * 0.6;
+  for (auto _ : state) {
+    const core::PlanEngine engine(shared);
+    benchmark::DoNotOptimize(engine.solve(core::PlanRequest{holistic, load}));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ColdConstructAndSolve)
+    ->Arg(20)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+/// Engine behavior: one shared engine, every artifact cached.
+void BM_WarmReplan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const core::PlanEngine engine(model_of_size(n));
+  const core::Scenario holistic = core::Scenario::by_number(8);
+  const std::vector<double> loads = load_points(engine.model(), 16);
+  // Prime the caches: the first solve pays the one-time preprocessing.
+  engine.solve(core::PlanRequest{holistic, loads.front()});
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.solve(core::PlanRequest{holistic, loads[i++ % loads.size()]}));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WarmReplan)->Arg(20)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+/// solve_batch fan-out, 64 requests per batch, default worker pool.
+void BM_BatchThroughput(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const core::PlanEngine engine(model_of_size(n));
+  const core::Scenario optimal_ac = core::Scenario::by_number(6);
+  const std::vector<double> loads = load_points(engine.model(), 64);
+  std::vector<core::PlanRequest> requests;
+  requests.reserve(loads.size());
+  for (const double load : loads) {
+    requests.push_back(core::PlanRequest{optimal_ac, load});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.solve_batch(requests));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(requests.size()));
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BatchThroughput)
+    ->Arg(20)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+/// Sequential baseline for the batch (same requests, no pool).
+void BM_SequentialSolves(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const core::PlanEngine engine(model_of_size(n));
+  const core::Scenario optimal_ac = core::Scenario::by_number(6);
+  const std::vector<double> loads = load_points(engine.model(), 64);
+  for (auto _ : state) {
+    for (const double load : loads) {
+      benchmark::DoNotOptimize(
+          engine.solve(core::PlanRequest{optimal_ac, load}));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(loads.size()));
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SequentialSolves)
+    ->Arg(20)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Like BENCHMARK_MAIN(), but peels off --metrics-out/--trace-out first so
+// the suite can export the engine.* telemetry (benchmark::Initialize
+// rejects flags it does not know about).
+int main(int argc, char** argv) {
+  coolopt::obs::ObsSession obs_session(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/scenario.h"
+#include "core/engine.h"
 #include "profiling/profile_io.h"
 #include "profiling/profiler.h"
 #include "sim/room.h"
@@ -79,11 +79,13 @@ int main(int argc, char** argv) {
               "%s/coolopt_fig3_trace.csv\n\n",
               model_path.c_str(), out_dir.c_str(), out_dir.c_str());
 
-  // Round-trip: load the model back and plan with it.
-  const core::RoomModel loaded = profiling::load_model(model_path);
-  const core::ScenarioPlanner planner(loaded);
-  const double load = loaded.total_capacity() * 0.5;
-  const auto plan = planner.plan(core::Scenario::by_number(8), load);
+  // Round-trip: load the model back and plan with it. The engine validates
+  // the loaded model exactly once and owns every derived artifact, so a
+  // long-lived controller would keep this one instance for all replans.
+  const core::PlanEngine engine(profiling::load_model(model_path));
+  const double load = engine.model().total_capacity() * 0.5;
+  const auto plan =
+      engine.solve(core::PlanRequest{core::Scenario::by_number(8), load}).plan;
   if (!plan) {
     std::fprintf(stderr, "unexpected: no feasible plan from the loaded model\n");
     return 1;

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "control/harness.h"
+#include "core/engine.h"
 #include "util/cli.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -47,7 +48,11 @@ int main(int argc, char** argv) {
   std::printf("Scenario %s at %.0f%% load (%.1f files/s)\n\n",
               scenario.name().c_str(), load_pct, load);
 
-  const auto plan = harness.planner().plan(scenario, load);
+  // The harness shares one PlanEngine between its planner and this tool, so
+  // every what-if below reuses the cached model aggregates.
+  const core::PlanResult result =
+      harness.engine()->solve(core::PlanRequest{scenario, load});
+  const auto& plan = result.plan;
   if (!plan) {
     std::printf("No feasible operating point: the load cannot be served under "
                 "T_max = %.1f C within the CRAC's range.\n",
@@ -79,9 +84,10 @@ int main(int argc, char** argv) {
               plan->allocation.it_power_w, plan->allocation.cooling_power_w,
               plan->allocation.total_power_w);
   if (scenario.distribution == core::Distribution::kOptimal) {
-    std::printf("Solver path: %s\n", plan->closed_form_pure
-                                         ? "pure closed form (Eqs. 21-22)"
-                                         : "bounded LP fallback engaged");
+    std::printf("Solver path: %s (%.0f us)\n",
+                plan->closed_form_pure ? "pure closed form (Eqs. 21-22)"
+                                       : "bounded LP fallback engaged",
+                result.solve_us);
   }
 
   if (flags.get_bool("measure", false)) {

@@ -13,19 +13,25 @@ AdaptiveController::AdaptiveController(sim::MachineRoom& room,
                                        core::RoomModel model,
                                        SetPointPlanner setpoints,
                                        AdaptiveOptions options)
+    : AdaptiveController(
+          room,
+          std::make_shared<const core::PlanEngine>(
+              std::move(model), core::PlannerOptions{options.t_max_margin}),
+          std::move(setpoints), options) {}
+
+AdaptiveController::AdaptiveController(
+    sim::MachineRoom& room, std::shared_ptr<const core::PlanEngine> engine,
+    SetPointPlanner setpoints, AdaptiveOptions options)
     : room_(room),
-      model_(std::move(model)),
+      engine_(std::move(engine)),
       setpoints_(std::move(setpoints)),
       options_(options),
-      planner_(model_, core::PlannerOptions{options.t_max_margin}),
-      lp_([&] {
-        core::RoomModel margined = model_;
-        margined.t_max -= options.t_max_margin;
-        return margined;
-      }()),
       // Allow the very first plan to switch machines immediately.
       last_power_change_s_(room.time_s() - options.min_dwell_s) {
-  if (room_.size() != model_.size()) {
+  if (!engine_) {
+    throw std::invalid_argument("AdaptiveController: null engine");
+  }
+  if (room_.size() != model().size()) {
     throw std::invalid_argument("AdaptiveController: room/model size mismatch");
   }
 }
@@ -33,8 +39,8 @@ AdaptiveController::AdaptiveController(sim::MachineRoom& room,
 double AdaptiveController::on_capacity() const {
   if (!plan_) return 0.0;
   double cap = 0.0;
-  for (size_t i = 0; i < model_.size(); ++i) {
-    if (plan_->allocation.on[i]) cap += model_.machines[i].capacity;
+  for (size_t i = 0; i < model().size(); ++i) {
+    if (plan_->allocation.on[i]) cap += model().machines[i].capacity;
   }
   return cap;
 }
@@ -42,7 +48,7 @@ double AdaptiveController::on_capacity() const {
 std::vector<size_t> AdaptiveController::current_on_set() const {
   std::vector<size_t> on_set;
   if (!plan_) return on_set;
-  for (size_t i = 0; i < model_.size(); ++i) {
+  for (size_t i = 0; i < model().size(); ++i) {
     if (plan_->allocation.on[i]) on_set.push_back(i);
   }
   return on_set;
@@ -76,9 +82,9 @@ void AdaptiveController::apply(const core::Allocation& alloc,
 void AdaptiveController::full_replan(double demand) {
   // Size the ON set with headroom so ordinary upward drift lands inside it,
   // then serve the actual demand on the chosen machines.
-  const double sizing = std::min(model_.total_capacity(),
+  const double sizing = std::min(model().total_capacity(),
                                  demand * (1.0 + options_.capacity_headroom));
-  const auto plan = planner_.plan(options_.scenario, sizing);
+  const auto plan = engine_->solve(core::PlanRequest{options_.scenario, sizing}).plan;
   if (!plan) {
     throw std::runtime_error(
         "AdaptiveController: no feasible operating point for the demand");
@@ -101,7 +107,7 @@ bool AdaptiveController::try_rebalance(double demand) {
   if (demand > on_capacity() + 1e-9) return false;
   const std::vector<size_t> on_set = current_on_set();
   if (on_set.empty()) return false;
-  const auto alloc = lp_.solve(on_set, demand);
+  const auto alloc = engine_->rebalance(on_set, demand);
   if (!alloc) return false;
   apply(*alloc, /*allow_power_changes=*/false);
   plan_->allocation = *alloc;
@@ -120,14 +126,14 @@ void AdaptiveController::track_demand(double demand) {
   const double current = plan_->allocation.total_load();
 
   // Proportional scale with capacity-clamped spill (water fill).
-  std::vector<double> loads(model_.size(), 0.0);
+  std::vector<double> loads(model().size(), 0.0);
   double remaining = demand;
   std::vector<size_t> free = on_set;
   while (remaining > 1e-12 && !free.empty()) {
     double weight_sum = 0.0;
     for (const size_t i : free) {
       weight_sum += current > 1e-12 ? plan_->allocation.loads[i]
-                                    : model_.machines[i].capacity;
+                                    : model().machines[i].capacity;
     }
     if (weight_sum <= 1e-12) break;
     bool pinned = false;
@@ -135,11 +141,11 @@ void AdaptiveController::track_demand(double demand) {
     const double budget = remaining;
     for (const size_t i : free) {
       const double w = current > 1e-12 ? plan_->allocation.loads[i]
-                                       : model_.machines[i].capacity;
+                                       : model().machines[i].capacity;
       const double want = loads[i] + budget * w / weight_sum;
-      if (want >= model_.machines[i].capacity - 1e-12) {
-        remaining -= model_.machines[i].capacity - loads[i];
-        loads[i] = model_.machines[i].capacity;
+      if (want >= model().machines[i].capacity - 1e-12) {
+        remaining -= model().machines[i].capacity - loads[i];
+        loads[i] = model().machines[i].capacity;
         pinned = true;
       } else {
         still_free.push_back(i);
@@ -148,7 +154,7 @@ void AdaptiveController::track_demand(double demand) {
     if (!pinned) {
       for (const size_t i : still_free) {
         const double w = current > 1e-12 ? plan_->allocation.loads[i]
-                                         : model_.machines[i].capacity;
+                                         : model().machines[i].capacity;
         loads[i] += budget * w / weight_sum;
       }
       remaining = 0.0;
@@ -163,7 +169,7 @@ void AdaptiveController::track_demand(double demand) {
 
   for (const size_t i : on_set) room_.set_load_files_s(i, loads[i]);
   plan_->allocation.loads = loads;
-  plan_->allocation.finalize(model_);
+  plan_->allocation.finalize(model());
   ++stats_.load_tracks;
   obs::count("control.adaptive.load_tracks");
   // Note: plan_->load is deliberately NOT retargeted here; drift for the
@@ -175,7 +181,7 @@ void AdaptiveController::update(double demand_files_s) {
   if (demand_files_s < 0.0) {
     throw std::invalid_argument("AdaptiveController: negative demand");
   }
-  if (demand_files_s > model_.total_capacity() + 1e-9) {
+  if (demand_files_s > model().total_capacity() + 1e-9) {
     throw std::runtime_error(
         "AdaptiveController: demand exceeds the room's total capacity");
   }
@@ -186,7 +192,7 @@ void AdaptiveController::update(double demand_files_s) {
     return;
   }
 
-  const double capacity = model_.total_capacity();
+  const double capacity = model().total_capacity();
   const double drift_structural =
       std::abs(demand_files_s - last_full_replan_load_) / capacity;
   const double drift_local =

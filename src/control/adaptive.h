@@ -18,10 +18,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 
 #include "control/setpoint_planner.h"
-#include "core/lp_optimizer.h"
+#include "core/engine.h"
 #include "core/scenario.h"
 #include "sim/room.h"
 
@@ -57,7 +58,15 @@ struct AdaptiveStats {
 
 class AdaptiveController {
  public:
+  /// Builds a private PlanEngine with PlannerOptions{options.t_max_margin}.
   AdaptiveController(sim::MachineRoom& room, core::RoomModel model,
+                     SetPointPlanner setpoints, AdaptiveOptions options = {});
+
+  /// Shares an existing engine: full replans and rebalances reuse its
+  /// cached solvers and Algorithm 1 event table. The engine's own
+  /// t_max_margin governs planning; options.t_max_margin is ignored.
+  AdaptiveController(sim::MachineRoom& room,
+                     std::shared_ptr<const core::PlanEngine> engine,
                      SetPointPlanner setpoints, AdaptiveOptions options = {});
 
   /// Informs the controller of the current offered load (files/s) and lets
@@ -67,6 +76,7 @@ class AdaptiveController {
   void update(double demand_files_s);
 
   const AdaptiveStats& stats() const { return stats_; }
+  const core::PlanEngine& engine() const { return *engine_; }
   bool has_plan() const { return plan_.has_value(); }
   /// The most recent applied plan (valid when has_plan()).
   const core::Plan& current_plan() const { return *plan_; }
@@ -83,13 +93,12 @@ class AdaptiveController {
   void apply(const core::Allocation& alloc, bool allow_power_changes);
   double on_capacity() const;
   std::vector<size_t> current_on_set() const;
+  const core::RoomModel& model() const { return engine_->model(); }
 
   sim::MachineRoom& room_;
-  core::RoomModel model_;
+  std::shared_ptr<const core::PlanEngine> engine_;
   SetPointPlanner setpoints_;
   AdaptiveOptions options_;
-  core::ScenarioPlanner planner_;
-  core::LpOptimizer lp_;
   std::optional<core::Plan> plan_;
   double last_power_change_s_;
   double last_full_replan_load_ = 0.0;

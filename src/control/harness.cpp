@@ -16,8 +16,11 @@ EvalHarness::EvalHarness(const HarnessOptions& options)
     : options_(options),
       room_(options.room),
       profile_(make_profile(room_, options.profiling)),
-      planner_(profile_.model, options.planner),
-      runner_(room_, SetPointPlanner::from_profile(profile_.cooler), profile_.model),
+      engine_(std::make_shared<core::PlanEngine>(
+          core::share_model(profile_.model), options.planner)),
+      planner_(engine_),
+      runner_(room_, SetPointPlanner::from_profile(profile_.cooler),
+              engine_->shared_model()),
       capacity_(profile_.model.total_capacity()) {}
 
 EvalPoint EvalHarness::measure(const core::Scenario& scenario, double load_pct) {

@@ -3,11 +3,13 @@
 // bench runs. Shared here so the benches stay declarative.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "control/runner.h"
 #include "control/setpoint_planner.h"
+#include "core/engine.h"
 #include "core/scenario.h"
 #include "profiling/profiler.h"
 #include "sim/config.h"
@@ -45,16 +47,20 @@ class EvalHarness {
   std::vector<EvalPoint> sweep(const std::vector<core::Scenario>& scenarios,
                                const std::vector<double>& load_pcts);
 
-  const core::RoomModel& model() const { return profile_.model; }
+  const core::RoomModel& model() const { return engine_->model(); }
   const profiling::RoomProfile& profile() const { return profile_; }
   sim::MachineRoom& room() { return room_; }
   const core::ScenarioPlanner& planner() const { return planner_; }
+  /// The shared engine behind planner(); hand it to an AdaptiveController
+  /// (or a batch sweep) to reuse the cached solver artifacts.
+  const std::shared_ptr<core::PlanEngine>& engine() const { return engine_; }
   double capacity_files_s() const { return capacity_; }
 
  private:
   HarnessOptions options_;
   sim::MachineRoom room_;
   profiling::RoomProfile profile_;
+  std::shared_ptr<core::PlanEngine> engine_;
   core::ScenarioPlanner planner_;
   ExperimentRunner runner_;
   double capacity_ = 0.0;

@@ -11,8 +11,13 @@ namespace coolopt::control {
 
 ExperimentRunner::ExperimentRunner(sim::MachineRoom& room, SetPointPlanner planner,
                                    core::RoomModel model)
+    : ExperimentRunner(room, std::move(planner),
+                       core::share_model(std::move(model))) {}
+
+ExperimentRunner::ExperimentRunner(sim::MachineRoom& room, SetPointPlanner planner,
+                                   core::SharedRoomModel model)
     : room_(room), planner_(std::move(planner)), model_(std::move(model)) {
-  if (room_.size() != model_.size()) {
+  if (room_.size() != model_->size()) {
     throw std::invalid_argument("ExperimentRunner: room/model size mismatch");
   }
   // Paper: "the AC temperature setting was chosen as the highest temperature
@@ -23,9 +28,9 @@ ExperimentRunner::ExperimentRunner(sim::MachineRoom& room, SetPointPlanner plann
   // loaded machine over the ceiling in partial-load scenarios. Sizing the
   // set point for the minimum plausible heat load keeps the achieved T_ac at
   // or below the conservative value across the whole sweep.
-  const double min_q = model_.machines.front().power.w2;  // one idle machine
+  const double min_q = model_->machines.front().power.w2;  // one idle machine
   fixed_setpoint_c_ =
-      planner_.to_setpoint(core::conservative_t_ac(model_), min_q);
+      planner_.to_setpoint(core::conservative_t_ac(*model_), min_q);
 }
 
 Measurement ExperimentRunner::run(const core::Plan& plan, const RunOptions& options) {
@@ -91,7 +96,7 @@ Measurement ExperimentRunner::run(const core::Plan& plan, const RunOptions& opti
     peak = std::max(peak, room_.true_cpu_temp_c(i));
   }
   m.peak_cpu_temp_c = m.machines_on > 0 ? peak : room_.ambient_temp_c();
-  m.temp_violation = m.machines_on > 0 && peak > model_.t_max + 1e-9;
+  m.temp_violation = m.machines_on > 0 && peak > model_->t_max + 1e-9;
   return m;
 }
 

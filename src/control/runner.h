@@ -42,6 +42,10 @@ class ExperimentRunner {
   ExperimentRunner(sim::MachineRoom& room, SetPointPlanner planner,
                    core::RoomModel model);
 
+  /// Shares an immutable model instead of copying it (the PlanEngine path).
+  ExperimentRunner(sim::MachineRoom& room, SetPointPlanner planner,
+                   core::SharedRoomModel model);
+
   /// Actuates the plan (power states, per-machine loads, set point),
   /// settles or runs the transient, and measures.
   Measurement run(const core::Plan& plan, const RunOptions& options = {});
@@ -56,7 +60,7 @@ class ExperimentRunner {
  private:
   sim::MachineRoom& room_;
   SetPointPlanner planner_;
-  core::RoomModel model_;
+  core::SharedRoomModel model_;
   double fixed_setpoint_c_ = 0.0;
 };
 

@@ -11,14 +11,27 @@
 
 namespace coolopt::core {
 
-AnalyticOptimizer::AnalyticOptimizer(RoomModel model) : model_(std::move(model)) {
-  model_.validate();
-  if (!model_.uniform_w1(1e-9)) {
+AnalyticOptimizer::AnalyticOptimizer(RoomModel model)
+    : AnalyticOptimizer(share_model(std::move(model))) {}
+
+AnalyticOptimizer::AnalyticOptimizer(SharedRoomModel model)
+    : model_(std::move(model)) {
+  model_->validate();
+  require_uniform_w1();
+}
+
+AnalyticOptimizer::AnalyticOptimizer(SharedRoomModel model, PreValidated)
+    : model_(std::move(model)) {
+  require_uniform_w1();
+}
+
+void AnalyticOptimizer::require_uniform_w1() {
+  if (!model_->uniform_w1(1e-9)) {
     throw std::invalid_argument(
         "AnalyticOptimizer: the closed form assumes a uniform w1 across "
         "machines (paper Eq. 14); use LpOptimizer for heterogeneous fleets");
   }
-  w1_ = model_.machines.front().power.w1;
+  w1_ = model_->machines.front().power.w1;
 }
 
 ClosedFormResult AnalyticOptimizer::solve(const std::vector<size_t>& on_set,
@@ -31,7 +44,7 @@ ClosedFormResult AnalyticOptimizer::solve(const std::vector<size_t>& on_set,
   }
   std::unordered_set<size_t> seen;
   for (const size_t i : on_set) {
-    if (i >= model_.size()) {
+    if (i >= model_->size()) {
       throw std::invalid_argument(
           util::strf("AnalyticOptimizer::solve: machine index %zu out of range", i));
     }
@@ -44,45 +57,45 @@ ClosedFormResult AnalyticOptimizer::solve(const std::vector<size_t>& on_set,
   obs::ScopedTimer timer(obs::maybe_histogram("optimizer.closed_form.solve_us"));
 
   ClosedFormResult result;
-  result.allocation.loads.assign(model_.size(), 0.0);
-  result.allocation.on.assign(model_.size(), false);
+  result.allocation.loads.assign(model_->size(), 0.0);
+  result.allocation.on.assign(model_->size(), false);
 
   // Eq. 20-21: optimal cool-air temperature.
   double sum_k = 0.0;
   double sum_ab = 0.0;
   for (const size_t i : on_set) {
-    sum_k += model_.machines[i].k_constant(model_.t_max);
-    sum_ab += model_.machines[i].ab_ratio();
+    sum_k += model_->machines[i].k_constant(model_->t_max);
+    sum_ab += model_->machines[i].ab_ratio();
   }
   const double t_ac = (sum_k - total_load) * w1_ / sum_ab;
 
   // Eq. 22: optimal per-machine loads (every ON machine sits at T_max).
   bool loads_ok = true;
   for (const size_t i : on_set) {
-    const MachineModel& m = model_.machines[i];
+    const MachineModel& m = model_->machines[i];
     const double li =
-        m.k_constant(model_.t_max) - (sum_k - total_load) * m.ab_ratio() / sum_ab;
+        m.k_constant(model_->t_max) - (sum_k - total_load) * m.ab_ratio() / sum_ab;
     result.allocation.loads[i] = li;
     result.allocation.on[i] = true;
     if (li < -1e-9 || li > m.capacity + 1e-9) loads_ok = false;
   }
 
   result.allocation.t_ac = t_ac;
-  result.allocation.finalize(model_);
+  result.allocation.finalize(*model_);
   result.loads_in_bounds = loads_ok;
-  result.t_ac_in_bounds = t_ac >= model_.t_ac_min - 1e-9 &&
-                          t_ac <= model_.t_ac_max + 1e-9;
+  result.t_ac_in_bounds = t_ac >= model_->t_ac_min - 1e-9 &&
+                          t_ac <= model_->t_ac_max + 1e-9;
   result.sum_k = sum_k;
   result.sum_ab = sum_ab;
 
   // Shadow prices, Eqs. 15-16 (see the header on how the paper's lambda
   // relates to the full marginal).
-  result.lambda = model_.cooler.cfac * w1_ / sum_ab;
+  result.lambda = model_->cooler.cfac * w1_ / sum_ab;
   result.marginal_power_per_load =
-      result.lambda + (1.0 + model_.cooler.q_coeff) * w1_;
-  result.mu.assign(model_.size(), 0.0);
+      result.lambda + (1.0 + model_->cooler.q_coeff) * w1_;
+  result.mu.assign(model_->size(), 0.0);
   for (const size_t i : on_set) {
-    result.mu[i] = result.lambda / (model_.machines[i].thermal.beta * w1_);
+    result.mu[i] = result.lambda / (model_->machines[i].thermal.beta * w1_);
   }
 
   obs::count("optimizer.closed_form.solves");
@@ -91,10 +104,10 @@ ClosedFormResult AnalyticOptimizer::solve(const std::vector<size_t>& on_set,
     // residual is how far the emitted allocation actually lands from that.
     double residual = 0.0;
     for (const size_t i : on_set) {
-      const MachineModel& m = model_.machines[i];
+      const MachineModel& m = model_->machines[i];
       const double t_cpu =
           m.thermal.predict(t_ac, m.power.predict(result.allocation.loads[i]));
-      residual = std::max(residual, std::abs(t_cpu - model_.t_max));
+      residual = std::max(residual, std::abs(t_cpu - model_->t_max));
     }
     obs::observe("optimizer.closed_form.kkt_residual_c", residual);
     if (obs::RunTrace* tr = obs::trace()) {
@@ -107,7 +120,7 @@ ClosedFormResult AnalyticOptimizer::solve(const std::vector<size_t>& on_set,
 }
 
 ClosedFormResult AnalyticOptimizer::solve_all(double total_load) const {
-  std::vector<size_t> all(model_.size());
+  std::vector<size_t> all(model_->size());
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;
   return solve(all, total_load);
 }

@@ -58,6 +58,14 @@ class AnalyticOptimizer {
   /// std::invalid_argument otherwise.
   explicit AnalyticOptimizer(RoomModel model);
 
+  /// Shares an immutable model instead of copying it (the PlanEngine path).
+  explicit AnalyticOptimizer(SharedRoomModel model);
+
+  /// Shares a model the caller has already validated: no copy, no
+  /// re-validation — only the O(n) uniform-w1 check the closed form itself
+  /// needs. This is what keeps warm PlanEngine construction cheap.
+  AnalyticOptimizer(SharedRoomModel model, PreValidated);
+
   /// Closed form over the machines listed in `on_set` (indices into the
   /// model). Throws std::invalid_argument on an empty set, duplicate
   /// indices, or negative load.
@@ -66,10 +74,12 @@ class AnalyticOptimizer {
   /// Convenience: all machines ON.
   ClosedFormResult solve_all(double total_load) const;
 
-  const RoomModel& model() const { return model_; }
+  const RoomModel& model() const { return *model_; }
 
  private:
-  RoomModel model_;
+  void require_uniform_w1();
+
+  SharedRoomModel model_;
   double w1_ = 0.0;  // shared by all machines
 };
 

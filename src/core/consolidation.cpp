@@ -33,6 +33,10 @@ void require_uniform(const RoomModel& model) {
 
 ParticleSystem ParticleSystem::from_model(const RoomModel& model) {
   model.validate();
+  return from_model(model, kPreValidated);
+}
+
+ParticleSystem ParticleSystem::from_model(const RoomModel& model, PreValidated) {
   require_uniform(model);
   ParticleSystem ps;
   ps.w1 = model.machines.front().power.w1;
@@ -149,11 +153,23 @@ std::optional<ConsolidationChoice> BruteForceConsolidator::best_of_size(
 // EventConsolidator — Algorithm 1 (preprocessing)
 // ---------------------------------------------------------------------------
 
-EventConsolidator::EventConsolidator(RoomModel model) : model_(std::move(model)) {
+EventConsolidator::EventConsolidator(RoomModel model)
+    : EventConsolidator(share_model(std::move(model))) {}
+
+EventConsolidator::EventConsolidator(SharedRoomModel model)
+    : model_(std::move(model)) {
+  model_->validate();
+  preprocess();
+}
+
+EventConsolidator::EventConsolidator(SharedRoomModel model, PreValidated)
+    : model_(std::move(model)) {
+  preprocess();
+}
+
+void EventConsolidator::preprocess() {
   obs::ScopedTimer timer(obs::maybe_histogram("consolidation.preprocess_us"));
-  model_.validate();
-  require_uniform(model_);
-  particles_ = ParticleSystem::from_model(model_);
+  particles_ = ParticleSystem::from_model(*model_, kPreValidated);
   const size_t n = particles_.size();
 
   // All pairwise crossing times in t > 0 (the paper's Events loop).
@@ -257,10 +273,10 @@ ConsolidationChoice EventConsolidator::make_choice(size_t segment, size_t k,
   choice.t_param = std::clamp(t_subset, particles_.t_lo, particles_.t_hi);
   choice.t_ac = particles_.w1 * choice.t_param;
   double sum_w2 = 0.0;
-  for (const size_t i : choice.on_set) sum_w2 += model_.machines[i].power.w2;
+  for (const size_t i : choice.on_set) sum_w2 += model_->machines[i].power.w2;
   choice.predicted_total_power_w =
       sum_w2 + particles_.w1 * load +
-      model_.cooler.predict(choice.t_ac, sum_w2 + particles_.w1 * load);
+      model_->cooler.predict(choice.t_ac, sum_w2 + particles_.w1 * load);
   return choice;
 }
 

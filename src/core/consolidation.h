@@ -55,6 +55,9 @@ struct ParticleSystem {
   double t_hi = 0.0;      ///< t_ac_max / w1
 
   static ParticleSystem from_model(const RoomModel& model);
+  /// Skips RoomModel::validate() (caller already ran it); still enforces
+  /// the uniform-w1/w2 assumption the reduction needs.
+  static ParticleSystem from_model(const RoomModel& model, PreValidated);
   size_t size() const { return a.size(); }
   double coordinate(size_t i, double t) const { return a[i] - b[i] * t; }
 };
@@ -90,6 +93,15 @@ class EventConsolidator {
  public:
   explicit EventConsolidator(RoomModel model);
 
+  /// Shares an immutable model instead of copying it (the PlanEngine path).
+  explicit EventConsolidator(SharedRoomModel model);
+
+  /// Shares a model the caller has already validated: skips the
+  /// RoomModel::validate() pass (the O(n^3 lg n) Algorithm 1 preprocessing
+  /// still runs — that is precisely what the PlanEngine caches so it
+  /// happens once per model).
+  EventConsolidator(SharedRoomModel model, PreValidated);
+
   enum class QueryMode {
     /// The paper's Algorithm 2 verbatim: one binary search over all
     /// statuses sorted by Lmax; O(lg n) after preprocessing.
@@ -119,9 +131,11 @@ class EventConsolidator {
   size_t status_count() const { return statuses_.size(); }
   const ParticleSystem& particles() const { return particles_; }
 
-  const RoomModel& model() const { return model_; }
+  const RoomModel& model() const { return *model_; }
 
  private:
+  void preprocess();
+
   struct Segment {
     double start = 0.0;                 // particle time at segment start
     std::vector<uint32_t> order;        // particle ids, coordinate-descending
@@ -143,7 +157,7 @@ class EventConsolidator {
   std::optional<ConsolidationChoice> solve_for_k(double load, size_t k) const;
   ConsolidationChoice make_choice(size_t segment, size_t k, double load) const;
 
-  RoomModel model_;
+  SharedRoomModel model_;
   ParticleSystem particles_;
   std::vector<double> events_;     // sorted crossing times > 0
   std::vector<Segment> segments_;  // segments_[0].start == 0

@@ -1,0 +1,371 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/baselines.h"
+#include "obs/obs.h"
+#include "util/log.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace coolopt::core {
+namespace {
+
+double now_us() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::micro>(t).count();
+}
+
+}  // namespace
+
+PlanEngine::PlanEngine(SharedRoomModel model, PlannerOptions options)
+    : model_(std::move(model)), options_(options) {
+  if (!model_) throw std::invalid_argument("PlanEngine: null model");
+  if (options_.t_max_margin == 0.0) {
+    margin_model_ = model_;  // same object; no copy at all
+  } else {
+    RoomModel margined = *model_;
+    margined.t_max -= options_.t_max_margin;
+    margin_model_ = share_model(std::move(margined));
+  }
+  // The single validation pass for the whole solver stack: every cached
+  // artifact below is built with kPreValidated.
+  margin_model_->validate();
+  fixed_t_ac_ = conservative_t_ac(*margin_model_);
+}
+
+PlanEngine::PlanEngine(RoomModel model, PlannerOptions options)
+    : PlanEngine(share_model(std::move(model)), options) {}
+
+PlanEngine::~PlanEngine() = default;
+
+template <typename Build>
+void PlanEngine::ensure(std::once_flag& once, Build&& build) const {
+  bool built = false;
+  std::call_once(once, [&] {
+    build();
+    built = true;
+  });
+  if (built) {
+    counters_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    obs::count("engine.cache.miss");
+  } else {
+    counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    obs::count("engine.cache.hit");
+  }
+}
+
+const ModelAggregates& PlanEngine::aggregates() const {
+  ensure(aggregates_once_, [&] {
+    const RoomModel& m = *margin_model_;
+    auto agg = std::make_unique<ModelAggregates>();
+    const size_t n = m.size();
+    agg->k.resize(n);
+    agg->ab.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const MachineModel& mm = m.machines[i];
+      agg->k[i] = (m.t_max - mm.thermal.beta * mm.power.w2 - mm.thermal.gamma) /
+                  (mm.thermal.beta * mm.power.w1);
+      agg->ab[i] = mm.thermal.alpha / mm.thermal.beta;
+      agg->sum_k += agg->k[i];
+      agg->sum_ab += agg->ab[i];
+      agg->total_capacity += mm.capacity;
+    }
+    agg->uniform_w1 = m.uniform_w1(1e-6);
+    agg->uniform_w2 = m.uniform_w2(1e-6);
+    if (agg->uniform_w1) agg->w1 = m.machines.front().power.w1;
+    if (agg->uniform_w2) agg->w2 = m.machines.front().power.w2;
+    agg->all_machines.resize(n);
+    std::iota(agg->all_machines.begin(), agg->all_machines.end(), size_t{0});
+    agg->coolness = coolness_order(m);
+    agg->capacity_desc = agg->all_machines;
+    std::sort(agg->capacity_desc.begin(), agg->capacity_desc.end(),
+              [&](size_t x, size_t y) {
+                return m.machines[x].capacity > m.machines[y].capacity;
+              });
+    agg->idle_asc = agg->all_machines;
+    std::sort(agg->idle_asc.begin(), agg->idle_asc.end(),
+              [&](size_t x, size_t y) {
+                return m.machines[x].power.w2 < m.machines[y].power.w2;
+              });
+    aggregates_ = std::move(agg);
+  });
+  return *aggregates_;
+}
+
+const AnalyticOptimizer* PlanEngine::analytic() const {
+  ensure(analytic_once_, [&] {
+    if (!aggregates().uniform_w1) return;  // heterogeneous: no closed form
+    analytic_ = std::make_unique<AnalyticOptimizer>(margin_model_, kPreValidated);
+  });
+  return analytic_.get();
+}
+
+const LpOptimizer& PlanEngine::lp() const {
+  ensure(lp_once_, [&] {
+    lp_ = std::make_unique<LpOptimizer>(margin_model_, kPreValidated);
+  });
+  return *lp_;
+}
+
+const EventConsolidator* PlanEngine::consolidator() const {
+  ensure(consolidator_once_, [&] {
+    const ModelAggregates& agg = aggregates();
+    if (agg.uniform_w1 && agg.uniform_w2) {
+      consolidator_ =
+          std::make_unique<EventConsolidator>(margin_model_, kPreValidated);
+    }
+  });
+  return consolidator_.get();
+}
+
+const ParticleSystem* PlanEngine::particles() const {
+  ensure(particles_once_, [&] {
+    const ModelAggregates& agg = aggregates();
+    if (agg.uniform_w1 && agg.uniform_w2) {
+      particles_ = std::make_unique<ParticleSystem>(
+          ParticleSystem::from_model(*margin_model_, kPreValidated));
+    }
+  });
+  return particles_.get();
+}
+
+bool PlanEngine::exact_paths() const { return aggregates().uniform_w1; }
+
+std::optional<Allocation> PlanEngine::plan_optimal(
+    const std::vector<size_t>& on_set, double load, bool& closed_form_pure) const {
+  if (const AnalyticOptimizer* cf_opt = analytic()) {
+    const ClosedFormResult cf = cf_opt->solve(on_set, load);
+    if (cf.within_bounds()) {
+      closed_form_pure = true;
+      return cf.allocation;
+    }
+  }
+  // Either a heterogeneous fleet (no closed form at all) or the paper's
+  // assumptions broke on this instance (negative load, over-capacity load,
+  // T_ac outside the CRAC range): solve the bounded LP instead.
+  closed_form_pure = false;
+  return lp().solve(on_set, load);
+}
+
+std::optional<Plan> PlanEngine::compute_plan(const Scenario& s, double load) const {
+  const RoomModel& fitted = *model_;
+  const RoomModel& planning = *margin_model_;
+  const ModelAggregates& agg = aggregates();
+
+  Plan plan;
+  plan.scenario = s;
+  plan.load = load;
+
+  // Zero load with consolidation: everything off (no allocator needed).
+  if (load <= 1e-12 && s.consolidation) {
+    plan.allocation.loads.assign(fitted.size(), 0.0);
+    plan.allocation.on.assign(fitted.size(), false);
+    plan.allocation.t_ac = fitted.t_ac_max;
+    plan.allocation.finalize(fitted);
+    return plan;
+  }
+
+  const std::vector<size_t>& order = agg.coolness;
+
+  // --- choose the ON set and the load split ---
+  if (s.distribution == Distribution::kOptimal) {
+    std::optional<Allocation> best;
+    bool best_pure = true;
+    if (!s.consolidation) {
+      best = plan_optimal(agg.all_machines, load, best_pure);
+    } else {
+      const std::vector<size_t>& capacity_order = agg.capacity_desc;
+      auto probe_k = [&](size_t k, const std::vector<size_t>* ranked_subset) {
+        std::vector<std::vector<size_t>> subsets;
+        if (ranked_subset != nullptr) subsets.push_back(*ranked_subset);
+        subsets.emplace_back(capacity_order.begin(),
+                             capacity_order.begin() + static_cast<long>(k));
+        subsets.emplace_back(order.begin(), order.begin() + static_cast<long>(k));
+        for (const auto& subset : subsets) {
+          bool pure = true;
+          const auto alloc = plan_optimal(subset, load, pure);
+          if (!alloc) continue;
+          if (!best || alloc->total_power_w < best->total_power_w - 1e-12) {
+            best = alloc;
+            best_pure = pure;
+          }
+        }
+      };
+      if (const EventConsolidator* cons = consolidator()) {
+        // Walk the optimal consolidation ranking; candidates may fail the
+        // bounded validation (capacities are invisible to the particle
+        // reduction), so for every k we also probe capacity-greedy and
+        // coolest-first k-subsets and keep the best feasible plan overall.
+        //
+        // Branch and bound: cand.predicted_total_power_w is the Eq. 23
+        // relaxation (capacity and nonnegativity dropped; both can only
+        // lower T_ac, i.e. raise power), so it lower-bounds every bounded
+        // plan of its own k — and, since the ranking ascends in predicted
+        // power, of every later candidate too. Once the incumbent is at or
+        // below the next candidate's bound, nothing further can win, which
+        // collapses the walk from O(n) LP probes to the one or two leaders.
+        for (const ConsolidationChoice& cand : cons->rank_all_k(load)) {
+          if (best && cand.predicted_total_power_w >= best->total_power_w - 1e-12) {
+            break;
+          }
+          probe_k(cand.k, &cand.on_set);
+        }
+      } else {
+        // Heterogeneous fleet: no particle reduction. Probe a window of
+        // ON-set sizes above the capacity minimum with heuristic subset
+        // shapes, evaluating each with the bounded LP. The idle-draw order
+        // prefers cheap-idle nodes for padding.
+        const size_t k_min = min_machines_for(planning, load, capacity_order);
+        const size_t k_hi = std::min(planning.size(), k_min + 4);
+        for (size_t k = std::max<size_t>(1, k_min); k <= k_hi; ++k) {
+          const std::vector<size_t> cheap_idle(
+              agg.idle_asc.begin(), agg.idle_asc.begin() + static_cast<long>(k));
+          probe_k(k, &cheap_idle);
+        }
+      }
+    }
+    if (!best) return std::nullopt;
+    plan.allocation = std::move(*best);
+    plan.closed_form_pure = best_pure;
+  } else {
+    std::vector<size_t> on_set;
+    if (s.consolidation) {
+      const size_t k = min_machines_for(planning, load, order);
+      on_set.assign(order.begin(), order.begin() + static_cast<long>(k));
+    } else {
+      on_set = agg.all_machines;
+    }
+    plan.allocation = s.distribution == Distribution::kEven
+                          ? even_allocation(planning, load, on_set)
+                          : bottom_up_allocation(planning, load, on_set);
+  }
+
+  // --- choose the cool-air temperature ---
+  if (s.distribution == Distribution::kOptimal) {
+    // Already chosen jointly with the loads; keep it inside actuation range
+    // (clamping down is always safe, it only over-cools).
+    plan.allocation.t_ac =
+        std::clamp(plan.allocation.t_ac, fitted.t_ac_min, fitted.t_ac_max);
+  } else if (s.ac_control) {
+    plan.allocation.t_ac =
+        max_safe_t_ac(planning, plan.allocation.loads, plan.allocation.on);
+  } else {
+    plan.allocation.t_ac = fixed_t_ac_;
+  }
+
+  plan.allocation.finalize(fitted);
+
+  // --- final safety check against the margined ceiling ---
+  if (plan.allocation.count_on() > 0 &&
+      predicted_peak_cpu_temp(planning, plan.allocation) > planning.t_max + 1e-6) {
+    util::log_warn("PlanEngine: %s at load %.1f violates the temperature "
+                   "ceiling even at t_ac_min; no feasible plan",
+                   s.name().c_str(), load);
+    return std::nullopt;
+  }
+  return plan;
+}
+
+PlanResult PlanEngine::solve(const PlanRequest& request) const {
+  if (request.load < 0.0) {
+    throw std::invalid_argument("PlanEngine: negative load");
+  }
+  if (request.load > model_->total_capacity() + 1e-9) {
+    throw std::invalid_argument(
+        util::strf("PlanEngine: load %.3f exceeds room capacity %.3f",
+                   request.load, model_->total_capacity()));
+  }
+
+  PlanResult result;
+  const double t0 = now_us();
+  result.plan = compute_plan(request.scenario, request.load);
+  result.solve_us = now_us() - t0;
+
+  counters_.solves.fetch_add(1, std::memory_order_relaxed);
+  obs::count("engine.solves");
+  obs::observe("engine.solve_us", result.solve_us);
+  if (!result.plan) {
+    counters_.infeasible.fetch_add(1, std::memory_order_relaxed);
+    obs::count("engine.infeasible");
+  } else if (request.scenario.distribution == Distribution::kOptimal) {
+    if (result.plan->closed_form_pure) {
+      counters_.closed_form.fetch_add(1, std::memory_order_relaxed);
+      obs::count("engine.path.closed_form");
+    } else {
+      counters_.lp_fallback.fetch_add(1, std::memory_order_relaxed);
+      obs::count("engine.path.lp_fallback");
+    }
+  }
+  return result;
+}
+
+std::vector<PlanResult> PlanEngine::solve_batch(
+    std::span<const PlanRequest> requests, size_t workers) const {
+  std::vector<PlanResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  const double t0 = now_us();
+  util::ThreadPool* pool = nullptr;
+  std::optional<util::ThreadPool> local;
+  if (workers == 0) {
+    pool = &default_pool();
+  } else {
+    local.emplace(workers);
+    pool = &*local;
+  }
+  obs::gauge_set("engine.batch.workers", static_cast<double>(pool->worker_count()));
+
+  // Results land in index-addressed slots and every worker solves against
+  // the same immutable cached artifacts, so the worker schedule cannot
+  // change the output: element i is bit-for-bit what solve(requests[i])
+  // returns (modulo the wall-clock solve_us field).
+  pool->parallel_for(requests.size(), [&](size_t i) {
+    try {
+      results[i] = solve(requests[i]);
+    } catch (const std::exception& e) {
+      results[i] = PlanResult{};
+      results[i].error = e.what();
+    }
+  });
+
+  counters_.batches.fetch_add(1, std::memory_order_relaxed);
+  counters_.batch_requests.fetch_add(requests.size(), std::memory_order_relaxed);
+  obs::count("engine.batch.batches");
+  obs::count("engine.batch.requests", static_cast<uint64_t>(requests.size()));
+  obs::observe("engine.batch.latency_us", now_us() - t0);
+  return results;
+}
+
+std::optional<Allocation> PlanEngine::rebalance(const std::vector<size_t>& on_set,
+                                                double load) const {
+  counters_.rebalances.fetch_add(1, std::memory_order_relaxed);
+  obs::count("engine.rebalances");
+  return lp().solve(on_set, load);
+}
+
+util::ThreadPool& PlanEngine::default_pool() const {
+  std::scoped_lock lock(pool_mu_);
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>();
+  return *pool_;
+}
+
+EngineCounters PlanEngine::counters() const {
+  EngineCounters c;
+  c.solves = counters_.solves.load(std::memory_order_relaxed);
+  c.infeasible = counters_.infeasible.load(std::memory_order_relaxed);
+  c.closed_form = counters_.closed_form.load(std::memory_order_relaxed);
+  c.lp_fallback = counters_.lp_fallback.load(std::memory_order_relaxed);
+  c.rebalances = counters_.rebalances.load(std::memory_order_relaxed);
+  c.batches = counters_.batches.load(std::memory_order_relaxed);
+  c.batch_requests = counters_.batch_requests.load(std::memory_order_relaxed);
+  c.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+  c.cache_misses = counters_.cache_misses.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace coolopt::core

@@ -1,0 +1,208 @@
+// PlanEngine — the one seam in front of the whole solver stack.
+//
+// The paper's pipeline is: Eq. 19 aggregates (K_i, alpha_i/beta_i) feed the
+// closed form (Eqs. 21-22), the bounded LP restores the capacity/actuation
+// bounds the closed form ignores, and Algorithms 1/2 pick the consolidation
+// subset. Historically every call site (scenario planner, adaptive
+// controller, cooloptctl, the benches) re-instantiated that pipeline from a
+// private RoomModel copy — re-validating the model and, worst of all,
+// re-running the O(n^3 lg n) Algorithm 1 preprocessing on every
+// construction even though the model is immutable between replans.
+//
+// The engine owns ONE immutable shared model, validates it exactly once,
+// and lazily caches every model-derived artifact behind it:
+//
+//   model  ->  cached aggregates (K_i, alpha_i/beta_i, sums, sort orders)
+//          ->  cached solvers (closed form, bounded LP)
+//          ->  cached Algorithm 1 event table + particle system
+//          ->  dispatch: closed form -> LP fallback -> consolidation ranking
+//          ->  solve_batch fan-out over a util::ThreadPool
+//
+// Warm replans and rank_all_k queries therefore skip preprocessing
+// entirely; `engine.cache.hit` / `engine.cache.miss` quantify it. Batch
+// solves write results into index-addressed slots, so the worker schedule
+// can never change the answer: solve_batch is bit-for-bit identical to the
+// equivalent sequence of solve() calls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/closed_form.h"
+#include "core/consolidation.h"
+#include "core/lp_optimizer.h"
+#include "core/model.h"
+#include "core/scenario.h"
+
+namespace coolopt::util {
+class ThreadPool;
+}  // namespace coolopt::util
+
+namespace coolopt::core {
+
+/// One planning query: which policy, how much load (files/s).
+struct PlanRequest {
+  Scenario scenario = Scenario::by_number(8);
+  double load = 0.0;
+};
+
+/// Outcome of one request. `plan` is empty when no feasible operating point
+/// exists; `error` is non-empty when the request itself was invalid
+/// (negative or over-capacity load) — solve() throws in that case, while
+/// solve_batch() captures the message here so one bad request cannot tear
+/// down the batch.
+struct PlanResult {
+  std::optional<Plan> plan;
+  std::string error;
+  double solve_us = 0.0;
+
+  bool feasible() const { return plan.has_value(); }
+};
+
+/// Everything O(n)-derivable from the model that the dispatch loop used to
+/// recompute (and re-sort) on every plan call.
+struct ModelAggregates {
+  std::vector<double> k;   ///< K_i at the margined t_max (Eq. 19)
+  std::vector<double> ab;  ///< alpha_i / beta_i
+  double sum_k = 0.0;
+  double sum_ab = 0.0;
+  double total_capacity = 0.0;
+  bool uniform_w1 = false;  ///< closed form applicable
+  bool uniform_w2 = false;  ///< particle reduction applicable (with w1)
+  double w1 = 0.0;          ///< fleet w1 when uniform_w1
+  double w2 = 0.0;          ///< fleet w2 when uniform_w2
+  std::vector<size_t> all_machines;   ///< 0..n-1
+  std::vector<size_t> coolness;       ///< coolest-first (baselines' order)
+  std::vector<size_t> capacity_desc;  ///< capacity-descending
+  std::vector<size_t> idle_asc;       ///< idle draw (w2) ascending
+};
+
+/// Monotonic per-engine counters (snapshot; the live values are relaxed
+/// atomics so solve_batch workers update them concurrently). The same
+/// events are mirrored into the attached obs::MetricsRegistry as the
+/// `engine.*` metrics.
+struct EngineCounters {
+  uint64_t solves = 0;
+  uint64_t infeasible = 0;
+  uint64_t closed_form = 0;   ///< plans served purely by the closed form
+  uint64_t lp_fallback = 0;   ///< plans that engaged the bounded LP
+  uint64_t rebalances = 0;
+  uint64_t batches = 0;
+  uint64_t batch_requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+class PlanEngine {
+ public:
+  /// Validates the model once (the only validation on the whole solve
+  /// path) and precomputes the cheap O(n) state; the heavy artifacts are
+  /// built lazily on first use and cached for the engine's lifetime.
+  explicit PlanEngine(SharedRoomModel model, PlannerOptions options = {});
+  explicit PlanEngine(RoomModel model, PlannerOptions options = {});
+  ~PlanEngine();
+
+  PlanEngine(const PlanEngine&) = delete;
+  PlanEngine& operator=(const PlanEngine&) = delete;
+
+  // --- model access ---
+  const RoomModel& model() const { return *model_; }
+  SharedRoomModel shared_model() const { return model_; }
+  /// Model the solvers see: t_max reduced by options().t_max_margin.
+  /// Shares the same object as model() when the margin is zero.
+  const RoomModel& planning_model() const { return *margin_model_; }
+  const PlannerOptions& options() const { return options_; }
+
+  /// True when the paper's exact machinery (closed form + Algorithm 1/2)
+  /// applies: uniform w1 across the fleet.
+  bool exact_paths() const;
+  /// Fixed conservative cool-air temperature used when AC control is off.
+  double fixed_t_ac() const { return fixed_t_ac_; }
+
+  // --- cached artifacts (built on first access, shared ever after) ---
+  const ModelAggregates& aggregates() const;
+  /// nullptr for heterogeneous-w1 fleets (no closed form).
+  const AnalyticOptimizer* analytic() const;
+  const LpOptimizer& lp() const;
+  /// nullptr unless w1 AND w2 are uniform (Eq. 23 reduction). First access
+  /// pays the Algorithm 1 preprocessing; every later access is a cache hit.
+  const EventConsolidator* consolidator() const;
+  /// nullptr unless the particle reduction applies.
+  const ParticleSystem* particles() const;
+
+  // --- solving ---
+  /// Plans (scenario, load) against the cached artifacts. Returns an
+  /// infeasible result (empty plan) when no operating point exists under
+  /// the ceiling; throws std::invalid_argument on negative or
+  /// over-capacity load, exactly like ScenarioPlanner::plan always did.
+  PlanResult solve(const PlanRequest& request) const;
+
+  /// Fans `requests` out across a worker pool and returns results in
+  /// request order. Results are bit-for-bit identical to calling solve()
+  /// sequentially (index-addressed output slots; shared immutable caches).
+  /// Request-level std::invalid_argument is captured into
+  /// PlanResult::error instead of thrown. `workers` == 0 uses an
+  /// engine-owned pool sized by util::ThreadPool::default_workers().
+  std::vector<PlanResult> solve_batch(std::span<const PlanRequest> requests,
+                                      size_t workers = 0) const;
+
+  /// Load-only redistribution over a fixed ON set (the adaptive
+  /// controller's cheap middle tier): bounded LP on the cached solver, no
+  /// power-state changes implied.
+  std::optional<Allocation> rebalance(const std::vector<size_t>& on_set,
+                                      double load) const;
+
+  EngineCounters counters() const;
+
+ private:
+  struct LiveCounters {
+    std::atomic<uint64_t> solves{0};
+    std::atomic<uint64_t> infeasible{0};
+    std::atomic<uint64_t> closed_form{0};
+    std::atomic<uint64_t> lp_fallback{0};
+    std::atomic<uint64_t> rebalances{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> batch_requests{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+  };
+
+  /// Runs `build` exactly once (first caller = cache miss, everyone else =
+  /// hit) and keeps the books.
+  template <typename Build>
+  void ensure(std::once_flag& once, Build&& build) const;
+
+  std::optional<Plan> compute_plan(const Scenario& s, double load) const;
+  std::optional<Allocation> plan_optimal(const std::vector<size_t>& on_set,
+                                         double load, bool& closed_form_pure) const;
+  util::ThreadPool& default_pool() const;
+
+  SharedRoomModel model_;         // as fitted
+  SharedRoomModel margin_model_;  // t_max reduced by the margin (== model_ if 0)
+  PlannerOptions options_;
+  double fixed_t_ac_ = 0.0;
+
+  mutable std::once_flag aggregates_once_;
+  mutable std::unique_ptr<ModelAggregates> aggregates_;
+  mutable std::once_flag analytic_once_;
+  mutable std::unique_ptr<AnalyticOptimizer> analytic_;
+  mutable std::once_flag lp_once_;
+  mutable std::unique_ptr<LpOptimizer> lp_;
+  mutable std::once_flag consolidator_once_;
+  mutable std::unique_ptr<EventConsolidator> consolidator_;
+  mutable std::once_flag particles_once_;
+  mutable std::unique_ptr<ParticleSystem> particles_;
+
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+
+  mutable LiveCounters counters_;
+};
+
+}  // namespace coolopt::core

@@ -37,9 +37,15 @@ double lp_residual(const RoomModel& model, const std::vector<size_t>& on_set,
 
 }  // namespace
 
-LpOptimizer::LpOptimizer(RoomModel model) : model_(std::move(model)) {
-  model_.validate();
+LpOptimizer::LpOptimizer(RoomModel model)
+    : LpOptimizer(share_model(std::move(model))) {}
+
+LpOptimizer::LpOptimizer(SharedRoomModel model) : model_(std::move(model)) {
+  model_->validate();
 }
+
+LpOptimizer::LpOptimizer(SharedRoomModel model, PreValidated)
+    : model_(std::move(model)) {}
 
 std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
                                              double total_load) const {
@@ -51,7 +57,7 @@ std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
   }
   std::unordered_set<size_t> seen;
   for (const size_t i : on_set) {
-    if (i >= model_.size()) {
+    if (i >= model_->size()) {
       throw std::invalid_argument(
           util::strf("LpOptimizer::solve: machine index %zu out of range", i));
     }
@@ -68,9 +74,9 @@ std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
 
   // Objective: minimize IT power + cooling power. Constant terms (w2 sums,
   // cfac * t_sp_ref, fan) are added back after solving.
-  lp.set_objective(0, -model_.cooler.cfac);
+  lp.set_objective(0, -model_->cooler.cfac);
   for (size_t j = 0; j < k; ++j) {
-    lp.set_objective(1 + j, model_.machines[on_set[j]].power.w1);
+    lp.set_objective(1 + j, model_->machines[on_set[j]].power.w1);
   }
 
   // Load conservation.
@@ -82,20 +88,20 @@ std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
 
   // Temperature ceilings: alpha*T_ac + beta*w1*L <= T_max - gamma - beta*w2.
   for (size_t j = 0; j < k; ++j) {
-    const MachineModel& m = model_.machines[on_set[j]];
+    const MachineModel& m = model_->machines[on_set[j]];
     std::vector<double> row(1 + k, 0.0);
     row[0] = m.thermal.alpha;
     row[1 + j] = m.thermal.beta * m.power.w1;
     lp.add_less_equal(std::move(row),
-                      model_.t_max - m.thermal.gamma - m.thermal.beta * m.power.w2);
+                      model_->t_max - m.thermal.gamma - m.thermal.beta * m.power.w2);
   }
 
   // Capacity bounds and T_ac range.
   for (size_t j = 0; j < k; ++j) {
-    lp.add_upper_bound(1 + j, model_.machines[on_set[j]].capacity);
+    lp.add_upper_bound(1 + j, model_->machines[on_set[j]].capacity);
   }
-  lp.add_upper_bound(0, model_.t_ac_max);
-  lp.add_lower_bound(0, model_.t_ac_min);
+  lp.add_upper_bound(0, model_->t_ac_max);
+  lp.add_lower_bound(0, model_->t_ac_min);
 
   obs::ScopedTimer timer(obs::maybe_histogram("optimizer.lp.solve_us"));
   const LpSolution sol = solve_lp(lp);
@@ -106,7 +112,7 @@ std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
   obs::observe("optimizer.lp.iterations", static_cast<double>(sol.iterations));
   double residual = 0.0;
   if ((obs::metrics() != nullptr || obs::trace() != nullptr) && feasible) {
-    residual = lp_residual(model_, on_set, total_load, sol);
+    residual = lp_residual(*model_, on_set, total_load, sol);
     obs::observe("optimizer.lp.kkt_residual", residual);
   }
   if (obs::RunTrace* tr = obs::trace()) {
@@ -118,8 +124,8 @@ std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
   if (!feasible) return std::nullopt;
 
   Allocation alloc;
-  alloc.loads.assign(model_.size(), 0.0);
-  alloc.on.assign(model_.size(), false);
+  alloc.loads.assign(model_->size(), 0.0);
+  alloc.on.assign(model_->size(), false);
   alloc.t_ac = sol.x[0];
   for (size_t j = 0; j < k; ++j) {
     alloc.on[on_set[j]] = true;
@@ -128,12 +134,12 @@ std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
     if (li < 0.0 && li > -1e-7) li = 0.0;
     alloc.loads[on_set[j]] = li;
   }
-  alloc.finalize(model_);
+  alloc.finalize(*model_);
   return alloc;
 }
 
 std::optional<Allocation> LpOptimizer::solve_all(double total_load) const {
-  std::vector<size_t> all(model_.size());
+  std::vector<size_t> all(model_->size());
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;
   return solve(all, total_load);
 }

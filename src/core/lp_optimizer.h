@@ -26,6 +26,13 @@ class LpOptimizer {
  public:
   explicit LpOptimizer(RoomModel model);
 
+  /// Shares an immutable model instead of copying it (the PlanEngine path).
+  explicit LpOptimizer(SharedRoomModel model);
+
+  /// Shares a model the caller has already validated: no copy, no checks —
+  /// construction is O(1).
+  LpOptimizer(SharedRoomModel model, PreValidated);
+
   /// Optimal bounded allocation for the given ON set, or std::nullopt when
   /// infeasible (load above ON capacity, or the temperature ceiling cannot
   /// be met even at t_ac_min).
@@ -34,10 +41,10 @@ class LpOptimizer {
 
   std::optional<Allocation> solve_all(double total_load) const;
 
-  const RoomModel& model() const { return model_; }
+  const RoomModel& model() const { return *model_; }
 
  private:
-  RoomModel model_;
+  SharedRoomModel model_;
 };
 
 }  // namespace coolopt::core

@@ -1,5 +1,6 @@
 #include "core/model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -68,6 +69,17 @@ bool RoomModel::uniform_w1(double rel_tol) const {
   const double ref = machines.front().power.w1;
   for (const MachineModel& m : machines) {
     if (std::abs(m.power.w1 - ref) > rel_tol * std::abs(ref)) return false;
+  }
+  return true;
+}
+
+bool RoomModel::uniform_w2(double rel_tol) const {
+  if (machines.empty()) return true;
+  const double ref = machines.front().power.w2;
+  for (const MachineModel& m : machines) {
+    if (std::abs(m.power.w2 - ref) > rel_tol * std::max(1.0, std::abs(ref))) {
+      return false;
+    }
   }
   return true;
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,27 @@ struct RoomModel {
   /// True when every machine shares (within rel_tol) the same w1 — the
   /// assumption under which the paper's closed form is exact.
   bool uniform_w1(double rel_tol = 1e-6) const;
+
+  /// True when every machine additionally shares the same w2 (the Eq. 23
+  /// particle reduction needs both).
+  bool uniform_w2(double rel_tol = 1e-6) const;
 };
+
+/// The solver stack shares one immutable model instead of copying it into
+/// every optimizer (the model is fitted once and never mutated between
+/// replans).
+using SharedRoomModel = std::shared_ptr<const RoomModel>;
+
+/// Wraps a model for sharing without re-copying it.
+inline SharedRoomModel share_model(RoomModel model) {
+  return std::make_shared<const RoomModel>(std::move(model));
+}
+
+/// Constructor tag asserting the caller has already run
+/// RoomModel::validate() on the exact object being shared — the PlanEngine
+/// validates once and hands the tag down so the optimizers' constructors
+/// stay cheap.
+struct PreValidated {};
+inline constexpr PreValidated kPreValidated{};
 
 }  // namespace coolopt::core

@@ -1,11 +1,9 @@
 #include "core/scenario.h"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
+#include <utility>
 
-#include "core/baselines.h"
-#include "util/log.h"
+#include "core/engine.h"
 #include "util/strings.h"
 
 namespace coolopt::core {
@@ -46,172 +44,28 @@ Scenario Scenario::by_number(int number) {
 }
 
 ScenarioPlanner::ScenarioPlanner(RoomModel model, PlannerOptions options)
-    : model_(std::move(model)),
-      margin_model_([&] {
-        RoomModel m = model_;
-        m.t_max -= options.t_max_margin;
-        return m;
-      }()),
-      options_(options),
-      lp_(margin_model_) {
-  margin_model_.validate();
-  if (margin_model_.uniform_w1(1e-6)) {
-    analytic_.emplace(margin_model_);
-    const double w2 = margin_model_.machines.front().power.w2;
-    bool uniform_w2 = true;
-    for (const MachineModel& m : margin_model_.machines) {
-      if (std::abs(m.power.w2 - w2) > 1e-6 * std::max(1.0, std::abs(w2))) {
-        uniform_w2 = false;
-        break;
-      }
-    }
-    if (uniform_w2) consolidator_.emplace(margin_model_);
-  }
-  fixed_t_ac_ = conservative_t_ac(margin_model_);
+    : ScenarioPlanner(share_model(std::move(model)), options) {}
+
+ScenarioPlanner::ScenarioPlanner(SharedRoomModel model, PlannerOptions options)
+    : engine_(std::make_shared<PlanEngine>(std::move(model), options)) {}
+
+ScenarioPlanner::ScenarioPlanner(std::shared_ptr<PlanEngine> engine)
+    : engine_(std::move(engine)) {
+  if (!engine_) throw std::invalid_argument("ScenarioPlanner: null engine");
 }
 
-std::vector<size_t> ScenarioPlanner::all_machines() const {
-  std::vector<size_t> all(model_.size());
-  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
-  return all;
-}
+ScenarioPlanner::~ScenarioPlanner() = default;
+ScenarioPlanner::ScenarioPlanner(ScenarioPlanner&&) noexcept = default;
+ScenarioPlanner& ScenarioPlanner::operator=(ScenarioPlanner&&) noexcept = default;
 
-std::optional<Allocation> ScenarioPlanner::plan_optimal(
-    const std::vector<size_t>& on_set, double load, bool& closed_form_pure) const {
-  if (analytic_) {
-    const ClosedFormResult cf = analytic_->solve(on_set, load);
-    if (cf.within_bounds()) {
-      closed_form_pure = true;
-      return cf.allocation;
-    }
-  }
-  // Either a heterogeneous fleet (no closed form at all) or the paper's
-  // assumptions broke on this instance (negative load, over-capacity load,
-  // T_ac outside the CRAC range): solve the bounded LP instead.
-  closed_form_pure = false;
-  return lp_.solve(on_set, load);
-}
+bool ScenarioPlanner::exact_paths() const { return engine_->exact_paths(); }
 
 std::optional<Plan> ScenarioPlanner::plan(const Scenario& s, double load) const {
-  if (load < 0.0) throw std::invalid_argument("ScenarioPlanner: negative load");
-  if (load > model_.total_capacity() + 1e-9) {
-    throw std::invalid_argument(util::strf(
-        "ScenarioPlanner: load %.3f exceeds room capacity %.3f", load,
-        model_.total_capacity()));
-  }
-
-  Plan plan;
-  plan.scenario = s;
-  plan.load = load;
-
-  // Zero load with consolidation: everything off (no allocator needed).
-  if (load <= 1e-12 && s.consolidation) {
-    plan.allocation.loads.assign(model_.size(), 0.0);
-    plan.allocation.on.assign(model_.size(), false);
-    plan.allocation.t_ac = model_.t_ac_max;
-    plan.allocation.finalize(model_);
-    return plan;
-  }
-
-  const std::vector<size_t> order = coolness_order(margin_model_);
-
-  // --- choose the ON set and the load split ---
-  if (s.distribution == Distribution::kOptimal) {
-    std::optional<Allocation> best;
-    bool best_pure = true;
-    if (!s.consolidation) {
-      best = plan_optimal(all_machines(), load, best_pure);
-    } else {
-      std::vector<size_t> capacity_order = all_machines();
-      std::sort(capacity_order.begin(), capacity_order.end(),
-                [&](size_t x, size_t y) {
-                  return margin_model_.machines[x].capacity >
-                         margin_model_.machines[y].capacity;
-                });
-      auto probe_k = [&](size_t k, const std::vector<size_t>* ranked_subset) {
-        std::vector<std::vector<size_t>> subsets;
-        if (ranked_subset != nullptr) subsets.push_back(*ranked_subset);
-        subsets.emplace_back(capacity_order.begin(),
-                             capacity_order.begin() + static_cast<long>(k));
-        subsets.emplace_back(order.begin(), order.begin() + static_cast<long>(k));
-        for (const auto& subset : subsets) {
-          bool pure = true;
-          const auto alloc = plan_optimal(subset, load, pure);
-          if (!alloc) continue;
-          if (!best || alloc->total_power_w < best->total_power_w - 1e-12) {
-            best = alloc;
-            best_pure = pure;
-          }
-        }
-      };
-      if (consolidator_) {
-        // Walk the optimal consolidation ranking; candidates may fail the
-        // bounded validation (capacities are invisible to the particle
-        // reduction), so for every k we also probe capacity-greedy and
-        // coolest-first k-subsets and keep the best feasible plan overall.
-        for (const ConsolidationChoice& cand : consolidator_->rank_all_k(load)) {
-          probe_k(cand.k, &cand.on_set);
-        }
-      } else {
-        // Heterogeneous fleet: no particle reduction. Probe a window of
-        // ON-set sizes above the capacity minimum with heuristic subset
-        // shapes, evaluating each with the bounded LP. Also rank machines
-        // by idle draw so cheap-idle nodes are preferred for padding.
-        std::vector<size_t> idle_order = all_machines();
-        std::sort(idle_order.begin(), idle_order.end(), [&](size_t x, size_t y) {
-          return margin_model_.machines[x].power.w2 <
-                 margin_model_.machines[y].power.w2;
-        });
-        const size_t k_min = min_machines_for(margin_model_, load, capacity_order);
-        const size_t k_hi = std::min(margin_model_.size(), k_min + 4);
-        for (size_t k = std::max<size_t>(1, k_min); k <= k_hi; ++k) {
-          const std::vector<size_t> cheap_idle(
-              idle_order.begin(), idle_order.begin() + static_cast<long>(k));
-          probe_k(k, &cheap_idle);
-        }
-      }
-    }
-    if (!best) return std::nullopt;
-    plan.allocation = std::move(*best);
-    plan.closed_form_pure = best_pure;
-  } else {
-    std::vector<size_t> on_set;
-    if (s.consolidation) {
-      const size_t k = min_machines_for(margin_model_, load, order);
-      on_set.assign(order.begin(), order.begin() + static_cast<long>(k));
-    } else {
-      on_set = all_machines();
-    }
-    plan.allocation = s.distribution == Distribution::kEven
-                          ? even_allocation(margin_model_, load, on_set)
-                          : bottom_up_allocation(margin_model_, load, on_set);
-  }
-
-  // --- choose the cool-air temperature ---
-  if (s.distribution == Distribution::kOptimal) {
-    // Already chosen jointly with the loads; keep it inside actuation range
-    // (clamping down is always safe, it only over-cools).
-    plan.allocation.t_ac =
-        std::clamp(plan.allocation.t_ac, model_.t_ac_min, model_.t_ac_max);
-  } else if (s.ac_control) {
-    plan.allocation.t_ac =
-        max_safe_t_ac(margin_model_, plan.allocation.loads, plan.allocation.on);
-  } else {
-    plan.allocation.t_ac = fixed_t_ac_;
-  }
-
-  plan.allocation.finalize(model_);
-
-  // --- final safety check against the margined ceiling ---
-  if (plan.allocation.count_on() > 0 &&
-      predicted_peak_cpu_temp(margin_model_, plan.allocation) >
-          margin_model_.t_max + 1e-6) {
-    util::log_warn("ScenarioPlanner: %s at load %.1f violates the temperature "
-                   "ceiling even at t_ac_min; no feasible plan",
-                   s.name().c_str(), load);
-    return std::nullopt;
-  }
-  return plan;
+  return engine_->solve(PlanRequest{s, load}).plan;
 }
+
+const RoomModel& ScenarioPlanner::model() const { return engine_->model(); }
+
+double ScenarioPlanner::fixed_t_ac() const { return engine_->fixed_t_ac(); }
 
 }  // namespace coolopt::core

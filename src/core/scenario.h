@@ -16,17 +16,17 @@
 //   * Consolidation: when ON, machines with no load are switched off.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/allocation.h"
-#include "core/closed_form.h"
-#include "core/consolidation.h"
-#include "core/lp_optimizer.h"
 #include "core/model.h"
 
 namespace coolopt::core {
+
+class PlanEngine;
 
 enum class Distribution { kEven, kBottomUp, kOptimal };
 
@@ -66,6 +66,9 @@ struct Plan {
 
 /// Turns (scenario, load) into an allocation against the fitted model.
 ///
+/// This is now a thin facade over PlanEngine (core/engine.h), which owns
+/// the shared immutable model and every cached solver artifact; several
+/// planners built from the same engine share one Algorithm 1 event table.
 /// Homogeneous fleets (uniform w1/w2, the paper's assumption) use the
 /// closed form and the event-based optimal consolidation; heterogeneous
 /// fleets automatically route through the bounded LP with a heuristic
@@ -73,10 +76,17 @@ struct Plan {
 class ScenarioPlanner {
  public:
   ScenarioPlanner(RoomModel model, PlannerOptions options = {});
+  ScenarioPlanner(SharedRoomModel model, PlannerOptions options = {});
+  /// Wraps an existing engine (shares its caches; no model copy).
+  explicit ScenarioPlanner(std::shared_ptr<PlanEngine> engine);
+  ~ScenarioPlanner();
+
+  ScenarioPlanner(ScenarioPlanner&&) noexcept;
+  ScenarioPlanner& operator=(ScenarioPlanner&&) noexcept;
 
   /// True when the paper's exact machinery (closed form + Algorithm 1/2)
   /// is in use; false for the heterogeneous LP fallback.
-  bool exact_paths() const { return analytic_.has_value(); }
+  bool exact_paths() const;
 
   /// Plans scenario `s` for total load `load` (files/s). Throws
   /// std::invalid_argument if the load exceeds room capacity; returns
@@ -84,25 +94,15 @@ class ScenarioPlanner {
   /// temperature ceiling.
   std::optional<Plan> plan(const Scenario& s, double load) const;
 
-  const RoomModel& model() const { return model_; }
+  const RoomModel& model() const;
   /// Fixed conservative cool-air temperature used when AC control is off.
-  double fixed_t_ac() const { return fixed_t_ac_; }
+  double fixed_t_ac() const;
+
+  /// The underlying engine (never null); share it to reuse the caches.
+  const std::shared_ptr<PlanEngine>& engine() const { return engine_; }
 
  private:
-  /// Model with the margin folded into t_max (what the optimizers see).
-  const RoomModel& planning_model() const { return margin_model_; }
-
-  std::optional<Allocation> plan_optimal(const std::vector<size_t>& on_set,
-                                         double load, bool& closed_form_pure) const;
-  std::vector<size_t> all_machines() const;
-
-  RoomModel model_;         // as fitted
-  RoomModel margin_model_;  // t_max reduced by the safety margin
-  PlannerOptions options_;
-  double fixed_t_ac_ = 0.0;
-  std::optional<AnalyticOptimizer> analytic_;     // uniform-w1 fleets only
-  LpOptimizer lp_;
-  std::optional<EventConsolidator> consolidator_; // uniform-w1/w2 fleets only
+  std::shared_ptr<PlanEngine> engine_;
 };
 
 }  // namespace coolopt::core

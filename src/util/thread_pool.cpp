@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace coolopt::util {
+
+size_t ThreadPool::default_workers() {
+  const size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(hw, 1, kMaxDefaultWorkers);
+}
+
+ThreadPool::ThreadPool(size_t workers) {
+  if (workers == 0) workers = default_workers();
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();  // job() must not throw; parallel_for wraps callbacks
+    // Drop the job's captured state before signalling idle, so every
+    // reference a task held (shared result slots, exception storage) is
+    // released strictly before a wait_idle() caller can observe completion.
+    job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+
+  // One logical task per index, pulled off a shared cursor so a slow task
+  // does not serialize the tail behind it. The first failing index (task
+  // order, not completion order — deterministic) keeps its exception.
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  auto first_error_index =
+      std::make_shared<std::atomic<size_t>>(std::numeric_limits<size_t>::max());
+  auto errors = std::make_shared<std::vector<std::exception_ptr>>(count);
+
+  const size_t lanes = std::min(count, worker_count());
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    submit([cursor, first_error_index, errors, count, &fn] {
+      for (;;) {
+        const size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          fn(i);
+        } catch (...) {
+          (*errors)[i] = std::current_exception();
+          size_t prev = first_error_index->load(std::memory_order_relaxed);
+          while (i < prev && !first_error_index->compare_exchange_weak(
+                                 prev, i, std::memory_order_relaxed)) {
+          }
+        }
+      }
+    });
+  }
+  wait_idle();
+
+  const size_t bad = first_error_index->load(std::memory_order_relaxed);
+  if (bad != std::numeric_limits<size_t>::max()) {
+    std::rethrow_exception((*errors)[bad]);
+  }
+}
+
+}  // namespace coolopt::util

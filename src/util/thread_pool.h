@@ -1,0 +1,65 @@
+// A small fixed-size worker pool for batch solves.
+//
+// Design goals, in order: deterministic result placement (callers index
+// output slots by task id, so the schedule never affects results),
+// exception transparency (the first task exception is rethrown on the
+// caller's thread), and zero cleverness — a mutex + condvar queue is
+// plenty for the "tens of solves per batch" workloads the PlanEngine
+// fans out. Workers are started once and live for the pool's lifetime.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coolopt::util {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads; 0 picks a hardware-sized default (clamped
+  /// to kMaxDefaultWorkers so a big host doesn't oversubscribe a small
+  /// batch).
+  explicit ThreadPool(size_t workers = 0);
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues one job. Jobs must not submit to the same pool (no nested
+  /// submission — the pool is for leaf-level fan-out).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for every i in [0, count) across the pool and blocks until
+  /// all complete. If any invocation throws, the first exception (in task
+  /// order) is rethrown here after the whole range has been attempted.
+  void parallel_for(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Default worker count used when the constructor is passed 0.
+  static size_t default_workers();
+
+  static constexpr size_t kMaxDefaultWorkers = 8;
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: job available / stop
+  std::condition_variable idle_cv_;   // signals waiters: all work finished
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;              // dequeued but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace coolopt::util

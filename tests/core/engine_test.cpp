@@ -1,0 +1,274 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/synthetic.h"
+#include "obs/obs.h"
+
+namespace coolopt::core {
+namespace {
+
+RoomModel uniform_model(size_t machines = 20, uint64_t seed = 7) {
+  SyntheticModelOptions opt;
+  opt.machines = machines;
+  opt.seed = seed;
+  return make_synthetic_model(opt);
+}
+
+RoomModel heterogeneous_model(size_t machines = 12, uint64_t seed = 7) {
+  RoomModel model = uniform_model(machines, seed);
+  for (size_t i = 0; i < model.size(); ++i) {
+    model.machines[i].power.w1 *= 1.0 + 0.05 * static_cast<double>(i);
+    model.machines[i].power.w2 += static_cast<double>(i);
+  }
+  return model;
+}
+
+/// The 200-request load sweep of the determinism suite: every scenario at
+/// 25 load points spanning (0, capacity].
+std::vector<PlanRequest> sweep_requests(const RoomModel& model) {
+  std::vector<PlanRequest> requests;
+  const double capacity = model.total_capacity();
+  for (const Scenario& s : Scenario::all8()) {
+    for (int step = 1; step <= 25; ++step) {
+      requests.push_back(PlanRequest{s, capacity * step / 25.0});
+    }
+  }
+  return requests;
+}
+
+void expect_identical(const PlanResult& a, const PlanResult& b, size_t index) {
+  SCOPED_TRACE("request " + std::to_string(index));
+  ASSERT_EQ(a.error, b.error);
+  ASSERT_EQ(a.plan.has_value(), b.plan.has_value());
+  if (!a.plan) return;
+  // Bit-for-bit: every double compared with exact equality. The engine
+  // computes each result from the same immutable cached artifacts, so the
+  // worker schedule must not perturb a single bit.
+  EXPECT_EQ(a.plan->load, b.plan->load);
+  EXPECT_EQ(a.plan->closed_form_pure, b.plan->closed_form_pure);
+  EXPECT_EQ(a.plan->scenario.number, b.plan->scenario.number);
+  EXPECT_EQ(a.plan->allocation.on, b.plan->allocation.on);
+  ASSERT_EQ(a.plan->allocation.loads.size(), b.plan->allocation.loads.size());
+  for (size_t i = 0; i < a.plan->allocation.loads.size(); ++i) {
+    EXPECT_EQ(a.plan->allocation.loads[i], b.plan->allocation.loads[i]);
+  }
+  EXPECT_EQ(a.plan->allocation.t_ac, b.plan->allocation.t_ac);
+  EXPECT_EQ(a.plan->allocation.it_power_w, b.plan->allocation.it_power_w);
+  EXPECT_EQ(a.plan->allocation.cooling_power_w, b.plan->allocation.cooling_power_w);
+  EXPECT_EQ(a.plan->allocation.total_power_w, b.plan->allocation.total_power_w);
+}
+
+TEST(PlanEngine, BatchMatchesSequentialBitForBit) {
+  const PlanEngine engine(uniform_model());
+  const std::vector<PlanRequest> requests = sweep_requests(engine.model());
+  ASSERT_EQ(requests.size(), 200u);
+
+  std::vector<PlanResult> sequential;
+  sequential.reserve(requests.size());
+  for (const PlanRequest& r : requests) sequential.push_back(engine.solve(r));
+
+  for (const size_t workers : {1u, 2u, 8u}) {
+    SCOPED_TRACE("workers " + std::to_string(workers));
+    const std::vector<PlanResult> batch = engine.solve_batch(requests, workers);
+    ASSERT_EQ(batch.size(), requests.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      expect_identical(sequential[i], batch[i], i);
+    }
+  }
+}
+
+TEST(PlanEngine, BatchOnHeterogeneousFleetMatchesSequential) {
+  const PlanEngine engine(heterogeneous_model());
+  EXPECT_FALSE(engine.exact_paths());
+  std::vector<PlanRequest> requests = sweep_requests(engine.model());
+  std::vector<PlanResult> sequential;
+  sequential.reserve(requests.size());
+  for (const PlanRequest& r : requests) sequential.push_back(engine.solve(r));
+  const std::vector<PlanResult> batch = engine.solve_batch(requests, 8);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    expect_identical(sequential[i], batch[i], i);
+  }
+}
+
+TEST(PlanEngine, WarmReplansPreprocessAlgorithm1ExactlyOnce) {
+  obs::MetricsRegistry registry;
+  obs::ScopedObservation scope(&registry);
+
+  const PlanEngine engine(uniform_model());
+  const double capacity = engine.model().total_capacity();
+  const Scenario holistic = Scenario::by_number(8);
+  for (int step = 1; step <= 40; ++step) {
+    engine.solve(PlanRequest{holistic, capacity * step / 40.0});
+  }
+  // Algorithm 1's O(n^3 lg n) preprocessing ran once for 40 replans; before
+  // the engine it ran once per planner construction.
+  EXPECT_EQ(registry.counter("consolidation.preprocesses").value(), 1u);
+
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.solves, 40u);
+  // At most one miss per artifact (aggregates, analytic, lp, consolidator);
+  // everything else the 40 solves touched was a cache hit.
+  EXPECT_GE(counters.cache_misses, 3u);
+  EXPECT_LE(counters.cache_misses, 4u);
+  EXPECT_GT(counters.cache_hits, counters.cache_misses);
+  EXPECT_EQ(registry.counter("engine.cache.miss").value(), counters.cache_misses);
+  EXPECT_EQ(registry.counter("engine.cache.hit").value(), counters.cache_hits);
+}
+
+TEST(PlanEngine, SharedEngineKeepsOneEventTableAcrossPlanners) {
+  obs::MetricsRegistry registry;
+  obs::ScopedObservation scope(&registry);
+
+  auto engine = std::make_shared<PlanEngine>(uniform_model());
+  const double load = engine->model().total_capacity() * 0.6;
+  for (int i = 0; i < 3; ++i) {
+    const ScenarioPlanner planner(engine);
+    ASSERT_TRUE(planner.plan(Scenario::by_number(8), load).has_value());
+  }
+  EXPECT_EQ(registry.counter("consolidation.preprocesses").value(), 1u);
+
+  // Independent planners (the pre-engine behavior) pay it again each time.
+  const ScenarioPlanner fresh(uniform_model());
+  ASSERT_TRUE(fresh.plan(Scenario::by_number(8), load).has_value());
+  EXPECT_EQ(registry.counter("consolidation.preprocesses").value(), 2u);
+}
+
+TEST(PlanEngine, WrapperPlannerMatchesEngine) {
+  auto engine = std::make_shared<PlanEngine>(uniform_model());
+  const ScenarioPlanner planner(engine);
+  const double capacity = engine->model().total_capacity();
+  for (const Scenario& s : Scenario::all8()) {
+    const double load = capacity * 0.55;
+    const auto via_planner = planner.plan(s, load);
+    const auto via_engine = engine->solve(PlanRequest{s, load});
+    ASSERT_EQ(via_planner.has_value(), via_engine.plan.has_value()) << s.name();
+    if (!via_planner) continue;
+    EXPECT_EQ(via_planner->allocation.loads, via_engine.plan->allocation.loads);
+    EXPECT_EQ(via_planner->allocation.t_ac, via_engine.plan->allocation.t_ac);
+  }
+}
+
+TEST(PlanEngine, ExactPathsAndArtifactsFollowFleetShape) {
+  const PlanEngine uniform(uniform_model());
+  EXPECT_TRUE(uniform.exact_paths());
+  EXPECT_NE(uniform.analytic(), nullptr);
+  EXPECT_NE(uniform.consolidator(), nullptr);
+  EXPECT_NE(uniform.particles(), nullptr);
+  EXPECT_TRUE(uniform.aggregates().uniform_w1);
+  EXPECT_TRUE(uniform.aggregates().uniform_w2);
+
+  const PlanEngine hetero(heterogeneous_model());
+  EXPECT_FALSE(hetero.exact_paths());
+  EXPECT_EQ(hetero.analytic(), nullptr);
+  EXPECT_EQ(hetero.consolidator(), nullptr);
+  EXPECT_EQ(hetero.particles(), nullptr);
+
+  // Heterogeneous fleets still plan — through the bounded LP.
+  const auto result = hetero.solve(
+      PlanRequest{Scenario::by_number(6), hetero.model().total_capacity() * 0.5});
+  ASSERT_TRUE(result.feasible());
+  EXPECT_FALSE(result.plan->closed_form_pure);
+}
+
+TEST(PlanEngine, AggregatesMatchTheModel) {
+  const RoomModel model = uniform_model();
+  const PlanEngine engine(model);
+  const ModelAggregates& agg = engine.aggregates();
+  ASSERT_EQ(agg.k.size(), model.size());
+  double sum_k = 0.0;
+  for (size_t i = 0; i < model.size(); ++i) {
+    const MachineModel& m = model.machines[i];
+    const double k =
+        (model.t_max - m.thermal.beta * m.power.w2 - m.thermal.gamma) /
+        (m.thermal.beta * m.power.w1);
+    EXPECT_DOUBLE_EQ(agg.k[i], k);
+    EXPECT_DOUBLE_EQ(agg.ab[i], m.thermal.alpha / m.thermal.beta);
+    sum_k += agg.k[i];
+  }
+  EXPECT_DOUBLE_EQ(agg.sum_k, sum_k);
+  EXPECT_DOUBLE_EQ(agg.total_capacity, model.total_capacity());
+  EXPECT_EQ(agg.all_machines.size(), model.size());
+  EXPECT_EQ(agg.coolness.size(), model.size());
+  EXPECT_EQ(agg.capacity_desc.size(), model.size());
+  EXPECT_EQ(agg.idle_asc.size(), model.size());
+}
+
+TEST(PlanEngine, MarginZeroSharesTheModelObject) {
+  const PlanEngine engine(uniform_model());
+  EXPECT_EQ(&engine.model(), &engine.planning_model());
+
+  const PlanEngine margined(uniform_model(), PlannerOptions{1.0});
+  EXPECT_NE(&margined.model(), &margined.planning_model());
+  EXPECT_DOUBLE_EQ(margined.planning_model().t_max, margined.model().t_max - 1.0);
+}
+
+TEST(PlanEngine, InvalidLoadThrowsOnSolveButIsCapturedInBatch) {
+  const PlanEngine engine(uniform_model());
+  const Scenario s = Scenario::by_number(8);
+  EXPECT_THROW(engine.solve(PlanRequest{s, -1.0}), std::invalid_argument);
+  EXPECT_THROW(engine.solve(PlanRequest{s, engine.model().total_capacity() * 2}),
+               std::invalid_argument);
+
+  const std::vector<PlanRequest> requests = {
+      PlanRequest{s, engine.model().total_capacity() * 0.5},
+      PlanRequest{s, -1.0},
+      PlanRequest{s, engine.model().total_capacity() * 0.25},
+  };
+  const std::vector<PlanResult> results = engine.solve_batch(requests, 2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].feasible());
+  EXPECT_FALSE(results[1].feasible());
+  EXPECT_FALSE(results[1].error.empty());
+  EXPECT_TRUE(results[2].feasible());
+}
+
+TEST(PlanEngine, RebalanceServesLoadOnFixedOnSet) {
+  const PlanEngine engine(uniform_model());
+  const std::vector<size_t> on_set = {0, 3, 5, 9};
+  double on_capacity = 0.0;
+  for (const size_t i : on_set) {
+    on_capacity += engine.model().machines[i].capacity;
+  }
+  const auto alloc = engine.rebalance(on_set, on_capacity * 0.7);
+  ASSERT_TRUE(alloc.has_value());
+  double served = 0.0;
+  for (size_t i = 0; i < engine.model().size(); ++i) {
+    if (alloc->on[i]) {
+      served += alloc->loads[i];
+    } else {
+      EXPECT_EQ(alloc->loads[i], 0.0);
+    }
+  }
+  EXPECT_NEAR(served, on_capacity * 0.7, 1e-6);
+  EXPECT_EQ(engine.counters().rebalances, 1u);
+}
+
+TEST(PlanEngine, CountersTrackBatches) {
+  const PlanEngine engine(uniform_model());
+  const std::vector<PlanRequest> requests = {
+      PlanRequest{Scenario::by_number(6), engine.model().total_capacity() * 0.4},
+      PlanRequest{Scenario::by_number(6), engine.model().total_capacity() * 0.6},
+  };
+  engine.solve_batch(requests, 2);
+  engine.solve_batch(requests, 1);
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.batches, 2u);
+  EXPECT_EQ(counters.batch_requests, 4u);
+  EXPECT_EQ(counters.solves, 4u);
+}
+
+TEST(PlanEngine, ZeroLoadWithConsolidationTurnsEverythingOff) {
+  const PlanEngine engine(uniform_model());
+  const auto result = engine.solve(PlanRequest{Scenario::by_number(8), 0.0});
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.plan->allocation.count_on(), 0u);
+}
+
+}  // namespace
+}  // namespace coolopt::core

@@ -2,10 +2,11 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "control/harness.h"
-#include "core/consolidation.h"
+#include "core/engine.h"
 #include "core/verification.h"
 #include "obs/session.h"
 #include "profiling/profile_io.h"
@@ -138,15 +139,15 @@ int cmd_plan(util::CliFlags& flags, int argc, const char* const* argv,
   const int rc = parse_plan_args(flags, argc, argv, "cooloptctl plan", out, err, args);
   if (rc != 0) return rc == 1 ? 0 : rc;
 
-  const core::ScenarioPlanner planner(args.model);
-  const auto plan = planner.plan(args.scenario, args.load);
-  if (!plan) {
+  const core::PlanEngine engine(std::move(args.model));
+  const auto result = engine.solve(core::PlanRequest{args.scenario, args.load});
+  if (!result.feasible()) {
     err << "no feasible operating point for " << args.scenario.name() << "\n";
     return 1;
   }
   out << args.scenario.name() << " at " << util::strf("%.1f", args.load)
       << " load units:\n";
-  print_plan(args.model, *plan, out);
+  print_plan(engine.model(), *result.plan, out);
   return 0;
 }
 
@@ -157,14 +158,15 @@ int cmd_audit(util::CliFlags& flags, int argc, const char* const* argv,
       parse_plan_args(flags, argc, argv, "cooloptctl audit", out, err, args);
   if (rc != 0) return rc == 1 ? 0 : rc;
 
-  const core::ScenarioPlanner planner(args.model);
-  const auto plan = planner.plan(args.scenario, args.load);
-  if (!plan) {
+  const core::PlanEngine engine(std::move(args.model));
+  const auto result = engine.solve(core::PlanRequest{args.scenario, args.load});
+  if (!result.feasible()) {
     err << "no feasible operating point\n";
     return 1;
   }
+  const core::Plan& plan = *result.plan;
   const auto issues =
-      core::audit_feasibility(args.model, plan->allocation, args.load);
+      core::audit_feasibility(engine.model(), plan.allocation, args.load);
   if (issues.empty()) {
     out << "feasibility: OK\n";
   } else {
@@ -172,7 +174,7 @@ int cmd_audit(util::CliFlags& flags, int argc, const char* const* argv,
       out << "feasibility: " << issue.describe() << "\n";
     }
   }
-  const auto audit = core::audit_local_optimality(args.model, plan->allocation);
+  const auto audit = core::audit_local_optimality(engine.model(), plan.allocation);
   if (audit.locally_optimal) {
     out << "local optimality: OK (no improving perturbation found)\n";
   } else {
@@ -255,13 +257,19 @@ int cmd_frontier(util::CliFlags& flags, int argc, const char* const* argv,
     err << "cannot load model: " << e.what() << "\n";
     return 2;
   }
-  const core::EventConsolidator consolidator(model);
+  const core::PlanEngine engine(std::move(model));
+  const core::EventConsolidator* consolidator = engine.consolidator();
+  if (consolidator == nullptr) {
+    err << "frontier needs the particle reduction (Eq. 23), which requires "
+           "uniform w1/w2 across the fleet; this model is heterogeneous\n";
+    return 2;
+  }
 
   std::vector<size_t> ks;
   for (const std::string& tok : util::split(flags.get_string("k", ""), ',')) {
     int k = 0;
     if (!util::parse_int(tok, k) || k <= 0 ||
-        static_cast<size_t>(k) > model.size()) {
+        static_cast<size_t>(k) > engine.model().size()) {
       err << "bad k: '" << tok << "'\n";
       return 2;
     }
@@ -278,7 +286,7 @@ int cmd_frontier(util::CliFlags& flags, int argc, const char* const* argv,
     }
     std::vector<std::string> row{util::strf("%.0f", budget)};
     for (const size_t k : ks) {
-      const double l = consolidator.max_load_for_budget(budget, k);
+      const double l = consolidator->max_load_for_budget(budget, k);
       row.push_back(l > 0.0 ? util::strf("%.0f", l) : std::string("-"));
     }
     table.row(std::move(row));
