@@ -4,10 +4,12 @@
 // the COOLOPT_BENCH_CSV_DIR environment variable.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "control/harness.h"
@@ -28,14 +30,22 @@ inline control::HarnessOptions standard_options(uint64_t seed = 42) {
 }
 
 /// Measured total power for a set of scenarios across the paper's load
-/// axis. Rows keyed by (scenario number, load pct).
+/// axis. Rows keyed by (scenario number, load in basis points): keying by
+/// a truncated integer percent silently collided fractional loads (12.5
+/// and 12.9 both landed on 12).
 struct SweepTable {
   std::vector<core::Scenario> scenarios;
   std::vector<double> loads;
-  std::map<std::pair<int, int>, control::EvalPoint> points;
+  std::map<std::pair<int, long long>, control::EvalPoint> points;
+
+  /// Load axis key: basis points (hundredths of a percent), exact for any
+  /// axis anyone plots.
+  static long long load_key(double load_pct) {
+    return std::llround(load_pct * 100.0);
+  }
 
   const control::EvalPoint& at(int scenario_number, double load_pct) const {
-    return points.at({scenario_number, static_cast<int>(load_pct)});
+    return points.at({scenario_number, load_key(load_pct)});
   }
 };
 
@@ -45,10 +55,14 @@ inline SweepTable run_sweep(control::EvalHarness& harness,
   SweepTable table;
   table.scenarios = scenarios;
   table.loads = loads;
+  // One parallel, memoized sweep through the shared EvalEngine —
+  // scenario-major, bit-for-bit what the serial measure() loop returns.
+  std::vector<control::EvalPoint> rows = harness.sweep(scenarios, loads);
+  size_t r = 0;
   for (const core::Scenario& s : scenarios) {
     for (const double pct : loads) {
-      table.points.emplace(std::make_pair(s.number, static_cast<int>(pct)),
-                           harness.measure(s, pct));
+      table.points.emplace(std::make_pair(s.number, SweepTable::load_key(pct)),
+                           std::move(rows[r++]));
     }
   }
   return table;

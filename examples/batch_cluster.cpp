@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "control/harness.h"
+#include "control/eval_engine.h"
 #include "core/engine.h"
 #include "sim/workload.h"
 #include "util/cli.h"
@@ -43,23 +43,30 @@ struct DayResult {
   size_t infeasible_hours = 0;
 };
 
-DayResult run_day(control::EvalHarness& harness, const core::Scenario& scenario,
+DayResult run_day(control::EvalEngine& engine, const core::Scenario& scenario,
                   int hours, uint64_t seed, util::TextTable* table) {
-  sim::MachineRoom& room = harness.room();
+  sim::MachineRoom& room = engine.room();
   DayResult result;
   sim::WorkloadDriver driver(room, 0.0, util::Rng(seed).fork("jobs"));
 
   for (int hour = 0; hour < hours; ++hour) {
     const double frac = load_fraction_at_hour(hour);
-    const double demand = harness.capacity_files_s() * frac;
-    const auto point = harness.measure(scenario, frac * 100.0);
+    const double demand = engine.capacity_files_s() * frac;
+    const auto point = engine.measure(scenario, frac * 100.0);
     if (!point.feasible) {
       ++result.infeasible_hours;
       continue;
     }
-    // The harness already actuated the plan and settled; attach the job
-    // stream and run the hour (fast steady-state energy accounting: power
-    // is constant within the hour once settled).
+    // A memoized measure does not touch the hardware, so replay the plan's
+    // power states onto the room before attaching the job stream; the hour
+    // then runs with fast steady-state energy accounting (power is constant
+    // within the hour once settled).
+    for (size_t i = 0; i < room.size(); ++i) {
+      room.set_power_state(i, point.plan.allocation.on[i]);
+      if (point.plan.allocation.on[i]) {
+        room.set_load_files_s(i, point.plan.allocation.loads[i]);
+      }
+    }
     driver.set_demand_files_s(demand);
     driver.apply_allocation(point.plan.allocation.loads);
     driver.reset_stats();
@@ -99,23 +106,24 @@ int main(int argc, char** argv) {
   }
   const int hours = flags.get_int("hours", 24);
 
-  control::HarnessOptions options;
+  control::EvalOptions options;
   options.room.num_servers = static_cast<size_t>(flags.get_int("servers", 20));
   options.room.seed = static_cast<uint64_t>(flags.get_int("seed", 42));
   std::printf("Profiling the %zu-machine cluster...\n\n", options.room.num_servers);
-  control::EvalHarness harness(options);
+  control::EvalEngine engine(options);
 
   // Pre-plan the whole day in one batch before touching the room: the
-  // engine fans the hourly requests across its worker pool and returns
+  // plan engine fans the hourly requests across its worker pool and returns
   // results in request order, identical to solving them one by one.
   std::vector<core::PlanRequest> day;
   day.reserve(static_cast<size_t>(hours));
   for (int hour = 0; hour < hours; ++hour) {
     day.push_back(core::PlanRequest{
         core::Scenario::by_number(8),
-        harness.capacity_files_s() * load_fraction_at_hour(hour)});
+        engine.capacity_files_s() * load_fraction_at_hour(hour)});
   }
-  const std::vector<core::PlanResult> preview = harness.engine()->solve_batch(day);
+  const std::vector<core::PlanResult> preview =
+      engine.plan_engine()->solve_batch(day);
   size_t feasible_hours = 0;
   double planned_kwh = 0.0;
   for (const core::PlanResult& r : preview) {
@@ -129,12 +137,12 @@ int main(int argc, char** argv) {
 
   util::TextTable schedule(
       {"hour", "load", "machines ON", "T_ac (C)", "power (W)", "energy (kWh)"});
-  const DayResult holistic = run_day(harness, core::Scenario::by_number(8),
+  const DayResult holistic = run_day(engine, core::Scenario::by_number(8),
                                      hours, options.room.seed, &schedule);
   std::printf("Holistic controller (#8), hour by hour:\n%s\n",
               schedule.render().c_str());
 
-  const DayResult baseline = run_day(harness, core::Scenario::by_number(1),
+  const DayResult baseline = run_day(engine, core::Scenario::by_number(1),
                                      hours, options.room.seed, nullptr);
 
   std::printf("Day summary (%d hours):\n", hours);

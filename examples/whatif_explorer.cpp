@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "control/harness.h"
+#include "control/eval_engine.h"
 #include "core/engine.h"
 #include "util/cli.h"
 #include "util/strings.h"
@@ -34,33 +34,33 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  control::HarnessOptions options;
+  control::EvalOptions options;
   options.room.num_servers = static_cast<size_t>(flags.get_int("servers", 20));
   options.room.seed = static_cast<uint64_t>(flags.get_int("seed", 42));
   options.profiling.t_max = flags.get_double("t-max", 48.0);
-  control::EvalHarness harness(options);
+  control::EvalEngine engine(options);
 
   const core::Scenario scenario =
       core::Scenario::by_number(flags.get_int("scenario", 8));
   const double load_pct = flags.get_double("load-pct", 45.0);
-  const double load = harness.capacity_files_s() * load_pct / 100.0;
+  const double load = engine.capacity_files_s() * load_pct / 100.0;
 
   std::printf("Scenario %s at %.0f%% load (%.1f files/s)\n\n",
               scenario.name().c_str(), load_pct, load);
 
-  // The harness shares one PlanEngine between its planner and this tool, so
-  // every what-if below reuses the cached model aggregates.
+  // The eval engine shares one PlanEngine with every other consumer of this
+  // room, so every what-if below reuses the cached model aggregates.
   const core::PlanResult result =
-      harness.engine()->solve(core::PlanRequest{scenario, load});
+      engine.plan_engine()->solve(core::PlanRequest{scenario, load});
   const auto& plan = result.plan;
   if (!plan) {
     std::printf("No feasible operating point: the load cannot be served under "
                 "T_max = %.1f C within the CRAC's range.\n",
-                harness.model().t_max);
+                engine.model().t_max);
     return 1;
   }
 
-  const core::RoomModel& model = harness.model();
+  const core::RoomModel& model = engine.model();
   util::TextTable table({"machine", "state", "load (files/s)", "util %",
                          "predicted power (W)", "predicted CPU (C)"});
   for (size_t i = 0; i < model.size(); ++i) {
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
   }
 
   if (flags.get_bool("measure", false)) {
-    const auto point = harness.measure(scenario, load_pct);
+    const auto point = engine.measure(scenario, load_pct);
     std::printf("\nMeasured on the simulator: total %.0f W (IT %.0f + cooling "
                 "%.0f), T_ac achieved %.2f C, peak CPU %.1f C%s\n",
                 point.measurement.total_power_w, point.measurement.it_power_w,

@@ -1,60 +1,22 @@
 #include "control/harness.h"
 
-#include "util/log.h"
-
 namespace coolopt::control {
-namespace {
-
-profiling::RoomProfile make_profile(sim::MachineRoom& room,
-                                    const profiling::ProfilingOptions& options) {
-  return profiling::profile_room(room, options);
-}
-
-}  // namespace
 
 EvalHarness::EvalHarness(const HarnessOptions& options)
-    : options_(options),
-      room_(options.room),
-      profile_(make_profile(room_, options.profiling)),
-      engine_(std::make_shared<core::PlanEngine>(
-          core::share_model(profile_.model), options.planner)),
-      planner_(engine_),
-      runner_(room_, SetPointPlanner::from_profile(profile_.cooler),
-              engine_->shared_model()),
-      capacity_(profile_.model.total_capacity()) {}
+    : eval_(std::make_shared<EvalEngine>(options)),
+      // plan_engine() forces the profiling campaign, which keeps the
+      // harness's historical eager contract: after construction the fitted
+      // models are ready to print.
+      planner_(eval_->plan_engine()) {}
 
 EvalPoint EvalHarness::measure(const core::Scenario& scenario, double load_pct) {
-  EvalPoint point;
-  point.scenario = scenario;
-  point.load_pct = load_pct;
-  const double load = capacity_ * load_pct / 100.0;
-  const auto plan = planner_.plan(scenario, load);
-  if (!plan) {
-    util::log_warn("EvalHarness: no feasible plan for %s at %.0f%% load",
-                   scenario.name().c_str(), load_pct);
-    return point;
-  }
-  point.feasible = true;
-  point.plan = *plan;
-  point.measurement = runner_.run(*plan, options_.run);
-  return point;
+  return eval_->measure(scenario, load_pct);
 }
 
 std::vector<EvalPoint> EvalHarness::sweep(
     const std::vector<core::Scenario>& scenarios,
     const std::vector<double>& load_pcts) {
-  std::vector<EvalPoint> out;
-  out.reserve(scenarios.size() * load_pcts.size());
-  for (const core::Scenario& s : scenarios) {
-    for (const double pct : load_pcts) {
-      out.push_back(measure(s, pct));
-    }
-  }
-  return out;
-}
-
-std::vector<double> paper_load_axis() {
-  return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  return eval_->sweep(scenarios, load_pcts);
 }
 
 }  // namespace coolopt::control

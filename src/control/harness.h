@@ -1,72 +1,53 @@
 // One-stop evaluation harness: build a room, profile it, and measure any
 // (scenario, load) operating point — the loop every figure-reproduction
-// bench runs. Shared here so the benches stay declarative.
+// bench runs. Since the measurement stack moved behind control::EvalEngine
+// (eval_engine.h) this is a thin eager facade: construction runs the
+// profiling campaign up front (so fitted models are printable right away),
+// and every measure/sweep goes through the shared engine — memoized,
+// parallel, and shareable with other consumers via eval().
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <vector>
 
-#include "control/runner.h"
-#include "control/setpoint_planner.h"
-#include "core/engine.h"
+#include "control/eval_engine.h"
 #include "core/scenario.h"
-#include "profiling/profiler.h"
-#include "sim/config.h"
-#include "sim/room.h"
 
 namespace coolopt::control {
 
-struct HarnessOptions {
-  sim::RoomConfig room;
-  profiling::ProfilingOptions profiling = profiling::ProfilingOptions::fast();
-  core::PlannerOptions planner;
-  RunOptions run;
-
-  HarnessOptions() { planner.t_max_margin = 1.0; }
-};
-
-/// A measured (scenario, load) point for the figure tables.
-struct EvalPoint {
-  core::Scenario scenario;
-  double load_pct = 0.0;           ///< percent of total room capacity
-  bool feasible = false;           ///< the planner found an operating point
-  Measurement measurement;         ///< valid when feasible
-  core::Plan plan;                 ///< valid when feasible
-};
+/// Historical name; the options now belong to the engine.
+using HarnessOptions = EvalOptions;
 
 class EvalHarness {
  public:
   explicit EvalHarness(const HarnessOptions& options = {});
 
-  /// Plans and runs one scenario at `load_pct` percent of room capacity.
+  /// Plans and runs one scenario at `load_pct` percent of room capacity
+  /// (memoized by the underlying engine).
   EvalPoint measure(const core::Scenario& scenario, double load_pct);
 
   /// Full sweep: every scenario at every load (rows in scenario-major
-  /// order).
+  /// order), fanned over the engine's worker pool.
   std::vector<EvalPoint> sweep(const std::vector<core::Scenario>& scenarios,
                                const std::vector<double>& load_pcts);
 
-  const core::RoomModel& model() const { return engine_->model(); }
-  const profiling::RoomProfile& profile() const { return profile_; }
-  sim::MachineRoom& room() { return room_; }
+  const core::RoomModel& model() const { return eval_->model(); }
+  const profiling::RoomProfile& profile() const { return eval_->profile(); }
+  sim::MachineRoom& room() { return eval_->room(); }
   const core::ScenarioPlanner& planner() const { return planner_; }
-  /// The shared engine behind planner(); hand it to an AdaptiveController
-  /// (or a batch sweep) to reuse the cached solver artifacts.
-  const std::shared_ptr<core::PlanEngine>& engine() const { return engine_; }
-  double capacity_files_s() const { return capacity_; }
+  /// The shared plan engine; hand it to an AdaptiveController (or a batch
+  /// solve) to reuse the cached solver artifacts.
+  const std::shared_ptr<core::PlanEngine>& engine() const {
+    return eval_->plan_engine();
+  }
+  /// The shared measurement engine behind this facade; hand it to other
+  /// benches/tools to reuse the profile and the measured-point cache.
+  const std::shared_ptr<EvalEngine>& eval() const { return eval_; }
+  double capacity_files_s() const { return eval_->capacity_files_s(); }
 
  private:
-  HarnessOptions options_;
-  sim::MachineRoom room_;
-  profiling::RoomProfile profile_;
-  std::shared_ptr<core::PlanEngine> engine_;
+  std::shared_ptr<EvalEngine> eval_;
   core::ScenarioPlanner planner_;
-  ExperimentRunner runner_;
-  double capacity_ = 0.0;
 };
-
-/// The load axis the paper sweeps in Figs. 5-9: 10..100 % in steps of 10.
-std::vector<double> paper_load_axis();
 
 }  // namespace coolopt::control

@@ -3,6 +3,8 @@
 // "two sets of experiments" of Section III-A plus cooler calibration.
 #pragma once
 
+#include <memory>
+
 #include "core/model.h"
 #include "profiling/cooler_profiler.h"
 #include "profiling/power_profiler.h"
@@ -47,6 +49,15 @@ struct RoomProfile {
   ThermalProfileResult thermal;
   CoolerProfileResult cooler;
 };
+
+/// Immutable profile shared between the evaluation layers (the campaign is
+/// expensive; control::EvalEngine runs it once and hands this out).
+using SharedRoomProfile = std::shared_ptr<const RoomProfile>;
+
+/// Wraps a profile for sharing without further copies.
+inline SharedRoomProfile share_profile(RoomProfile profile) {
+  return std::make_shared<const RoomProfile>(std::move(profile));
+}
 
 /// Runs all three campaigns (in the order power -> thermal -> cooler) and
 /// assembles the RoomModel. Capacities are taken from the pre-measured

@@ -160,4 +160,38 @@ struct RoomConfig {
   double temp_sensor_stuck_prob = 0.0;
 };
 
+/// Faults to inject for the duration of one measurement: failed server fans
+/// (MachineRoom::set_fan_failed) and the sensor-level failure knobs above.
+/// The evaluation layer routes these through one entry point
+/// (control::EvalEngine::measure_faulted) so robustness studies do not
+/// mutate shared rooms ad hoc.
+struct FaultPlan {
+  /// Server indices whose fans have failed (passive draft only).
+  std::vector<size_t> failed_fans;
+  /// Sensor faults, folded into the room's instrument configuration when
+  /// positive (zero keeps the configured value).
+  double power_meter_spike_prob = 0.0;
+  double power_meter_spike_w = 300.0;
+  double temp_sensor_stuck_prob = 0.0;
+
+  bool empty() const {
+    return failed_fans.empty() && power_meter_spike_prob <= 0.0 &&
+           temp_sensor_stuck_prob <= 0.0;
+  }
+
+  /// The room configuration with the sensor faults applied. Fan failures
+  /// are runtime state, not configuration — the caller applies them to the
+  /// built room via MachineRoom::set_fan_failed.
+  RoomConfig applied_to(RoomConfig cfg) const {
+    if (power_meter_spike_prob > 0.0) {
+      cfg.power_meter_spike_prob = power_meter_spike_prob;
+      cfg.power_meter_spike_w = power_meter_spike_w;
+    }
+    if (temp_sensor_stuck_prob > 0.0) {
+      cfg.temp_sensor_stuck_prob = temp_sensor_stuck_prob;
+    }
+    return cfg;
+  }
+};
+
 }  // namespace coolopt::sim

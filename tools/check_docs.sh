@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.." || exit 2
 DOCS=("$@")
 if [ ${#DOCS[@]} -eq 0 ]; then
   DOCS=(docs/model.md docs/simulator.md docs/consolidation.md
-        docs/observability.md docs/architecture.md)
+        docs/observability.md docs/architecture.md docs/evaluation.md)
 fi
 
 CODE_DIRS=(src tests bench tools examples)

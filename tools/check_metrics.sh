@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Metrics-catalog drift check: every metric family emitted from src/ via the
+# obs helpers (obs::count / obs::gauge_set / obs::observe) must have a row in
+# the docs/observability.md catalog, or the check fails. This is the inverse
+# direction of tools/check_docs.sh, which verifies documented names exist in
+# code; together the catalog and the instrumentation cannot drift apart.
+# Registered as the `check_metrics` ctest; run manually from the repository
+# root as `tools/check_metrics.sh`.
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+CATALOG=docs/observability.md
+if [ ! -f "$CATALOG" ]; then
+  echo "check_metrics: $CATALOG missing" >&2
+  exit 2
+fi
+
+failures=0
+emitted=$(grep -rhoE 'obs::(count|gauge_set|observe|maybe_histogram)\("[^"]+"' src |
+  sed -E 's/.*\("([^"]+)"/\1/' | sort -u)
+
+if [ -z "$emitted" ]; then
+  echo "check_metrics: found no instrumented sites under src/ — the grep is broken" >&2
+  exit 2
+fi
+
+count=0
+for name in $emitted; do
+  count=$((count + 1))
+  if ! grep -Fq "\`$name\`" "$CATALOG"; then
+    echo "check_metrics: \`$name\` is emitted in src/ but missing from $CATALOG" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "check_metrics: $failures undocumented metric(s)" >&2
+  exit 1
+fi
+echo "check_metrics: OK ($count emitted metric names all cataloged)"

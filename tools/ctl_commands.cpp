@@ -5,7 +5,7 @@
 #include <utility>
 #include <vector>
 
-#include "control/harness.h"
+#include "control/eval_engine.h"
 #include "core/engine.h"
 #include "core/verification.h"
 #include "obs/session.h"
@@ -215,16 +215,26 @@ int cmd_sweep(util::CliFlags& flags, int argc, const char* const* argv,
     }
   }
 
-  control::HarnessOptions options;
+  control::EvalOptions options;
   options.room = room_from_flags(flags);
-  control::EvalHarness harness(options);
+  control::EvalEngine engine(options);
+  // One batched request over the load-major grid: the engine profiles once,
+  // then measures the points in parallel over pooled room replicas.
+  const std::vector<double> loads = control::paper_load_axis();
+  std::vector<control::EvalRequest> requests;
+  requests.reserve(loads.size() * scenarios.size());
+  for (const double pct : loads) {
+    for (const auto& s : scenarios) requests.push_back({s, pct});
+  }
+  const std::vector<control::EvalPoint> points = engine.measure_batch(requests);
   std::vector<std::string> columns{"load %"};
   for (const auto& s : scenarios) columns.push_back(s.name());
   util::TextTable table(columns);
-  for (const double pct : control::paper_load_axis()) {
+  size_t r = 0;
+  for (const double pct : loads) {
     std::vector<std::string> row{util::strf("%.0f", pct)};
-    for (const auto& s : scenarios) {
-      const auto point = harness.measure(s, pct);
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      const control::EvalPoint& point = points[r++];
       row.push_back(point.feasible
                         ? util::strf("%.0f", point.measurement.total_power_w)
                         : std::string("infeasible"));
