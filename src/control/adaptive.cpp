@@ -6,6 +6,7 @@
 
 #include "obs/obs.h"
 #include "util/log.h"
+#include "util/strings.h"
 
 namespace coolopt::control {
 
@@ -45,6 +46,30 @@ double AdaptiveController::on_capacity() const {
   return cap;
 }
 
+double AdaptiveController::surviving_capacity() const {
+  double cap = model().total_capacity();
+  for (const size_t i : quarantined_) cap -= model().machines[i].capacity;
+  return cap;
+}
+
+void AdaptiveController::set_quarantined(std::vector<size_t> machines) {
+  for (const size_t idx : machines) {
+    if (idx >= model().size()) {
+      throw std::invalid_argument(
+          util::strf("AdaptiveController: quarantined index %zu out of range "
+                     "(model has %zu machines)",
+                     idx, model().size()));
+    }
+  }
+  std::sort(machines.begin(), machines.end());
+  machines.erase(std::unique(machines.begin(), machines.end()), machines.end());
+  if (machines == quarantined_) return;
+  quarantined_ = std::move(machines);
+  // Safety action, not churn: the next update() replans over the survivors
+  // immediately, regardless of the dwell limit.
+  force_replan_ = true;
+}
+
 std::vector<size_t> AdaptiveController::current_on_set() const {
   std::vector<size_t> on_set;
   if (!plan_) return on_set;
@@ -80,26 +105,41 @@ void AdaptiveController::apply(const core::Allocation& alloc,
 }
 
 void AdaptiveController::full_replan(double demand) {
-  // Size the ON set with headroom so ordinary upward drift lands inside it,
-  // then serve the actual demand on the chosen machines.
-  const double sizing = std::min(model().total_capacity(),
+  // Size the ON set with headroom so ordinary upward drift lands inside it
+  // (capped at the surviving capacity), then serve what we can of the
+  // actual demand on the chosen machines.
+  const double sizing = std::min(surviving_capacity(),
                                  demand * (1.0 + options_.capacity_headroom));
-  const auto plan = engine_->solve(core::PlanRequest{options_.scenario, sizing}).plan;
-  if (!plan) {
+  core::PlanRequest request{options_.scenario, sizing, quarantined_};
+  const core::PlanResult result = engine_->solve(request);
+  if (!result.plan) {
     throw std::runtime_error(
         "AdaptiveController: no feasible operating point for the demand");
   }
-  apply(plan->allocation, /*allow_power_changes=*/true);
-  plan_ = *plan;
-  plan_->load = demand;
-  last_full_replan_load_ = demand;
+  apply(result.plan->allocation, /*allow_power_changes=*/true);
+  plan_ = *result.plan;
+  force_replan_ = false;
+
+  // A degraded result means the engine bisected down to the thermally
+  // servable level; pushing the ON set back up to capacity would violate
+  // the ceiling, so that level becomes the serving limit until the next
+  // replan. Otherwise the ON set's capacity is the only limit.
+  servable_limit_ = result.shed_load > 0.0
+                        ? result.plan->load
+                        : std::numeric_limits<double>::infinity();
+  const double target = std::min({demand, on_capacity(), servable_limit_});
+  shed_load_ = demand - target > 1e-9 ? demand - target : 0.0;
+  plan_->load = target;
+  last_full_replan_load_ = target;
   ++stats_.full_replans;
   obs::count("control.adaptive.full_replans");
   if (obs::RunTrace* tr = obs::trace()) {
     tr->record_event(
         obs::EventSample{room_.time_s(), "adaptive.full_replan", demand, ""});
   }
-  if (std::abs(sizing - demand) > 1e-9) track_demand(demand);
+  if (std::abs(result.plan->allocation.total_load() - target) > 1e-9) {
+    track_demand(target);
+  }
 }
 
 bool AdaptiveController::try_rebalance(double demand) {
@@ -187,27 +227,34 @@ void AdaptiveController::update(double demand_files_s) {
   }
   ++stats_.updates;
 
-  if (!plan_) {
+  if (!plan_ || force_replan_) {
     full_replan(demand_files_s);
     return;
   }
 
+  // The servable level: demand capped by what the surviving fleet can take
+  // (quarantines) and by the last degraded replan's thermal ceiling. Using
+  // it (not the raw demand) in the decisions below keeps a persistently
+  // over-demanded degraded room from emergency-replanning every cycle.
+  const double target =
+      std::min({demand_files_s, surviving_capacity(), servable_limit_});
+  shed_load_ = demand_files_s - target > 1e-9 ? demand_files_s - target : 0.0;
+
   const double capacity = model().total_capacity();
   const double drift_structural =
-      std::abs(demand_files_s - last_full_replan_load_) / capacity;
-  const double drift_local =
-      std::abs(demand_files_s - plan_->load) / capacity;
+      std::abs(target - last_full_replan_load_) / capacity;
+  const double drift_local = std::abs(target - plan_->load) / capacity;
 
   const bool dwell_ok =
       room_.time_s() - last_power_change_s_ >= options_.min_dwell_s;
-  const bool over_capacity = demand_files_s > on_capacity() + 1e-9;
+  const bool over_capacity = target > on_capacity() + 1e-9;
 
   if (over_capacity) {
     // Availability beats anti-flapping: bring machines up now.
     if (!dwell_ok) {
       util::log_debug("AdaptiveController: emergency replan at t=%.0f "
                       "(demand %.1f > ON capacity %.1f)",
-                      room_.time_s(), demand_files_s, on_capacity());
+                      room_.time_s(), target, on_capacity());
       ++stats_.emergency_replans;
       obs::count("control.adaptive.emergency_replans");
     }
@@ -218,14 +265,13 @@ void AdaptiveController::update(double demand_files_s) {
     full_replan(demand_files_s);
     return;
   }
-  if (drift_local > options_.replan_threshold &&
-      try_rebalance(demand_files_s)) {
+  if (drift_local > options_.replan_threshold && try_rebalance(target)) {
     return;
   }
   // In-band drift (or rebalance unavailable before the dwell expires):
   // still serve the demand by scaling loads on the current ON set.
-  if (std::abs(demand_files_s - plan_->allocation.total_load()) > 1e-9) {
-    track_demand(demand_files_s);
+  if (std::abs(target - plan_->allocation.total_load()) > 1e-9) {
+    track_demand(target);
   }
 }
 

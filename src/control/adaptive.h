@@ -18,8 +18,10 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "control/setpoint_planner.h"
 #include "core/engine.h"
@@ -72,8 +74,20 @@ class AdaptiveController {
   /// Informs the controller of the current offered load (files/s) and lets
   /// it act. Call once per control period, between room.step() calls.
   /// Throws std::invalid_argument on negative demand and std::runtime_error
-  /// if the demand exceeds the room's total capacity.
+  /// if the demand exceeds the room's total capacity. Demand above the
+  /// *surviving* (non-quarantined) capacity is served best-effort and the
+  /// remainder reported via shed_load().
   void update(double demand_files_s);
+
+  /// Machines the planner must keep OFF (the resilience supervisor's
+  /// quarantine set). Replaces the previous set; the next update() performs
+  /// a full replan over the survivors, bypassing the dwell limit —
+  /// quarantine is a safety action, not churn. Throws std::invalid_argument
+  /// on out-of-range indices.
+  void set_quarantined(std::vector<size_t> machines);
+  const std::vector<size_t>& quarantined() const { return quarantined_; }
+  /// Demand (files/s) the last update() could not serve (0 when healthy).
+  double shed_load() const { return shed_load_; }
 
   const AdaptiveStats& stats() const { return stats_; }
   const core::PlanEngine& engine() const { return *engine_; }
@@ -92,6 +106,7 @@ class AdaptiveController {
   void track_demand(double demand);
   void apply(const core::Allocation& alloc, bool allow_power_changes);
   double on_capacity() const;
+  double surviving_capacity() const;
   std::vector<size_t> current_on_set() const;
   const core::RoomModel& model() const { return engine_->model(); }
 
@@ -102,6 +117,12 @@ class AdaptiveController {
   std::optional<core::Plan> plan_;
   double last_power_change_s_;
   double last_full_replan_load_ = 0.0;
+  std::vector<size_t> quarantined_;
+  bool force_replan_ = false;
+  double shed_load_ = 0.0;
+  /// Thermal ceiling discovered by the last degraded replan: serving more
+  /// than this is unsafe until the next full replan relaxes it.
+  double servable_limit_ = std::numeric_limits<double>::infinity();
   AdaptiveStats stats_;
 };
 

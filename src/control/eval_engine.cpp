@@ -201,7 +201,10 @@ EvalPoint EvalEngine::measure_on(Station& station,
   const double load = capacity_ * load_pct / 100.0;
   const core::PlanResult result =
       plan_engine_->solve(core::PlanRequest{scenario, load});
-  if (!result.plan) {
+  // A degraded (shedding) plan is not a valid measurement of this load
+  // level: the figure benches must see exactly the seed behavior, where a
+  // thermally unservable point reads as infeasible.
+  if (!result.feasible()) {
     util::log_warn("EvalEngine: no feasible plan for %s at %.0f%% load",
                    scenario.name().c_str(), load_pct);
     counters_.infeasible.fetch_add(1, std::memory_order_relaxed);
@@ -236,6 +239,7 @@ EvalPoint EvalEngine::measure_faulted(const core::Scenario& scenario,
                                       double load_pct,
                                       const sim::FaultPlan& faults) {
   ensure_profile();
+  faults.validate(options_.room.total_servers());
   if (faults.empty()) return measure(scenario, load_pct);
   counters_.faulted_measures.fetch_add(1, std::memory_order_relaxed);
   obs::count("eval.faulted_measures");

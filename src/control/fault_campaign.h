@@ -1,0 +1,68 @@
+// One fault-injection experiment: a room, a fault storyline, and a defense.
+//
+// The robustness bench and `cooloptctl inject` both run the same loop —
+// profile a clean room, start a live replica, replay a FaultScenario
+// against it while a control stack (none / watchdog-only / full supervisor)
+// runs at its control period, and integrate ground-truth violation time,
+// shed work, and energy. Keeping the loop here, behind one options struct,
+// makes the three defense arms differ in exactly one dimension and keeps
+// the runs bit-for-bit reproducible from RoomConfig::seed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "control/resilient.h"
+#include "sim/config.h"
+#include "sim/fault_scheduler.h"
+
+namespace coolopt::control {
+
+/// What stands between the fault and the room.
+enum class DefenseArm {
+  kNone,       ///< adaptive controller only; faults go unnoticed
+  kWatchdog,   ///< + thermal watchdog set-point interventions (no quarantine)
+  kSupervisor  ///< + full ResilientController quarantine/re-admission loop
+};
+
+const char* to_string(DefenseArm arm);
+/// Parses "none" / "watchdog" / "supervisor"; throws std::invalid_argument
+/// on anything else.
+DefenseArm parse_defense(const std::string& name);
+
+struct FaultCampaignOptions {
+  sim::RoomConfig room;             ///< the paper's 20-server room by default
+  sim::FaultScenario scenario;      ///< what breaks, and when
+  DefenseArm defense = DefenseArm::kSupervisor;
+  /// Offered load as a fraction of the fitted fleet capacity.
+  double demand_fraction = 0.6;
+  double duration_s = 3600.0;
+  double control_period_s = 30.0;
+  double dt_s = 1.0;                ///< transient integration step
+  ResilientOptions resilient;       ///< also carries adaptive/watchdog opts
+};
+
+struct FaultCampaignResult {
+  std::string scenario;
+  DefenseArm defense = DefenseArm::kNone;
+  double demand_files_s = 0.0;
+  double t_max_c = 0.0;
+  /// Ground-truth seconds the peak ON-machine CPU sat above t_max,
+  /// integrated at dt resolution (identical accounting across arms).
+  double violation_s = 0.0;
+  double peak_cpu_c = 0.0;          ///< hottest true CPU sample of the run
+  double shed_files = 0.0;          ///< integrated unserved demand
+  double energy_j = 0.0;            ///< IT + cooling over the whole run
+  double final_total_power_w = 0.0;
+  double final_throughput_files_s = 0.0;
+  size_t fault_events = 0;
+  size_t quarantines = 0;
+  size_t readmissions = 0;
+  size_t emergency_overrides = 0;
+  size_t watchdog_interventions = 0;
+};
+
+/// Runs one (scenario x defense) experiment. Deterministic given options.
+FaultCampaignResult run_fault_campaign(const FaultCampaignOptions& options);
+
+}  // namespace coolopt::control

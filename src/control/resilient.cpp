@@ -1,0 +1,196 @@
+#include "control/resilient.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+#include "util/log.h"
+
+namespace coolopt::control {
+
+ResilientController::ResilientController(sim::MachineRoom& room,
+                                         core::RoomModel model,
+                                         SetPointPlanner setpoints,
+                                         ResilientOptions options)
+    : ResilientController(
+          room,
+          std::make_shared<const core::PlanEngine>(
+              std::move(model),
+              core::PlannerOptions{options.adaptive.t_max_margin}),
+          std::move(setpoints), options) {}
+
+ResilientController::ResilientController(
+    sim::MachineRoom& room, std::shared_ptr<const core::PlanEngine> engine,
+    SetPointPlanner setpoints, ResilientOptions options)
+    : room_(room),
+      engine_(engine),
+      options_(options),
+      setpoints_(setpoints),
+      adaptive_(room, engine, std::move(setpoints), options.adaptive),
+      // The watchdog defends the hard fitted ceiling, not the planner's
+      // margined one — interventions start only once the margin is spent.
+      watchdog_(room, engine->model().t_max, options.watchdog) {}
+
+std::vector<size_t> ResilientController::quarantined() const {
+  std::vector<size_t> out;
+  out.reserve(quarantine_.size());
+  for (const QuarantineEntry& q : quarantine_) out.push_back(q.machine);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ResilientController::account_violation() {
+  // Ground-truth violation accounting (evaluation instrumentation, not
+  // control input): integrate the time the true peak ON-machine CPU
+  // temperature spends above the hard ceiling.
+  const double now = room_.time_s();
+  const double dt = have_last_update_ ? now - last_update_s_ : 0.0;
+  double peak = room_.ambient_temp_c();
+  for (size_t i = 0; i < room_.size(); ++i) {
+    if (room_.server(i).is_on()) {
+      peak = std::max(peak, room_.true_cpu_temp_c(i));
+    }
+  }
+  const bool violating = peak > watchdog_.t_max();
+  if (violating) {
+    stats_.violation_seconds += dt;
+    if (!in_violation_) {
+      in_violation_ = true;
+      violation_start_s_ = now;
+    }
+  } else if (in_violation_) {
+    in_violation_ = false;
+    stats_.last_recovery_s = now - violation_start_s_;
+    obs::observe("resilience.recovery_s", stats_.last_recovery_s);
+  }
+  obs::gauge_set("resilience.violation_s", stats_.violation_seconds);
+}
+
+void ResilientController::sync_quarantine_set() {
+  if (!quarantine_dirty_) return;
+  quarantine_dirty_ = false;
+  adaptive_.set_quarantined(quarantined());
+  ++stats_.replans;
+  obs::count("resilience.replans");
+}
+
+void ResilientController::quarantine_machine(size_t machine, double now) {
+  const bool known =
+      std::any_of(quarantine_.begin(), quarantine_.end(),
+                  [&](const QuarantineEntry& q) { return q.machine == machine; });
+  if (known) return;
+  quarantine_.push_back({machine, now});
+  quarantine_dirty_ = true;
+  watchdog_.acknowledge(machine);
+  ++stats_.quarantines;
+  obs::count("resilience.quarantines");
+  util::log_warn("ResilientController: quarantining machine %zu at t=%.0f",
+                 machine, now);
+  if (obs::RunTrace* tr = obs::trace()) {
+    tr->record_event(obs::EventSample{now, "resilience.quarantine",
+                                      static_cast<double>(machine), ""});
+  }
+}
+
+void ResilientController::update(double demand_files_s) {
+  const double now = room_.time_s();
+
+  ++stats_.checks;
+  obs::count("resilience.checks");
+  const std::vector<size_t> alarmed = watchdog_.check();
+  account_violation();
+
+  // Emergency scan: one sensor pass over the ON machines. The peak decides
+  // the set-point override (applied after the planner below, so it wins the
+  // cycle); per-machine streaks above the threshold drive the escalation.
+  if (emergency_streak_.size() != room_.size()) {
+    emergency_streak_.assign(room_.size(), 0);
+  }
+  double peak_reading = 0.0;
+  bool any_on = false;
+  for (size_t i = 0; i < room_.size(); ++i) {
+    if (!room_.server(i).is_on()) {
+      emergency_streak_[i] = 0;
+      continue;
+    }
+    const double reading = room_.read_cpu_temp_c(i);
+    peak_reading = any_on ? std::max(peak_reading, reading) : reading;
+    any_on = true;
+    if (reading > watchdog_.t_max() + options_.emergency_guard_c) {
+      ++emergency_streak_[i];
+    } else {
+      emergency_streak_[i] = 0;
+    }
+  }
+
+  // Escalation: still far above the ceiling after consecutive max-cooling
+  // cycles — no set point will save it, quarantine now.
+  for (size_t i = 0; i < room_.size(); ++i) {
+    if (emergency_streak_[i] >= options_.emergency_quarantine_checks) {
+      quarantine_machine(i, now);
+      emergency_streak_[i] = 0;
+    }
+  }
+
+  // Watchdog recommendations: machines that stayed alarmed through the
+  // intervention ladder (the slower, milder-fault path).
+  for (const size_t machine : watchdog_.quarantine_recommendations()) {
+    quarantine_machine(machine, now);
+  }
+
+  // Probation expiry: re-admit and let the watchdog prove the machine
+  // healthy (or quarantine it again after re-detection).
+  for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+    if (now - it->since_s >= options_.probation_dwell_s) {
+      const size_t machine = it->machine;
+      it = quarantine_.erase(it);
+      quarantine_dirty_ = true;
+      ++stats_.readmissions;
+      obs::count("resilience.readmissions");
+      util::log_info("ResilientController: re-admitting machine %zu at t=%.0f "
+                     "after probation",
+                     machine, now);
+      if (obs::RunTrace* tr = obs::trace()) {
+        tr->record_event(obs::EventSample{now, "resilience.readmit",
+                                          static_cast<double>(machine), ""});
+      }
+    } else {
+      ++it;
+    }
+  }
+
+  sync_quarantine_set();
+  adaptive_.update(demand_files_s);
+
+  const double dt = have_last_update_ ? now - last_update_s_ : 0.0;
+  stats_.shed_files += adaptive_.shed_load() * dt;
+  obs::gauge_set("resilience.shed_files", stats_.shed_files);
+
+  // Last line of defense, applied after the planner so it wins this cycle:
+  // a sensor far above the ceiling forces maximum cooling immediately. Once
+  // the emergency passes, the planner's efficient set point comes back —
+  // leaving the room on the panic set point would quietly burn CRAC power
+  // for the rest of the run.
+  if (any_on &&
+      peak_reading > watchdog_.t_max() + options_.emergency_guard_c) {
+    room_.set_setpoint_c(options_.emergency_setpoint_c);
+    emergency_active_ = true;
+    ++stats_.emergency_overrides;
+    obs::count("resilience.emergency_overrides");
+    if (obs::RunTrace* tr = obs::trace()) {
+      tr->record_event(obs::EventSample{now, "resilience.emergency_override",
+                                        options_.emergency_setpoint_c, ""});
+    }
+  } else if (emergency_active_) {
+    emergency_active_ = false;
+    if (adaptive_.has_plan()) {
+      const core::Allocation& alloc = adaptive_.current_plan().allocation;
+      room_.set_setpoint_c(setpoints_.to_setpoint(alloc.t_ac, alloc.it_power_w));
+    }
+  }
+
+  (void)alarmed;
+  last_update_s_ = now;
+  have_last_update_ = true;
+}
+
+}  // namespace coolopt::control

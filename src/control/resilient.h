@@ -1,0 +1,120 @@
+// Self-healing supervisor — closes the loop between detection and planning.
+//
+// The pieces existed separately: ThermalWatchdog detects machines that stay
+// hot through set-point interventions and recommends quarantining them;
+// AdaptiveController replans load over a machine set. Nothing connected
+// them. The ResilientController is that connection:
+//
+//   sensors -> watchdog check -> quarantine recommendation
+//           -> adaptive replan over the survivors (dwell bypassed)
+//           -> probation timer -> re-admission -> replan again
+//
+// plus a last-ditch emergency set-point override when a sensor reads far
+// above the ceiling (the room must cool NOW; efficiency can wait), and a
+// `resilience.*` metrics family quantifying how well the defense worked:
+// constraint-violation seconds, recovery time, shed work, quarantine and
+// re-admission counts.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "control/adaptive.h"
+#include "control/watchdog.h"
+#include "core/engine.h"
+#include "sim/room.h"
+
+namespace coolopt::control {
+
+struct ResilientOptions {
+  AdaptiveOptions adaptive;
+  WatchdogOptions watchdog;
+  /// Seconds a quarantined machine sits out before the supervisor tries
+  /// re-admitting it. If the fault persists, the watchdog re-quarantines
+  /// after re-detection; if it was repaired, the machine rejoins the fleet.
+  double probation_dwell_s = 1800.0;
+  /// Emergency override: any sensor reading above t_max + this margin
+  /// forces the CRAC straight to emergency_setpoint_c (overriding the
+  /// planner's efficient set point). The planned set point is restored on
+  /// the first cycle the emergency clears.
+  double emergency_guard_c = 3.0;
+  double emergency_setpoint_c = 14.0;
+  /// Escalation: a machine whose sensor stays above t_max +
+  /// emergency_guard_c for this many consecutive supervisor cycles is
+  /// quarantined immediately, without riding the watchdog's full
+  /// intervention ladder — if maximum cooling is not saving it, no set
+  /// point will (a failed fan), and every cycle spent waiting is violation
+  /// time. The watchdog path still catches slower, milder faults.
+  size_t emergency_quarantine_checks = 3;
+};
+
+struct ResilientStats {
+  size_t checks = 0;
+  size_t quarantines = 0;
+  size_t readmissions = 0;
+  size_t emergency_overrides = 0;
+  /// Full replans the supervisor forced through quarantine-set changes.
+  size_t replans = 0;
+  /// Integrated time (s) the true peak CPU temperature sat above t_max.
+  double violation_seconds = 0.0;
+  /// Integrated demand the planner could not serve, files (files/s x s).
+  double shed_files = 0.0;
+  /// Duration of the most recent completed violation episode, s
+  /// (first-over-ceiling to back-under-ceiling); negative if none yet.
+  double last_recovery_s = -1.0;
+};
+
+class ResilientController {
+ public:
+  /// Builds a private PlanEngine (margin from options.adaptive.t_max_margin).
+  ResilientController(sim::MachineRoom& room, core::RoomModel model,
+                      SetPointPlanner setpoints, ResilientOptions options = {});
+  /// Shares an existing engine, like AdaptiveController. The watchdog
+  /// defends the *unmargined* fitted t_max.
+  ResilientController(sim::MachineRoom& room,
+                      std::shared_ptr<const core::PlanEngine> engine,
+                      SetPointPlanner setpoints, ResilientOptions options = {});
+
+  /// One supervisor cycle: watchdog check, quarantine/re-admission
+  /// bookkeeping, adaptive replan/track, emergency override. Call once per
+  /// control period, between room.step() calls.
+  void update(double demand_files_s);
+
+  const ResilientStats& stats() const { return stats_; }
+  const AdaptiveController& adaptive() const { return adaptive_; }
+  const ThermalWatchdog& watchdog() const { return watchdog_; }
+  /// Machines currently quarantined (sorted).
+  std::vector<size_t> quarantined() const;
+
+ private:
+  void account_violation();
+  void sync_quarantine_set();
+  void quarantine_machine(size_t machine, double now);
+
+  sim::MachineRoom& room_;
+  std::shared_ptr<const core::PlanEngine> engine_;
+  ResilientOptions options_;
+  SetPointPlanner setpoints_;  ///< for restoring the plan after an emergency
+  AdaptiveController adaptive_;
+  ThermalWatchdog watchdog_;
+
+  struct QuarantineEntry {
+    size_t machine = 0;
+    double since_s = 0.0;
+  };
+  std::vector<QuarantineEntry> quarantine_;
+  bool quarantine_dirty_ = false;
+  /// Consecutive cycles each machine's sensor sat above the emergency
+  /// threshold (escalation counter; reset when it cools or powers off).
+  std::vector<size_t> emergency_streak_;
+  bool emergency_active_ = false;
+
+  double last_update_s_ = 0.0;
+  bool have_last_update_ = false;
+  bool in_violation_ = false;
+  double violation_start_s_ = 0.0;
+  ResilientStats stats_;
+};
+
+}  // namespace coolopt::control

@@ -152,10 +152,12 @@ std::optional<Allocation> PlanEngine::plan_optimal(
   return lp().solve(on_set, load);
 }
 
-std::optional<Plan> PlanEngine::compute_plan(const Scenario& s, double load) const {
+std::optional<Plan> PlanEngine::compute_plan(const Scenario& s, double load,
+                                             const std::vector<size_t>* allowed) const {
   const RoomModel& fitted = *model_;
   const RoomModel& planning = *margin_model_;
   const ModelAggregates& agg = aggregates();
+  const bool restricted = allowed != nullptr;
 
   Plan plan;
   plan.scenario = s;
@@ -170,16 +172,37 @@ std::optional<Plan> PlanEngine::compute_plan(const Scenario& s, double load) con
     return plan;
   }
 
-  const std::vector<size_t>& order = agg.coolness;
+  // Restricted solves (quarantines) keep the cached sort orders but drop
+  // the excluded machines from them.
+  std::vector<char> mask;
+  if (restricted) {
+    mask.assign(fitted.size(), 0);
+    for (size_t i : *allowed) mask[i] = 1;
+  }
+  auto filter_order = [&](const std::vector<size_t>& base) {
+    std::vector<size_t> out;
+    out.reserve(allowed->size());
+    for (size_t i : base) {
+      if (mask[i]) out.push_back(i);
+    }
+    return out;
+  };
+  const std::vector<size_t> order_store =
+      restricted ? filter_order(agg.coolness) : std::vector<size_t>{};
+  const std::vector<size_t>& order = restricted ? order_store : agg.coolness;
 
   // --- choose the ON set and the load split ---
   if (s.distribution == Distribution::kOptimal) {
     std::optional<Allocation> best;
     bool best_pure = true;
     if (!s.consolidation) {
-      best = plan_optimal(agg.all_machines, load, best_pure);
+      best = plan_optimal(restricted ? *allowed : agg.all_machines, load,
+                          best_pure);
     } else {
-      const std::vector<size_t>& capacity_order = agg.capacity_desc;
+      const std::vector<size_t> capacity_store =
+          restricted ? filter_order(agg.capacity_desc) : std::vector<size_t>{};
+      const std::vector<size_t>& capacity_order =
+          restricted ? capacity_store : agg.capacity_desc;
       auto probe_k = [&](size_t k, const std::vector<size_t>* ranked_subset) {
         std::vector<std::vector<size_t>> subsets;
         if (ranked_subset != nullptr) subsets.push_back(*ranked_subset);
@@ -196,7 +219,8 @@ std::optional<Plan> PlanEngine::compute_plan(const Scenario& s, double load) con
           }
         }
       };
-      if (const EventConsolidator* cons = consolidator()) {
+      const EventConsolidator* cons = restricted ? nullptr : consolidator();
+      if (cons != nullptr) {
         // Walk the optimal consolidation ranking; candidates may fail the
         // bounded validation (capacities are invisible to the particle
         // reduction), so for every k we also probe capacity-greedy and
@@ -216,15 +240,20 @@ std::optional<Plan> PlanEngine::compute_plan(const Scenario& s, double load) con
           probe_k(cand.k, &cand.on_set);
         }
       } else {
-        // Heterogeneous fleet: no particle reduction. Probe a window of
-        // ON-set sizes above the capacity minimum with heuristic subset
-        // shapes, evaluating each with the bounded LP. The idle-draw order
-        // prefers cheap-idle nodes for padding.
+        // Heterogeneous fleet (no particle reduction) or a restricted
+        // machine set (the Algorithm 1 ranking covers the full fleet
+        // only). Probe a window of ON-set sizes above the capacity minimum
+        // with heuristic subset shapes, evaluating each with the bounded
+        // LP. The idle-draw order prefers cheap-idle nodes for padding.
+        const std::vector<size_t> idle_store =
+            restricted ? filter_order(agg.idle_asc) : std::vector<size_t>{};
+        const std::vector<size_t>& idle_order =
+            restricted ? idle_store : agg.idle_asc;
         const size_t k_min = min_machines_for(planning, load, capacity_order);
-        const size_t k_hi = std::min(planning.size(), k_min + 4);
+        const size_t k_hi = std::min(capacity_order.size(), k_min + 4);
         for (size_t k = std::max<size_t>(1, k_min); k <= k_hi; ++k) {
           const std::vector<size_t> cheap_idle(
-              agg.idle_asc.begin(), agg.idle_asc.begin() + static_cast<long>(k));
+              idle_order.begin(), idle_order.begin() + static_cast<long>(k));
           probe_k(k, &cheap_idle);
         }
       }
@@ -238,7 +267,7 @@ std::optional<Plan> PlanEngine::compute_plan(const Scenario& s, double load) con
       const size_t k = min_machines_for(planning, load, order);
       on_set.assign(order.begin(), order.begin() + static_cast<long>(k));
     } else {
-      on_set = agg.all_machines;
+      on_set = restricted ? *allowed : agg.all_machines;
     }
     plan.allocation = s.distribution == Distribution::kEven
                           ? even_allocation(planning, load, on_set)
@@ -280,10 +309,85 @@ PlanResult PlanEngine::solve(const PlanRequest& request) const {
         util::strf("PlanEngine: load %.3f exceeds room capacity %.3f",
                    request.load, model_->total_capacity()));
   }
+  const size_t n = model_->size();
+  for (size_t idx : request.quarantined) {
+    if (idx >= n) {
+      throw std::invalid_argument(
+          util::strf("PlanEngine: quarantined index %zu out of range "
+                     "(model has %zu machines)",
+                     idx, n));
+    }
+  }
 
   PlanResult result;
   const double t0 = now_us();
-  result.plan = compute_plan(request.scenario, request.load);
+
+  // Surviving machine set and its capacity. Demand above the surviving
+  // capacity is shed, not an error — only the full-fleet capacity check
+  // above throws.
+  std::vector<size_t> allowed;
+  double allowed_capacity = model_->total_capacity();
+  const bool restricted = !request.quarantined.empty();
+  if (restricted) {
+    std::vector<char> quarantined(n, 0);
+    for (size_t idx : request.quarantined) quarantined[idx] = 1;
+    allowed_capacity = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (quarantined[i]) continue;
+      allowed.push_back(i);
+      allowed_capacity += model_->machines[i].capacity;
+    }
+  }
+  const std::vector<size_t>* allowed_ptr = restricted ? &allowed : nullptr;
+
+  const double serveable = std::min(request.load, allowed_capacity);
+  double achieved = serveable;
+  if (restricted && allowed.empty()) {
+    // Whole fleet quarantined: the best effort is an all-off room.
+    Plan plan;
+    plan.scenario = request.scenario;
+    plan.load = 0.0;
+    plan.allocation.loads.assign(n, 0.0);
+    plan.allocation.on.assign(n, false);
+    plan.allocation.t_ac = model_->t_ac_max;
+    plan.allocation.finalize(*model_);
+    result.plan = std::move(plan);
+    achieved = 0.0;
+  } else {
+    result.plan = compute_plan(request.scenario, serveable, allowed_ptr);
+    if (!result.plan && serveable > 1e-12) {
+      // Thermally infeasible at the requested level: bisect for the
+      // largest serveable load and return that plan instead of nothing.
+      // compute_plan is deterministic, so the backoff is too.
+      std::optional<Plan> best = compute_plan(request.scenario, 0.0, allowed_ptr);
+      double lo = 0.0;
+      double hi = serveable;
+      if (best) {
+        for (int iter = 0; iter < 22; ++iter) {
+          const double mid = 0.5 * (lo + hi);
+          std::optional<Plan> probe = compute_plan(request.scenario, mid, allowed_ptr);
+          if (probe) {
+            lo = mid;
+            best = std::move(probe);
+          } else {
+            hi = mid;
+          }
+        }
+        result.plan = std::move(best);
+        achieved = lo;
+      } else {
+        achieved = 0.0;
+      }
+    } else if (!result.plan) {
+      achieved = 0.0;
+    }
+  }
+
+  result.shed_load = std::max(0.0, request.load - achieved);
+  if (result.shed_load <= 1e-9) result.shed_load = 0.0;
+  if (result.shed_load > 0.0) {
+    result.shed_priority = shed_priority_for(request.quarantined, allowed_ptr);
+  }
   result.solve_us = now_us() - t0;
 
   counters_.solves.fetch_add(1, std::memory_order_relaxed);
@@ -301,7 +405,31 @@ PlanResult PlanEngine::solve(const PlanRequest& request) const {
       obs::count("engine.path.lp_fallback");
     }
   }
+  if (result.shed_load > 0.0) {
+    counters_.degraded.fetch_add(1, std::memory_order_relaxed);
+    obs::count("engine.degraded");
+    obs::observe("engine.shed_load", result.shed_load);
+  }
   return result;
+}
+
+std::vector<size_t> PlanEngine::shed_priority_for(
+    const std::vector<size_t>& quarantined,
+    const std::vector<size_t>* allowed) const {
+  // Quarantined machines first (their load is already gone), then the
+  // survivors from thermally worst to best — the order a supervisor should
+  // walk when it must drop more work.
+  std::vector<size_t> priority(quarantined);
+  const ModelAggregates& agg = aggregates();
+  std::vector<char> mask;
+  if (allowed != nullptr) {
+    mask.assign(model_->size(), 0);
+    for (size_t i : *allowed) mask[i] = 1;
+  }
+  for (auto it = agg.coolness.rbegin(); it != agg.coolness.rend(); ++it) {
+    if (allowed == nullptr || mask[*it]) priority.push_back(*it);
+  }
+  return priority;
 }
 
 std::vector<PlanResult> PlanEngine::solve_batch(
@@ -358,6 +486,7 @@ EngineCounters PlanEngine::counters() const {
   EngineCounters c;
   c.solves = counters_.solves.load(std::memory_order_relaxed);
   c.infeasible = counters_.infeasible.load(std::memory_order_relaxed);
+  c.degraded = counters_.degraded.load(std::memory_order_relaxed);
   c.closed_form = counters_.closed_form.load(std::memory_order_relaxed);
   c.lp_fallback = counters_.lp_fallback.load(std::memory_order_relaxed);
   c.rebalances = counters_.rebalances.load(std::memory_order_relaxed);

@@ -48,21 +48,46 @@ namespace coolopt::core {
 
 /// One planning query: which policy, how much load (files/s).
 struct PlanRequest {
+  PlanRequest() = default;
+  PlanRequest(Scenario scenario_, double load_,
+              std::vector<size_t> quarantined_ = {})
+      : scenario(scenario_), load(load_), quarantined(std::move(quarantined_)) {}
+
   Scenario scenario = Scenario::by_number(8);
   double load = 0.0;
+  /// Machines the planner must leave OFF (quarantined by the resilience
+  /// layer). Load above the surviving capacity is shed, not an error;
+  /// invalid indices throw std::invalid_argument naming the index.
+  std::vector<size_t> quarantined;
 };
 
-/// Outcome of one request. `plan` is empty when no feasible operating point
-/// exists; `error` is non-empty when the request itself was invalid
-/// (negative or over-capacity load) — solve() throws in that case, while
-/// solve_batch() captures the message here so one bad request cannot tear
-/// down the batch.
+/// Outcome of one request. `error` is non-empty when the request itself was
+/// invalid (negative or over-capacity load, bad quarantine index) — solve()
+/// throws in that case, while solve_batch() captures the message here so
+/// one bad request cannot tear down the batch.
+///
+/// Degraded results are never silently empty: when quarantines or the
+/// thermal ceiling make the full load unservable, `plan` still holds the
+/// best-effort allocation of what COULD be served and `shed_load` reports
+/// the files/s left on the floor, with `shed_priority` listing machine
+/// indices in the order the supervisor should prefer shedding them
+/// (quarantined machines first, then the thermally worst survivors).
+/// Invariant (pinned by the degraded-plan property test): either the plan
+/// serves the full request (Σ L_i == load) or shed_load > 0 with a
+/// populated priority order.
 struct PlanResult {
   std::optional<Plan> plan;
   std::string error;
   double solve_us = 0.0;
+  /// Files/s the plan could not place (0 when the request is fully served).
+  double shed_load = 0.0;
+  /// Preferred shedding order (only populated when shed_load > 0).
+  std::vector<size_t> shed_priority;
 
-  bool feasible() const { return plan.has_value(); }
+  /// True only for a complete plan: present AND serving the full request.
+  /// A best-effort degraded plan reports false here while still carrying
+  /// the partial allocation in `plan`.
+  bool feasible() const { return plan.has_value() && shed_load <= 0.0; }
 };
 
 /// Everything O(n)-derivable from the model that the dispatch loop used to
@@ -90,6 +115,7 @@ struct ModelAggregates {
 struct EngineCounters {
   uint64_t solves = 0;
   uint64_t infeasible = 0;
+  uint64_t degraded = 0;  ///< best-effort plans returned with shed_load > 0
   uint64_t closed_form = 0;   ///< plans served purely by the closed form
   uint64_t lp_fallback = 0;   ///< plans that engaged the bounded LP
   uint64_t rebalances = 0;
@@ -137,10 +163,13 @@ class PlanEngine {
   const ParticleSystem* particles() const;
 
   // --- solving ---
-  /// Plans (scenario, load) against the cached artifacts. Returns an
-  /// infeasible result (empty plan) when no operating point exists under
-  /// the ceiling; throws std::invalid_argument on negative or
-  /// over-capacity load, exactly like ScenarioPlanner::plan always did.
+  /// Plans (scenario, load) against the cached artifacts. Throws
+  /// std::invalid_argument on negative load, load above the full-fleet
+  /// capacity, or a bad quarantine index, exactly like
+  /// ScenarioPlanner::plan always did. A load the surviving machines or
+  /// the thermal ceiling cannot carry is NOT an error: the result holds
+  /// the best-effort plan (largest serveable load, found by deterministic
+  /// bisection) with the remainder in shed_load — see PlanResult.
   PlanResult solve(const PlanRequest& request) const;
 
   /// Fans `requests` out across a worker pool and returns results in
@@ -164,6 +193,7 @@ class PlanEngine {
   struct LiveCounters {
     std::atomic<uint64_t> solves{0};
     std::atomic<uint64_t> infeasible{0};
+    std::atomic<uint64_t> degraded{0};
     std::atomic<uint64_t> closed_form{0};
     std::atomic<uint64_t> lp_fallback{0};
     std::atomic<uint64_t> rebalances{0};
@@ -178,9 +208,18 @@ class PlanEngine {
   template <typename Build>
   void ensure(std::once_flag& once, Build&& build) const;
 
-  std::optional<Plan> compute_plan(const Scenario& s, double load) const;
+  /// `allowed` restricts planning to a machine subset (nullptr == the whole
+  /// fleet); used by quarantine-aware solves. The consolidator's Algorithm 1
+  /// ranking covers the full fleet only, so restricted solves take the
+  /// windowed-probe path instead.
+  std::optional<Plan> compute_plan(const Scenario& s, double load,
+                                   const std::vector<size_t>* allowed = nullptr) const;
   std::optional<Allocation> plan_optimal(const std::vector<size_t>& on_set,
                                          double load, bool& closed_form_pure) const;
+  /// Shedding order for degraded results: quarantined machines first, then
+  /// the surviving machines warmest-first.
+  std::vector<size_t> shed_priority_for(const std::vector<size_t>& quarantined,
+                                        const std::vector<size_t>* allowed) const;
   util::ThreadPool& default_pool() const;
 
   SharedRoomModel model_;         // as fitted

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace coolopt::sim {
@@ -177,6 +179,20 @@ struct FaultPlan {
   bool empty() const {
     return failed_fans.empty() && power_meter_spike_prob <= 0.0 &&
            temp_sensor_stuck_prob <= 0.0;
+  }
+
+  /// Rejects fault targets that don't exist in a room of `total_servers`
+  /// machines. Called by every consumer (EvalEngine::measure_faulted,
+  /// FaultScheduler) before the plan can touch a room.
+  void validate(size_t total_servers) const {
+    for (size_t idx : failed_fans) {
+      if (idx >= total_servers) {
+        throw std::invalid_argument(
+            "FaultPlan: failed-fan index " + std::to_string(idx) +
+            " out of range (room has " + std::to_string(total_servers) +
+            " servers)");
+      }
+    }
   }
 
   /// The room configuration with the sensor faults applied. Fan failures

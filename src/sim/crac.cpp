@@ -14,16 +14,32 @@ CracSim::CracSim(const CracConfig& cfg)
   }
 }
 
-void CracSim::set_setpoint_c(double t_sp_c) { setpoint_c_ = t_sp_c; }
+void CracSim::set_setpoint_c(double t_sp_c) {
+  if (degradation_.setpoint_stuck) return;  // actuator ignores the command
+  setpoint_c_ = t_sp_c;
+}
+
+void CracSim::set_degradation(const CracDegradation& d) {
+  if (d.efficiency <= 0.0 || d.efficiency > 1.0) {
+    throw std::invalid_argument("CracSim: degradation efficiency must be in (0, 1]");
+  }
+  if (d.flow_factor <= 0.0 || d.flow_factor > 1.0) {
+    throw std::invalid_argument("CracSim: degradation flow factor must be in (0, 1]");
+  }
+  degradation_ = d;
+}
 
 double CracSim::cop_at(double supply_temp_c) const {
   const double cop =
       cfg_.cop_ref + cfg_.cop_slope_per_k * (supply_temp_c - cfg_.cop_ref_temp_c);
-  return std::max(cfg_.cop_min, cop);
+  // Degraded efficiency scales the whole curve: same heat extracted, more
+  // electricity. cop_min is a property of the healthy machine, so the
+  // degraded COP may legitimately sit below it.
+  return std::max(cfg_.cop_min, cop) * degradation_.efficiency;
 }
 
 void CracSim::apply_cooling(double return_temp_c, double cooling_cmd_w) {
-  const double thermal_conductance = cfg_.c_air * cfg_.flow_m3s;  // W/K
+  const double thermal_conductance = cfg_.c_air * flow_m3s();  // W/K
   // The coil can't cool below min_supply_c: that caps the extraction rate.
   const double max_by_supply =
       std::max(0.0, (return_temp_c - cfg_.min_supply_c) * thermal_conductance);

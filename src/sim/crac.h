@@ -15,13 +15,48 @@
 
 namespace coolopt::sim {
 
+/// Runtime degradation state of the CRAC unit — the fault model the
+/// resilience layer injects (see sim/fault_scheduler.h). All fields at
+/// their defaults describe a healthy unit.
+struct CracDegradation {
+  /// Multiplier on the unit's COP (chilled-water efficiency): a fouled coil
+  /// or low refrigerant charge extracts the same heat at higher electrical
+  /// cost. Must be in (0, 1].
+  double efficiency = 1.0;
+  /// Multiplier on the circulation flow f_ac: a failing blower or clogged
+  /// filter moves less air, which both starves the servers of supply air
+  /// and lowers the achievable heat-extraction rate. Must be in (0, 1].
+  double flow_factor = 1.0;
+  /// Stuck set-point actuator: the unit keeps controlling on whatever
+  /// T_SP it last accepted and ignores new set_setpoint_c commands.
+  bool setpoint_stuck = false;
+
+  bool healthy() const {
+    return efficiency >= 1.0 && flow_factor >= 1.0 && !setpoint_stuck;
+  }
+};
+
 class CracSim {
  public:
   explicit CracSim(const CracConfig& cfg);
 
   // --- operator knob ---
+  /// Commands a new set point. Ignored while the set-point actuator is
+  /// stuck (CracDegradation::setpoint_stuck) — exactly the failure an
+  /// operator sees when the unit's controller board wedges.
   void set_setpoint_c(double t_sp_c);
   double setpoint_c() const { return setpoint_c_; }
+
+  // --- fault injection ---
+  /// Applies (or, with a default-constructed argument, clears) runtime
+  /// degradation. Throws std::invalid_argument on factors outside (0, 1].
+  /// The caller (MachineRoom::set_crac_degradation) refreshes the room's
+  /// airflow network afterwards, since flow_factor changes the air paths.
+  void set_degradation(const CracDegradation& d);
+  const CracDegradation& degradation() const { return degradation_; }
+
+  /// Effective circulation flow after degradation, m^3/s.
+  double flow_m3s() const { return cfg_.flow_m3s * degradation_.flow_factor; }
 
   /// COP at a given supply temperature (ground truth).
   double cop_at(double supply_temp_c) const;
@@ -52,6 +87,7 @@ class CracSim {
   void apply_cooling(double return_temp_c, double cooling_cmd_w);
 
   CracConfig cfg_;
+  CracDegradation degradation_;
   double setpoint_c_;
   double cooling_w_ = 0.0;
   double supply_temp_c_;

@@ -1,0 +1,186 @@
+#include "sim/fault_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "sim/room.h"
+#include "util/strings.h"
+
+namespace coolopt::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFanFailure: return "fan-failure";
+    case FaultKind::kServerOffline: return "server-offline";
+    case FaultKind::kPowerMeterSpike: return "power-meter-spike";
+    case FaultKind::kTempSensorStuck: return "temp-sensor-stuck";
+    case FaultKind::kCracDegradation: return "crac-degradation";
+    case FaultKind::kCracSetpointStuck: return "crac-setpoint-stuck";
+  }
+  return "unknown";
+}
+
+FaultScenario FaultScenario::from_plan(const FaultPlan& plan) {
+  FaultScenario sc;
+  sc.name = "from-plan";
+  for (size_t idx : plan.failed_fans) {
+    sc.events.push_back({0.0, FaultKind::kFanFailure, idx, false, 0.0, 0.0});
+  }
+  if (plan.power_meter_spike_prob > 0.0) {
+    sc.events.push_back({0.0, FaultKind::kPowerMeterSpike,
+                         FaultEvent::kAllServers, false,
+                         plan.power_meter_spike_prob, plan.power_meter_spike_w});
+  }
+  if (plan.temp_sensor_stuck_prob > 0.0) {
+    sc.events.push_back({0.0, FaultKind::kTempSensorStuck,
+                         FaultEvent::kAllServers, false,
+                         plan.temp_sensor_stuck_prob, 0.0});
+  }
+  return sc;
+}
+
+FaultScenario FaultScenario::named(const std::string& name) {
+  FaultScenario sc;
+  sc.name = name;
+  // The canonical mid-run fault used across the robustness campaign and the
+  // e2e tests: server 3's fan stops ten minutes in and stays broken.
+  if (name == "fan-failure") {
+    sc.events.push_back({600.0, FaultKind::kFanFailure, 3, false, 0.0, 0.0});
+  } else if (name == "fan-flap") {
+    // Fails, then a field tech reseats it half an hour later — exercises
+    // the supervisor's probation/re-admission path.
+    sc.events.push_back({600.0, FaultKind::kFanFailure, 3, false, 0.0, 0.0});
+    sc.events.push_back({2400.0, FaultKind::kFanFailure, 3, true, 0.0, 0.0});
+  } else if (name == "server-crash") {
+    sc.events.push_back({600.0, FaultKind::kServerOffline, 3, false, 0.0, 0.0});
+  } else if (name == "crac-degrade") {
+    // Fouled coil + tired blower: 60% efficiency, 75% airflow.
+    sc.events.push_back(
+        {600.0, FaultKind::kCracDegradation, 0, false, 0.6, 0.75});
+  } else if (name == "setpoint-stuck") {
+    sc.events.push_back(
+        {600.0, FaultKind::kCracSetpointStuck, 0, false, 0.0, 0.0});
+  } else if (name == "sensor-stuck") {
+    // Server 3's temperature register goes mostly stale — the watchdog has
+    // to see through a sensor that keeps repeating itself.
+    sc.events.push_back(
+        {600.0, FaultKind::kTempSensorStuck, 3, false, 0.85, 0.0});
+  } else {
+    throw std::invalid_argument(
+        "FaultScenario::named: unknown scenario '" + name + "'");
+  }
+  return sc;
+}
+
+std::vector<std::string> FaultScenario::names() {
+  return {"fan-failure", "fan-flap",       "server-crash",
+          "crac-degrade", "setpoint-stuck", "sensor-stuck"};
+}
+
+FaultScheduler::FaultScheduler(MachineRoom& room, FaultScenario scenario)
+    : room_(room), scenario_(std::move(scenario)) {
+  const size_t n = room_.size();
+  for (size_t i = 0; i < scenario_.events.size(); ++i) {
+    const FaultEvent& ev = scenario_.events[i];
+    if (ev.time_s < 0.0) {
+      throw std::invalid_argument(util::strf(
+          "FaultScheduler: event %zu (%s) has negative time %.3f", i,
+          to_string(ev.kind), ev.time_s));
+    }
+    switch (ev.kind) {
+      case FaultKind::kFanFailure:
+      case FaultKind::kServerOffline:
+        if (ev.target >= n) {
+          throw std::invalid_argument(util::strf(
+              "FaultScheduler: event %zu (%s) targets server %zu but the "
+              "room has %zu servers",
+              i, to_string(ev.kind), ev.target, n));
+        }
+        break;
+      case FaultKind::kPowerMeterSpike:
+      case FaultKind::kTempSensorStuck:
+        if (ev.target != FaultEvent::kAllServers && ev.target >= n) {
+          throw std::invalid_argument(util::strf(
+              "FaultScheduler: event %zu (%s) targets server %zu but the "
+              "room has %zu servers",
+              i, to_string(ev.kind), ev.target, n));
+        }
+        break;
+      case FaultKind::kCracDegradation:
+        if (!ev.clear && (ev.value <= 0.0 || ev.value > 1.0 ||
+                          ev.value2 <= 0.0 || ev.value2 > 1.0)) {
+          throw std::invalid_argument(util::strf(
+              "FaultScheduler: event %zu (crac-degradation) needs "
+              "efficiency/flow factors in (0, 1], got %.3f/%.3f",
+              i, ev.value, ev.value2));
+        }
+        break;
+      case FaultKind::kCracSetpointStuck:
+        break;
+    }
+  }
+  std::stable_sort(scenario_.events.begin(), scenario_.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+}
+
+size_t FaultScheduler::advance_to(double time_s) {
+  size_t fired = 0;
+  while (next_ < scenario_.events.size() &&
+         scenario_.events[next_].time_s <= time_s) {
+    apply(scenario_.events[next_]);
+    ++next_;
+    ++fired;
+  }
+  return fired;
+}
+
+void FaultScheduler::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kFanFailure:
+      room_.set_fan_failed(ev.target, !ev.clear);
+      break;
+    case FaultKind::kServerOffline:
+      room_.set_power_state(ev.target, ev.clear);
+      break;
+    case FaultKind::kPowerMeterSpike:
+      if (ev.target == FaultEvent::kAllServers) {
+        for (size_t i = 0; i < room_.size(); ++i) {
+          room_.set_power_meter_spike(i, ev.clear ? 0.0 : ev.value, ev.value2);
+        }
+      } else {
+        room_.set_power_meter_spike(ev.target, ev.clear ? 0.0 : ev.value,
+                                    ev.value2);
+      }
+      break;
+    case FaultKind::kTempSensorStuck:
+      if (ev.target == FaultEvent::kAllServers) {
+        for (size_t i = 0; i < room_.size(); ++i) {
+          room_.set_temp_sensor_stuck(i, ev.clear ? 0.0 : ev.value);
+        }
+      } else {
+        room_.set_temp_sensor_stuck(ev.target, ev.clear ? 0.0 : ev.value);
+      }
+      break;
+    case FaultKind::kCracDegradation:
+      crac_state_.efficiency = ev.clear ? 1.0 : ev.value;
+      crac_state_.flow_factor = ev.clear ? 1.0 : ev.value2;
+      room_.set_crac_degradation(crac_state_);
+      break;
+    case FaultKind::kCracSetpointStuck:
+      crac_state_.setpoint_stuck = !ev.clear;
+      room_.set_crac_degradation(crac_state_);
+      break;
+  }
+  obs::count("sim.fault_events");
+  if (obs::RunTrace* tr = obs::trace()) {
+    tr->record_event(obs::EventSample{
+        ev.time_s, ev.clear ? "fault.clear" : "fault.apply",
+        static_cast<double>(ev.target),
+        util::strf("%s target=%zu", to_string(ev.kind), ev.target)});
+  }
+}
+
+}  // namespace coolopt::sim

@@ -1,0 +1,102 @@
+// Timed fault injection against a live MachineRoom.
+//
+// A FaultScenario is a list of (time, fault) events — fan failures, server
+// crashes, sensor glitch episodes, CRAC degradation — that a FaultScheduler
+// replays against a room as simulated time advances. The static
+// sim::FaultPlan (faults present for the whole measurement) is the t=0
+// special case, see FaultScenario::from_plan.
+//
+// Determinism: the scheduler itself is a pure function of the scenario and
+// the times it is advanced to. The only randomness in a faulted run lives in
+// the room's per-sensor RNG streams, which are forked from RoomConfig::seed,
+// so a campaign replayed from the same seed is bit-for-bit reproducible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/crac.h"
+
+namespace coolopt::sim {
+
+class MachineRoom;
+
+/// What breaks (or recovers, when FaultEvent::clear is set).
+enum class FaultKind {
+  kFanFailure,       ///< server fan stops; passive draft only
+  kServerOffline,    ///< server crashes / is powered off
+  kPowerMeterSpike,  ///< plug-meter glitch episode (value = prob, value2 = W)
+  kTempSensorStuck,  ///< stuck temperature register episode (value = prob)
+  kCracDegradation,  ///< reduced CRAC efficiency/airflow (value = eta,
+                     ///< value2 = flow factor)
+  kCracSetpointStuck ///< CRAC set-point actuator wedges
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scheduled fault transition.
+struct FaultEvent {
+  /// Sentinel target: apply the (sensor) fault to every server in the room.
+  static constexpr size_t kAllServers = static_cast<size_t>(-1);
+
+  double time_s = 0.0;   ///< simulated time at which the event fires
+  FaultKind kind = FaultKind::kFanFailure;
+  /// Server index for per-server kinds (ignored by the CRAC kinds);
+  /// kAllServers fans a sensor fault out to the whole fleet.
+  size_t target = 0;
+  /// true == the fault heals at time_s instead of starting.
+  bool clear = false;
+  double value = 0.0;    ///< kind-specific, see FaultKind comments
+  double value2 = 0.0;
+};
+
+/// A named, ordered fault storyline.
+struct FaultScenario {
+  std::string name;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Lifts a static FaultPlan into the scheduled world: every fault fires
+  /// at t=0 and never clears.
+  static FaultScenario from_plan(const FaultPlan& plan);
+
+  /// Looks up a scenario from the built-in library (see names());
+  /// throws std::invalid_argument for unknown names.
+  static FaultScenario named(const std::string& name);
+  /// Names accepted by named(), e.g. for --scenario flag help text.
+  static std::vector<std::string> names();
+};
+
+/// Replays a FaultScenario against a live room. Construct once per run,
+/// then call advance_to(t) as simulated time passes; each event fires
+/// exactly once, in time order.
+class FaultScheduler {
+ public:
+  /// Validates every event against the room (target indices, degradation
+  /// factor ranges) up front, throwing std::invalid_argument with the
+  /// offending event named — a bad scenario never half-applies.
+  FaultScheduler(MachineRoom& room, FaultScenario scenario);
+
+  /// Applies all not-yet-applied events with time_s <= time_s.
+  /// Returns how many events fired.
+  size_t advance_to(double time_s);
+
+  size_t applied_count() const { return next_; }
+  size_t pending_count() const { return scenario_.events.size() - next_; }
+  const FaultScenario& scenario() const { return scenario_; }
+
+ private:
+  void apply(const FaultEvent& ev);
+
+  MachineRoom& room_;
+  FaultScenario scenario_;   ///< events stable-sorted by time
+  size_t next_ = 0;
+  /// Merged CRAC state so degradation and stuck-set-point events compose
+  /// instead of overwriting each other.
+  CracDegradation crac_state_;
+};
+
+}  // namespace coolopt::sim

@@ -105,7 +105,39 @@ void MachineRoom::set_power_state(size_t i, bool on) {
 }
 
 void MachineRoom::set_fan_failed(size_t i, bool failed) {
-  servers_.at(i).set_fan_failed(failed);
+  if (i >= servers_.size()) {
+    throw std::invalid_argument(
+        util::strf("MachineRoom::set_fan_failed: server index %zu out of range "
+                   "(room has %zu servers)",
+                   i, servers_.size()));
+  }
+  servers_[i].set_fan_failed(failed);
+  refresh_flows();
+}
+
+void MachineRoom::set_power_meter_spike(size_t i, double spike_prob,
+                                        double spike_w) {
+  if (i >= power_meters_.size()) {
+    throw std::invalid_argument(util::strf(
+        "MachineRoom::set_power_meter_spike: server index %zu out of range "
+        "(room has %zu servers)",
+        i, power_meters_.size()));
+  }
+  power_meters_[i].set_spike(spike_prob, spike_w);
+}
+
+void MachineRoom::set_temp_sensor_stuck(size_t i, double stuck_prob) {
+  if (i >= temp_sensors_.size()) {
+    throw std::invalid_argument(util::strf(
+        "MachineRoom::set_temp_sensor_stuck: server index %zu out of range "
+        "(room has %zu servers)",
+        i, temp_sensors_.size()));
+  }
+  temp_sensors_[i].set_stuck_prob(stuck_prob);
+}
+
+void MachineRoom::set_crac_degradation(const CracDegradation& d) {
+  crac_.set_degradation(d);
   refresh_flows();
 }
 
@@ -142,13 +174,16 @@ void MachineRoom::refresh_flows() {
   // is physically drawn from the room instead (higher effective
   // recirculation for everyone). Scaling the supply share keeps the air
   // mass balance exact, which the energy-conservation invariant depends on.
+  // Degradation can shrink the CRAC's delivered flow below its nameplate,
+  // so the balance must use the effective value.
+  const double crac_flow = crac_.flow_m3s();
   double supply_scale = 1.0;
-  if (supply_wanted > cfg_.crac.flow_m3s) {
-    supply_scale = cfg_.crac.flow_m3s / supply_wanted;
+  if (supply_wanted > crac_flow) {
+    supply_scale = crac_flow / supply_wanted;
     util::log_debug(
         "MachineRoom: server intake (%.3f m3/s) exceeds CRAC supply (%.3f "
         "m3/s); %.0f%% of the shortfall recirculates from the room",
-        supply_wanted, cfg_.crac.flow_m3s, 100.0 * (1.0 - supply_scale));
+        supply_wanted, crac_flow, 100.0 * (1.0 - supply_scale));
   }
 
   double supply_consumed = 0.0;
@@ -164,7 +199,7 @@ void MachineRoom::refresh_flows() {
     supply_consumed += from_supply;
   }
   net_.set_advection_flow(supply_to_ambient_,
-                          std::max(0.0, cfg_.crac.flow_m3s - supply_consumed));
+                          std::max(0.0, crac_flow - supply_consumed));
 }
 
 void MachineRoom::refresh_heat_inputs() {
@@ -217,7 +252,7 @@ void MachineRoom::settle() {
   return_affine(a, b);
   // b is the steady-state gain dT_return/dT_supply; with nonzero wall
   // conductance it lies strictly inside (0, 1).
-  const double conductance = cfg_.crac.c_air * cfg_.crac.flow_m3s;
+  const double conductance = cfg_.crac.c_air * crac_.flow_m3s();
   const double t_sp = crac_.setpoint_c();
 
   // Unconstrained solution: supply temp that makes T_return == T_SP.

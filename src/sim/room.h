@@ -47,7 +47,17 @@ class MachineRoom {
   void set_setpoint_c(double t_sp_c) { crac_.set_setpoint_c(t_sp_c); }
   void set_power_state(size_t i, bool on);
   /// Injects/repairs a fan failure on server i (updates the airflow paths).
+  /// Throws std::invalid_argument when i is not a valid server index, so a
+  /// mistyped fault target is rejected before it can mutate the room.
   void set_fan_failed(size_t i, bool failed);
+  /// Starts/ends a meter-glitch episode on server i's power meter
+  /// (prob == 0 ends it). Bounds-checked like set_fan_failed.
+  void set_power_meter_spike(size_t i, double spike_prob, double spike_w);
+  /// Starts/ends a stuck-register episode on server i's temperature sensor.
+  void set_temp_sensor_stuck(size_t i, double stuck_prob);
+  /// Applies (default-constructed argument: clears) CRAC degradation and
+  /// refreshes the airflow network, since a degraded blower moves less air.
+  void set_crac_degradation(const CracDegradation& d);
   void set_utilization(size_t i, double u);
   void set_load_files_s(size_t i, double files_s);
   /// Convenience: same utilization on every ON server.

@@ -18,6 +18,11 @@ PowerMeter::PowerMeter(util::Rng rng, double noise_w, double quantum_w,
                        double spike_prob, double spike_w)
     : sensor_(rng, noise_w, quantum_w), spike_prob_(spike_prob), spike_w_(spike_w) {}
 
+void PowerMeter::set_spike(double spike_prob, double spike_w) {
+  spike_prob_ = spike_prob;
+  spike_w_ = spike_w;
+}
+
 double PowerMeter::read_watts(double truth_w) {
   double v = sensor_.read(truth_w);
   if (spike_prob_ > 0.0 && sensor_.rng().chance(spike_prob_)) {
@@ -29,6 +34,8 @@ double PowerMeter::read_watts(double truth_w) {
 TempSensor::TempSensor(util::Rng rng, double noise_c, double quantum_c,
                        double stuck_prob)
     : sensor_(rng, noise_c, quantum_c), stuck_prob_(stuck_prob) {}
+
+void TempSensor::set_stuck_prob(double stuck_prob) { stuck_prob_ = stuck_prob; }
 
 double TempSensor::read_celsius(double truth_c) {
   if (stuck_prob_ > 0.0 && has_last_ && sensor_.rng().chance(stuck_prob_)) {

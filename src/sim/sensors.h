@@ -39,6 +39,11 @@ class PowerMeter {
   /// Reads the instantaneous electrical draw, W.
   double read_watts(double truth_w);
 
+  /// Starts (prob > 0) or ends (prob == 0) a glitch episode at runtime —
+  /// the fault scheduler's knob. The meter's RNG stream is unchanged, so
+  /// injecting an episode never perturbs other sensors' draws.
+  void set_spike(double spike_prob, double spike_w);
+
  private:
   NoisySensor sensor_;
   double spike_prob_;
@@ -53,6 +58,10 @@ class TempSensor {
              double stuck_prob = 0.0);
   /// Reads the CPU temperature, degrees C.
   double read_celsius(double truth_c);
+
+  /// Starts (prob > 0) or ends (prob == 0) a stuck-register episode at
+  /// runtime — the fault scheduler's knob.
+  void set_stuck_prob(double stuck_prob);
 
  private:
   NoisySensor sensor_;

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include "util/log.h"
+
 #include <algorithm>
 #include <atomic>
 #include <limits>
@@ -28,6 +30,17 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  if (submit_error_) {
+    // Nobody called wait_idle() after the failure: log-and-drop (throwing
+    // from a destructor is not an option).
+    try {
+      std::rethrow_exception(submit_error_);
+    } catch (const std::exception& e) {
+      log_warn("ThreadPool: dropping unsurfaced job exception: %s", e.what());
+    } catch (...) {
+      log_warn("ThreadPool: dropping unsurfaced non-std job exception");
+    }
+  }
 }
 
 void ThreadPool::submit(std::function<void()> job) {
@@ -41,6 +54,11 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (submit_error_) {
+    std::exception_ptr err = std::exchange(submit_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -54,7 +72,15 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    job();  // job() must not throw; parallel_for wraps callbacks
+    try {
+      job();
+    } catch (...) {
+      // Contain per-job: one bad callback must not std::terminate the
+      // worker (and with it the process). First error wins; it surfaces on
+      // the next wait_idle().
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!submit_error_) submit_error_ = std::current_exception();
+    }
     // Drop the job's captured state before signalling idle, so every
     // reference a task held (shared result slots, exception storage) is
     // released strictly before a wait_idle() caller can observe completion.

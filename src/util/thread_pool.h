@@ -35,9 +35,18 @@ class ThreadPool {
 
   /// Enqueues one job. Jobs must not submit to the same pool (no nested
   /// submission — the pool is for leaf-level fan-out).
+  ///
+  /// Exception policy: a throwing job cannot kill its worker. The first
+  /// exception thrown by a raw-submitted job is captured and rethrown on
+  /// the next wait_idle() call (later ones are dropped — workers keep
+  /// draining the queue either way). An exception nobody waits for is
+  /// logged and discarded when the pool is destroyed.
   void submit(std::function<void()> job);
 
-  /// Blocks until every submitted job has finished.
+  /// Blocks until every submitted job has finished, then rethrows the
+  /// first exception any raw-submitted job threw since the last wait
+  /// (clearing it). parallel_for callbacks report through their own
+  /// per-index channel and never appear here.
   void wait_idle();
 
   /// Runs fn(i) for every i in [0, count) across the pool and blocks until
@@ -58,6 +67,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;   // signals waiters: all work finished
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;              // dequeued but not yet finished
+  std::exception_ptr submit_error_;   // first uncaught raw-job exception
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

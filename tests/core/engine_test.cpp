@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -268,6 +270,89 @@ TEST(PlanEngine, ZeroLoadWithConsolidationTurnsEverythingOff) {
   const auto result = engine.solve(PlanRequest{Scenario::by_number(8), 0.0});
   ASSERT_TRUE(result.feasible());
   EXPECT_EQ(result.plan->allocation.count_on(), 0u);
+}
+
+// The degraded-plan property the resilience layer leans on: every solve
+// that doesn't throw either serves the full request or says out loud what
+// it left on the floor. No silent partial plans, no empty results.
+TEST(PlanEngineDegraded, EveryResultServesFullyOrReportsShed) {
+  const size_t n = 12;
+  const PlanEngine engine(uniform_model(n));
+  const double capacity = engine.model().total_capacity();
+
+  std::vector<std::vector<size_t>> quarantine_sets = {
+      {}, {0}, {3, 7}, {0, 1, 2, 3, 4, 5}, {11}, {}, {}};
+  // All-but-one and the whole fleet.
+  for (size_t i = 0; i + 1 < n; ++i) quarantine_sets[5].push_back(i);
+  for (size_t i = 0; i < n; ++i) quarantine_sets[6].push_back(i);
+
+  for (const Scenario& scenario : Scenario::all8()) {
+    for (const auto& quarantined : quarantine_sets) {
+      for (const double frac : {0.1, 0.3, 0.5, 0.7, 0.85, 1.0}) {
+        const PlanRequest request{scenario, capacity * frac, quarantined};
+        const PlanResult result = engine.solve(request);
+        SCOPED_TRACE(scenario.name() + " frac " + std::to_string(frac) +
+                     " quarantined " + std::to_string(quarantined.size()));
+
+        // A best-effort plan always exists (zero load is always feasible).
+        ASSERT_TRUE(result.plan.has_value());
+        double served = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          if (result.plan->allocation.on[i]) {
+            served += result.plan->allocation.loads[i];
+          } else {
+            EXPECT_EQ(result.plan->allocation.loads[i], 0.0);
+          }
+        }
+        // Quarantined machines never carry load.
+        for (const size_t i : quarantined) {
+          EXPECT_FALSE(result.plan->allocation.on[i]) << "machine " << i;
+        }
+        // Served + shed accounts for the whole request...
+        EXPECT_NEAR(served + result.shed_load, request.load,
+                    1e-6 * std::max(1.0, request.load));
+        if (result.shed_load > 0.0) {
+          // ...and shedding comes with a populated priority order that
+          // fences the quarantined machines first.
+          ASSERT_FALSE(result.shed_priority.empty());
+          EXPECT_FALSE(result.feasible());
+          for (size_t q = 0; q < quarantined.size(); ++q) {
+            const auto head = result.shed_priority.begin() +
+                              static_cast<ptrdiff_t>(quarantined.size());
+            EXPECT_NE(std::find(result.shed_priority.begin(), head,
+                                quarantined[q]),
+                      head)
+                << "quarantined machine " << quarantined[q]
+                << " not at the head of the shed order";
+          }
+        } else {
+          EXPECT_NEAR(served, request.load,
+                      1e-6 * std::max(1.0, request.load));
+          EXPECT_TRUE(result.feasible());
+          EXPECT_TRUE(result.shed_priority.empty());
+        }
+      }
+    }
+  }
+  EXPECT_GT(engine.counters().degraded, 0u);
+}
+
+TEST(PlanEngineDegraded, BadQuarantineIndexThrows) {
+  const PlanEngine engine(uniform_model(6));
+  EXPECT_THROW(engine.solve(PlanRequest{Scenario::by_number(8), 10.0, {6}}),
+               std::invalid_argument);
+}
+
+TEST(PlanEngineDegraded, DegradedSolvesCountInCounters) {
+  const PlanEngine engine(uniform_model(6));
+  std::vector<size_t> all(6);
+  for (size_t i = 0; i < 6; ++i) all[i] = i;
+  const auto result = engine.solve(
+      PlanRequest{Scenario::by_number(8), engine.model().total_capacity(), all});
+  ASSERT_TRUE(result.plan.has_value());
+  EXPECT_EQ(result.plan->allocation.count_on(), 0u);
+  EXPECT_DOUBLE_EQ(result.shed_load, engine.model().total_capacity());
+  EXPECT_EQ(engine.counters().degraded, 1u);
 }
 
 }  // namespace

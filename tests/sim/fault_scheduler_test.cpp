@@ -1,0 +1,184 @@
+// Timed fault injection: scheduled events against a live room, the static
+// FaultPlan lift, up-front validation, and the bounds checks on the room's
+// own fault setters.
+#include "sim/fault_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/room.h"
+
+namespace coolopt::sim {
+namespace {
+
+RoomConfig small_room(size_t n = 6) {
+  RoomConfig cfg;
+  cfg.num_servers = n;
+  cfg.seed = 71;
+  return cfg;
+}
+
+TEST(FaultScheduler, EventsFireInTimeOrderExactlyOnce) {
+  MachineRoom room(small_room());
+  FaultScenario sc;
+  sc.name = "two-fans";
+  sc.events.push_back({300.0, FaultKind::kFanFailure, 1, false, 0.0, 0.0});
+  sc.events.push_back({100.0, FaultKind::kFanFailure, 0, false, 0.0, 0.0});
+  FaultScheduler scheduler(room, sc);
+  EXPECT_EQ(scheduler.pending_count(), 2u);
+
+  EXPECT_EQ(scheduler.advance_to(50.0), 0u);
+  EXPECT_FALSE(room.server(0).fan_failed());
+
+  EXPECT_EQ(scheduler.advance_to(100.0), 1u);
+  EXPECT_TRUE(room.server(0).fan_failed());
+  EXPECT_FALSE(room.server(1).fan_failed());
+
+  // Re-advancing to the same time must not re-fire the event.
+  EXPECT_EQ(scheduler.advance_to(100.0), 0u);
+
+  EXPECT_EQ(scheduler.advance_to(1000.0), 1u);
+  EXPECT_TRUE(room.server(1).fan_failed());
+  EXPECT_EQ(scheduler.applied_count(), 2u);
+  EXPECT_EQ(scheduler.pending_count(), 0u);
+}
+
+TEST(FaultScheduler, ClearEventsHealTheFault) {
+  MachineRoom room(small_room());
+  FaultScheduler scheduler(room, FaultScenario::named("fan-flap"));
+  scheduler.advance_to(600.0);
+  EXPECT_TRUE(room.server(3).fan_failed());
+  scheduler.advance_to(2400.0);
+  EXPECT_FALSE(room.server(3).fan_failed());
+}
+
+TEST(FaultScheduler, ServerOfflineTogglesPowerState) {
+  MachineRoom room(small_room());
+  room.set_uniform_utilization(0.5);
+  FaultScenario sc;
+  sc.name = "crash";
+  sc.events.push_back({10.0, FaultKind::kServerOffline, 2, false, 0.0, 0.0});
+  sc.events.push_back({20.0, FaultKind::kServerOffline, 2, true, 0.0, 0.0});
+  FaultScheduler scheduler(room, sc);
+  scheduler.advance_to(10.0);
+  EXPECT_FALSE(room.server(2).is_on());
+  scheduler.advance_to(20.0);
+  EXPECT_TRUE(room.server(2).is_on());
+}
+
+TEST(FaultScheduler, CracDegradationAndStuckSetpointCompose) {
+  MachineRoom room(small_room());
+  FaultScenario sc;
+  sc.name = "crac-woes";
+  sc.events.push_back({10.0, FaultKind::kCracDegradation, 0, false, 0.6, 0.75});
+  sc.events.push_back({20.0, FaultKind::kCracSetpointStuck, 0, false, 0.0, 0.0});
+  sc.events.push_back({30.0, FaultKind::kCracDegradation, 0, true, 0.0, 0.0});
+  FaultScheduler scheduler(room, sc);
+
+  scheduler.advance_to(10.0);
+  EXPECT_DOUBLE_EQ(room.crac().degradation().efficiency, 0.6);
+  EXPECT_DOUBLE_EQ(room.crac().degradation().flow_factor, 0.75);
+  EXPECT_FALSE(room.crac().degradation().setpoint_stuck);
+
+  // The stuck actuator must not wipe the degradation...
+  scheduler.advance_to(20.0);
+  EXPECT_DOUBLE_EQ(room.crac().degradation().efficiency, 0.6);
+  EXPECT_TRUE(room.crac().degradation().setpoint_stuck);
+
+  // ...and repairing the degradation must not free the actuator.
+  scheduler.advance_to(30.0);
+  EXPECT_DOUBLE_EQ(room.crac().degradation().efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(room.crac().degradation().flow_factor, 1.0);
+  EXPECT_TRUE(room.crac().degradation().setpoint_stuck);
+}
+
+TEST(FaultScheduler, SensorEpisodesReachEverySeverWithSentinel) {
+  MachineRoom room(small_room(4));
+  FaultScenario sc;
+  sc.name = "all-meters";
+  sc.events.push_back({5.0, FaultKind::kPowerMeterSpike,
+                       FaultEvent::kAllServers, false, 0.5, 400.0});
+  FaultScheduler scheduler(room, sc);
+  room.set_uniform_utilization(0.5);
+  room.settle();
+  scheduler.advance_to(5.0);
+  // With spike probability 0.5 on every meter, 40 samples across 4 servers
+  // essentially surely contain a 400 W outlier per server.
+  for (size_t i = 0; i < room.size(); ++i) {
+    const double truth = room.server_power_w(i);
+    bool spiked = false;
+    for (int s = 0; s < 40 && !spiked; ++s) {
+      spiked = std::abs(room.read_server_power_w(i) - truth) > 200.0;
+    }
+    EXPECT_TRUE(spiked) << "server " << i;
+  }
+}
+
+TEST(FaultScheduler, FromPlanIsTheTimeZeroSpecialCase) {
+  FaultPlan plan;
+  plan.failed_fans = {1, 4};
+  const FaultScenario sc = FaultScenario::from_plan(plan);
+  MachineRoom room(small_room());
+  FaultScheduler scheduler(room, sc);
+  scheduler.advance_to(0.0);
+  EXPECT_TRUE(room.server(1).fan_failed());
+  EXPECT_TRUE(room.server(4).fan_failed());
+  EXPECT_EQ(scheduler.pending_count(), 0u);
+}
+
+TEST(FaultScheduler, NamedLibraryRoundTrips) {
+  for (const std::string& name : FaultScenario::names()) {
+    const FaultScenario sc = FaultScenario::named(name);
+    EXPECT_EQ(sc.name, name);
+    EXPECT_FALSE(sc.empty()) << name;
+  }
+  EXPECT_THROW(FaultScenario::named("meteor-strike"), std::invalid_argument);
+}
+
+TEST(FaultScheduler, ValidationRejectsBadScenariosUpFront) {
+  MachineRoom room(small_room(4));
+
+  FaultScenario bad_target;
+  bad_target.events.push_back({0.0, FaultKind::kFanFailure, 9, false, 0.0, 0.0});
+  EXPECT_THROW(FaultScheduler(room, bad_target), std::invalid_argument);
+
+  FaultScenario bad_eta;
+  bad_eta.events.push_back({0.0, FaultKind::kCracDegradation, 0, false, 1.5, 1.0});
+  EXPECT_THROW(FaultScheduler(room, bad_eta), std::invalid_argument);
+
+  FaultScenario bad_time;
+  bad_time.events.push_back({-5.0, FaultKind::kFanFailure, 0, false, 0.0, 0.0});
+  EXPECT_THROW(FaultScheduler(room, bad_time), std::invalid_argument);
+}
+
+// Regression: these used to index straight into the server vector, so a bad
+// fault target was memory corruption instead of an error.
+TEST(FaultBounds, RoomSettersNameTheOffendingIndex) {
+  MachineRoom room(small_room(4));
+  try {
+    room.set_fan_failed(7, true);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("7"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos);
+  }
+  EXPECT_THROW(room.set_power_meter_spike(4, 0.1, 100.0), std::invalid_argument);
+  EXPECT_THROW(room.set_temp_sensor_stuck(99, 0.1), std::invalid_argument);
+}
+
+TEST(FaultBounds, FaultPlanValidateNamesTheOffendingIndex) {
+  FaultPlan plan;
+  plan.failed_fans = {0, 12};
+  try {
+    plan.validate(6);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("12"), std::string::npos);
+  }
+  plan.failed_fans = {0, 5};
+  EXPECT_NO_THROW(plan.validate(6));
+}
+
+}  // namespace
+}  // namespace coolopt::sim

@@ -132,8 +132,36 @@ TEST(Cooloptctl, SweepMetricsOutWritesValidTelemetryJson) {
   std::remove(metrics_path.c_str());
 }
 
+TEST(Cooloptctl, InjectRunsACampaignAndExportsMetrics) {
+  const std::string metrics_path = testing::TempDir() + "/ctl_inject_metrics.json";
+  const std::string flag = "--metrics-out=" + metrics_path;
+  const CtlResult r =
+      run({"inject", "--servers=8", "--seed=7", "--scenario=fan-failure",
+           "--defense=supervisor", "--duration=900", flag.c_str()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("fan-failure"), std::string::npos);
+  EXPECT_NE(r.out.find("violation time"), std::string::npos);
+  EXPECT_NE(r.out.find("quarantines"), std::string::npos);
+
+  std::ifstream f(metrics_path);
+  ASSERT_TRUE(f.good()) << metrics_path;
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string doc = buf.str();
+  std::string error;
+  EXPECT_TRUE(obs::json_syntax_valid(doc, &error)) << error;
+  EXPECT_NE(doc.find("\"sim.fault_events\""), std::string::npos);
+  EXPECT_NE(doc.find("\"resilience.checks\""), std::string::npos);
+  std::remove(metrics_path.c_str());
+}
+
+TEST(Cooloptctl, InjectRejectsUnknownScenarioAndDefense) {
+  EXPECT_EQ(run({"inject", "--scenario=meteor-strike"}).code, 1);
+  EXPECT_EQ(run({"inject", "--defense=prayer"}).code, 1);
+}
+
 TEST(Cooloptctl, CommandHelpWorks) {
-  for (const char* cmd : {"profile", "sweep", "frontier"}) {
+  for (const char* cmd : {"profile", "sweep", "frontier", "inject"}) {
     const CtlResult r = run({cmd, "--help"});
     EXPECT_EQ(r.code, 0) << cmd;
     EXPECT_FALSE(r.out.empty()) << cmd;

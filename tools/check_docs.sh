@@ -21,7 +21,8 @@ cd "$(dirname "$0")/.." || exit 2
 DOCS=("$@")
 if [ ${#DOCS[@]} -eq 0 ]; then
   DOCS=(docs/model.md docs/simulator.md docs/consolidation.md
-        docs/observability.md docs/architecture.md docs/evaluation.md)
+        docs/observability.md docs/architecture.md docs/evaluation.md
+        docs/robustness.md)
 fi
 
 CODE_DIRS=(src tests bench tools examples)

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "control/eval_engine.h"
+#include "control/fault_campaign.h"
 #include "core/engine.h"
 #include "core/verification.h"
 #include "obs/session.h"
@@ -26,6 +27,7 @@ constexpr const char* kUsage =
     "  audit     plan + feasibility/local-optimality audit\n"
     "  sweep     run scenarios across the load axis on a simulated room\n"
     "  frontier  print the maxL power-budget capacity frontier\n"
+    "  inject    replay a fault scenario against a live room under a defense\n"
     "\n"
     "Global flags (any command):\n"
     "  --metrics-out PATH  write the metrics + run-trace JSON on exit\n"
@@ -305,6 +307,63 @@ int cmd_frontier(util::CliFlags& flags, int argc, const char* const* argv,
   return 0;
 }
 
+int cmd_inject(util::CliFlags& flags, int argc, const char* const* argv,
+               std::ostream& out, std::ostream& err) {
+  flags.define("servers", "machines in the room", "20");
+  flags.define("racks", "racks in the room", "1");
+  flags.define("seed", "simulation seed", "42");
+  flags.define("scenario", "fault scenario name (see below)", "fan-failure");
+  flags.define("defense", "none | watchdog | supervisor", "supervisor");
+  flags.define("load-pct", "offered load, percent of fitted capacity", "60");
+  flags.define("duration", "simulated seconds to run", "3600");
+  flags.define("control-period", "seconds between controller updates", "30");
+  std::string error;
+  if (!flags.parse(argc, argv, error)) {
+    err << error << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    out << flags.usage("cooloptctl inject");
+    out << "Scenarios:";
+    for (const std::string& name : sim::FaultScenario::names()) {
+      out << " " << name;
+    }
+    out << "\n";
+    return 0;
+  }
+
+  control::FaultCampaignOptions options;
+  options.room = room_from_flags(flags);
+  options.scenario =
+      sim::FaultScenario::named(flags.get_string("scenario", "fan-failure"));
+  options.defense = control::parse_defense(flags.get_string("defense", "supervisor"));
+  options.demand_fraction = flags.get_double("load-pct", 60.0) / 100.0;
+  options.duration_s = flags.get_double("duration", 3600.0);
+  options.control_period_s = flags.get_double("control-period", 30.0);
+
+  const control::FaultCampaignResult r = control::run_fault_campaign(options);
+  out << util::strf(
+      "Injected '%s' against %zu machines under defense '%s':\n",
+      r.scenario.c_str(), options.room.num_servers, to_string(r.defense));
+  util::TextTable table({"metric", "value"});
+  table.row({"fault events fired", util::strf("%zu", r.fault_events)});
+  table.row({"violation time (s)", util::strf("%.0f", r.violation_s)});
+  table.row({"peak CPU (C)", util::strf("%.2f", r.peak_cpu_c)});
+  table.row({"T_max (C)", util::strf("%.2f", r.t_max_c)});
+  table.row({"shed work (files)", util::strf("%.0f", r.shed_files)});
+  table.row({"energy (kJ)", util::strf("%.1f", r.energy_j / 1000.0)});
+  table.row({"final power (W)", util::strf("%.0f", r.final_total_power_w)});
+  table.row({"final throughput (files/s)",
+             util::strf("%.1f", r.final_throughput_files_s)});
+  table.row({"quarantines", util::strf("%zu", r.quarantines)});
+  table.row({"re-admissions", util::strf("%zu", r.readmissions)});
+  table.row({"emergency overrides", util::strf("%zu", r.emergency_overrides)});
+  table.row({"watchdog interventions",
+             util::strf("%zu", r.watchdog_interventions)});
+  out << table.render();
+  return 0;
+}
+
 }  // namespace
 
 int run_cooloptctl(int argc, const char* const* argv, std::ostream& out,
@@ -339,6 +398,7 @@ int run_cooloptctl(int argc, const char* const* argv, std::ostream& out,
     if (command == "audit") return cmd_audit(flags, sub_argc, sub_argv, out, err);
     if (command == "sweep") return cmd_sweep(flags, sub_argc, sub_argv, out, err);
     if (command == "frontier") return cmd_frontier(flags, sub_argc, sub_argv, out, err);
+    if (command == "inject") return cmd_inject(flags, sub_argc, sub_argv, out, err);
   } catch (const std::exception& e) {
     err << "cooloptctl " << command << ": " << e.what() << "\n";
     return 1;
