@@ -1,0 +1,54 @@
+// ServiceClient — a small blocking client for the cooloptd protocol, used
+// by `cooloptctl client`, the service test suite, and bench/perf_service.
+//
+// The client is deliberately dumb: it frames lines and moves bytes. All
+// interpretation stays in wire.h (parse/encode), so a test comparing
+// "bytes over the socket" against "bytes from a direct engine call" goes
+// through zero client-side transformation.
+//
+// Supports pipelining: send_line() any number of requests, then
+// recv_line() the same number of responses (per-connection responses may
+// arrive out of request order — correlate by id; see docs/service.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace coolopt::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+
+  /// Connects (IPv4). Returns false and fills last_error() on failure.
+  bool connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Writes one request line (newline appended here).
+  bool send_line(std::string_view line);
+
+  /// Blocks for the next response line (without the trailing newline).
+  /// nullopt on EOF / error — see last_error().
+  std::optional<std::string> recv_line();
+
+  /// send_line + recv_line for the non-pipelined case.
+  std::optional<std::string> call(std::string_view line);
+
+  const std::string& last_error() const { return error_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+  std::string error_;
+};
+
+}  // namespace coolopt::service

@@ -1,0 +1,153 @@
+// Bounded multi-producer / single-consumer queue — the admission seam
+// between cooloptd's per-connection reader threads (many producers) and
+// its dispatch thread (one consumer).
+//
+// The push path is lock-free (Vyukov's exchange-linked MPSC list: one
+// atomic exchange on the head plus one release store to link the node, so
+// a stalled producer can delay at most the items behind it, never block
+// the queue). Capacity is enforced with a relaxed size counter checked
+// before linking, which is what admission control needs: try_push answers
+// kFull immediately instead of blocking, and the service turns that into
+// an explicit shed response (docs/service.md). The consumer side blocks on
+// a counting semaphore released once per linked item, so an idle dispatcher
+// costs nothing.
+//
+// Per-producer FIFO: items pushed by one thread are popped in that
+// thread's push order (the exchange serializes each producer's nodes into
+// the global list in order). No total order across producers is promised.
+// Determinism of the *service* does not depend on pop order — responses
+// are a pure function of each request — which is exactly why this queue
+// may be this relaxed. The `service`-labelled tests stress all of this
+// under TSan (see CMakePresets.json).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <semaphore>
+#include <thread>
+#include <utility>
+
+namespace coolopt::service {
+
+enum class PushResult {
+  kOk,      ///< accepted; the consumer will see it
+  kFull,    ///< capacity reached — caller sheds, item not enqueued
+  kClosed,  ///< close() happened — queue is draining / drained
+};
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// `capacity` bounds the number of accepted-but-not-yet-popped items;
+  /// at least 1.
+  explicit MpscQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity), tail_(new Node) {
+    head_.store(tail_, std::memory_order_relaxed);
+  }
+
+  ~MpscQueue() {
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Lock-free; safe from any number of threads. Items accepted before
+  /// close() are still delivered to the consumer.
+  PushResult try_push(T value) {
+    if (closed_.load(std::memory_order_acquire)) return PushResult::kClosed;
+    const size_t prev = size_.fetch_add(1, std::memory_order_acq_rel);
+    if (prev >= capacity_) {
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return PushResult::kFull;
+    }
+    // Track the high-water mark (monotonic max; races only lose ties).
+    size_t hwm = high_water_.load(std::memory_order_relaxed);
+    while (prev + 1 > hwm &&
+           !high_water_.compare_exchange_weak(hwm, prev + 1,
+                                              std::memory_order_relaxed)) {
+    }
+    Node* node = new Node;
+    node->value.emplace(std::move(value));
+    Node* prev_head = head_.exchange(node, std::memory_order_acq_rel);
+    prev_head->next.store(node, std::memory_order_release);
+    items_.release();
+    return PushResult::kOk;
+  }
+
+  /// Consumer only. Blocks until an item is available; returns nullopt
+  /// once the queue is closed AND drained (and keeps returning it).
+  std::optional<T> pop() {
+    for (;;) {
+      items_.acquire();
+      for (;;) {
+        if (std::optional<T> v = take_linked()) return v;
+        // The acquired token may belong to an item a producer has
+        // exchanged into the list but not yet linked; size_ > 0
+        // distinguishes that transient from a token with no item behind
+        // it (close, or an item already taken by try_pop).
+        if (size_.load(std::memory_order_acquire) == 0) break;
+        std::this_thread::yield();
+      }
+      if (closed_.load(std::memory_order_acquire)) {
+        items_.release();  // keep later pop() calls non-blocking
+        return std::nullopt;
+      }
+      // Token without an item (try_pop consumed it): wait for the next.
+    }
+  }
+
+  /// Consumer only. Non-blocking; nullopt when nothing is linked yet.
+  std::optional<T> try_pop() { return take_linked(); }
+
+  /// Accepted-but-not-popped items (relaxed snapshot).
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  /// Highest size() ever reached.
+  size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return capacity_; }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Rejects future pushes and wakes the consumer; already-accepted items
+  /// drain first. Idempotent; callable from any thread.
+  void close() {
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) items_.release();
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::optional<T> value;  // empty only in the stub node
+  };
+
+  std::optional<T> take_linked() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    // A linked node always carries a value (only the stub is empty), so
+    // move the payload itself, not the optional — GCC 12's
+    // -Wmaybe-uninitialized misfires on moving the engaged flag at -O1.
+    std::optional<T> value(std::move(*next->value));
+    tail_ = next;
+    delete tail;
+    size_.fetch_sub(1, std::memory_order_acq_rel);
+    return value;
+  }
+
+  const size_t capacity_;
+  std::atomic<Node*> head_;  // most recently pushed node (producers)
+  Node* tail_;               // consumer-owned; always a consumed/stub node
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> high_water_{0};
+  std::atomic<bool> closed_{false};
+  std::counting_semaphore<> items_{0};
+};
+
+}  // namespace coolopt::service

@@ -1,0 +1,517 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "control/fault_campaign.h"
+#include "core/scenario.h"
+#include "obs/obs.h"
+#include "sim/fault_scheduler.h"
+#include "util/strings.h"
+
+namespace coolopt::service {
+
+namespace {
+
+/// A request line longer than this is a protocol violation (the connection
+/// is closed after an explanatory bad_request response).
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+/// Reader/accept poll granularity: how quickly threads notice stop flags.
+constexpr int kPollMs = 50;
+
+bool send_all(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+size_t priority_limit(Priority priority, size_t capacity) {
+  switch (priority) {
+    case Priority::kHigh:
+      return capacity;
+    case Priority::kNormal:
+      return std::max<size_t>(1, capacity - capacity / 8);
+    case Priority::kLow:
+      return std::max<size_t>(1, capacity / 2);
+  }
+  return capacity;
+}
+
+}  // namespace
+
+PlanningService::PlanningService(ServiceConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      slots_(0) {
+  const size_t workers = config_.workers != 0
+                             ? config_.workers
+                             : util::ThreadPool::default_workers();
+  config_.workers = workers;
+  if (config_.model != nullptr) {
+    sim_backed_ = false;
+    plan_engine_ =
+        std::make_shared<core::PlanEngine>(config_.model, config_.planner);
+  } else {
+    sim_backed_ = true;
+    eval_engine_ = std::make_unique<control::EvalEngine>(config_.eval);
+    plan_engine_ = eval_engine_->plan_engine();
+  }
+  info_.machines = plan_engine_->model().size();
+  info_.capacity_files_s = plan_engine_->aggregates().total_capacity;
+  info_.queue_capacity = queue_.capacity();
+  info_.workers = workers;
+  info_.sim_backed = sim_backed_;
+  pool_ = std::make_unique<util::ThreadPool>(workers);
+  slots_.release(static_cast<std::ptrdiff_t>(workers));
+}
+
+PlanningService::~PlanningService() { stop(); }
+
+void PlanningService::start() {
+  if (running_.exchange(true)) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    running_.store(false);
+    throw std::runtime_error("socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw std::runtime_error(
+        util::strf("bad bind address \"%s\"", config_.host.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw std::runtime_error(util::strf(
+        "cannot listen on %s:%u: %s", config_.host.c_str(),
+        static_cast<unsigned>(config_.port), why.c_str()));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+}
+
+void PlanningService::stop() {
+  if (!running_.exchange(false)) return;
+  obs::count("service.drains");
+
+  // 1. New requests shed with shed_draining; new connections stop.
+  draining_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Finish the admitted backlog. close() wakes the dispatcher, which
+  //    drains the queue (a pause is overridden below), then waits for the
+  //    pool to write every in-flight response.
+  queue_.close();
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+
+  // 3. Tear down connections: shutdown() unblocks any reader mid-recv,
+  //    then the reader threads exit on their stop flag / EOF.
+  stop_readers_.store(true, std::memory_order_release);
+  std::vector<std::shared_ptr<Session>> sessions;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions = sessions_;
+    readers.swap(reader_threads_);
+  }
+  for (const std::shared_ptr<Session>& session : sessions) {
+    std::lock_guard<std::mutex> lock(session->write_mu);
+    if (session->open.load(std::memory_order_acquire)) {
+      ::shutdown(session->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& reader : readers) {
+    if (reader.joinable()) reader.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const std::shared_ptr<Session>& session : sessions_) {
+      std::lock_guard<std::mutex> write_lock(session->write_mu);
+      if (session->open.exchange(false)) ::close(session->fd);
+    }
+    sessions_.clear();
+  }
+  obs::gauge_set("service.connections", 0.0);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.queue_high_water = queue_.high_water();
+  }
+  obs::gauge_set("service.queue.high_water",
+                 static_cast<double>(queue_.high_water()));
+}
+
+void PlanningService::pause_dispatch(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    paused_ = paused;
+  }
+  pause_cv_.notify_all();
+}
+
+PlanningService::Stats PlanningService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats snapshot = stats_;
+  snapshot.queue_high_water =
+      std::max(snapshot.queue_high_water, queue_.high_water());
+  return snapshot;
+}
+
+// --- accept ---
+
+void PlanningService::accept_loop() {
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  while (!draining_.load(std::memory_order_acquire)) {
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    size_t active = 0;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (const std::shared_ptr<Session>& session : sessions_) {
+        if (session->open.load(std::memory_order_acquire)) ++active;
+      }
+    }
+    if (active >= config_.max_connections) {
+      send_all(fd, encode_error(0, Verb::kPing, kErrTooManyConnections,
+                                util::strf("connection limit %zu reached",
+                                           config_.max_connections)) +
+                       "\n");
+      ::close(fd);
+      obs::count("service.connections.rejected");
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_rejected;
+      continue;
+    }
+
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      session->id = next_session_id_++;
+      sessions_.push_back(session);
+      reader_threads_.emplace_back(
+          [this, session] { reader_loop(session); });
+    }
+    obs::count("service.connections.accepted");
+    obs::gauge_set("service.connections", static_cast<double>(active + 1));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+// --- readers: framing, parsing, admission ---
+
+void PlanningService::reader_loop(std::shared_ptr<Session> session) {
+  std::string buffer;
+  char chunk[4096];
+  pollfd pfd{session->fd, POLLIN, 0};
+  while (!stop_readers_.load(std::memory_order_acquire)) {
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(session->fd, chunk, sizeof chunk, 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (;;) {
+      const size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (!util::trim(line).empty()) handle_line(session, line);
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > kMaxLineBytes) {
+      write_line(session,
+                 encode_error(0, Verb::kPing, kErrBadRequest,
+                              util::strf("request line exceeds %zu bytes",
+                                         kMaxLineBytes)));
+      break;
+    }
+  }
+  // Serialized with write_line so a pool worker never writes to (or past)
+  // a closed — possibly reused — descriptor.
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  if (session->open.exchange(false)) ::close(session->fd);
+}
+
+void PlanningService::handle_line(const std::shared_ptr<Session>& session,
+                                  std::string_view line) {
+  WireRequest request;
+  std::string error;
+  if (!parse_request(line, request, error)) {
+    obs::count("service.requests.rejected");
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.bad_requests;
+    }
+    write_line(session,
+               encode_error(request.id, request.verb, kErrBadRequest, error));
+    return;
+  }
+  if (!sim_backed_ && request.verb != Verb::kPing &&
+      request.verb != Verb::kPlan) {
+    write_line(session,
+               encode_error(request.id, request.verb, kErrUnsupportedVerb,
+                            util::strf("verb %s needs a simulator-backed "
+                                       "server (started without --model)",
+                                       to_string(request.verb))));
+    return;
+  }
+
+  auto shed = [&](const char* code, const char* why, size_t depth) {
+    obs::count("service.requests.shed");
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed;
+    }
+    write_line(session, encode_error(request.id, request.verb, code, why,
+                                     depth));
+  };
+
+  if (draining_.load(std::memory_order_acquire)) {
+    shed(kErrShedDraining, "server is draining", queue_.size());
+    return;
+  }
+  const size_t depth = queue_.size();
+  const size_t limit = priority_limit(request.priority, queue_.capacity());
+  if (depth >= limit) {
+    if (limit == queue_.capacity()) {
+      shed(kErrShedQueueFull, "admission queue is full", depth);
+    } else {
+      shed(kErrShedPriority,
+           util::strf("queue depth %zu is beyond the %s-priority share %zu",
+                      depth, to_string(request.priority), limit)
+               .c_str(),
+           depth);
+    }
+    return;
+  }
+
+  Job job{session, std::move(request), std::chrono::steady_clock::now()};
+  switch (queue_.try_push(std::move(job))) {
+    case PushResult::kOk:
+      obs::count("service.requests.admitted");
+      obs::gauge_set("service.queue.depth", static_cast<double>(queue_.size()));
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.admitted;
+      }
+      break;
+    case PushResult::kFull:
+      shed(kErrShedQueueFull, "admission queue is full", queue_.size());
+      break;
+    case PushResult::kClosed:
+      shed(kErrShedDraining, "server is draining", queue_.size());
+      break;
+  }
+}
+
+// --- dispatch + execution ---
+
+void PlanningService::dispatch_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pause_mu_);
+      pause_cv_.wait(lock, [this] { return !paused_ || queue_.closed(); });
+    }
+    slots_.acquire();
+    std::optional<Job> job = queue_.pop();
+    if (!job.has_value()) {
+      slots_.release();
+      break;
+    }
+    obs::gauge_set("service.queue.depth", static_cast<double>(queue_.size()));
+    auto shared = std::make_shared<Job>(std::move(*job));
+    pool_->submit([this, shared] {
+      run_job(*shared);
+      slots_.release();
+    });
+  }
+  // Close-out: every admitted request has been submitted; wait for the
+  // last responses to be written before stop() tears sessions down.
+  pool_->wait_idle();
+}
+
+void PlanningService::run_job(const Job& job) {
+  std::string response;
+  try {
+    response = handle_request(job.request);
+  } catch (const std::exception& e) {
+    response = encode_error(job.request.id, job.request.verb, kErrInternal,
+                            e.what());
+  } catch (...) {
+    response = encode_error(job.request.id, job.request.verb, kErrInternal,
+                            "unknown failure");
+  }
+  write_line(job.session, response);
+  const double us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - job.admitted_at)
+          .count();
+  observe_latency(job.request.verb, us);
+}
+
+std::string PlanningService::handle_request(const WireRequest& request) {
+  switch (request.verb) {
+    case Verb::kPing:
+      return encode_ping_response(request.id, info_);
+    case Verb::kPlan: {
+      const double load =
+          request.load_files_s.has_value()
+              ? *request.load_files_s
+              : request.load_pct / 100.0 * info_.capacity_files_s;
+      core::PlanRequest plan_request(core::Scenario::by_number(request.scenario),
+                                     load, request.quarantined);
+      try {
+        return encode_plan_response(request.id,
+                                    plan_engine_->solve(plan_request));
+      } catch (const std::invalid_argument& e) {
+        return encode_error(request.id, Verb::kPlan, kErrInvalidArgument,
+                            e.what());
+      }
+    }
+    case Verb::kMeasure: {
+      try {
+        return encode_measure_response(
+            request.id,
+            eval_engine_->measure(core::Scenario::by_number(request.scenario),
+                                  request.load_pct));
+      } catch (const std::invalid_argument& e) {
+        return encode_error(request.id, Verb::kMeasure, kErrInvalidArgument,
+                            e.what());
+      }
+    }
+    case Verb::kSweep: {
+      std::vector<core::Scenario> scenarios;
+      if (request.scenarios.empty()) {
+        scenarios = core::Scenario::all8();
+      } else {
+        for (const int number : request.scenarios) {
+          scenarios.push_back(core::Scenario::by_number(number));
+        }
+      }
+      const std::vector<double> load_pcts = request.load_pcts.empty()
+                                                ? control::paper_load_axis()
+                                                : request.load_pcts;
+      try {
+        const std::vector<control::EvalPoint> points =
+            eval_engine_->sweep(scenarios, load_pcts);
+        return encode_sweep_response(request.id, points);
+      } catch (const std::invalid_argument& e) {
+        return encode_error(request.id, Verb::kSweep, kErrInvalidArgument,
+                            e.what());
+      }
+    }
+    case Verb::kInject: {
+      control::FaultCampaignOptions options;
+      options.room = config_.eval.room;
+      try {
+        options.scenario = sim::FaultScenario::named(request.fault);
+        options.defense = control::parse_defense(request.defense);
+      } catch (const std::invalid_argument& e) {
+        return encode_error(request.id, Verb::kInject, kErrInvalidArgument,
+                            e.what());
+      }
+      options.demand_fraction = request.load_pct / 100.0;
+      options.duration_s = request.duration_s;
+      options.control_period_s = request.control_period_s;
+      return encode_inject_response(request.id,
+                                    control::run_fault_campaign(options));
+    }
+  }
+  return encode_error(request.id, request.verb, kErrInternal, "unreachable");
+}
+
+bool PlanningService::write_line(const std::shared_ptr<Session>& session,
+                                 std::string_view line) {
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  if (!session->open.load(std::memory_order_acquire)) return false;
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  return send_all(session->fd, framed);
+}
+
+void PlanningService::observe_latency(Verb verb, double us) {
+  // Literal metric names: tools/check_metrics.sh greps for each catalog
+  // row at an emission site.
+  switch (verb) {
+    case Verb::kPing:
+      obs::observe("service.latency.ping_us", us);
+      break;
+    case Verb::kPlan:
+      obs::observe("service.latency.plan_us", us);
+      break;
+    case Verb::kMeasure:
+      obs::observe("service.latency.measure_us", us);
+      break;
+    case Verb::kSweep:
+      obs::observe("service.latency.sweep_us", us);
+      break;
+    case Verb::kInject:
+      obs::observe("service.latency.inject_us", us);
+      break;
+  }
+}
+
+}  // namespace coolopt::service

@@ -1,0 +1,200 @@
+// PlanningService — the cooloptd daemon's engine room: a TCP server that
+// owns ONE shared core::PlanEngine (and, when simulator-backed, ONE
+// control::EvalEngine) and serves the newline-delimited JSON protocol of
+// wire.h to many concurrent clients. docs/service.md is the contract this
+// class implements.
+//
+// Thread architecture (all joined by stop()):
+//
+//   accept thread ──► one reader thread per connection (parse + admission)
+//                         │ MpscQueue<Job>  (bounded; the admission seam)
+//                         ▼
+//                  dispatch thread ──► util::ThreadPool workers
+//                         (slot-limited)      (solve/measure, write response)
+//
+// Admission control happens on the reader threads: a request is either
+// accepted into the bounded queue or shed *immediately* with an explicit
+// machine-readable reason (shed_queue_full / shed_priority / shed_draining)
+// — mirroring PlanEngine's graceful-degradation contract, where overload
+// produces an explained partial answer, never a silent stall. Priorities
+// reserve headroom: `high` may fill the whole queue, `normal` only 7/8 of
+// it, `low` half, so paying traffic keeps getting through while best-effort
+// traffic sheds first.
+//
+// Responses are a pure function of each request (the engines are
+// deterministic and shared-immutable), so no ordering discipline between
+// connections is needed for determinism: the bytes written for request R
+// are identical at any worker count, which the `service`-labelled tests
+// assert against direct in-process engine calls.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "control/eval_engine.h"
+#include "core/engine.h"
+#include "service/mpsc_queue.h"
+#include "service/wire.h"
+#include "util/thread_pool.h"
+
+namespace coolopt::service {
+
+/// Everything that parameterizes one service instance.
+struct ServiceConfig {
+  std::string host = "127.0.0.1";  ///< bind address (IPv4 dotted quad)
+  uint16_t port = 0;               ///< 0 == pick an ephemeral port
+
+  /// Bound on accepted-but-not-dispatched requests; beyond it requests
+  /// shed with shed_queue_full (see docs/service.md "Admission control").
+  size_t queue_capacity = 256;
+  /// Concurrent in-flight engine calls. 0 == ThreadPool::default_workers().
+  size_t workers = 0;
+  /// Connections beyond this are answered with too_many_connections and
+  /// closed without ever reaching admission.
+  size_t max_connections = 64;
+
+  /// Simulator-backed mode (default): the service builds an EvalEngine
+  /// from these options and serves all verbs. First measure/sweep pays the
+  /// profiling campaign once, exactly like library callers.
+  control::EvalOptions eval;
+
+  /// Model-backed mode: when set, the service plans against this fitted
+  /// model directly (no simulator). Only ping/plan are served; the sim
+  /// verbs answer unsupported_verb. This is what `cooloptd --model` and
+  /// bench/perf_service use — startup is milliseconds at any fleet size.
+  core::SharedRoomModel model;
+  core::PlannerOptions planner;  ///< model-backed mode only
+};
+
+class PlanningService {
+ public:
+  /// Builds the engines (cheap; lazy artifacts pay on first use). Call
+  /// start() to begin serving.
+  explicit PlanningService(ServiceConfig config);
+  /// Equivalent to stop().
+  ~PlanningService();
+
+  PlanningService(const PlanningService&) = delete;
+  PlanningService& operator=(const PlanningService&) = delete;
+
+  /// Binds, listens, and spawns the accept + dispatch threads. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Graceful drain, callable from any thread (cooloptd calls it from the
+  /// SIGTERM handler's waiter thread) and idempotent:
+  ///   1. stop accepting connections and shed every new request with
+  ///      shed_draining,
+  ///   2. finish every already-admitted request and write its response,
+  ///   3. close all connections and join every thread.
+  void stop();
+
+  /// The bound TCP port (valid after start(); useful with port == 0).
+  uint16_t port() const { return bound_port_; }
+
+  /// Deterministic server facts, echoed by the ping verb.
+  const ServerInfo& info() const { return info_; }
+
+  /// The shared engine, for in-process determinism checks against the
+  /// exact bytes the service writes.
+  const std::shared_ptr<core::PlanEngine>& plan_engine() const {
+    return plan_engine_;
+  }
+  /// nullptr in model-backed mode.
+  control::EvalEngine* eval_engine() { return eval_engine_.get(); }
+
+  /// Test seam: while paused the dispatch thread leaves admitted requests
+  /// in the queue, so tests can fill it to known depths and observe shed
+  /// behavior deterministically. Pause *before* start() for exact depths —
+  /// the pause gate sits ahead of the blocking pop, so a dispatcher
+  /// already waiting inside pop() still consumes one item after a late
+  /// pause. stop() overrides a pause (drain would otherwise deadlock).
+  void pause_dispatch(bool paused);
+
+  /// Monotonic books (also exported as the service.* metrics family).
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_rejected = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t bad_requests = 0;
+    size_t queue_high_water = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Session {
+    int fd = -1;
+    uint64_t id = 0;
+    std::mutex write_mu;          ///< one response line at a time
+    std::atomic<bool> open{true};
+  };
+
+  struct Job {
+    std::shared_ptr<Session> session;
+    WireRequest request;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Session> session);
+  void dispatch_loop();
+
+  /// Parse + admission for one request line (reader threads).
+  void handle_line(const std::shared_ptr<Session>& session,
+                   std::string_view line);
+  /// Executes one admitted request on a pool worker and writes the
+  /// response. Never throws (ThreadPool::wait_idle rethrows raw job
+  /// exceptions, so failures become internal_error responses instead).
+  void run_job(const Job& job);
+  /// The request -> response-bytes pure function (also what the
+  /// determinism tests replicate in-process).
+  std::string handle_request(const WireRequest& request);
+
+  bool write_line(const std::shared_ptr<Session>& session,
+                  std::string_view line);
+  void observe_latency(Verb verb, double us);
+
+  ServiceConfig config_;
+  bool sim_backed_ = false;
+  std::unique_ptr<control::EvalEngine> eval_engine_;  // sim-backed mode
+  std::shared_ptr<core::PlanEngine> plan_engine_;     // always set
+  ServerInfo info_;
+
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_readers_{false};
+
+  MpscQueue<Job> queue_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  /// Counts free pool workers; the dispatcher acquires a slot before
+  /// popping so backlog stays in the bounded queue (where admission and
+  /// the depth gauge can see it), not in the pool's unbounded deque.
+  std::counting_semaphore<> slots_;
+
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> reader_threads_;
+  uint64_t next_session_id_ = 1;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace coolopt::service

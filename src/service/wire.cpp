@@ -1,0 +1,757 @@
+#include "service/wire.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/json_writer.h"
+#include "util/strings.h"
+
+namespace coolopt::service {
+
+// --- JsonValue ---
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+// --- strict parser ---
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out, 0)) {
+      error = error_.empty() ? "malformed JSON" : error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = util::strf("trailing garbage at offset %zu", pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string message) {
+    if (error_.empty()) {
+      error_ = util::strf("%s at offset %zu", message.c_str(), pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, size_t depth) {
+    if (depth > kMaxJsonDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.kind_ = JsonValue::Kind::kString;
+        return parse_string(out.string_);
+      case 't':
+        if (!literal("true")) return fail("bad literal");
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = true;
+        return true;
+      case 'f':
+        if (!literal("false")) return fail("bad literal");
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = false;
+        return true;
+      case 'n':
+        if (!literal("null")) return fail("bad literal");
+        out.kind_ = JsonValue::Kind::kNull;
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, size_t depth) {
+    out.kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (out.find(key) != nullptr) {
+        return fail(util::strf("duplicate key \"%s\"", key.c_str()));
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.members_.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out, size_t depth) {
+    out.kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.items_.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // UTF-8 encode the code point (surrogate pairs are accepted as
+          // two escapes and encoded individually — fine for the ASCII
+          // protocol fields this parser actually carries).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const size_t int_start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    const size_t int_len = pos_ - int_start;
+    if (int_len == 0) { pos_ = start; return fail("expected value"); }
+    // RFC 8259: no leading zeros.
+    if (int_len > 1 && text_[int_start] == '0') { pos_ = start; return fail("leading zero"); }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const size_t frac_start = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      if (pos_ == frac_start) { pos_ = start; return fail("bad fraction"); }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const size_t exp_start = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      if (pos_ == exp_start) { pos_ = start; return fail("bad exponent"); }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out.kind_ = JsonValue::Kind::kNumber;
+    out.number_ = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+bool parse_json(std::string_view text, JsonValue& out, std::string& error) {
+  return JsonParser(text).parse(out, error);
+}
+
+// --- verbs / priorities ---
+
+const char* to_string(Verb verb) {
+  switch (verb) {
+    case Verb::kPing: return "ping";
+    case Verb::kPlan: return "plan";
+    case Verb::kMeasure: return "measure";
+    case Verb::kSweep: return "sweep";
+    case Verb::kInject: return "inject";
+  }
+  return "?";
+}
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+namespace {
+
+bool parse_verb(const std::string& name, Verb& out) {
+  if (name == "ping") out = Verb::kPing;
+  else if (name == "plan") out = Verb::kPlan;
+  else if (name == "measure") out = Verb::kMeasure;
+  else if (name == "sweep") out = Verb::kSweep;
+  else if (name == "inject") out = Verb::kInject;
+  else return false;
+  return true;
+}
+
+bool parse_priority(const std::string& name, Priority& out) {
+  if (name == "high") out = Priority::kHigh;
+  else if (name == "normal") out = Priority::kNormal;
+  else if (name == "low") out = Priority::kLow;
+  else return false;
+  return true;
+}
+
+/// Non-negative integral number (ids, scenario numbers, machine indices).
+bool as_uint(const JsonValue& v, uint64_t& out) {
+  if (!v.is_number()) return false;
+  const double d = v.as_number();
+  if (d < 0.0 || d != std::floor(d) || d > 9.007199254740992e15) return false;
+  out = static_cast<uint64_t>(d);
+  return true;
+}
+
+/// The per-verb field whitelist: every key of the request object must be
+/// either common or listed for the verb, so typos are rejected by name.
+bool field_allowed(Verb verb, const std::string& key) {
+  static constexpr std::string_view kCommon[] = {"id", "verb", "priority"};
+  for (std::string_view f : kCommon) {
+    if (key == f) return true;
+  }
+  switch (verb) {
+    case Verb::kPing:
+      return false;
+    case Verb::kPlan:
+      return key == "scenario" || key == "load_pct" || key == "load" ||
+             key == "quarantined";
+    case Verb::kMeasure:
+      return key == "scenario" || key == "load_pct";
+    case Verb::kSweep:
+      return key == "scenarios" || key == "load_pcts";
+    case Verb::kInject:
+      return key == "fault" || key == "defense" || key == "load_pct" ||
+             key == "duration_s" || key == "control_period_s";
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_request(std::string_view line, WireRequest& out, std::string& error) {
+  out = WireRequest{};
+  JsonValue doc;
+  if (!parse_json(line, doc, error)) return false;
+  if (!doc.is_object()) {
+    error = "request must be a JSON object";
+    return false;
+  }
+  // Recover the id first so even a rejected request gets a correlated
+  // error response.
+  if (const JsonValue* id = doc.find("id")) {
+    if (!as_uint(*id, out.id)) {
+      error = "\"id\" must be a non-negative integer";
+      return false;
+    }
+  }
+  const JsonValue* verb = doc.find("verb");
+  if (verb == nullptr || !verb->is_string() ||
+      !parse_verb(verb->as_string(), out.verb)) {
+    error = "\"verb\" must be one of ping|plan|measure|sweep|inject";
+    return false;
+  }
+  for (const auto& [key, value] : doc.members()) {
+    (void)value;
+    if (!field_allowed(out.verb, key)) {
+      error = util::strf("unknown field \"%s\" for verb %s", key.c_str(),
+                         to_string(out.verb));
+      return false;
+    }
+  }
+  if (const JsonValue* prio = doc.find("priority")) {
+    if (!prio->is_string() || !parse_priority(prio->as_string(), out.priority)) {
+      error = "\"priority\" must be one of high|normal|low";
+      return false;
+    }
+  }
+
+  auto scenario_field = [&](const JsonValue& v, int& dst) {
+    uint64_t n = 0;
+    if (!as_uint(v, n) || n < 1 || n > 8) {
+      error = "\"scenario\" must be a Fig. 4 number in 1..8";
+      return false;
+    }
+    dst = static_cast<int>(n);
+    return true;
+  };
+  auto finite_number = [&](const JsonValue& v, const char* name, double& dst) {
+    if (!v.is_number() || !std::isfinite(v.as_number())) {
+      error = util::strf("\"%s\" must be a finite number", name);
+      return false;
+    }
+    dst = v.as_number();
+    return true;
+  };
+
+  switch (out.verb) {
+    case Verb::kPing:
+      break;
+    case Verb::kPlan: {
+      if (const JsonValue* s = doc.find("scenario")) {
+        if (!scenario_field(*s, out.scenario)) return false;
+      }
+      const JsonValue* pct = doc.find("load_pct");
+      const JsonValue* abs = doc.find("load");
+      if (pct == nullptr && abs == nullptr) {
+        error = "plan needs \"load_pct\" or \"load\"";
+        return false;
+      }
+      if (pct != nullptr && abs != nullptr) {
+        error = "plan takes \"load_pct\" or \"load\", not both";
+        return false;
+      }
+      if (pct != nullptr && !finite_number(*pct, "load_pct", out.load_pct)) {
+        return false;
+      }
+      if (abs != nullptr) {
+        double v = 0.0;
+        if (!finite_number(*abs, "load", v)) return false;
+        out.load_files_s = v;
+      }
+      if (const JsonValue* q = doc.find("quarantined")) {
+        if (!q->is_array()) {
+          error = "\"quarantined\" must be an array of machine indices";
+          return false;
+        }
+        for (const JsonValue& item : q->items()) {
+          uint64_t index = 0;
+          if (!as_uint(item, index)) {
+            error = "\"quarantined\" entries must be non-negative integers";
+            return false;
+          }
+          out.quarantined.push_back(static_cast<size_t>(index));
+        }
+      }
+      break;
+    }
+    case Verb::kMeasure: {
+      if (const JsonValue* s = doc.find("scenario")) {
+        if (!scenario_field(*s, out.scenario)) return false;
+      }
+      const JsonValue* pct = doc.find("load_pct");
+      if (pct == nullptr) {
+        error = "measure needs \"load_pct\"";
+        return false;
+      }
+      if (!finite_number(*pct, "load_pct", out.load_pct)) return false;
+      break;
+    }
+    case Verb::kSweep: {
+      if (const JsonValue* s = doc.find("scenarios")) {
+        if (!s->is_array() || s->items().empty()) {
+          error = "\"scenarios\" must be a non-empty array of Fig. 4 numbers";
+          return false;
+        }
+        for (const JsonValue& item : s->items()) {
+          int number = 0;
+          if (!scenario_field(item, number)) {
+            error = "\"scenarios\" entries must be Fig. 4 numbers in 1..8";
+            return false;
+          }
+          out.scenarios.push_back(number);
+        }
+      }
+      if (const JsonValue* l = doc.find("load_pcts")) {
+        if (!l->is_array() || l->items().empty()) {
+          error = "\"load_pcts\" must be a non-empty array of numbers";
+          return false;
+        }
+        for (const JsonValue& item : l->items()) {
+          double v = 0.0;
+          if (!finite_number(item, "load_pcts", v)) return false;
+          out.load_pcts.push_back(v);
+        }
+      }
+      break;
+    }
+    case Verb::kInject: {
+      if (const JsonValue* f = doc.find("fault")) {
+        if (!f->is_string()) {
+          error = "\"fault\" must be a scenario name string";
+          return false;
+        }
+        out.fault = f->as_string();
+      }
+      if (const JsonValue* d = doc.find("defense")) {
+        if (!d->is_string()) {
+          error = "\"defense\" must be none|watchdog|supervisor";
+          return false;
+        }
+        out.defense = d->as_string();
+      }
+      out.load_pct = 60.0;
+      if (const JsonValue* pct = doc.find("load_pct")) {
+        if (!finite_number(*pct, "load_pct", out.load_pct)) return false;
+      }
+      if (const JsonValue* dur = doc.find("duration_s")) {
+        if (!finite_number(*dur, "duration_s", out.duration_s)) return false;
+        if (out.duration_s <= 0.0) {
+          error = "\"duration_s\" must be positive";
+          return false;
+        }
+      }
+      if (const JsonValue* cp = doc.find("control_period_s")) {
+        if (!finite_number(*cp, "control_period_s", out.control_period_s)) {
+          return false;
+        }
+        if (out.control_period_s <= 0.0) {
+          error = "\"control_period_s\" must be positive";
+          return false;
+        }
+      }
+      break;
+    }
+  }
+  return true;
+}
+
+// --- encoding ---
+
+namespace {
+
+/// Shared response envelope: {"id":..,"verb":..,"ok":..  ... }
+void begin_response(obs::JsonWriter& w, uint64_t id, Verb verb, bool ok) {
+  w.begin_object();
+  w.kv("id", static_cast<uint64_t>(id));
+  w.kv("verb", to_string(verb));
+  w.kv("ok", ok);
+}
+
+void write_plan_object(obs::JsonWriter& w, const core::Plan& plan) {
+  w.begin_object();
+  w.kv("scenario", static_cast<uint64_t>(plan.scenario.number));
+  w.kv("load", plan.load);
+  w.kv("closed_form_pure", plan.closed_form_pure);
+  w.kv("t_ac_c", plan.allocation.t_ac);
+  w.kv("it_power_w", plan.allocation.it_power_w);
+  w.kv("cooling_power_w", plan.allocation.cooling_power_w);
+  w.kv("total_power_w", plan.allocation.total_power_w);
+  w.kv("machines_on", static_cast<uint64_t>(plan.allocation.count_on()));
+  w.key("on");
+  w.begin_array();
+  for (const bool on : plan.allocation.on) w.value(on);
+  w.end_array();
+  w.key("loads");
+  w.begin_array();
+  for (const double load : plan.allocation.loads) w.value(load);
+  w.end_array();
+  w.end_object();
+}
+
+void write_point_object(obs::JsonWriter& w, const control::EvalPoint& point) {
+  w.begin_object();
+  w.kv("scenario", static_cast<uint64_t>(point.scenario.number));
+  w.kv("load_pct", point.load_pct);
+  w.kv("feasible", point.feasible);
+  if (point.feasible) {
+    w.key("measurement");
+    w.begin_object();
+    w.kv("it_power_w", point.measurement.it_power_w);
+    w.kv("crac_power_w", point.measurement.crac_power_w);
+    w.kv("total_power_w", point.measurement.total_power_w);
+    w.kv("peak_cpu_temp_c", point.measurement.peak_cpu_temp_c);
+    w.kv("t_ac_achieved_c", point.measurement.t_ac_achieved_c);
+    w.kv("t_sp_c", point.measurement.t_sp_c);
+    w.kv("throughput_files_s", point.measurement.throughput_files_s);
+    w.kv("machines_on", static_cast<uint64_t>(point.measurement.machines_on));
+    w.kv("temp_violation", point.measurement.temp_violation);
+    w.end_object();
+    w.key("plan");
+    write_plan_object(w, point.plan);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string encode_error(uint64_t id, Verb verb, std::string_view code,
+                         std::string_view message, size_t queue_depth) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  begin_response(w, id, verb, false);
+  w.kv("error_code", code);
+  w.kv("error", message);
+  if (queue_depth != static_cast<size_t>(-1)) {
+    w.kv("queue_depth", static_cast<uint64_t>(queue_depth));
+  }
+  w.end_object();
+  return os.str();
+}
+
+std::string encode_ping_response(uint64_t id, const ServerInfo& info) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  begin_response(w, id, Verb::kPing, true);
+  w.key("result");
+  w.begin_object();
+  w.kv("machines", static_cast<uint64_t>(info.machines));
+  w.kv("capacity_files_s", info.capacity_files_s);
+  w.kv("queue_capacity", static_cast<uint64_t>(info.queue_capacity));
+  w.kv("workers", static_cast<uint64_t>(info.workers));
+  w.kv("sim_backed", info.sim_backed);
+  w.key("verbs");
+  w.begin_array();
+  w.value("ping");
+  w.value("plan");
+  if (info.sim_backed) {
+    w.value("measure");
+    w.value("sweep");
+    w.value("inject");
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string encode_plan_response(uint64_t id, const core::PlanResult& result) {
+  if (!result.error.empty()) {
+    return encode_error(id, Verb::kPlan, kErrInvalidArgument, result.error);
+  }
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  begin_response(w, id, Verb::kPlan, true);
+  w.key("result");
+  w.begin_object();
+  w.kv("feasible", result.feasible());
+  w.kv("shed_load", result.shed_load);
+  if (result.shed_load > 0.0) {
+    w.key("shed_priority");
+    w.begin_array();
+    for (const size_t index : result.shed_priority) {
+      w.value(static_cast<uint64_t>(index));
+    }
+    w.end_array();
+  }
+  w.key("plan");
+  if (result.plan.has_value()) {
+    write_plan_object(w, *result.plan);
+  } else {
+    w.value_null();
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string encode_measure_response(uint64_t id,
+                                    const control::EvalPoint& point) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  begin_response(w, id, Verb::kMeasure, true);
+  w.key("result");
+  write_point_object(w, point);
+  w.end_object();
+  return os.str();
+}
+
+std::string encode_sweep_response(uint64_t id,
+                                  std::span<const control::EvalPoint> points) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  begin_response(w, id, Verb::kSweep, true);
+  w.key("result");
+  w.begin_object();
+  w.kv("points_len", static_cast<uint64_t>(points.size()));
+  w.key("points");
+  w.begin_array();
+  for (const control::EvalPoint& point : points) write_point_object(w, point);
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string encode_inject_response(uint64_t id,
+                                   const control::FaultCampaignResult& result) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  begin_response(w, id, Verb::kInject, true);
+  w.key("result");
+  w.begin_object();
+  w.kv("fault", result.scenario);
+  w.kv("defense", control::to_string(result.defense));
+  w.kv("demand_files_s", result.demand_files_s);
+  w.kv("t_max_c", result.t_max_c);
+  w.kv("violation_s", result.violation_s);
+  w.kv("peak_cpu_c", result.peak_cpu_c);
+  w.kv("shed_files", result.shed_files);
+  w.kv("energy_j", result.energy_j);
+  w.kv("final_total_power_w", result.final_total_power_w);
+  w.kv("final_throughput_files_s", result.final_throughput_files_s);
+  w.kv("fault_events", static_cast<uint64_t>(result.fault_events));
+  w.kv("quarantines", static_cast<uint64_t>(result.quarantines));
+  w.kv("readmissions", static_cast<uint64_t>(result.readmissions));
+  w.kv("emergency_overrides",
+       static_cast<uint64_t>(result.emergency_overrides));
+  w.kv("watchdog_interventions",
+       static_cast<uint64_t>(result.watchdog_interventions));
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string encode_request(const WireRequest& request) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("id", static_cast<uint64_t>(request.id));
+  w.kv("verb", to_string(request.verb));
+  w.kv("priority", to_string(request.priority));
+  switch (request.verb) {
+    case Verb::kPing:
+      break;
+    case Verb::kPlan:
+      w.kv("scenario", static_cast<uint64_t>(request.scenario));
+      if (request.load_files_s.has_value()) {
+        w.kv("load", *request.load_files_s);
+      } else {
+        w.kv("load_pct", request.load_pct);
+      }
+      if (!request.quarantined.empty()) {
+        w.key("quarantined");
+        w.begin_array();
+        for (const size_t index : request.quarantined) {
+          w.value(static_cast<uint64_t>(index));
+        }
+        w.end_array();
+      }
+      break;
+    case Verb::kMeasure:
+      w.kv("scenario", static_cast<uint64_t>(request.scenario));
+      w.kv("load_pct", request.load_pct);
+      break;
+    case Verb::kSweep:
+      if (!request.scenarios.empty()) {
+        w.key("scenarios");
+        w.begin_array();
+        for (const int number : request.scenarios) {
+          w.value(static_cast<uint64_t>(number));
+        }
+        w.end_array();
+      }
+      if (!request.load_pcts.empty()) {
+        w.key("load_pcts");
+        w.begin_array();
+        for (const double pct : request.load_pcts) w.value(pct);
+        w.end_array();
+      }
+      break;
+    case Verb::kInject:
+      w.kv("fault", request.fault);
+      w.kv("defense", request.defense);
+      w.kv("load_pct", request.load_pct);
+      w.kv("duration_s", request.duration_s);
+      w.kv("control_period_s", request.control_period_s);
+      break;
+  }
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace coolopt::service

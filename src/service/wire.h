@@ -1,0 +1,152 @@
+// The cooloptd wire protocol: newline-delimited JSON requests and
+// responses (one document per line), fully specified in docs/service.md.
+//
+// Encoding reuses the dependency-free obs::JsonWriter, so responses carry
+// the same escaping/number guarantees as every other export in the repo.
+// Decoding is a small *strict* recursive-descent parser: full RFC 8259
+// grammar, duplicate object keys rejected, bounded nesting depth, and —
+// at the protocol layer — unknown request fields rejected by name, so a
+// typoed field fails loudly instead of silently planning with a default.
+//
+// The encode_* functions produce the exact bytes the service writes. The
+// determinism suite and bench/perf_service call them on results computed
+// by direct in-process engine calls and assert byte equality with what
+// came back over the socket — the service adds nothing and loses nothing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "control/eval_engine.h"
+#include "control/fault_campaign.h"
+#include "core/engine.h"
+
+namespace coolopt::service {
+
+// --- JSON document model ---
+
+/// One parsed JSON value. Object member order is preserved as parsed.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Typed accessors; only valid for the matching kind.
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Strict parse of exactly one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). Returns false and fills `error` on any
+/// violation: syntax, duplicate keys, nesting beyond kMaxJsonDepth.
+bool parse_json(std::string_view text, JsonValue& out, std::string& error);
+
+inline constexpr size_t kMaxJsonDepth = 32;
+
+// --- protocol: requests ---
+
+enum class Verb { kPing, kPlan, kMeasure, kSweep, kInject };
+enum class Priority { kHigh, kNormal, kLow };
+
+const char* to_string(Verb verb);
+const char* to_string(Priority priority);
+
+/// One decoded request line. Defaults are what an omitted optional field
+/// means (docs/service.md lists required vs optional per verb).
+struct WireRequest {
+  uint64_t id = 0;
+  Verb verb = Verb::kPing;
+  Priority priority = Priority::kNormal;
+
+  // plan / measure
+  int scenario = 8;                       ///< Fig. 4 number, 1-8
+  double load_pct = 0.0;                  ///< percent of fitted capacity
+  std::optional<double> load_files_s;     ///< plan only: absolute load wins
+  std::vector<size_t> quarantined;        ///< plan only
+
+  // sweep
+  std::vector<int> scenarios;             ///< empty == all eight
+  std::vector<double> load_pcts;          ///< empty == the paper's axis
+
+  // inject
+  std::string fault = "fan-failure";
+  std::string defense = "supervisor";
+  double duration_s = 3600.0;
+  double control_period_s = 30.0;
+};
+
+/// Decodes one request line. On failure returns false, fills `error` with
+/// a human-readable reason, and still recovers the request `id` when the
+/// line was well-formed JSON (so the error response can be correlated).
+bool parse_request(std::string_view line, WireRequest& out, std::string& error);
+
+/// Encodes `request` as one protocol line (no trailing newline) — what
+/// `cooloptctl client`, the tests and the bench send.
+std::string encode_request(const WireRequest& request);
+
+// --- protocol: responses (exact service bytes, no trailing newline) ---
+
+/// Machine-readable error/shed codes (docs/service.md "Error codes").
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrInvalidArgument = "invalid_argument";
+inline constexpr const char* kErrUnsupportedVerb = "unsupported_verb";
+inline constexpr const char* kErrShedQueueFull = "shed_queue_full";
+inline constexpr const char* kErrShedPriority = "shed_priority";
+inline constexpr const char* kErrShedDraining = "shed_draining";
+inline constexpr const char* kErrTooManyConnections = "too_many_connections";
+inline constexpr const char* kErrInternal = "internal_error";
+
+/// `ok:false` envelope. `queue_depth` is attached for the shed_* codes
+/// (pass SIZE_MAX to omit it).
+std::string encode_error(uint64_t id, Verb verb, std::string_view code,
+                         std::string_view message,
+                         size_t queue_depth = static_cast<size_t>(-1));
+
+/// Deterministic server facts: machine count, fitted capacity, queue
+/// capacity, worker count, whether a simulator backs measure/sweep/inject.
+struct ServerInfo {
+  size_t machines = 0;
+  double capacity_files_s = 0.0;
+  size_t queue_capacity = 0;
+  size_t workers = 0;
+  bool sim_backed = false;
+};
+
+std::string encode_ping_response(uint64_t id, const ServerInfo& info);
+std::string encode_plan_response(uint64_t id, const core::PlanResult& result);
+std::string encode_measure_response(uint64_t id,
+                                    const control::EvalPoint& point);
+std::string encode_sweep_response(uint64_t id,
+                                  std::span<const control::EvalPoint> points);
+std::string encode_inject_response(uint64_t id,
+                                   const control::FaultCampaignResult& result);
+
+}  // namespace coolopt::service

@@ -1,0 +1,367 @@
+// PlanningService integration: real sockets, concurrent clients, and the
+// central contract — the bytes a client receives are EXACTLY the bytes
+// wire.h encodes for the equivalent direct in-process engine call, at any
+// worker count. Also pins admission control (queue-full / priority /
+// drain shedding) using the pause_dispatch test seam, which makes queue
+// depths deterministic.
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/synthetic.h"
+#include "service/client.h"
+#include "service/wire.h"
+#include "util/strings.h"
+
+namespace coolopt::service {
+namespace {
+
+core::SharedRoomModel test_model(size_t machines = 20) {
+  core::SyntheticModelOptions options;
+  options.machines = machines;
+  options.seed = 7;
+  return core::share_model(core::make_synthetic_model(options));
+}
+
+ServiceConfig model_config(size_t machines = 20) {
+  ServiceConfig config;
+  config.model = test_model(machines);
+  return config;
+}
+
+/// The request the concurrency tests send for point `i`, high priority so
+/// nothing sheds under load.
+WireRequest plan_point(uint64_t id, size_t i) {
+  WireRequest request;
+  request.id = id;
+  request.verb = Verb::kPlan;
+  request.priority = Priority::kHigh;
+  request.scenario = (i % 2 == 0) ? 7 : 5;
+  request.load_pct = 2.0 + static_cast<double>(i % 45) * 2.0;
+  if (i % 7 == 0) request.quarantined = {0, i % 20};
+  return request;
+}
+
+/// What the service must answer for `request`: a direct engine call,
+/// encoded with the same functions — including the %.12g round-trip
+/// through the wire (the server plans from the *parsed* request).
+std::string expected_plan_bytes(PlanningService& server,
+                                const WireRequest& request) {
+  WireRequest parsed;
+  std::string error;
+  EXPECT_TRUE(parse_request(encode_request(request), parsed, error)) << error;
+  const double load =
+      parsed.load_pct / 100.0 * server.info().capacity_files_s;
+  const core::PlanRequest plan_request(
+      core::Scenario::by_number(parsed.scenario), load, parsed.quarantined);
+  try {
+    return encode_plan_response(parsed.id,
+                                server.plan_engine()->solve(plan_request));
+  } catch (const std::invalid_argument& e) {
+    return encode_error(parsed.id, Verb::kPlan, kErrInvalidArgument, e.what());
+  }
+}
+
+TEST(PlanningService, PingEchoesServerInfoBytes) {
+  PlanningService server(model_config());
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()))
+      << client.last_error();
+  const auto response = client.call(R"({"id":3,"verb":"ping"})");
+  ASSERT_TRUE(response.has_value()) << client.last_error();
+  EXPECT_EQ(*response, encode_ping_response(3, server.info()));
+  server.stop();
+}
+
+TEST(PlanningService, PlanMatchesDirectEngineCallByteForByte) {
+  PlanningService server(model_config());
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  for (size_t i = 0; i < 10; ++i) {
+    const WireRequest request = plan_point(i, i * 3);
+    const auto response = client.call(encode_request(request));
+    ASSERT_TRUE(response.has_value()) << client.last_error();
+    EXPECT_EQ(*response, expected_plan_bytes(server, request));
+  }
+  server.stop();
+}
+
+/// N concurrent clients, many pipelined requests each, at worker counts
+/// 1/2/8: every response must be byte-identical to the direct call. This
+/// is the tentpole determinism guarantee under real socket concurrency.
+TEST(PlanningService, ConcurrentClientsAreBitForBitDeterministic) {
+  for (const size_t workers : {1u, 2u, 8u}) {
+    ServiceConfig config = model_config();
+    config.workers = workers;
+    PlanningService server(std::move(config));
+    server.start();
+
+    constexpr size_t kClients = 4;
+    constexpr size_t kPerClient = 40;
+    std::atomic<size_t> mismatches{0};
+    std::atomic<size_t> failures{0};
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        ServiceClient client;
+        if (!client.connect("127.0.0.1", server.port())) {
+          failures.fetch_add(1);
+          return;
+        }
+        // Pipeline everything, then read everything; responses may come
+        // back out of order, so correlate by id (== request index here).
+        std::vector<std::string> expected(kPerClient);
+        for (size_t i = 0; i < kPerClient; ++i) {
+          const WireRequest request = plan_point(i, c * 131 + i);
+          expected[i] = expected_plan_bytes(server, request);
+          if (!client.send_line(encode_request(request))) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+        for (size_t i = 0; i < kPerClient; ++i) {
+          const auto line = client.recv_line();
+          if (!line.has_value()) {
+            failures.fetch_add(1);
+            return;
+          }
+          JsonValue doc;
+          std::string error;
+          if (!parse_json(*line, doc, error) || doc.find("id") == nullptr) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          const size_t id =
+              static_cast<size_t>(doc.find("id")->as_number());
+          if (id >= kPerClient || *line != expected[id]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0u) << "workers=" << workers;
+    EXPECT_EQ(mismatches.load(), 0u) << "workers=" << workers;
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.admitted, kClients * kPerClient);
+    EXPECT_EQ(stats.shed, 0u);
+    server.stop();
+  }
+}
+
+TEST(PlanningService, MalformedAndUnknownRequestsAnswerBadRequest) {
+  PlanningService server(model_config());
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  auto expect_code = [&](const std::string& line, const std::string& code,
+                         double id) {
+    const auto response = client.call(line);
+    ASSERT_TRUE(response.has_value()) << client.last_error();
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parse_json(*response, doc, error)) << *response;
+    ASSERT_NE(doc.find("error_code"), nullptr) << *response;
+    EXPECT_FALSE(doc.find("ok")->as_bool());
+    EXPECT_EQ(doc.find("error_code")->as_string(), code) << *response;
+    EXPECT_DOUBLE_EQ(doc.find("id")->as_number(), id);
+  };
+
+  expect_code("this is not json", kErrBadRequest, 0);
+  // Well-formed JSON with a bad field still correlates by id.
+  expect_code(R"({"id":41,"verb":"plan","load_pct":10,"qux":1})",
+              kErrBadRequest, 41);
+  // Model-backed server: the simulator verbs are explicit non-support.
+  expect_code(R"({"id":42,"verb":"measure","load_pct":10})",
+              kErrUnsupportedVerb, 42);
+  expect_code(R"({"id":43,"verb":"sweep"})", kErrUnsupportedVerb, 43);
+  // Over-capacity plan load: engine invalid_argument surfaces as a typed
+  // error response on the same connection.
+  expect_code(R"({"id":44,"verb":"plan","load_pct":250})",
+              kErrInvalidArgument, 44);
+  EXPECT_EQ(server.stats().bad_requests, 2u);
+  server.stop();
+}
+
+/// Deterministic shed behavior via the pause seam: with dispatch paused,
+/// requests pile up to exact depths, so each admission verdict is forced.
+TEST(PlanningService, AdmissionShedsWithExplicitReasons) {
+  ServiceConfig config = model_config();
+  config.queue_capacity = 8;  // normal limit 7, low limit 4
+  PlanningService server(std::move(config));
+  // Pause before start(): a dispatcher already blocked inside pop() would
+  // consume one item past a late pause and skew the depth arithmetic.
+  server.pause_dispatch(true);
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  auto send_priority = [&](uint64_t id, const char* priority) {
+    return util::strf(
+        R"({"id":%llu,"verb":"plan","priority":"%s","load_pct":50})",
+        static_cast<unsigned long long>(id), priority);
+  };
+
+  // Fill to the low-priority share (4): all admitted.
+  for (uint64_t id = 0; id < 4; ++id) {
+    ASSERT_TRUE(client.send_line(send_priority(id, "low")));
+  }
+  // Requests are admitted asynchronously; wait until the queue holds them.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().admitted < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.stats().admitted, 4u);
+
+  auto expect_shed = [&](const std::string& line, const std::string& code) {
+    const auto response = client.call(line);
+    ASSERT_TRUE(response.has_value()) << client.last_error();
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parse_json(*response, doc, error)) << *response;
+    ASSERT_NE(doc.find("error_code"), nullptr) << *response;
+    EXPECT_EQ(doc.find("error_code")->as_string(), code) << *response;
+    ASSERT_NE(doc.find("queue_depth"), nullptr);
+  };
+
+  // Depth 4 == the low share: the next low request sheds by priority...
+  expect_shed(send_priority(100, "low"), kErrShedPriority);
+  // ...while normal and high still get through. Fill depth to 7.
+  for (uint64_t id = 4; id < 7; ++id) {
+    ASSERT_TRUE(client.send_line(send_priority(id, "normal")));
+  }
+  while (server.stats().admitted < 7 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.stats().admitted, 7u);
+  // Depth 7 == the normal share: normal sheds, high is still admitted.
+  expect_shed(send_priority(101, "normal"), kErrShedPriority);
+  ASSERT_TRUE(client.send_line(send_priority(7, "high")));
+  while (server.stats().admitted < 8 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.stats().admitted, 8u);
+  // Depth 8 == capacity: even high sheds, with the queue-full code.
+  expect_shed(send_priority(102, "high"), kErrShedQueueFull);
+  EXPECT_EQ(server.stats().shed, 3u);
+
+  // Unpause: all eight admitted requests must still answer (correlate by
+  // id; responses may arrive in any order across worker threads).
+  server.pause_dispatch(false);
+  std::map<uint64_t, std::string> responses;
+  for (int i = 0; i < 8; ++i) {
+    const auto line = client.recv_line();
+    ASSERT_TRUE(line.has_value()) << client.last_error();
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parse_json(*line, doc, error));
+    responses[static_cast<uint64_t>(doc.find("id")->as_number())] = *line;
+  }
+  EXPECT_EQ(responses.size(), 8u);
+  for (uint64_t id = 0; id < 8; ++id) {
+    ASSERT_TRUE(responses.count(id)) << "missing response for id " << id;
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parse_json(responses[id], doc, error));
+    EXPECT_TRUE(doc.find("ok")->as_bool());
+  }
+  server.stop();
+}
+
+/// stop() during a paused backlog: the drain overrides the pause, every
+/// admitted request still gets its response before connections close.
+TEST(PlanningService, GracefulDrainAnswersTheBacklog) {
+  ServiceConfig config = model_config();
+  config.queue_capacity = 16;
+  PlanningService server(std::move(config));
+  server.pause_dispatch(true);  // before start(), see AdmissionSheds above
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  for (uint64_t id = 0; id < 5; ++id) {
+    ASSERT_TRUE(client.send_line(util::strf(
+        R"({"id":%llu,"verb":"plan","load_pct":30})",
+        static_cast<unsigned long long>(id))));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().admitted < 5 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.stats().admitted, 5u);
+
+  std::thread stopper([&] { server.stop(); });
+  std::map<uint64_t, bool> answered;
+  for (int i = 0; i < 5; ++i) {
+    const auto line = client.recv_line();
+    ASSERT_TRUE(line.has_value()) << client.last_error();
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parse_json(*line, doc, error));
+    EXPECT_TRUE(doc.find("ok")->as_bool());
+    answered[static_cast<uint64_t>(doc.find("id")->as_number())] = true;
+  }
+  EXPECT_EQ(answered.size(), 5u);
+  // After the drain the server closes the connection.
+  EXPECT_FALSE(client.recv_line().has_value());
+  stopper.join();
+}
+
+TEST(PlanningService, ConnectionLimitAnswersThenCloses) {
+  ServiceConfig config = model_config();
+  config.max_connections = 1;
+  PlanningService server(std::move(config));
+  server.start();
+  ServiceClient first;
+  ASSERT_TRUE(first.connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(first.call(R"({"id":1,"verb":"ping"})").has_value());
+  ServiceClient second;
+  ASSERT_TRUE(second.connect("127.0.0.1", server.port()));
+  const auto response = second.recv_line();
+  ASSERT_TRUE(response.has_value());
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(*response, doc, error));
+  EXPECT_EQ(doc.find("error_code")->as_string(), kErrTooManyConnections);
+  EXPECT_FALSE(second.recv_line().has_value());  // server closed it
+  // The surviving connection still works.
+  EXPECT_TRUE(first.call(R"({"id":2,"verb":"ping"})").has_value());
+  server.stop();
+}
+
+/// Simulator-backed mode: measure over the socket matches the direct
+/// EvalEngine call byte-for-byte (small room + fast profiling preset to
+/// keep the campaign cheap).
+TEST(PlanningService, SimBackedMeasureMatchesDirectCall) {
+  ServiceConfig config;
+  config.eval.room.num_servers = 6;
+  config.eval.room.seed = 81;
+  PlanningService server(std::move(config));
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const auto response =
+      client.call(R"({"id":5,"verb":"measure","scenario":7,"load_pct":40})");
+  ASSERT_TRUE(response.has_value()) << client.last_error();
+  const control::EvalPoint direct =
+      server.eval_engine()->measure(core::Scenario::by_number(7), 40.0);
+  EXPECT_EQ(*response, encode_measure_response(5, direct));
+  server.stop();
+}
+
+}  // namespace
+}  // namespace coolopt::service

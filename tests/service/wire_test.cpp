@@ -1,0 +1,299 @@
+#include "service/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/synthetic.h"
+#include "obs/json_writer.h"
+
+namespace coolopt::service {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(parse_json(text, doc, error)) << error;
+  return doc;
+}
+
+std::string parse_fail(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(parse_json(text, doc, error)) << "accepted: " << text;
+  return error;
+}
+
+TEST(JsonParser, ParsesScalarsObjectsArrays) {
+  const JsonValue doc = parse_ok(
+      R"({"a":1.5,"b":"x\n\"y","c":[true,false,null],"d":{"e":-2e3}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("a")->as_number(), 1.5);
+  EXPECT_EQ(doc.find("b")->as_string(), "x\n\"y");
+  ASSERT_TRUE(doc.find("c")->is_array());
+  EXPECT_EQ(doc.find("c")->items().size(), 3u);
+  EXPECT_TRUE(doc.find("c")->items()[0].as_bool());
+  EXPECT_EQ(doc.find("c")->items()[2].kind(), JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(doc.find("d")->find("e")->as_number(), -2000.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParser, ParsesUnicodeEscapesByEscapeSequence) {
+  // The six-character backslash-u escape for e-acute must decode to the
+  // UTF-8 bytes 0xC3 0xA9.
+  const JsonValue esc = parse_ok("{\"s\":\"A\\u00e9\"}");
+  EXPECT_EQ(esc.find("s")->as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParser, PassesRawUtf8BytesThroughAndRejectsShortEscapes) {
+  // é (e-acute) UTF-8-encodes to 0xC3 0xA9; A is plain 'A'.
+  const JsonValue doc = parse_ok(R"({"s":"Aé"})");
+  EXPECT_EQ(doc.find("s")->as_string(), "A\xc3\xa9");
+  parse_fail(R"("\u12g4")");
+  parse_fail(R"("\u12")");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  parse_fail("");
+  parse_fail("{");
+  parse_fail("{\"a\":}");
+  parse_fail("[1,]");
+  parse_fail("{\"a\":1,}");
+  parse_fail("tru");
+  parse_fail("nan");
+  parse_fail("'single'");
+  parse_fail("{\"a\" 1}");
+  parse_fail("\"unterminated");
+  parse_fail("\"bad\\q\"");
+  parse_fail("\"ctrl\x01\"");
+}
+
+TEST(JsonParser, RejectsTrailingGarbage) {
+  parse_fail("{} {}");
+  parse_fail("1 2");
+  EXPECT_NE(parse_fail("{}x").find("trailing garbage"), std::string::npos);
+  parse_ok("{}  \n ");  // trailing whitespace is fine
+}
+
+TEST(JsonParser, RejectsDuplicateKeys) {
+  const std::string error = parse_fail(R"({"a":1,"a":2})");
+  EXPECT_NE(error.find("duplicate key"), std::string::npos);
+}
+
+TEST(JsonParser, RejectsNumbersOutsideRfc8259) {
+  parse_fail("01");     // leading zero
+  parse_fail("-");      // sign alone
+  parse_fail("1.");     // empty fraction
+  parse_fail("1e");     // empty exponent
+  parse_fail("+1");     // plus sign
+  parse_fail(".5");     // no integer part
+  parse_ok("-0.5e+10");
+  parse_ok("0");
+}
+
+TEST(JsonParser, EnforcesDepthLimit) {
+  std::string deep;
+  for (size_t i = 0; i <= kMaxJsonDepth + 1; ++i) deep += "[";
+  for (size_t i = 0; i <= kMaxJsonDepth + 1; ++i) deep += "]";
+  const std::string error = parse_fail(deep);
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+  // One level under the limit parses.
+  std::string ok;
+  for (size_t i = 0; i < kMaxJsonDepth; ++i) ok += "[";
+  for (size_t i = 0; i < kMaxJsonDepth; ++i) ok += "]";
+  parse_ok(ok);
+}
+
+// --- requests ---
+
+WireRequest request_ok(const std::string& line) {
+  WireRequest request;
+  std::string error;
+  EXPECT_TRUE(parse_request(line, request, error)) << error;
+  return request;
+}
+
+std::string request_fail(const std::string& line, uint64_t expect_id = 0) {
+  WireRequest request;
+  std::string error;
+  EXPECT_FALSE(parse_request(line, request, error)) << "accepted: " << line;
+  EXPECT_EQ(request.id, expect_id);
+  return error;
+}
+
+TEST(ParseRequest, PlanWithAllFields) {
+  const WireRequest r = request_ok(
+      R"({"id":7,"verb":"plan","priority":"high","scenario":3,)"
+      R"("load_pct":62.5,"quarantined":[0,19]})");
+  EXPECT_EQ(r.id, 7u);
+  EXPECT_EQ(r.verb, Verb::kPlan);
+  EXPECT_EQ(r.priority, Priority::kHigh);
+  EXPECT_EQ(r.scenario, 3);
+  EXPECT_DOUBLE_EQ(r.load_pct, 62.5);
+  EXPECT_FALSE(r.load_files_s.has_value());
+  EXPECT_EQ(r.quarantined, (std::vector<size_t>{0, 19}));
+}
+
+TEST(ParseRequest, PlanAbsoluteLoad) {
+  const WireRequest r =
+      request_ok(R"({"id":1,"verb":"plan","load":123.25})");
+  ASSERT_TRUE(r.load_files_s.has_value());
+  EXPECT_DOUBLE_EQ(*r.load_files_s, 123.25);
+  EXPECT_EQ(r.scenario, 8);  // default
+}
+
+TEST(ParseRequest, PlanRejectsBothLoadForms) {
+  const std::string error = request_fail(
+      R"({"id":2,"verb":"plan","load":10,"load_pct":10})", 2);
+  EXPECT_NE(error.find("not both"), std::string::npos);
+}
+
+TEST(ParseRequest, PlanRequiresALoad) {
+  request_fail(R"({"id":3,"verb":"plan"})", 3);
+}
+
+TEST(ParseRequest, UnknownFieldRejectedByName) {
+  const std::string error = request_fail(
+      R"({"id":4,"verb":"plan","load_pct":10,"lod_pct":20})", 4);
+  EXPECT_NE(error.find("lod_pct"), std::string::npos);
+}
+
+TEST(ParseRequest, FieldsAreScopedPerVerb) {
+  // quarantined belongs to plan, not measure.
+  const std::string error = request_fail(
+      R"({"id":5,"verb":"measure","load_pct":10,"quarantined":[1]})", 5);
+  EXPECT_NE(error.find("quarantined"), std::string::npos);
+}
+
+TEST(ParseRequest, VerbRequired) {
+  request_fail(R"({"id":6})", 6);
+  request_fail(R"({"id":6,"verb":"fly"})", 6);
+}
+
+TEST(ParseRequest, IdRecoveredFromInvalidRequest) {
+  // Even though validation fails, the id is recovered for correlation.
+  request_fail(R"({"id":99,"verb":"plan","scenario":12,"load_pct":10})", 99);
+}
+
+TEST(ParseRequest, ScenarioRangeChecked) {
+  request_fail(R"({"id":1,"verb":"measure","scenario":0,"load_pct":10})", 1);
+  request_fail(R"({"id":1,"verb":"measure","scenario":9,"load_pct":10})", 1);
+  request_fail(R"({"id":1,"verb":"measure","scenario":1.5,"load_pct":10})", 1);
+}
+
+TEST(ParseRequest, PriorityValidated) {
+  EXPECT_EQ(request_ok(R"({"id":1,"verb":"ping","priority":"low"})").priority,
+            Priority::kLow);
+  request_fail(R"({"id":1,"verb":"ping","priority":"urgent"})", 1);
+}
+
+TEST(ParseRequest, SweepDefaultsAndArrays) {
+  const WireRequest empty = request_ok(R"({"id":1,"verb":"sweep"})");
+  EXPECT_TRUE(empty.scenarios.empty());
+  EXPECT_TRUE(empty.load_pcts.empty());
+  const WireRequest r = request_ok(
+      R"({"id":1,"verb":"sweep","scenarios":[1,8],"load_pcts":[25,75.5]})");
+  EXPECT_EQ(r.scenarios, (std::vector<int>{1, 8}));
+  EXPECT_EQ(r.load_pcts, (std::vector<double>{25.0, 75.5}));
+  request_fail(R"({"id":1,"verb":"sweep","scenarios":[]})", 1);
+  request_fail(R"({"id":1,"verb":"sweep","scenarios":[0]})", 1);
+}
+
+TEST(ParseRequest, InjectFieldsAndDefaults) {
+  const WireRequest r = request_ok(R"({"id":1,"verb":"inject"})");
+  EXPECT_EQ(r.fault, "fan-failure");
+  EXPECT_EQ(r.defense, "supervisor");
+  EXPECT_DOUBLE_EQ(r.load_pct, 60.0);
+  EXPECT_DOUBLE_EQ(r.duration_s, 3600.0);
+  const WireRequest s = request_ok(
+      R"({"id":1,"verb":"inject","fault":"sensor-storm","defense":"none",)"
+      R"("load_pct":40,"duration_s":600,"control_period_s":15})");
+  EXPECT_EQ(s.fault, "sensor-storm");
+  EXPECT_EQ(s.defense, "none");
+  EXPECT_DOUBLE_EQ(s.duration_s, 600.0);
+  request_fail(R"({"id":1,"verb":"inject","duration_s":-5})", 1);
+}
+
+TEST(ParseRequest, NonObjectAndBadIdRejected) {
+  request_fail("[1,2,3]");
+  request_fail(R"({"id":-1,"verb":"ping"})");
+  request_fail(R"({"id":1.5,"verb":"ping"})");
+  request_fail("not json at all");
+}
+
+TEST(ParseRequest, EncodeRequestRoundTrips) {
+  WireRequest request;
+  request.id = 42;
+  request.verb = Verb::kPlan;
+  request.priority = Priority::kLow;
+  request.scenario = 5;
+  request.load_pct = 37.5;
+  request.quarantined = {2, 3};
+  const WireRequest round = request_ok(encode_request(request));
+  EXPECT_EQ(round.id, 42u);
+  EXPECT_EQ(round.verb, Verb::kPlan);
+  EXPECT_EQ(round.priority, Priority::kLow);
+  EXPECT_EQ(round.scenario, 5);
+  EXPECT_DOUBLE_EQ(round.load_pct, 37.5);
+  EXPECT_EQ(round.quarantined, request.quarantined);
+}
+
+// --- responses ---
+
+TEST(EncodeResponse, ErrorEnvelope) {
+  const std::string line =
+      encode_error(9, Verb::kPlan, kErrShedQueueFull, "full", 256);
+  EXPECT_TRUE(obs::json_syntax_valid(line));
+  const JsonValue doc = parse_ok(line);
+  EXPECT_DOUBLE_EQ(doc.find("id")->as_number(), 9.0);
+  EXPECT_EQ(doc.find("verb")->as_string(), "plan");
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("error_code")->as_string(), "shed_queue_full");
+  EXPECT_DOUBLE_EQ(doc.find("queue_depth")->as_number(), 256.0);
+  // Without a depth the field is omitted entirely.
+  const JsonValue bare =
+      parse_ok(encode_error(9, Verb::kPing, kErrBadRequest, "bad"));
+  EXPECT_EQ(bare.find("queue_depth"), nullptr);
+}
+
+TEST(EncodeResponse, PlanResponseCarriesTheFullAllocation) {
+  core::SyntheticModelOptions options;
+  options.machines = 12;
+  options.seed = 3;
+  const core::PlanEngine engine(core::make_synthetic_model(options));
+  const double cap = engine.aggregates().total_capacity;
+  const core::PlanResult result =
+      engine.solve(core::PlanRequest(core::Scenario::by_number(7), 0.5 * cap));
+  const std::string line = encode_plan_response(11, result);
+  EXPECT_TRUE(obs::json_syntax_valid(line));
+  const JsonValue doc = parse_ok(line);
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  const JsonValue* plan = doc.find("result")->find("plan");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->find("on")->items().size(), 12u);
+  EXPECT_EQ(plan->find("loads")->items().size(), 12u);
+  EXPECT_DOUBLE_EQ(doc.find("result")->find("shed_load")->as_number(), 0.0);
+  // A request-level error becomes an invalid_argument error envelope.
+  core::PlanResult bad;
+  bad.error = "load is negative";
+  const JsonValue err = parse_ok(encode_plan_response(12, bad));
+  EXPECT_FALSE(err.find("ok")->as_bool());
+  EXPECT_EQ(err.find("error_code")->as_string(), "invalid_argument");
+}
+
+TEST(EncodeResponse, PingResponseListsVerbsByBackend) {
+  ServerInfo info;
+  info.machines = 20;
+  info.capacity_files_s = 800.0;
+  info.queue_capacity = 256;
+  info.workers = 4;
+  info.sim_backed = false;
+  const JsonValue model_backed = parse_ok(encode_ping_response(1, info));
+  EXPECT_EQ(model_backed.find("result")->find("verbs")->items().size(), 2u);
+  info.sim_backed = true;
+  const JsonValue sim_backed = parse_ok(encode_ping_response(1, info));
+  EXPECT_EQ(sim_backed.find("result")->find("verbs")->items().size(), 5u);
+}
+
+}  // namespace
+}  // namespace coolopt::service

@@ -20,9 +20,9 @@ cd "$(dirname "$0")/.." || exit 2
 
 DOCS=("$@")
 if [ ${#DOCS[@]} -eq 0 ]; then
-  DOCS=(docs/model.md docs/simulator.md docs/consolidation.md
-        docs/observability.md docs/architecture.md docs/evaluation.md
-        docs/robustness.md)
+  DOCS=(docs/README.md docs/model.md docs/simulator.md
+        docs/consolidation.md docs/observability.md docs/architecture.md
+        docs/evaluation.md docs/robustness.md docs/service.md)
 fi
 
 CODE_DIRS=(src tests bench tools examples)
@@ -85,6 +85,22 @@ check_token() {
     check_ident "$doc" "$tok"
   fi
 }
+
+# No orphan pages: every docs/*.md must be in the registered list above,
+# or it would silently escape the drift check (and the docs/README.md
+# index). Only enforced for the default list — an explicit argument list
+# is a deliberate subset.
+if [ $# -eq 0 ]; then
+  for page in docs/*.md; do
+    registered=0
+    for doc in "${DOCS[@]}"; do
+      [ "$page" = "$doc" ] && registered=1 && break
+    done
+    if [ "$registered" -eq 0 ]; then
+      fail "$page" "(page not registered in check_docs.sh DOCS list)"
+    fi
+  done
+fi
 
 for doc in "${DOCS[@]}"; do
   if [ ! -f "$doc" ]; then

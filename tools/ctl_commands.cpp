@@ -11,6 +11,8 @@
 #include "core/verification.h"
 #include "obs/session.h"
 #include "profiling/profile_io.h"
+#include "service/client.h"
+#include "service/wire.h"
 #include "util/cli.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -28,6 +30,7 @@ constexpr const char* kUsage =
     "  sweep     run scenarios across the load axis on a simulated room\n"
     "  frontier  print the maxL power-budget capacity frontier\n"
     "  inject    replay a fault scenario against a live room under a defense\n"
+    "  client    send one request to a running cooloptd and print the reply\n"
     "\n"
     "Global flags (any command):\n"
     "  --metrics-out PATH  write the metrics + run-trace JSON on exit\n"
@@ -364,6 +367,93 @@ int cmd_inject(util::CliFlags& flags, int argc, const char* const* argv,
   return 0;
 }
 
+// One-shot protocol client: builds a request from flags (or sends a raw
+// --line verbatim), prints the response line, and exits with the
+// response's ok field so scripts can branch on it.
+int cmd_client(util::CliFlags& flags, int argc, const char* const* argv,
+               std::ostream& out, std::ostream& err) {
+  flags.define("host", "cooloptd address", "127.0.0.1");
+  flags.define("port", "cooloptd port", "7077");
+  flags.define("verb", "ping | plan | measure | sweep | inject", "ping");
+  flags.define("priority", "admission priority: high | normal | low", "normal");
+  flags.define("id", "request id echoed in the response", "1");
+  flags.define("scenario", "Fig. 4 scenario number (plan/measure)", "8");
+  flags.define("load-pct", "load, percent of fitted capacity", "50");
+  flags.define("quarantined", "comma-separated machine indices (plan)", "");
+  flags.define("fault", "fault scenario name (inject)", "fan-failure");
+  flags.define("defense", "none | watchdog | supervisor (inject)", "supervisor");
+  flags.define("line", "raw protocol line to send instead of building one", "");
+  std::string error;
+  if (!flags.parse(argc, argv, error)) {
+    err << error << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    out << flags.usage("cooloptctl client");
+    return 0;
+  }
+
+  std::string line = flags.get_string("line", "");
+  if (line.empty()) {
+    service::WireRequest request;
+    request.id = static_cast<uint64_t>(flags.get_int("id", 1));
+    const std::string verb = flags.get_string("verb", "ping");
+    if (verb == "ping") request.verb = service::Verb::kPing;
+    else if (verb == "plan") request.verb = service::Verb::kPlan;
+    else if (verb == "measure") request.verb = service::Verb::kMeasure;
+    else if (verb == "sweep") request.verb = service::Verb::kSweep;
+    else if (verb == "inject") request.verb = service::Verb::kInject;
+    else {
+      err << "unknown verb '" << verb << "'\n";
+      return 2;
+    }
+    const std::string priority = flags.get_string("priority", "normal");
+    if (priority == "high") request.priority = service::Priority::kHigh;
+    else if (priority == "normal") request.priority = service::Priority::kNormal;
+    else if (priority == "low") request.priority = service::Priority::kLow;
+    else {
+      err << "unknown priority '" << priority << "'\n";
+      return 2;
+    }
+    request.scenario = flags.get_int("scenario", 8);
+    request.load_pct = flags.get_double("load-pct", 50.0);
+    for (const std::string& tok :
+         util::split(flags.get_string("quarantined", ""), ',')) {
+      if (tok.empty()) continue;
+      int index = 0;
+      if (!util::parse_int(tok, index) || index < 0) {
+        err << "bad quarantined index: '" << tok << "'\n";
+        return 2;
+      }
+      request.quarantined.push_back(static_cast<size_t>(index));
+    }
+    request.fault = flags.get_string("fault", "fan-failure");
+    request.defense = flags.get_string("defense", "supervisor");
+    line = service::encode_request(request);
+  }
+
+  service::ServiceClient client;
+  if (!client.connect(flags.get_string("host", "127.0.0.1"),
+                      static_cast<uint16_t>(flags.get_int("port", 7077)))) {
+    err << client.last_error() << "\n";
+    return 1;
+  }
+  const std::optional<std::string> response = client.call(line);
+  if (!response.has_value()) {
+    err << client.last_error() << "\n";
+    return 1;
+  }
+  out << *response << "\n";
+  // Exit status mirrors the response envelope so scripts can branch on it.
+  service::JsonValue doc;
+  std::string parse_error;
+  if (service::parse_json(*response, doc, parse_error)) {
+    const service::JsonValue* ok = doc.find("ok");
+    if (ok != nullptr && ok->is_bool() && !ok->as_bool()) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_cooloptctl(int argc, const char* const* argv, std::ostream& out,
@@ -399,6 +489,7 @@ int run_cooloptctl(int argc, const char* const* argv, std::ostream& out,
     if (command == "sweep") return cmd_sweep(flags, sub_argc, sub_argv, out, err);
     if (command == "frontier") return cmd_frontier(flags, sub_argc, sub_argv, out, err);
     if (command == "inject") return cmd_inject(flags, sub_argc, sub_argv, out, err);
+    if (command == "client") return cmd_client(flags, sub_argc, sub_argv, out, err);
   } catch (const std::exception& e) {
     err << "cooloptctl " << command << ": " << e.what() << "\n";
     return 1;
