@@ -14,7 +14,7 @@
 namespace coolopt::core {
 namespace {
 
-constexpr double kFeasEps = 1e-7;
+constexpr double kFeasEps = detail::kFeasEps;
 
 void require_uniform(const RoomModel& model) {
   const double w1 = model.machines.front().power.w1;
@@ -173,151 +173,29 @@ void EventConsolidator::preprocess() {
   const size_t n = particles_.size();
 
   // All pairwise crossing times in t > 0 (the paper's Events loop).
+  std::vector<double> times;
   for (size_t p = 0; p < n; ++p) {
     for (size_t q = p + 1; q < n; ++q) {
       const double db = particles_.b[p] - particles_.b[q];
       if (db == 0.0) continue;  // parallel particles never cross
       const double t = (particles_.a[p] - particles_.a[q]) / db;
-      if (t > 0.0 && std::isfinite(t)) events_.push_back(t);
+      if (t > 0.0 && std::isfinite(t)) times.push_back(t);
     }
   }
-  std::sort(events_.begin(), events_.end());
-  events_.erase(std::unique(events_.begin(), events_.end(),
-                            [](double x, double y) { return std::abs(x - y) < 1e-12; }),
-                events_.end());
+  std::sort(times.begin(), times.end());
 
-  // One segment per inter-event interval, [0, e1), [e1, e2), ..., [em, inf).
-  // Within a segment the coordinate order is constant. Sorting at the
-  // segment *start* would compare the just-crossed pair at the instant
-  // their coordinates coincide, where floating-point noise (not the
-  // tie-break) decides who is ahead; sorting at the segment midpoint keeps
-  // every pair robustly separated.
-  std::vector<double> starts;
-  starts.push_back(0.0);
-  starts.insert(starts.end(), events_.begin(), events_.end());
-
-  segments_.reserve(starts.size());
-  for (size_t s = 0; s < starts.size(); ++s) {
-    const double start = starts[s];
-    const double order_time =
-        s + 1 < starts.size() ? 0.5 * (start + starts[s + 1]) : start + 1.0;
-    Segment seg;
-    seg.start = start;
-    seg.order.resize(n);
-    std::iota(seg.order.begin(), seg.order.end(), 0u);
-    std::sort(seg.order.begin(), seg.order.end(), [&](uint32_t x, uint32_t y) {
-      const double cx = particles_.coordinate(x, order_time);
-      const double cy = particles_.coordinate(y, order_time);
-      if (cx != cy) return cx > cy;
-      return x < y;  // identical particles: stable by id
-    });
-    seg.prefix_a.assign(n + 1, 0.0);
-    seg.prefix_b.assign(n + 1, 0.0);
-    for (size_t k = 0; k < n; ++k) {
-      seg.prefix_a[k + 1] = seg.prefix_a[k] + particles_.a[seg.order[k]];
-      seg.prefix_b[k + 1] = seg.prefix_b[k] + particles_.b[seg.order[k]];
-    }
-    segments_.push_back(std::move(seg));
-  }
-
-  // The paper's allStatus: one (event time, k) entry per segment and k,
-  // sorted by Lmax for the Algorithm 2 binary search.
-  statuses_.reserve(segments_.size() * n);
-  for (uint32_t s = 0; s < segments_.size(); ++s) {
-    const Segment& seg = segments_[s];
-    for (uint32_t k = 1; k <= n; ++k) {
-      Status st;
-      st.t = seg.start;
-      st.segment = s;
-      st.k = k;
-      st.l_max = seg.prefix_a[k] - seg.start * seg.prefix_b[k];
-      statuses_.push_back(st);
-    }
-  }
-  std::sort(statuses_.begin(), statuses_.end(),
-            [](const Status& x, const Status& y) { return x.l_max < y.l_max; });
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  table_.build(particles_, ids,
+               detail::ConsolidationTable::collapse_events(times),
+               /*with_statuses=*/true);
 
   obs::count("consolidation.preprocesses");
-  obs::gauge_set("consolidation.events", static_cast<double>(events_.size()));
-  obs::gauge_set("consolidation.segments", static_cast<double>(segments_.size()));
-  obs::gauge_set("consolidation.statuses", static_cast<double>(statuses_.size()));
-}
-
-double EventConsolidator::g(size_t k, double t) const {
-  const Segment& seg = segments_[segment_at(t)];
-  return seg.prefix_a[k] - t * seg.prefix_b[k];
-}
-
-size_t EventConsolidator::segment_at(double t) const {
-  // Last segment whose start <= t; t < 0 maps to the first segment.
-  size_t lo = 0;
-  size_t hi = segments_.size();
-  while (lo + 1 < hi) {
-    const size_t mid = (lo + hi) / 2;
-    if (segments_[mid].start <= t) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-ConsolidationChoice EventConsolidator::make_choice(size_t segment, size_t k,
-                                                   double load) const {
-  const Segment& seg = segments_[segment];
-  ConsolidationChoice choice;
-  choice.k = k;
-  choice.on_set.assign(seg.order.begin(), seg.order.begin() + static_cast<long>(k));
-  const double t_subset = (seg.prefix_a[k] - load) / seg.prefix_b[k];
-  choice.t_param = std::clamp(t_subset, particles_.t_lo, particles_.t_hi);
-  choice.t_ac = particles_.w1 * choice.t_param;
-  double sum_w2 = 0.0;
-  for (const size_t i : choice.on_set) sum_w2 += model_->machines[i].power.w2;
-  choice.predicted_total_power_w =
-      sum_w2 + particles_.w1 * load +
-      model_->cooler.predict(choice.t_ac, sum_w2 + particles_.w1 * load);
-  return choice;
-}
-
-std::optional<ConsolidationChoice> EventConsolidator::solve_for_k(double load,
-                                                                  size_t k) const {
-  if (k == 0 || k > particles_.size()) return std::nullopt;
-  // Even the coldest allowed air cannot serve this load on k machines.
-  if (g(k, particles_.t_lo) < load - kFeasEps) return std::nullopt;
-
-  // Find where g_k crosses the load. g_k is continuous, piecewise linear
-  // and strictly decreasing, and within each segment equals
-  // prefix_a[k] - t * prefix_b[k] of that segment's order.
-  // Binary search: last segment whose start-value is still >= load.
-  size_t lo = 0;
-  size_t hi = segments_.size();
-  const auto g_at_start = [&](size_t s) {
-    return segments_[s].prefix_a[k] - segments_[s].start * segments_[s].prefix_b[k];
-  };
-  if (g_at_start(0) < load - kFeasEps) {
-    // Load not servable even at t = 0; only possible when t_lo < 0 is
-    // clamped to 0 and the check above used the same t — unreachable, but
-    // keep the guard for safety.
-    return std::nullopt;
-  }
-  while (lo + 1 < hi) {
-    const size_t mid = (lo + hi) / 2;
-    if (g_at_start(mid) >= load) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  const Segment& seg = segments_[lo];
-  double t_star = (seg.prefix_a[k] - load) / seg.prefix_b[k];
-  t_star = std::max(t_star, seg.start);  // numeric safety at boundaries
-
-  const double t_used = std::clamp(t_star, particles_.t_lo, particles_.t_hi);
-  // Operate in the segment containing the (possibly clamped) time: when the
-  // room runs warmer than t_star (clamped at t_hi), the headroom-maximizing
-  // top-k set at the operating time is the right pick.
-  return make_choice(segment_at(t_used), k, load);
+  obs::gauge_set("consolidation.events", static_cast<double>(table_.events.size()));
+  obs::gauge_set("consolidation.segments",
+                 static_cast<double>(table_.segments.size()));
+  obs::gauge_set("consolidation.statuses",
+                 static_cast<double>(table_.statuses.size()));
 }
 
 std::optional<ConsolidationChoice> EventConsolidator::query(double load,
@@ -340,7 +218,7 @@ std::optional<ConsolidationChoice> EventConsolidator::query(double load,
   if (mode == QueryMode::kExactPerK) {
     std::optional<ConsolidationChoice> best;
     for (size_t k = 1; k <= particles_.size(); ++k) {
-      const auto cand = solve_for_k(load, k);
+      const auto cand = table_.solve_for_k(particles_, *model_, load, k);
       if (!cand) continue;
       if (!best ||
           cand->predicted_total_power_w < best->predicted_total_power_w - 1e-12) {
@@ -350,23 +228,7 @@ std::optional<ConsolidationChoice> EventConsolidator::query(double load,
     return report(best);
   }
 
-  // The paper's Algorithm 2: binary search allStatus (sorted by Lmax) for
-  // the first status whose Lmax exceeds the load, then read off its
-  // (event time, k) and take the first k machines of that order.
-  const auto it = std::upper_bound(
-      statuses_.begin(), statuses_.end(), load,
-      [](double l, const Status& st) { return l < st.l_max; });
-  for (auto cand = it; cand != statuses_.end(); ++cand) {
-    // Walk forward past statuses whose subset violates the actuation
-    // bounds (the paper has no such bounds; with them the first hit can be
-    // infeasible).
-    const Segment& seg = segments_[cand->segment];
-    const double t_subset =
-        (seg.prefix_a[cand->k] - load) / seg.prefix_b[cand->k];
-    if (t_subset < particles_.t_lo - kFeasEps) continue;
-    return report(make_choice(cand->segment, cand->k, load));
-  }
-  return report(std::nullopt);
+  return report(table_.query_paper(particles_, *model_, load));
 }
 
 std::vector<ConsolidationChoice> EventConsolidator::rank_all_k(double load) const {
@@ -374,23 +236,13 @@ std::vector<ConsolidationChoice> EventConsolidator::rank_all_k(double load) cons
   // k, and it is the entry point the scenario planner actually exercises.
   obs::ScopedTimer timer(obs::maybe_histogram("consolidation.query_us"));
   obs::count("consolidation.queries");
-  std::vector<ConsolidationChoice> out;
-  for (size_t k = 1; k <= particles_.size(); ++k) {
-    if (auto cand = solve_for_k(load, k)) out.push_back(std::move(*cand));
-  }
+  std::vector<ConsolidationChoice> out = table_.rank_all_k(particles_, *model_, load);
   if (out.empty()) obs::count("consolidation.infeasible_queries");
   if (obs::RunTrace* tr = obs::trace()) {
     tr->record_solve(obs::SolveSample{
         "consolidation.rank_all_k", static_cast<uint64_t>(particles_.size()),
         0, timer.elapsed_us(), !out.empty(), 0.0});
   }
-  std::sort(out.begin(), out.end(),
-            [](const ConsolidationChoice& x, const ConsolidationChoice& y) {
-              if (x.predicted_total_power_w != y.predicted_total_power_w) {
-                return x.predicted_total_power_w < y.predicted_total_power_w;
-              }
-              return x.k < y.k;
-            });
   return out;
 }
 
@@ -398,31 +250,7 @@ double EventConsolidator::max_load_for_budget(double power_budget_w, size_t k) c
   if (k == 0 || k > particles_.size()) {
     throw std::invalid_argument("max_load_for_budget: bad k");
   }
-  const auto power_at = [&](double load) -> std::optional<double> {
-    const auto c = solve_for_k(load, k);
-    if (!c) return std::nullopt;
-    return c->predicted_total_power_w;
-  };
-  const auto p0 = power_at(0.0);
-  if (!p0 || *p0 > power_budget_w) return 0.0;
-
-  // Predicted power is monotone non-decreasing in load for fixed k, so the
-  // budget frontier is found by bisection on [0, g_k(t_lo)].
-  double lo = 0.0;
-  double hi = g(k, particles_.t_lo);
-  if (hi <= 0.0) return 0.0;
-  const auto p_hi = power_at(hi);
-  if (p_hi && *p_hi <= power_budget_w) return hi;
-  for (int iter = 0; iter < 100; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    const auto p = power_at(mid);
-    if (p && *p <= power_budget_w) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
+  return table_.max_load_for_budget(particles_, *model_, power_budget_w, k);
 }
 
 }  // namespace coolopt::core

@@ -32,35 +32,10 @@
 #include <optional>
 #include <vector>
 
+#include "core/consolidation_table.h"
 #include "core/model.h"
 
 namespace coolopt::core {
-
-/// A consolidation decision: which machines to keep ON for a given load.
-struct ConsolidationChoice {
-  std::vector<size_t> on_set;  ///< machine indices, unsorted
-  size_t k = 0;                ///< == on_set.size()
-  double t_param = 0.0;        ///< clamped particle time actually used
-  double t_ac = 0.0;           ///< w1 * t_param
-  double predicted_total_power_w = 0.0;
-};
-
-/// The particle view of a room model (exposed for tests and benches).
-struct ParticleSystem {
-  std::vector<double> a;  ///< initial coordinates, a_i = K_i
-  std::vector<double> b;  ///< speeds, b_i = alpha_i/beta_i (> 0)
-  double w1 = 0.0;        ///< shared w1 (validated uniform)
-  double w2 = 0.0;        ///< shared w2 (validated uniform)
-  double t_lo = 0.0;      ///< max(0, t_ac_min/w1)
-  double t_hi = 0.0;      ///< t_ac_max / w1
-
-  static ParticleSystem from_model(const RoomModel& model);
-  /// Skips RoomModel::validate() (caller already ran it); still enforces
-  /// the uniform-w1/w2 assumption the reduction needs.
-  static ParticleSystem from_model(const RoomModel& model, PreValidated);
-  size_t size() const { return a.size(); }
-  double coordinate(size_t i, double t) const { return a[i] - b[i] * t; }
-};
 
 /// Predicted total power of an explicit subset serving `load`, with the
 /// particle time clamped into the actuation range. std::nullopt when the
@@ -126,42 +101,20 @@ class EventConsolidator {
   double max_load_for_budget(double power_budget_w, size_t k) const;
 
   // --- introspection for tests/benches ---
-  size_t event_count() const { return events_.size(); }
-  size_t segment_count() const { return segments_.size(); }
-  size_t status_count() const { return statuses_.size(); }
+  size_t event_count() const { return table_.events.size(); }
+  size_t segment_count() const { return table_.segments.size(); }
+  size_t status_count() const { return table_.statuses.size(); }
   const ParticleSystem& particles() const { return particles_; }
+  const detail::ConsolidationTable& table() const { return table_; }
 
   const RoomModel& model() const { return *model_; }
 
  private:
   void preprocess();
 
-  struct Segment {
-    double start = 0.0;                 // particle time at segment start
-    std::vector<uint32_t> order;        // particle ids, coordinate-descending
-    std::vector<double> prefix_a;       // prefix_a[k] = sum of top-k a
-    std::vector<double> prefix_b;       // prefix_b[k] = sum of top-k b
-  };
-  struct Status {  // one (event-time, k) entry of the paper's allStatus
-    double l_max = 0.0;
-    double t = 0.0;
-    uint32_t segment = 0;
-    uint32_t k = 0;
-  };
-
-  /// Max of sum of k largest coordinates at time t.
-  double g(size_t k, double t) const;
-  /// Segment containing particle time t (last segment whose start <= t).
-  size_t segment_at(double t) const;
-  /// Exact per-k solve; nullopt if k machines cannot serve the load.
-  std::optional<ConsolidationChoice> solve_for_k(double load, size_t k) const;
-  ConsolidationChoice make_choice(size_t segment, size_t k, double load) const;
-
   SharedRoomModel model_;
   ParticleSystem particles_;
-  std::vector<double> events_;     // sorted crossing times > 0
-  std::vector<Segment> segments_;  // segments_[0].start == 0
-  std::vector<Status> statuses_;   // sorted by l_max ascending
+  detail::ConsolidationTable table_;  // the shared Algorithm 1 structure
 };
 
 }  // namespace coolopt::core

@@ -1,0 +1,305 @@
+#include "core/consolidation_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace coolopt::core::detail {
+
+std::vector<double> ConsolidationTable::collapse_events(
+    const std::vector<double>& sorted_times) {
+  std::vector<double> out;
+  out.reserve(sorted_times.size());
+  for (const double t : sorted_times) {
+    if (out.empty() || std::abs(t - out.back()) >= kEventMergeEps) out.push_back(t);
+  }
+  return out;
+}
+
+void ConsolidationTable::build(const ParticleSystem& ps,
+                               const std::vector<uint32_t>& ids,
+                               std::vector<double> collapsed_events,
+                               bool with_statuses) {
+  events = std::move(collapsed_events);
+  segments.clear();
+  statuses.clear();
+  const size_t n = ids.size();
+
+  // One segment per inter-event interval, [0, e1), [e1, e2), ..., [em, inf).
+  // Within a segment the coordinate order is constant. Sorting at the
+  // segment *start* would compare the just-crossed pair at the instant
+  // their coordinates coincide, where floating-point noise (not the
+  // tie-break) decides who is ahead; sorting at the segment midpoint keeps
+  // every pair robustly separated.
+  std::vector<double> starts;
+  starts.push_back(0.0);
+  starts.insert(starts.end(), events.begin(), events.end());
+
+  segments.reserve(starts.size());
+  for (size_t s = 0; s < starts.size(); ++s) {
+    const double start = starts[s];
+    Segment seg;
+    seg.start = start;
+    seg.order_time =
+        s + 1 < starts.size() ? 0.5 * (start + starts[s + 1]) : start + 1.0;
+    seg.order = ids;
+    std::sort(seg.order.begin(), seg.order.end(), [&](uint32_t x, uint32_t y) {
+      const double cx = ps.coordinate(x, seg.order_time);
+      const double cy = ps.coordinate(y, seg.order_time);
+      if (cx != cy) return cx > cy;
+      return x < y;  // identical particles: stable by id
+    });
+    seg.prefix_a.assign(n + 1, 0.0);
+    seg.prefix_b.assign(n + 1, 0.0);
+    for (size_t k = 0; k < n; ++k) {
+      seg.prefix_a[k + 1] = seg.prefix_a[k] + ps.a[seg.order[k]];
+      seg.prefix_b[k + 1] = seg.prefix_b[k] + ps.b[seg.order[k]];
+    }
+    segments.push_back(std::move(seg));
+  }
+
+  if (!with_statuses) return;
+
+  // The paper's allStatus: one (event time, k) entry per segment and k,
+  // sorted by Lmax for the Algorithm 2 binary search.
+  statuses.reserve(segments.size() * n);
+  for (uint32_t s = 0; s < segments.size(); ++s) {
+    const Segment& seg = segments[s];
+    for (uint32_t k = 1; k <= n; ++k) {
+      Status st;
+      st.t = seg.start;
+      st.segment = s;
+      st.k = k;
+      st.l_max = seg.prefix_a[k] - seg.start * seg.prefix_b[k];
+      statuses.push_back(st);
+    }
+  }
+  std::sort(statuses.begin(), statuses.end(),
+            [](const Status& x, const Status& y) { return x.l_max < y.l_max; });
+}
+
+void ConsolidationTable::apply_membership_delta(
+    const ParticleSystem& ps, const std::vector<uint32_t>& removed,
+    const std::vector<uint32_t>& added) {
+  if (!statuses.empty()) {
+    throw std::logic_error(
+        "ConsolidationTable: membership delta on a table with statuses");
+  }
+  std::vector<char> gone(ps.size(), 0);
+  for (const uint32_t id : removed) gone[id] = 1;
+
+  for (Segment& seg : segments) {
+    if (!removed.empty()) {
+      seg.order.erase(std::remove_if(seg.order.begin(), seg.order.end(),
+                                     [&](uint32_t id) { return gone[id] != 0; }),
+                      seg.order.end());
+    }
+    for (const uint32_t id : added) {
+      // The order is the unique sequence sorted by (coordinate descending,
+      // id ascending); inserting at the lower bound reproduces the full
+      // re-sort exactly.
+      const double c = ps.coordinate(id, seg.order_time);
+      const auto pos = std::lower_bound(
+          seg.order.begin(), seg.order.end(), id, [&](uint32_t x, uint32_t y) {
+            const double cx = (x == id) ? c : ps.coordinate(x, seg.order_time);
+            const double cy = (y == id) ? c : ps.coordinate(y, seg.order_time);
+            if (cx != cy) return cx > cy;
+            return x < y;
+          });
+      seg.order.insert(pos, id);
+    }
+    const size_t n = seg.order.size();
+    seg.prefix_a.assign(n + 1, 0.0);
+    seg.prefix_b.assign(n + 1, 0.0);
+    for (size_t k = 0; k < n; ++k) {
+      seg.prefix_a[k + 1] = seg.prefix_a[k] + ps.a[seg.order[k]];
+      seg.prefix_b[k + 1] = seg.prefix_b[k] + ps.b[seg.order[k]];
+    }
+  }
+}
+
+double ConsolidationTable::g(size_t k, double t) const {
+  const Segment& seg = segments[segment_at(t)];
+  return seg.prefix_a[k] - t * seg.prefix_b[k];
+}
+
+size_t ConsolidationTable::segment_at(double t) const {
+  // Last segment whose start <= t; t < 0 maps to the first segment.
+  size_t lo = 0;
+  size_t hi = segments.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (segments[mid].start <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+ConsolidationChoice ConsolidationTable::make_choice(const ParticleSystem& ps,
+                                                    const RoomModel& model,
+                                                    size_t segment, size_t k,
+                                                    double load) const {
+  const Segment& seg = segments[segment];
+  ConsolidationChoice choice;
+  choice.k = k;
+  choice.on_set.assign(seg.order.begin(), seg.order.begin() + static_cast<long>(k));
+  const double t_subset = (seg.prefix_a[k] - load) / seg.prefix_b[k];
+  choice.t_param = std::clamp(t_subset, ps.t_lo, ps.t_hi);
+  choice.t_ac = ps.w1 * choice.t_param;
+  double sum_w2 = 0.0;
+  for (const size_t i : choice.on_set) sum_w2 += model.machines[i].power.w2;
+  choice.predicted_total_power_w =
+      sum_w2 + ps.w1 * load +
+      model.cooler.predict(choice.t_ac, sum_w2 + ps.w1 * load);
+  return choice;
+}
+
+size_t ConsolidationTable::operating_segment(const ParticleSystem& ps,
+                                             double load, size_t k) const {
+  // Find where g_k crosses the load. g_k is continuous, piecewise linear
+  // and strictly decreasing, and within each segment equals
+  // prefix_a[k] - t * prefix_b[k] of that segment's order.
+  // Binary search: last segment whose start-value is still >= load.
+  size_t lo = 0;
+  size_t hi = segments.size();
+  const auto g_at_start = [&](size_t s) {
+    return segments[s].prefix_a[k] - segments[s].start * segments[s].prefix_b[k];
+  };
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (g_at_start(mid) >= load) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Segment& seg = segments[lo];
+  double t_star = (seg.prefix_a[k] - load) / seg.prefix_b[k];
+  t_star = std::max(t_star, seg.start);  // numeric safety at boundaries
+
+  const double t_used = std::clamp(t_star, ps.t_lo, ps.t_hi);
+  // Operate in the segment containing the (possibly clamped) time: when the
+  // room runs warmer than t_star (clamped at t_hi), the headroom-maximizing
+  // top-k set at the operating time is the right pick.
+  return segment_at(t_used);
+}
+
+std::optional<ConsolidationChoice> ConsolidationTable::solve_for_k(
+    const ParticleSystem& ps, const RoomModel& model, double load,
+    size_t k) const {
+  if (k == 0 || k > width()) return std::nullopt;
+  // Even the coldest allowed air cannot serve this load on k machines.
+  if (g(k, ps.t_lo) < load - kFeasEps) return std::nullopt;
+  if (g(k, 0.0) < load - kFeasEps) {
+    // Load not servable even at t = 0; only possible when t_lo < 0 is
+    // clamped to 0 and the check above used the same t — unreachable, but
+    // keep the guard for safety.
+    return std::nullopt;
+  }
+  return make_choice(ps, model, operating_segment(ps, load, k), k, load);
+}
+
+std::optional<ConsolidationChoice> ConsolidationTable::query_best(
+    const ParticleSystem& ps, const RoomModel& model, double load) const {
+  size_t best_k = 0;
+  size_t best_segment = 0;
+  double best_power = 0.0;
+  for (size_t k = 1; k <= width(); ++k) {
+    if (g(k, ps.t_lo) < load - kFeasEps) continue;
+    if (g(k, 0.0) < load - kFeasEps) continue;
+    const size_t s = operating_segment(ps, load, k);
+    const Segment& seg = segments[s];
+    const double t_subset = (seg.prefix_a[k] - load) / seg.prefix_b[k];
+    const double t_ac = ps.w1 * std::clamp(t_subset, ps.t_lo, ps.t_hi);
+    // w2 is validated uniform, so the subset's idle draw is k * w2 without
+    // touching the on_set. (make_choice sums machine-by-machine; the two
+    // differ by at most accumulated rounding, far below the >= ~w2-scale
+    // power gaps that separate distinct k.)
+    const double it_w = static_cast<double>(k) * ps.w2 + ps.w1 * load;
+    const double power = it_w + model.cooler.predict(t_ac, it_w);
+    if (best_k == 0 || power < best_power) {
+      best_k = k;
+      best_segment = s;
+      best_power = power;
+    }
+  }
+  if (best_k == 0) return std::nullopt;
+  return make_choice(ps, model, best_segment, best_k, load);
+}
+
+std::vector<ConsolidationChoice> ConsolidationTable::rank_all_k(
+    const ParticleSystem& ps, const RoomModel& model, double load) const {
+  std::vector<ConsolidationChoice> out;
+  for (size_t k = 1; k <= width(); ++k) {
+    if (auto cand = solve_for_k(ps, model, load, k)) out.push_back(std::move(*cand));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ConsolidationChoice& x, const ConsolidationChoice& y) {
+              if (x.predicted_total_power_w != y.predicted_total_power_w) {
+                return x.predicted_total_power_w < y.predicted_total_power_w;
+              }
+              return x.k < y.k;
+            });
+  return out;
+}
+
+std::optional<ConsolidationChoice> ConsolidationTable::query_paper(
+    const ParticleSystem& ps, const RoomModel& model, double load) const {
+  // The paper's Algorithm 2: binary search allStatus (sorted by Lmax) for
+  // the first status whose Lmax exceeds the load, then read off its
+  // (event time, k) and take the first k machines of that order.
+  const auto it = std::upper_bound(
+      statuses.begin(), statuses.end(), load,
+      [](double l, const Status& st) { return l < st.l_max; });
+  for (auto cand = it; cand != statuses.end(); ++cand) {
+    // Walk forward past statuses whose subset violates the actuation
+    // bounds (the paper has no such bounds; with them the first hit can be
+    // infeasible).
+    const Segment& seg = segments[cand->segment];
+    const double t_subset =
+        (seg.prefix_a[cand->k] - load) / seg.prefix_b[cand->k];
+    if (t_subset < ps.t_lo - kFeasEps) continue;
+    return make_choice(ps, model, cand->segment, cand->k, load);
+  }
+  return std::nullopt;
+}
+
+double ConsolidationTable::max_load_for_budget(const ParticleSystem& ps,
+                                               const RoomModel& model,
+                                               double power_budget_w,
+                                               size_t k) const {
+  if (k == 0 || k > width()) {
+    throw std::invalid_argument("max_load_for_budget: bad k");
+  }
+  const auto power_at = [&](double load) -> std::optional<double> {
+    const auto c = solve_for_k(ps, model, load, k);
+    if (!c) return std::nullopt;
+    return c->predicted_total_power_w;
+  };
+  const auto p0 = power_at(0.0);
+  if (!p0 || *p0 > power_budget_w) return 0.0;
+
+  // Predicted power is monotone non-decreasing in load for fixed k, so the
+  // budget frontier is found by bisection on [0, g_k(t_lo)].
+  double lo = 0.0;
+  double hi = g(k, ps.t_lo);
+  if (hi <= 0.0) return 0.0;
+  const auto p_hi = power_at(hi);
+  if (p_hi && *p_hi <= power_budget_w) return hi;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const auto p = power_at(mid);
+    if (p && *p <= power_budget_w) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace coolopt::core::detail

@@ -1,0 +1,151 @@
+// The Algorithm 1 data structure itself — events, per-segment coordinate
+// orders with prefix sums, and the allStatus list — factored out of
+// EventConsolidator so that two owners can share one implementation:
+//
+//   * EventConsolidator (consolidation.h): full O(n^3 lg n) rebuild over a
+//     whole room, the paper's preprocessing verbatim.
+//   * IncrementalConsolidator (incremental.h): maintains the same table
+//     under single-machine join/leave/quarantine deltas.
+//
+// Sharing the build and query code is what makes the incremental path's
+// "bit-for-bit identical to a rebuilt table" guarantee hold by
+// construction rather than by accident: both owners funnel through
+// ConsolidationTable::build / the unique sorted segment order.
+//
+// A note on determinism: within a segment no two entries of `order`
+// compare equivalent (coordinates tie-break by particle id), so the sorted
+// order is the UNIQUE sequence satisfying the comparator. Any procedure
+// that produces a sequence sorted under that comparator — a full
+// std::sort, or an erase/insert against an already-sorted order — yields
+// the identical permutation. apply_membership_delta relies on this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/model.h"
+
+namespace coolopt::core {
+
+/// A consolidation decision: which machines to keep ON for a given load.
+struct ConsolidationChoice {
+  std::vector<size_t> on_set;  ///< machine indices, unsorted
+  size_t k = 0;                ///< == on_set.size()
+  double t_param = 0.0;        ///< clamped particle time actually used
+  double t_ac = 0.0;           ///< w1 * t_param
+  double predicted_total_power_w = 0.0;
+};
+
+/// The particle view of a room model (exposed for tests and benches).
+struct ParticleSystem {
+  std::vector<double> a;  ///< initial coordinates, a_i = K_i
+  std::vector<double> b;  ///< speeds, b_i = alpha_i/beta_i (> 0)
+  double w1 = 0.0;        ///< shared w1 (validated uniform)
+  double w2 = 0.0;        ///< shared w2 (validated uniform)
+  double t_lo = 0.0;      ///< max(0, t_ac_min/w1)
+  double t_hi = 0.0;      ///< t_ac_max / w1
+
+  static ParticleSystem from_model(const RoomModel& model);
+  /// Skips RoomModel::validate() (caller already ran it); still enforces
+  /// the uniform-w1/w2 assumption the reduction needs.
+  static ParticleSystem from_model(const RoomModel& model, PreValidated);
+  size_t size() const { return a.size(); }
+  double coordinate(size_t i, double t) const { return a[i] - b[i] * t; }
+};
+
+namespace detail {
+
+/// Feasibility slack shared by every consolidation solver (the particle
+/// time may undershoot t_lo by at most this before a subset is rejected).
+constexpr double kFeasEps = 1e-7;
+
+/// Crossing times closer than this collapse into one event (the
+/// floating-point analogue of the paper's "distinct crossing times").
+constexpr double kEventMergeEps = 1e-12;
+
+struct ConsolidationTable {
+  struct Segment {
+    double start = 0.0;       // particle time at segment start
+    double order_time = 0.0;  // time the order was sorted at (mid-segment)
+    std::vector<uint32_t> order;  // particle ids, coordinate-descending
+    std::vector<double> prefix_a;  // prefix_a[k] = sum of top-k a
+    std::vector<double> prefix_b;  // prefix_b[k] = sum of top-k b
+  };
+  struct Status {  // one (event-time, k) entry of the paper's allStatus
+    double l_max = 0.0;
+    double t = 0.0;
+    uint32_t segment = 0;
+    uint32_t k = 0;
+  };
+
+  std::vector<double> events;      // sorted collapsed crossing times > 0
+  std::vector<Segment> segments;   // segments[0].start == 0
+  std::vector<Status> statuses;    // sorted by l_max ascending (optional)
+
+  /// Tolerance-collapse of an ascending-sorted crossing-time list
+  /// (duplicates allowed): keeps a time iff it is >= kEventMergeEps past
+  /// the previously kept one. Equivalent to the historical
+  /// sort-then-std::unique pass for any ascending input, duplicated or
+  /// distinct.
+  static std::vector<double> collapse_events(const std::vector<double>& sorted_times);
+
+  /// Builds segments (and optionally statuses) over the particles named in
+  /// `ids` (ascending original ids) from an already-collapsed event list.
+  void build(const ParticleSystem& ps, const std::vector<uint32_t>& ids,
+             std::vector<double> collapsed_events, bool with_statuses);
+
+  /// Membership-only delta: `removed`/`added` particles leave/join every
+  /// segment order while the event list is UNCHANGED (caller checked).
+  /// Erase/insert against the unique sorted order reproduces exactly what
+  /// a full rebuild would sort. Only valid for tables built without
+  /// statuses.
+  void apply_membership_delta(const ParticleSystem& ps,
+                              const std::vector<uint32_t>& removed,
+                              const std::vector<uint32_t>& added);
+
+  /// Number of particles each segment covers (k ranges over 1..width()).
+  size_t width() const { return segments.empty() ? 0 : segments.front().order.size(); }
+
+  /// Max of sum of k largest coordinates at time t.
+  double g(size_t k, double t) const;
+  /// Segment containing particle time t (last segment whose start <= t).
+  size_t segment_at(double t) const;
+  /// Segment the k-subset operates in for this load: last segment whose
+  /// start-value of g_k still covers the load, then the (clamped) subset
+  /// time mapped back through segment_at. Shared by solve_for_k and
+  /// query_best so both see the identical operating segment.
+  size_t operating_segment(const ParticleSystem& ps, double load,
+                           size_t k) const;
+  /// Exact per-k solve; nullopt if k machines cannot serve the load.
+  std::optional<ConsolidationChoice> solve_for_k(const ParticleSystem& ps,
+                                                 const RoomModel& model,
+                                                 double load, size_t k) const;
+  /// The single best choice — rank_all_k(...).front() — without
+  /// materializing an on_set per k: the per-k predicted power is O(1) from
+  /// the prefix sums (w2 is validated uniform), so the scan is
+  /// O(n lg #segments) + O(k) for the winner, versus the O(n^2) on_set
+  /// copies of the full ranking. This is what makes a one-delta replan
+  /// cheap end to end: table patch + query_best, no quadratic step.
+  std::optional<ConsolidationChoice> query_best(const ParticleSystem& ps,
+                                                const RoomModel& model,
+                                                double load) const;
+  ConsolidationChoice make_choice(const ParticleSystem& ps, const RoomModel& model,
+                                  size_t segment, size_t k, double load) const;
+  /// Best subset for every feasible k, sorted by predicted power then k.
+  std::vector<ConsolidationChoice> rank_all_k(const ParticleSystem& ps,
+                                              const RoomModel& model,
+                                              double load) const;
+  /// The paper's Algorithm 2: binary search over statuses (requires a
+  /// table built with statuses).
+  std::optional<ConsolidationChoice> query_paper(const ParticleSystem& ps,
+                                                 const RoomModel& model,
+                                                 double load) const;
+  /// The paper's maxL(A, P_b, k) by bisection on [0, g_k(t_lo)].
+  double max_load_for_budget(const ParticleSystem& ps, const RoomModel& model,
+                             double power_budget_w, size_t k) const;
+};
+
+}  // namespace detail
+}  // namespace coolopt::core

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/baselines.h"
+#include "core/incremental.h"
 #include "obs/obs.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -136,6 +137,42 @@ const ParticleSystem* PlanEngine::particles() const {
 
 bool PlanEngine::exact_paths() const { return aggregates().uniform_w1; }
 
+std::optional<std::vector<ConsolidationChoice>> PlanEngine::incremental_rank(
+    const std::vector<char>& active_mask, double load) const {
+  const ModelAggregates& agg = aggregates();
+  if (!agg.uniform_w1 || !agg.uniform_w2) return std::nullopt;
+
+  std::scoped_lock lock(incremental_mu_);
+  const double t0 = now_us();
+  if (!incremental_) {
+    incremental_ =
+        std::make_unique<IncrementalConsolidator>(margin_model_, kPreValidated);
+    counters_.incremental_cold_builds.fetch_add(1, std::memory_order_relaxed);
+    obs::count("engine.incremental.cold_builds");
+  }
+  const IncrementalApplyStats stats = incremental_->set_active(active_mask);
+  counters_.incremental_replans.fetch_add(1, std::memory_order_relaxed);
+  obs::count("engine.incremental.replans");
+  if (stats.cold_rebuild) {
+    counters_.incremental_cold_builds.fetch_add(1, std::memory_order_relaxed);
+    obs::count("engine.incremental.cold_builds");
+  }
+  if (stats.events_changed) {
+    counters_.incremental_event_rebuilds.fetch_add(1, std::memory_order_relaxed);
+    obs::count("engine.incremental.event_rebuilds");
+  }
+  if (stats.removed > 0) {
+    obs::count("engine.incremental.removed", static_cast<uint64_t>(stats.removed));
+  }
+  if (stats.restored > 0) {
+    obs::count("engine.incremental.restored",
+               static_cast<uint64_t>(stats.restored));
+  }
+  auto ranked = incremental_->rank_all_k(load);
+  obs::observe("engine.incremental.apply_us", now_us() - t0);
+  return ranked;
+}
+
 std::optional<Allocation> PlanEngine::plan_optimal(
     const std::vector<size_t>& on_set, double load, bool& closed_form_pure) const {
   if (const AnalyticOptimizer* cf_opt = analytic()) {
@@ -209,18 +246,34 @@ std::optional<Plan> PlanEngine::compute_plan(const Scenario& s, double load,
         subsets.emplace_back(capacity_order.begin(),
                              capacity_order.begin() + static_cast<long>(k));
         subsets.emplace_back(order.begin(), order.begin() + static_cast<long>(k));
-        for (const auto& subset : subsets) {
+        for (size_t si = 0; si < subsets.size(); ++si) {
           bool pure = true;
-          const auto alloc = plan_optimal(subset, load, pure);
-          if (!alloc) continue;
-          if (!best || alloc->total_power_w < best->total_power_w - 1e-12) {
+          const auto alloc = plan_optimal(subsets[si], load, pure);
+          if (alloc && (!best || alloc->total_power_w < best->total_power_w - 1e-12)) {
             best = alloc;
             best_pure = pure;
           }
+          // The ranked subset is the relaxation's optimal k-subset; when its
+          // closed form lands within bounds it attains the k-wide lower
+          // bound, so no heuristic subset of the same k can improve on it —
+          // skip them and their (cubic) LP fallbacks. When the closed form
+          // fails bounds, the heuristics are exactly the recovery they were
+          // added for, and still run.
+          if (si == 0 && ranked_subset != nullptr && pure && alloc) break;
         }
       };
+      // Unrestricted solves use the cached full-fleet Algorithm 1 table;
+      // restricted (quarantine) solves use the delta-maintained incremental
+      // table over the surviving machines. Both yield a ranking walked with
+      // the same branch and bound.
       const EventConsolidator* cons = restricted ? nullptr : consolidator();
+      std::optional<std::vector<ConsolidationChoice>> ranked;
       if (cons != nullptr) {
+        ranked = cons->rank_all_k(load);
+      } else if (restricted) {
+        ranked = incremental_rank(mask, load);
+      }
+      if (ranked) {
         // Walk the optimal consolidation ranking; candidates may fail the
         // bounded validation (capacities are invisible to the particle
         // reduction), so for every k we also probe capacity-greedy and
@@ -233,18 +286,18 @@ std::optional<Plan> PlanEngine::compute_plan(const Scenario& s, double load,
         // power, of every later candidate too. Once the incumbent is at or
         // below the next candidate's bound, nothing further can win, which
         // collapses the walk from O(n) LP probes to the one or two leaders.
-        for (const ConsolidationChoice& cand : cons->rank_all_k(load)) {
+        for (const ConsolidationChoice& cand : *ranked) {
           if (best && cand.predicted_total_power_w >= best->total_power_w - 1e-12) {
             break;
           }
           probe_k(cand.k, &cand.on_set);
         }
       } else {
-        // Heterogeneous fleet (no particle reduction) or a restricted
-        // machine set (the Algorithm 1 ranking covers the full fleet
-        // only). Probe a window of ON-set sizes above the capacity minimum
-        // with heuristic subset shapes, evaluating each with the bounded
-        // LP. The idle-draw order prefers cheap-idle nodes for padding.
+        // Heterogeneous fleet: no particle reduction, so neither table
+        // applies. Probe a window of ON-set sizes above the capacity
+        // minimum with heuristic subset shapes, evaluating each with the
+        // bounded LP. The idle-draw order prefers cheap-idle nodes for
+        // padding.
         const std::vector<size_t> idle_store =
             restricted ? filter_order(agg.idle_asc) : std::vector<size_t>{};
         const std::vector<size_t>& idle_order =
@@ -320,6 +373,7 @@ PlanResult PlanEngine::solve(const PlanRequest& request) const {
   }
 
   PlanResult result;
+  result.shard = request.shard;
   const double t0 = now_us();
 
   // Surviving machine set and its capacity. Demand above the surviving
@@ -457,6 +511,7 @@ std::vector<PlanResult> PlanEngine::solve_batch(
       results[i] = solve(requests[i]);
     } catch (const std::exception& e) {
       results[i] = PlanResult{};
+      results[i].shard = requests[i].shard;
       results[i].error = e.what();
     }
   });
@@ -494,6 +549,12 @@ EngineCounters PlanEngine::counters() const {
   c.batch_requests = counters_.batch_requests.load(std::memory_order_relaxed);
   c.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
   c.cache_misses = counters_.cache_misses.load(std::memory_order_relaxed);
+  c.incremental_replans =
+      counters_.incremental_replans.load(std::memory_order_relaxed);
+  c.incremental_cold_builds =
+      counters_.incremental_cold_builds.load(std::memory_order_relaxed);
+  c.incremental_event_rebuilds =
+      counters_.incremental_event_rebuilds.load(std::memory_order_relaxed);
   return c;
 }
 

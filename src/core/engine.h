@@ -46,6 +46,8 @@ class ThreadPool;
 
 namespace coolopt::core {
 
+class IncrementalConsolidator;
+
 /// One planning query: which policy, how much load (files/s).
 struct PlanRequest {
   PlanRequest() = default;
@@ -59,6 +61,10 @@ struct PlanRequest {
   /// layer). Load above the surviving capacity is shed, not an error;
   /// invalid indices throw std::invalid_argument naming the index.
   std::vector<size_t> quarantined;
+  /// Shard attribution: which room shard of a fleet topology this request
+  /// plans (set by fleet::FleetEngine when it fans a global target out).
+  /// -1 for a plain single-room request; echoed into PlanResult::shard.
+  int shard = -1;
 };
 
 /// Outcome of one request. `error` is non-empty when the request itself was
@@ -79,6 +85,8 @@ struct PlanResult {
   std::optional<Plan> plan;
   std::string error;
   double solve_us = 0.0;
+  /// Echo of PlanRequest::shard (-1 when the request was not fleet-routed).
+  int shard = -1;
   /// Files/s the plan could not place (0 when the request is fully served).
   double shed_load = 0.0;
   /// Preferred shedding order (only populated when shed_load > 0).
@@ -123,6 +131,15 @@ struct EngineCounters {
   uint64_t batch_requests = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Restricted (quarantine) solves served by the incremental Algorithm 1
+  /// table instead of the windowed-probe fallback.
+  uint64_t incremental_replans = 0;
+  /// Full pair-enumeration rebuilds of the incremental table (first use,
+  /// or a delta so large that starting over is cheaper).
+  uint64_t incremental_cold_builds = 0;
+  /// Deltas where the collapsed event list changed, forcing a segment
+  /// re-sort instead of the order-patching fast path.
+  uint64_t incremental_event_rebuilds = 0;
 };
 
 class PlanEngine {
@@ -201,6 +218,9 @@ class PlanEngine {
     std::atomic<uint64_t> batch_requests{0};
     std::atomic<uint64_t> cache_hits{0};
     std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> incremental_replans{0};
+    std::atomic<uint64_t> incremental_cold_builds{0};
+    std::atomic<uint64_t> incremental_event_rebuilds{0};
   };
 
   /// Runs `build` exactly once (first caller = cache miss, everyone else =
@@ -209,11 +229,19 @@ class PlanEngine {
   void ensure(std::once_flag& once, Build&& build) const;
 
   /// `allowed` restricts planning to a machine subset (nullptr == the whole
-  /// fleet); used by quarantine-aware solves. The consolidator's Algorithm 1
-  /// ranking covers the full fleet only, so restricted solves take the
-  /// windowed-probe path instead.
+  /// fleet); used by quarantine-aware solves. When the particle reduction
+  /// applies, restricted solves rank subsets through the incremental
+  /// Algorithm 1 table (delta-maintained across quarantine churn);
+  /// heterogeneous fleets fall back to the windowed-probe path.
   std::optional<Plan> compute_plan(const Scenario& s, double load,
                                    const std::vector<size_t>* allowed = nullptr) const;
+  /// Consolidation ranking over the active subset via the delta-maintained
+  /// Algorithm 1 table. std::nullopt when the particle reduction does not
+  /// apply (heterogeneous w1/w2). Thread-safe; the table is a pure
+  /// function of the mask, so concurrent callers with different masks
+  /// still see deterministic rankings.
+  std::optional<std::vector<ConsolidationChoice>> incremental_rank(
+      const std::vector<char>& active_mask, double load) const;
   std::optional<Allocation> plan_optimal(const std::vector<size_t>& on_set,
                                          double load, bool& closed_form_pure) const;
   /// Shedding order for degraded results: quarantined machines first, then
@@ -237,6 +265,8 @@ class PlanEngine {
   mutable std::unique_ptr<EventConsolidator> consolidator_;
   mutable std::once_flag particles_once_;
   mutable std::unique_ptr<ParticleSystem> particles_;
+  mutable std::mutex incremental_mu_;
+  mutable std::unique_ptr<IncrementalConsolidator> incremental_;
 
   mutable std::mutex pool_mu_;
   mutable std::unique_ptr<util::ThreadPool> pool_;

@@ -1,0 +1,280 @@
+#include "fleet/fleet_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace coolopt::fleet {
+namespace {
+
+double now_us() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::micro>(t).count();
+}
+
+/// Cache key covering ad-hoc scenarios too (number alone is 0 for those).
+int scenario_key(const core::Scenario& s) {
+  return (s.number << 4) | (static_cast<int>(s.distribution) << 2) |
+         (s.ac_control ? 2 : 0) | (s.consolidation ? 1 : 0);
+}
+
+}  // namespace
+
+bool FleetPlanResult::feasible() const {
+  if (shed_load > 0.0) return false;
+  for (const core::PlanResult& r : shard_results) {
+    if (!r.error.empty() || !r.plan.has_value()) return false;
+  }
+  return !shard_results.empty();
+}
+
+FleetEngine::FleetEngine(FleetTopology topology, FleetOptions options)
+    : topology_(std::move(topology)), options_(options) {
+  topology_.validate();
+  if (options_.frontier_samples == 0) {
+    throw std::invalid_argument("FleetEngine: frontier_samples must be >= 1");
+  }
+  engines_.reserve(topology_.size());
+  for (const FleetShard& shard : topology_.shards) {
+    engines_.push_back(
+        std::make_unique<core::PlanEngine>(shard.model, options_.planner));
+  }
+  obs::gauge_set("fleet.shards", static_cast<double>(topology_.size()));
+}
+
+FleetEngine::~FleetEngine() = default;
+
+const core::PlanEngine& FleetEngine::engine(size_t shard) const {
+  if (shard >= engines_.size()) {
+    throw std::invalid_argument(
+        util::strf("FleetEngine: shard %zu out of range (fleet has %zu "
+                   "shards)",
+                   shard, engines_.size()));
+  }
+  return *engines_[shard];
+}
+
+const std::vector<FleetEngine::ShardFrontier>& FleetEngine::frontiers_for(
+    const core::Scenario& s) const {
+  const int key = scenario_key(s);
+  std::scoped_lock lock(frontier_mu_);
+  const auto it = frontiers_.find(key);
+  if (it != frontiers_.end()) return it->second;
+
+  // Shard frontiers are independent (each samples its own engine), so the
+  // first fleet solve pays all shard preprocesses in parallel, not in a
+  // serial walk — index-addressed slots keep the cache deterministic.
+  std::vector<ShardFrontier> fronts(engines_.size());
+  const size_t samples = options_.frontier_samples;
+  default_pool().parallel_for(engines_.size(), [&](size_t shard) {
+    const double cap = topology_.shards[shard].model->total_capacity();
+    std::vector<FrontierPoint> points;
+    points.reserve(samples + 1);
+    for (size_t j = 0; j <= samples; ++j) {
+      const double target =
+          cap * static_cast<double>(j) / static_cast<double>(samples);
+      const core::PlanResult r =
+          engines_[shard]->solve(core::PlanRequest(s, target));
+      if (!r.plan) continue;
+      points.push_back(FrontierPoint{target - r.shed_load,
+                                     r.plan->allocation.total_power_w});
+    }
+    std::sort(points.begin(), points.end(),
+              [](const FrontierPoint& x, const FrontierPoint& y) {
+                if (x.load != y.load) return x.load < y.load;
+                return x.power_w < y.power_w;
+              });
+
+    // Lower convex envelope: keep slopes strictly increasing so the
+    // water-filling sees a well-defined marginal cost per segment.
+    ShardFrontier front;
+    for (const FrontierPoint& p : points) {
+      if (!front.hull.empty() && p.load - front.hull.back().load < 1e-9) {
+        continue;  // duplicate load level (thermal cap): keep the cheaper
+      }
+      while (front.hull.size() >= 2) {
+        const FrontierPoint& a = front.hull[front.hull.size() - 2];
+        const FrontierPoint& b = front.hull.back();
+        // Pop b when slope(a,b) >= slope(b,p): b lies on or above a-p.
+        if ((b.power_w - a.power_w) * (p.load - b.load) >=
+            (p.power_w - b.power_w) * (b.load - a.load)) {
+          front.hull.pop_back();
+        } else {
+          break;
+        }
+      }
+      front.hull.push_back(p);
+    }
+    front.max_load = front.hull.empty() ? 0.0 : front.hull.back().load;
+    fronts[shard] = std::move(front);
+
+    frontier_builds_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("fleet.frontier_builds");
+  });
+  return frontiers_.emplace(key, std::move(fronts)).first->second;
+}
+
+std::vector<double> FleetEngine::split_load(
+    const core::Scenario& scenario, double load,
+    const std::vector<double>& shard_caps) const {
+  if (shard_caps.size() != engines_.size()) {
+    throw std::invalid_argument(
+        util::strf("FleetEngine: split got %zu caps but the fleet has %zu "
+                   "shards",
+                   shard_caps.size(), engines_.size()));
+  }
+  const std::vector<ShardFrontier>& fronts = frontiers_for(scenario);
+
+  struct Segment {
+    double slope = 0.0;
+    size_t shard = 0;
+    size_t index = 0;
+    double length = 0.0;
+  };
+  std::vector<Segment> segments;
+  for (size_t shard = 0; shard < fronts.size(); ++shard) {
+    const ShardFrontier& front = fronts[shard];
+    const double cap = std::min(shard_caps[shard], front.max_load);
+    for (size_t i = 0; i + 1 < front.hull.size(); ++i) {
+      const FrontierPoint& p = front.hull[i];
+      const FrontierPoint& q = front.hull[i + 1];
+      const double hi = std::min(q.load, cap);
+      if (hi <= p.load) break;  // everything further is beyond the cap
+      segments.push_back(Segment{(q.power_w - p.power_w) / (q.load - p.load),
+                                 shard, i, hi - p.load});
+    }
+  }
+  // Cheapest marginal watt first; ties resolved by shard then segment
+  // index so the split is a pure function of (topology, scenario, load).
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& x, const Segment& y) {
+              if (x.slope != y.slope) return x.slope < y.slope;
+              if (x.shard != y.shard) return x.shard < y.shard;
+              return x.index < y.index;
+            });
+
+  std::vector<double> alloc(engines_.size(), 0.0);
+  double remaining = load;
+  for (const Segment& seg : segments) {
+    if (remaining <= 0.0) break;
+    if (seg.length >= remaining) {
+      // Final partial segment takes the exact remainder, so the assigned
+      // loads add up to the target without fp dust.
+      alloc[seg.shard] += remaining;
+      remaining = 0.0;
+      break;
+    }
+    alloc[seg.shard] += seg.length;
+    remaining -= seg.length;
+  }
+  return alloc;
+}
+
+FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
+                                   size_t workers) const {
+  const size_t nshards = engines_.size();
+  if (request.load < 0.0) {
+    throw std::invalid_argument("FleetEngine: negative load");
+  }
+  if (request.load > total_capacity() + 1e-9) {
+    throw std::invalid_argument(
+        util::strf("FleetEngine: load %.3f exceeds fleet capacity %.3f",
+                   request.load, total_capacity()));
+  }
+  std::vector<std::vector<size_t>> quarantined(nshards);
+  for (const ShardMachine& q : request.quarantined) {
+    if (q.shard >= nshards) {
+      throw std::invalid_argument(
+          util::strf("FleetEngine: quarantine targets shard %zu but the "
+                     "fleet has %zu shards",
+                     q.shard, nshards));
+    }
+    const size_t shard_n = topology_.shards[q.shard].model->size();
+    if (q.machine >= shard_n) {
+      throw std::invalid_argument(util::strf(
+          "FleetEngine: quarantine targets machine %zu in shard %zu (%s) "
+          "but that room has %zu machines",
+          q.machine, q.shard, topology_.shards[q.shard].name.c_str(),
+          shard_n));
+    }
+    quarantined[q.shard].push_back(q.machine);
+  }
+
+  const double t0 = now_us();
+
+  // Surviving capacity per shard: the frontier is sampled on the healthy
+  // room; quarantines tighten the cap here and are planned exactly by the
+  // shard's own (incremental) restricted solve.
+  std::vector<double> caps(nshards, 0.0);
+  for (size_t s = 0; s < nshards; ++s) {
+    const core::RoomModel& m = *topology_.shards[s].model;
+    std::vector<char> mask(m.size(), 1);
+    for (const size_t i : quarantined[s]) mask[i] = 0;
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (mask[i] != 0) caps[s] += m.machines[i].capacity;
+    }
+  }
+
+  FleetPlanResult out;
+  out.shard_loads = split_load(request.scenario, request.load, caps);
+  out.shard_results.resize(nshards);
+
+  util::ThreadPool* pool = nullptr;
+  std::optional<util::ThreadPool> local;
+  if (workers == 0) {
+    pool = &default_pool();
+  } else {
+    local.emplace(workers);
+    pool = &*local;
+  }
+  // Index-addressed slots + per-shard immutable engines: the schedule
+  // cannot change a byte of the merged result.
+  pool->parallel_for(nshards, [&](size_t s) {
+    core::PlanRequest req(request.scenario, out.shard_loads[s], quarantined[s]);
+    req.shard = static_cast<int>(s);
+    try {
+      out.shard_results[s] = engines_[s]->solve(req);
+    } catch (const std::exception& e) {
+      out.shard_results[s] = core::PlanResult{};
+      out.shard_results[s].shard = static_cast<int>(s);
+      out.shard_results[s].error = e.what();
+    }
+  });
+
+  double assigned = 0.0;
+  for (const double l : out.shard_loads) assigned += l;
+  out.unassigned_load = std::max(0.0, request.load - assigned);
+  if (out.unassigned_load <= 1e-9) out.unassigned_load = 0.0;
+  out.shed_load = out.unassigned_load;
+  for (const core::PlanResult& r : out.shard_results) {
+    if (r.plan) out.total_power_w += r.plan->allocation.total_power_w;
+    out.shed_load += r.shed_load;
+  }
+  out.solve_us = now_us() - t0;
+
+  solves_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("fleet.solves");
+  obs::observe("fleet.solve_us", out.solve_us);
+  if (out.shed_load > 0.0) obs::observe("fleet.shed_load", out.shed_load);
+  return out;
+}
+
+util::ThreadPool& FleetEngine::default_pool() const {
+  std::scoped_lock lock(pool_mu_);
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>();
+  return *pool_;
+}
+
+FleetCounters FleetEngine::counters() const {
+  FleetCounters c;
+  c.solves = solves_.load(std::memory_order_relaxed);
+  c.frontier_builds = frontier_builds_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace coolopt::fleet

@@ -1,0 +1,148 @@
+// FleetEngine — datacenter-scale planning as a two-level decomposition.
+//
+// Level 1 (this class): split a global load target across room shards via
+// a marginal-cost water-filling over each shard's cached power-vs-load
+// frontier, then cap every shard at its surviving capacity.
+// Level 2 (core::PlanEngine, one per shard): the paper's single-room
+// machinery — closed form, bounded LP, Algorithm 1/2 consolidation — runs
+// unchanged inside each shard, including the incremental quarantine path.
+//
+// The frontier: for each shard and scenario the engine samples the shard's
+// own optimal solve at evenly spaced loads up to the shard capacity and
+// keeps the lower convex envelope of the (served load, predicted power)
+// points. Water-filling then hands every marginal file/s to the shard
+// whose next envelope segment has the cheapest slope (W per file/s), with
+// deterministic tie-breaks (slope, then shard index, then segment index).
+// Consolidation makes the true frontier non-convex, so the envelope is a
+// relaxation: the split is near-optimal, while each shard's plan for its
+// assigned load remains exactly the single-room optimum. Frontiers are
+// sampled once per scenario and cached for the engine's lifetime.
+//
+// Determinism: frontiers, the split, and every shard solve are pure
+// functions of (topology, scenario, load, quarantines); shard results land
+// in index-addressed slots, so worker count and cache temperature cannot
+// change a byte of the outcome — each shard's PlanResult is bit-for-bit
+// what engine(s).solve() returns for the same request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/engine.h"
+#include "fleet/topology.h"
+
+namespace coolopt::util {
+class ThreadPool;
+}  // namespace coolopt::util
+
+namespace coolopt::fleet {
+
+/// One machine inside one shard, for fleet-level quarantine lists.
+struct ShardMachine {
+  size_t shard = 0;
+  size_t machine = 0;
+};
+
+/// A fleet-level planning query: one scenario and one global load target.
+struct FleetPlanRequest {
+  core::Scenario scenario = core::Scenario::by_number(8);
+  double load = 0.0;  ///< global target, files/s
+  /// Machines the planner must leave OFF, addressed as (shard, machine).
+  /// Out-of-range indices throw, naming the offending shard.
+  std::vector<ShardMachine> quarantined;
+};
+
+/// Deterministic merge of the per-shard results.
+struct FleetPlanResult {
+  /// Load assigned to each shard by the water-filling split (index ==
+  /// shard). Sums to the request load minus `unassigned_load`.
+  std::vector<double> shard_loads;
+  /// Result of each shard's own PlanEngine::solve, shard attribution set.
+  std::vector<core::PlanResult> shard_results;
+  double total_power_w = 0.0;  ///< sum over shards with a plan
+  /// Load the splitter could not place anywhere (every shard at its
+  /// thermal/capacity cap) — shed before any shard even solved.
+  double unassigned_load = 0.0;
+  /// Total files/s shed: unassigned_load plus the shards' own shed_load.
+  double shed_load = 0.0;
+  double solve_us = 0.0;
+
+  /// True only when every shard produced a plan and nothing was shed.
+  bool feasible() const;
+};
+
+struct FleetOptions {
+  core::PlannerOptions planner;
+  /// Frontier resolution: samples per shard is frontier_samples + 1
+  /// (loads j/frontier_samples * capacity, j = 0..frontier_samples).
+  size_t frontier_samples = 16;
+};
+
+/// Monotonic counters, mirrored into obs as the `fleet.*` family.
+struct FleetCounters {
+  uint64_t solves = 0;
+  uint64_t frontier_builds = 0;  ///< per (scenario, shard) frontier samples
+};
+
+class FleetEngine {
+ public:
+  /// Validates the topology (errors name the offending shard) and builds
+  /// one PlanEngine per shard. Frontiers are sampled lazily per scenario.
+  explicit FleetEngine(FleetTopology topology, FleetOptions options = {});
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  size_t shard_count() const { return topology_.size(); }
+  const FleetTopology& topology() const { return topology_; }
+  double total_capacity() const { return topology_.total_capacity(); }
+  /// The shard's own engine; throws std::invalid_argument naming the shard
+  /// index and the fleet size when out of range.
+  const core::PlanEngine& engine(size_t shard) const;
+
+  /// Splits, solves every shard in parallel (`workers` == 0 uses an
+  /// engine-owned pool), and merges deterministically. Throws
+  /// std::invalid_argument on negative load, load above fleet capacity, or
+  /// an out-of-range quarantine target (the error names the shard).
+  FleetPlanResult solve(const FleetPlanRequest& request, size_t workers = 0) const;
+
+  /// The water-filling split alone (introspection for tests/benches):
+  /// per-shard loads for a global target under per-shard caps.
+  std::vector<double> split_load(const core::Scenario& scenario, double load,
+                                 const std::vector<double>& shard_caps) const;
+
+  FleetCounters counters() const;
+
+ private:
+  struct FrontierPoint {
+    double load = 0.0;     // served load at this sample (shed removed)
+    double power_w = 0.0;  // predicted total power at that load
+  };
+  struct ShardFrontier {
+    std::vector<FrontierPoint> hull;  // lower convex envelope, load ascending
+    double max_load = 0.0;            // largest load the shard ever served
+  };
+
+  const std::vector<ShardFrontier>& frontiers_for(const core::Scenario& s) const;
+  util::ThreadPool& default_pool() const;
+
+  FleetTopology topology_;
+  FleetOptions options_;
+  std::vector<std::unique_ptr<core::PlanEngine>> engines_;
+
+  mutable std::mutex frontier_mu_;
+  mutable std::map<int, std::vector<ShardFrontier>> frontiers_;  // by scenario
+
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+
+  mutable std::atomic<uint64_t> solves_{0};
+  mutable std::atomic<uint64_t> frontier_builds_{0};
+};
+
+}  // namespace coolopt::fleet

@@ -1,0 +1,85 @@
+#include "fleet/topology.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace coolopt::fleet {
+
+size_t FleetTopology::total_machines() const {
+  size_t total = 0;
+  for (const FleetShard& shard : shards) {
+    if (shard.model) total += shard.model->size();
+  }
+  return total;
+}
+
+double FleetTopology::total_capacity() const {
+  double total = 0.0;
+  for (const FleetShard& shard : shards) {
+    if (shard.model) total += shard.model->total_capacity();
+  }
+  return total;
+}
+
+void FleetTopology::validate() const {
+  if (shards.empty()) {
+    throw std::invalid_argument("FleetTopology: fleet has no shards");
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const FleetShard& shard = shards[s];
+    if (shard.name.empty()) {
+      throw std::invalid_argument(
+          util::strf("FleetTopology: shard %zu of %zu has no name", s,
+                     shards.size()));
+    }
+    if (!shard.model) {
+      throw std::invalid_argument(
+          util::strf("FleetTopology: shard %zu (%s) has a null room model "
+                     "but the fleet has %zu shards",
+                     s, shard.name.c_str(), shards.size()));
+    }
+    if (shard.model->size() == 0) {
+      throw std::invalid_argument(
+          util::strf("FleetTopology: shard %zu (%s) has no machines", s,
+                     shard.name.c_str()));
+    }
+    try {
+      shard.model->validate();
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(
+          util::strf("FleetTopology: shard %zu (%s): %s", s,
+                     shard.name.c_str(), e.what()));
+    }
+  }
+}
+
+FleetTopology partition_room(const core::RoomModel& room, size_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument(
+        "partition_room: cannot split a room into 0 shards");
+  }
+  if (shards > room.size()) {
+    throw std::invalid_argument(
+        util::strf("partition_room: cannot split a %zu-machine room into "
+                   "%zu shards (at least one machine per shard)",
+                   room.size(), shards));
+  }
+  FleetTopology topo;
+  topo.shards.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    core::RoomModel piece;
+    piece.cooler = room.cooler;
+    piece.t_max = room.t_max;
+    piece.t_ac_min = room.t_ac_min;
+    piece.t_ac_max = room.t_ac_max;
+    for (size_t i = s; i < room.size(); i += shards) {
+      piece.machines.push_back(room.machines[i]);
+    }
+    topo.shards.push_back(FleetShard{util::strf("room-%zu", s),
+                                     core::share_model(std::move(piece))});
+  }
+  return topo;
+}
+
+}  // namespace coolopt::fleet

@@ -1,0 +1,52 @@
+// Fleet topology: the datacenter as a set of room shards, each a complete
+// RoomModel with its own CRAC. The paper solves one machine room; the
+// decomposition in Rostami et al.'s large-scale frameworks — and the one
+// FleetEngine implements — keeps the per-room model exactly as fitted and
+// splits the global load target across rooms, so a shard is just a
+// SharedRoomModel plus a name for attribution.
+//
+// Validation follows the fault-target convention: every error names the
+// offending shard index (and shard name) plus the bound it violated, so a
+// bad topology is diagnosable from the exception message alone.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace coolopt::fleet {
+
+struct FleetShard {
+  std::string name;             ///< attribution label, e.g. "room-3"
+  core::SharedRoomModel model;  ///< the shard's fitted room model
+};
+
+struct FleetTopology {
+  std::vector<FleetShard> shards;
+
+  size_t size() const { return shards.size(); }
+
+  /// Sum of machine counts across shards.
+  size_t total_machines() const;
+  /// Sum of room capacities (files/s) across shards.
+  double total_capacity() const;
+
+  /// Throws std::invalid_argument naming the offending shard index on the
+  /// first violation: empty fleet, unnamed shard, null or empty room
+  /// model, or a room model that fails its own validation (the underlying
+  /// message is preserved, prefixed with the shard attribution).
+  void validate() const;
+};
+
+/// Splits one room round-robin into `shards` rooms that share the room-level
+/// parameters (T_max, CRAC bounds, cooler model, recirculation): machine i
+/// lands in shard i % shards, preserving relative machine order within each
+/// shard. This is the canonical way to compare a monolithic engine against
+/// a sharded fleet over the SAME machines, and what cooloptd uses for its
+/// fleet-aware plan mode. Throws std::invalid_argument when `shards` is 0
+/// or exceeds the machine count (the error names both numbers).
+FleetTopology partition_room(const core::RoomModel& room, size_t shards);
+
+}  // namespace coolopt::fleet

@@ -5,34 +5,12 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/jsonio.h"
 #include "util/strings.h"
 
 namespace coolopt::obs {
 
-std::string json_quote(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out.push_back('"');
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += util::strf("\\u%04x", c);
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-  return out;
-}
+std::string json_quote(std::string_view s) { return util::json_quote(s); }
 
 JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
 
@@ -101,7 +79,7 @@ void JsonWriter::value(double v) {
     value_null();
     return;
   }
-  const std::string text = util::strf("%.12g", v);
+  const std::string text = util::json_number(v);
   if (key_pending_) {
     key_pending_ = false;
     os_ << text;
@@ -236,31 +214,7 @@ class JsonChecker {
     return false;  // unterminated
   }
 
-  bool number() {
-    const size_t start = pos_;
-    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
-    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
-      pos_ = start;
-      return false;
-    }
-    if (s_[pos_] == '0') {
-      ++pos_;
-    } else {
-      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-    }
-    if (pos_ < s_.size() && s_[pos_] == '.') {
-      ++pos_;
-      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) return false;
-      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-    }
-    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
-      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) return false;
-      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-    }
-    return true;
-  }
+  bool number() { return util::json_scan_number(s_, pos_); }
 
   bool value() {
     skip_ws();

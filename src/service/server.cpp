@@ -74,11 +74,19 @@ PlanningService::PlanningService(ServiceConfig config)
     eval_engine_ = std::make_unique<control::EvalEngine>(config_.eval);
     plan_engine_ = eval_engine_->plan_engine();
   }
+  if (config_.fleet_shards > 0) {
+    fleet::FleetOptions fleet_options;
+    fleet_options.planner = config_.planner;
+    fleet_engine_ = std::make_unique<fleet::FleetEngine>(
+        fleet::partition_room(plan_engine_->model(), config_.fleet_shards),
+        fleet_options);
+  }
   info_.machines = plan_engine_->model().size();
   info_.capacity_files_s = plan_engine_->aggregates().total_capacity;
   info_.queue_capacity = queue_.capacity();
   info_.workers = workers;
   info_.sim_backed = sim_backed_;
+  info_.fleet_shards = config_.fleet_shards;
   pool_ = std::make_unique<util::ThreadPool>(workers);
   slots_.release(static_cast<std::ptrdiff_t>(workers));
 }
@@ -308,12 +316,19 @@ void PlanningService::handle_line(const std::shared_ptr<Session>& session,
     return;
   }
   if (!sim_backed_ && request.verb != Verb::kPing &&
-      request.verb != Verb::kPlan) {
+      request.verb != Verb::kPlan && request.verb != Verb::kFleetplan) {
     write_line(session,
                encode_error(request.id, request.verb, kErrUnsupportedVerb,
                             util::strf("verb %s needs a simulator-backed "
                                        "server (started without --model)",
                                        to_string(request.verb))));
+    return;
+  }
+  if (request.verb == Verb::kFleetplan && fleet_engine_ == nullptr) {
+    write_line(session,
+               encode_error(request.id, request.verb, kErrUnsupportedVerb,
+                            "verb fleetplan needs a fleet topology (started "
+                            "without --fleet-shards)"));
     return;
   }
 
@@ -429,6 +444,25 @@ std::string PlanningService::handle_request(const WireRequest& request) {
                             e.what());
       }
     }
+    case Verb::kFleetplan: {
+      // handle_line rejects fleetplan before admission when no fleet is
+      // configured, so fleet_engine_ is non-null here.
+      const double load =
+          request.load_files_s.has_value()
+              ? *request.load_files_s
+              : request.load_pct / 100.0 * info_.capacity_files_s;
+      fleet::FleetPlanRequest fleet_request;
+      fleet_request.scenario = core::Scenario::by_number(request.scenario);
+      fleet_request.load = load;
+      fleet_request.quarantined = request.fleet_quarantined;
+      try {
+        return encode_fleetplan_response(request.id,
+                                         fleet_engine_->solve(fleet_request));
+      } catch (const std::invalid_argument& e) {
+        return encode_error(request.id, Verb::kFleetplan, kErrInvalidArgument,
+                            e.what());
+      }
+    }
     case Verb::kMeasure: {
       try {
         return encode_measure_response(
@@ -501,6 +535,9 @@ void PlanningService::observe_latency(Verb verb, double us) {
       break;
     case Verb::kPlan:
       obs::observe("service.latency.plan_us", us);
+      break;
+    case Verb::kFleetplan:
+      obs::observe("service.latency.fleetplan_us", us);
       break;
     case Verb::kMeasure:
       obs::observe("service.latency.measure_us", us);

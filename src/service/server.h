@@ -41,6 +41,7 @@
 
 #include "control/eval_engine.h"
 #include "core/engine.h"
+#include "fleet/fleet_engine.h"
 #include "service/mpsc_queue.h"
 #include "service/wire.h"
 #include "util/thread_pool.h"
@@ -72,6 +73,13 @@ struct ServiceConfig {
   /// bench/perf_service use — startup is milliseconds at any fleet size.
   core::SharedRoomModel model;
   core::PlannerOptions planner;  ///< model-backed mode only
+
+  /// Fleet-aware plan mode: when > 0 the service round-robin-partitions
+  /// its room (fleet::partition_room) into this many shards, builds a
+  /// fleet::FleetEngine over them, and serves the `fleetplan` verb. Works
+  /// in both backing modes; 0 keeps the server monolithic (fleetplan
+  /// answers unsupported_verb). This is `cooloptd --fleet-shards`.
+  size_t fleet_shards = 0;
 };
 
 class PlanningService {
@@ -110,6 +118,8 @@ class PlanningService {
   }
   /// nullptr in model-backed mode.
   control::EvalEngine* eval_engine() { return eval_engine_.get(); }
+  /// nullptr unless config.fleet_shards > 0.
+  const fleet::FleetEngine* fleet_engine() const { return fleet_engine_.get(); }
 
   /// Test seam: while paused the dispatch thread leaves admitted requests
   /// in the queue, so tests can fill it to known depths and observe shed
@@ -167,6 +177,7 @@ class PlanningService {
   bool sim_backed_ = false;
   std::unique_ptr<control::EvalEngine> eval_engine_;  // sim-backed mode
   std::shared_ptr<core::PlanEngine> plan_engine_;     // always set
+  std::unique_ptr<fleet::FleetEngine> fleet_engine_;  // fleet_shards > 0
   ServerInfo info_;
 
   int listen_fd_ = -1;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/json_writer.h"
+#include "util/jsonio.h"
 #include "util/strings.h"
 
 namespace coolopt::service {
@@ -221,26 +222,7 @@ class JsonParser {
 
   bool parse_number(JsonValue& out) {
     const size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    const size_t int_start = pos_;
-    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-    const size_t int_len = pos_ - int_start;
-    if (int_len == 0) { pos_ = start; return fail("expected value"); }
-    // RFC 8259: no leading zeros.
-    if (int_len > 1 && text_[int_start] == '0') { pos_ = start; return fail("leading zero"); }
-    if (pos_ < text_.size() && text_[pos_] == '.') {
-      ++pos_;
-      const size_t frac_start = pos_;
-      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-      if (pos_ == frac_start) { pos_ = start; return fail("bad fraction"); }
-    }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
-      const size_t exp_start = pos_;
-      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-      if (pos_ == exp_start) { pos_ = start; return fail("bad exponent"); }
-    }
+    if (!util::json_scan_number(text_, pos_)) return fail("bad number");
     const std::string token(text_.substr(start, pos_ - start));
     out.kind_ = JsonValue::Kind::kNumber;
     out.number_ = std::strtod(token.c_str(), nullptr);
@@ -262,6 +244,7 @@ const char* to_string(Verb verb) {
   switch (verb) {
     case Verb::kPing: return "ping";
     case Verb::kPlan: return "plan";
+    case Verb::kFleetplan: return "fleetplan";
     case Verb::kMeasure: return "measure";
     case Verb::kSweep: return "sweep";
     case Verb::kInject: return "inject";
@@ -283,6 +266,7 @@ namespace {
 bool parse_verb(const std::string& name, Verb& out) {
   if (name == "ping") out = Verb::kPing;
   else if (name == "plan") out = Verb::kPlan;
+  else if (name == "fleetplan") out = Verb::kFleetplan;
   else if (name == "measure") out = Verb::kMeasure;
   else if (name == "sweep") out = Verb::kSweep;
   else if (name == "inject") out = Verb::kInject;
@@ -318,6 +302,7 @@ bool field_allowed(Verb verb, const std::string& key) {
     case Verb::kPing:
       return false;
     case Verb::kPlan:
+    case Verb::kFleetplan:
       return key == "scenario" || key == "load_pct" || key == "load" ||
              key == "quarantined";
     case Verb::kMeasure:
@@ -352,7 +337,7 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
   const JsonValue* verb = doc.find("verb");
   if (verb == nullptr || !verb->is_string() ||
       !parse_verb(verb->as_string(), out.verb)) {
-    error = "\"verb\" must be one of ping|plan|measure|sweep|inject";
+    error = "\"verb\" must be one of ping|plan|fleetplan|measure|sweep|inject";
     return false;
   }
   for (const auto& [key, value] : doc.members()) {
@@ -425,6 +410,53 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
             return false;
           }
           out.quarantined.push_back(static_cast<size_t>(index));
+        }
+      }
+      break;
+    }
+    case Verb::kFleetplan: {
+      if (const JsonValue* s = doc.find("scenario")) {
+        if (!scenario_field(*s, out.scenario)) return false;
+      }
+      const JsonValue* pct = doc.find("load_pct");
+      const JsonValue* abs = doc.find("load");
+      if (pct == nullptr && abs == nullptr) {
+        error = "fleetplan needs \"load_pct\" or \"load\"";
+        return false;
+      }
+      if (pct != nullptr && abs != nullptr) {
+        error = "fleetplan takes \"load_pct\" or \"load\", not both";
+        return false;
+      }
+      if (pct != nullptr && !finite_number(*pct, "load_pct", out.load_pct)) {
+        return false;
+      }
+      if (abs != nullptr) {
+        double v = 0.0;
+        if (!finite_number(*abs, "load", v)) return false;
+        out.load_files_s = v;
+      }
+      if (const JsonValue* q = doc.find("quarantined")) {
+        if (!q->is_array()) {
+          error = "\"quarantined\" must be an array of "
+                  "{\"shard\",\"machine\"} objects";
+          return false;
+        }
+        for (const JsonValue& item : q->items()) {
+          const JsonValue* shard = item.find("shard");
+          const JsonValue* machine = item.find("machine");
+          uint64_t s_index = 0;
+          uint64_t m_index = 0;
+          if (!item.is_object() || item.members().size() != 2 ||
+              shard == nullptr || machine == nullptr ||
+              !as_uint(*shard, s_index) || !as_uint(*machine, m_index)) {
+            error = "\"quarantined\" entries must be objects with exactly "
+                    "non-negative integer \"shard\" and \"machine\"";
+            return false;
+          }
+          out.fleet_quarantined.push_back(
+              fleet::ShardMachine{static_cast<size_t>(s_index),
+                                  static_cast<size_t>(m_index)});
         }
       }
       break;
@@ -594,10 +626,14 @@ std::string encode_ping_response(uint64_t id, const ServerInfo& info) {
   w.kv("queue_capacity", static_cast<uint64_t>(info.queue_capacity));
   w.kv("workers", static_cast<uint64_t>(info.workers));
   w.kv("sim_backed", info.sim_backed);
+  if (info.fleet_shards > 0) {
+    w.kv("fleet_shards", static_cast<uint64_t>(info.fleet_shards));
+  }
   w.key("verbs");
   w.begin_array();
   w.value("ping");
   w.value("plan");
+  if (info.fleet_shards > 0) w.value("fleetplan");
   if (info.sim_backed) {
     w.value("measure");
     w.value("sweep");
@@ -618,6 +654,11 @@ std::string encode_plan_response(uint64_t id, const core::PlanResult& result) {
   begin_response(w, id, Verb::kPlan, true);
   w.key("result");
   w.begin_object();
+  // Shard attribution only for fleet-fanned requests, so monolithic plan
+  // responses keep their exact historical bytes.
+  if (result.shard >= 0) {
+    w.kv("shard", static_cast<uint64_t>(result.shard));
+  }
   w.kv("feasible", result.feasible());
   w.kv("shed_load", result.shed_load);
   if (result.shed_load > 0.0) {
@@ -634,6 +675,44 @@ std::string encode_plan_response(uint64_t id, const core::PlanResult& result) {
   } else {
     w.value_null();
   }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string encode_fleetplan_response(uint64_t id,
+                                      const fleet::FleetPlanResult& result) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  begin_response(w, id, Verb::kFleetplan, true);
+  w.key("result");
+  w.begin_object();
+  w.kv("feasible", result.feasible());
+  w.kv("total_power_w", result.total_power_w);
+  w.kv("unassigned_load", result.unassigned_load);
+  w.kv("shed_load", result.shed_load);
+  w.key("shard_loads");
+  w.begin_array();
+  for (const double load : result.shard_loads) w.value(load);
+  w.end_array();
+  w.key("shards");
+  w.begin_array();
+  for (size_t s = 0; s < result.shard_results.size(); ++s) {
+    const core::PlanResult& r = result.shard_results[s];
+    w.begin_object();
+    w.kv("shard", static_cast<uint64_t>(s));
+    if (!r.error.empty()) w.kv("error", r.error);
+    w.kv("feasible", r.feasible());
+    w.kv("shed_load", r.shed_load);
+    w.key("plan");
+    if (r.plan.has_value()) {
+      write_plan_object(w, *r.plan);
+    } else {
+      w.value_null();
+    }
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   w.end_object();
   return os.str();
@@ -718,6 +797,25 @@ std::string encode_request(const WireRequest& request) {
         w.begin_array();
         for (const size_t index : request.quarantined) {
           w.value(static_cast<uint64_t>(index));
+        }
+        w.end_array();
+      }
+      break;
+    case Verb::kFleetplan:
+      w.kv("scenario", static_cast<uint64_t>(request.scenario));
+      if (request.load_files_s.has_value()) {
+        w.kv("load", *request.load_files_s);
+      } else {
+        w.kv("load_pct", request.load_pct);
+      }
+      if (!request.fleet_quarantined.empty()) {
+        w.key("quarantined");
+        w.begin_array();
+        for (const fleet::ShardMachine& q : request.fleet_quarantined) {
+          w.begin_object();
+          w.kv("shard", static_cast<uint64_t>(q.shard));
+          w.kv("machine", static_cast<uint64_t>(q.machine));
+          w.end_object();
         }
         w.end_array();
       }

@@ -25,6 +25,7 @@
 #include "control/eval_engine.h"
 #include "control/fault_campaign.h"
 #include "core/engine.h"
+#include "fleet/fleet_engine.h"
 
 namespace coolopt::service {
 
@@ -73,7 +74,7 @@ inline constexpr size_t kMaxJsonDepth = 32;
 
 // --- protocol: requests ---
 
-enum class Verb { kPing, kPlan, kMeasure, kSweep, kInject };
+enum class Verb { kPing, kPlan, kFleetplan, kMeasure, kSweep, kInject };
 enum class Priority { kHigh, kNormal, kLow };
 
 const char* to_string(Verb verb);
@@ -86,11 +87,14 @@ struct WireRequest {
   Verb verb = Verb::kPing;
   Priority priority = Priority::kNormal;
 
-  // plan / measure
+  // plan / fleetplan / measure
   int scenario = 8;                       ///< Fig. 4 number, 1-8
   double load_pct = 0.0;                  ///< percent of fitted capacity
-  std::optional<double> load_files_s;     ///< plan only: absolute load wins
+  std::optional<double> load_files_s;     ///< plan/fleetplan: absolute wins
   std::vector<size_t> quarantined;        ///< plan only
+
+  // fleetplan: quarantines addressed as {"shard":s,"machine":m} objects
+  std::vector<fleet::ShardMachine> fleet_quarantined;
 
   // sweep
   std::vector<int> scenarios;             ///< empty == all eight
@@ -138,10 +142,16 @@ struct ServerInfo {
   size_t queue_capacity = 0;
   size_t workers = 0;
   bool sim_backed = false;
+  /// Room shards behind the fleetplan verb; 0 == monolithic server (the
+  /// ping response omits the field and the verb, keeping old bytes).
+  size_t fleet_shards = 0;
 };
 
 std::string encode_ping_response(uint64_t id, const ServerInfo& info);
 std::string encode_plan_response(uint64_t id, const core::PlanResult& result);
+/// Fleet solve: global split + per-shard plans, each with attribution.
+std::string encode_fleetplan_response(uint64_t id,
+                                      const fleet::FleetPlanResult& result);
 std::string encode_measure_response(uint64_t id,
                                     const control::EvalPoint& point);
 std::string encode_sweep_response(uint64_t id,

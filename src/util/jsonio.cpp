@@ -1,0 +1,65 @@
+#include "util/jsonio.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace coolopt::util {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) { return strf("%.12g", v); }
+
+bool json_scan_number(std::string_view text, size_t& pos) {
+  size_t p = pos;
+  const auto digit = [&](size_t at) {
+    return at < text.size() && std::isdigit(static_cast<unsigned char>(text[at]));
+  };
+  if (p < text.size() && text[p] == '-') ++p;
+  if (!digit(p)) return false;
+  // Integer part: a lone zero or a nonzero-led digit run (RFC 8259: no
+  // leading zeros).
+  if (text[p] == '0') {
+    ++p;
+  } else {
+    while (digit(p)) ++p;
+  }
+  if (p < text.size() && text[p] == '.') {
+    ++p;
+    if (!digit(p)) return false;
+    while (digit(p)) ++p;
+  }
+  if (p < text.size() && (text[p] == 'e' || text[p] == 'E')) {
+    ++p;
+    if (p < text.size() && (text[p] == '+' || text[p] == '-')) ++p;
+    if (!digit(p)) return false;
+    while (digit(p)) ++p;
+  }
+  pos = p;
+  return true;
+}
+
+}  // namespace coolopt::util

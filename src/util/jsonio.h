@@ -1,0 +1,36 @@
+// Shared JSON text primitives (RFC 8259), used by BOTH JSON stacks in the
+// tree: the obs emission side (obs::JsonWriter and its syntax checker) and
+// the service wire side (the strict request parser in service/wire.cpp).
+// Before this header each side carried its own copy of the string-escape
+// and number grammar; the two had to stay bit-for-bit in sync by hand
+// because the service's responses are asserted byte-identical against the
+// obs writer's output. Now there is exactly one implementation of each:
+//
+//   json_quote        escape + double-quote a string literal
+//   json_number       canonical number formatting ("%.12g", finite input)
+//   json_scan_number  the RFC 8259 number grammar (shared by the parser
+//                     and the syntax checker, so both accept the same set)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace coolopt::util {
+
+/// Escapes `s` into a double-quoted JSON string literal (RFC 8259 §7:
+/// quote, backslash and control characters escaped; everything else is
+/// passed through byte-for-byte).
+std::string json_quote(std::string_view s);
+
+/// Canonical JSON text for a finite double: printf "%.12g", the format
+/// every JSON document in the tree has always used. The caller handles
+/// non-finite values (the writer emits null for them).
+std::string json_number(double v);
+
+/// Scans one RFC 8259 number starting at `pos` (optional minus, no leading
+/// zeros, optional fraction and exponent). On success advances `pos` just
+/// past the number and returns true; on failure returns false with `pos`
+/// unchanged.
+bool json_scan_number(std::string_view text, size_t& pos);
+
+}  // namespace coolopt::util

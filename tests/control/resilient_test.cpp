@@ -136,6 +136,31 @@ TEST(ResilientController, ShedsExplicitlyWhenDemandExceedsSurvivors) {
   EXPECT_GT(f.room.throughput_files_s(), 0.0);
 }
 
+// Quarantine churn must route through the engine's incremental Algorithm 1
+// path (engine.incremental.* counters), not the windowed-probe fallback.
+// The fitted sim model has jittered per-machine power coefficients, so the
+// test pins a uniform power model (the paper's assumption, and what the
+// incremental table requires) onto the same thermal fits.
+TEST(ResilientController, QuarantineReplansUseTheIncrementalEnginePath) {
+  Fixture f;
+  core::RoomModel uniform = f.profile.model;
+  for (auto& machine : uniform.machines) {
+    machine.power = uniform.machines.front().power;
+  }
+  auto engine =
+      std::make_shared<core::PlanEngine>(core::share_model(std::move(uniform)));
+  ResilientController ctl(f.room, engine,
+                          SetPointPlanner::from_profile(f.profile.cooler), {});
+  f.room.set_fan_failed(3, true);
+  for (int i = 0; i < 60 && ctl.stats().quarantines == 0; ++i) {
+    f.cycle(ctl, 0.6 * f.capacity());
+  }
+  ASSERT_GE(ctl.stats().quarantines, 1u);
+  const core::EngineCounters counters = engine->counters();
+  EXPECT_GT(counters.incremental_replans, 0u);
+  EXPECT_GT(counters.incremental_cold_builds, 0u);
+}
+
 TEST(FaultCampaign, SupervisorBeatsNoDefenseAndReplaysDeterministically) {
   FaultCampaignOptions options;
   options.room.num_servers = 10;

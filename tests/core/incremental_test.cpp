@@ -1,0 +1,221 @@
+// Incremental Algorithm 1 vs the cold rebuild: the delta-maintained
+// event/segment table must be BIT-FOR-BIT identical to the table a fresh
+// build produces at the same active set, for any churn history — and the
+// plans the engine derives from it must be identical at any worker count.
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/synthetic.h"
+#include "util/rng.h"
+
+namespace coolopt::core {
+namespace {
+
+/// SKU-structured fleet: `skus` distinct machine classes replicated across
+/// `machines` slots, the regime where crossing-time multiplicities are high
+/// and quarantine churn usually leaves the collapsed event list unchanged
+/// (exercising the order-patching fast path, not just full rebuilds).
+RoomModel sku_model(size_t machines, size_t skus, uint64_t seed) {
+  SyntheticModelOptions opt;
+  opt.machines = machines;
+  opt.seed = seed;
+  RoomModel model = make_synthetic_model(opt);
+  for (size_t i = skus; i < model.size(); ++i) {
+    model.machines[i] = model.machines[i % skus];
+  }
+  return model;
+}
+
+/// Fully heterogeneous fleet (every machine its own class): every delta
+/// changes the event list, exercising the rebuild path.
+RoomModel diverse_model(size_t machines, uint64_t seed) {
+  SyntheticModelOptions opt;
+  opt.machines = machines;
+  opt.seed = seed;
+  return make_synthetic_model(opt);
+}
+
+void expect_tables_identical(const detail::ConsolidationTable& a,
+                             const detail::ConsolidationTable& b) {
+  // Exact double equality throughout: the incremental path must reproduce
+  // the rebuilt table to the last bit, not within a tolerance.
+  ASSERT_EQ(a.events, b.events);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (size_t s = 0; s < a.segments.size(); ++s) {
+    SCOPED_TRACE("segment " + std::to_string(s));
+    EXPECT_EQ(a.segments[s].start, b.segments[s].start);
+    EXPECT_EQ(a.segments[s].order_time, b.segments[s].order_time);
+    EXPECT_EQ(a.segments[s].order, b.segments[s].order);
+    EXPECT_EQ(a.segments[s].prefix_a, b.segments[s].prefix_a);
+    EXPECT_EQ(a.segments[s].prefix_b, b.segments[s].prefix_b);
+  }
+}
+
+void expect_choices_identical(const std::vector<ConsolidationChoice>& a,
+                              const std::vector<ConsolidationChoice>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("choice " + std::to_string(i));
+    EXPECT_EQ(a[i].k, b[i].k);
+    EXPECT_EQ(a[i].on_set, b[i].on_set);
+    EXPECT_EQ(a[i].t_param, b[i].t_param);
+    EXPECT_EQ(a[i].t_ac, b[i].t_ac);
+    EXPECT_EQ(a[i].predicted_total_power_w, b[i].predicted_total_power_w);
+  }
+}
+
+void expect_results_identical(const PlanResult& a, const PlanResult& b,
+                              size_t index) {
+  SCOPED_TRACE("request " + std::to_string(index));
+  ASSERT_EQ(a.error, b.error);
+  EXPECT_EQ(a.shed_load, b.shed_load);
+  EXPECT_EQ(a.shard, b.shard);
+  ASSERT_EQ(a.plan.has_value(), b.plan.has_value());
+  if (!a.plan) return;
+  EXPECT_EQ(a.plan->allocation.on, b.plan->allocation.on);
+  EXPECT_EQ(a.plan->allocation.loads, b.plan->allocation.loads);
+  EXPECT_EQ(a.plan->allocation.t_ac, b.plan->allocation.t_ac);
+  EXPECT_EQ(a.plan->allocation.total_power_w, b.plan->allocation.total_power_w);
+}
+
+/// Seeded churn driver shared by the SKU and diverse cases: after every
+/// delta the live table must equal a from-scratch build at the same mask.
+void run_churn(const RoomModel& room, uint64_t seed, size_t steps,
+               size_t* fast_paths) {
+  const SharedRoomModel model = share_model(room);
+  const size_t n = model->size();
+  const double capacity = model->total_capacity();
+
+  IncrementalConsolidator inc(model);
+  std::vector<char> mask(n, 1);
+  inc.set_active(mask);
+
+  util::Rng rng(seed);
+  for (size_t step = 0; step < steps; ++step) {
+    SCOPED_TRACE("churn step " + std::to_string(step));
+    // 1-3 join/leave/quarantine toggles per supervisor cycle.
+    const size_t flips = 1 + static_cast<size_t>(rng.next_u64() % 3);
+    for (size_t f = 0; f < flips; ++f) {
+      mask[static_cast<size_t>(rng.next_u64() % n)] ^= 1;
+    }
+    mask[step % n] = 1;  // keep the active set non-trivial
+    mask[(step + 1) % n] = 1;
+
+    const IncrementalApplyStats stats = inc.set_active(mask);
+    if (fast_paths != nullptr && !stats.cold_rebuild &&
+        !stats.events_changed && (stats.removed + stats.restored) > 0) {
+      ++*fast_paths;
+    }
+
+    IncrementalConsolidator rebuilt(model);
+    rebuilt.set_active(mask);
+    ASSERT_EQ(inc.active_ids(), rebuilt.active_ids());
+    expect_tables_identical(inc.table(), rebuilt.table());
+    for (const double frac : {0.25, 0.6, 0.9}) {
+      const std::vector<ConsolidationChoice> ranked =
+          inc.rank_all_k(frac * capacity);
+      expect_choices_identical(ranked, rebuilt.rank_all_k(frac * capacity));
+      // The O(n lg) single-winner query must agree with the head of the
+      // full O(n^2) ranking (it's what a one-delta replan actually runs).
+      const std::optional<ConsolidationChoice> best =
+          inc.query_best(frac * capacity);
+      ASSERT_EQ(best.has_value(), !ranked.empty());
+      if (best) expect_choices_identical({*best}, {ranked.front()});
+    }
+  }
+}
+
+TEST(IncrementalConsolidator, FullActiveMatchesEventConsolidator) {
+  const SharedRoomModel model = share_model(sku_model(24, 4, 11));
+  EventConsolidator cons(model);
+  IncrementalConsolidator inc(model);
+  inc.set_active(std::vector<char>(model->size(), 1));
+
+  // Same events, same segment boundaries and orders as Algorithm 1's
+  // full preprocess (statuses are the query index only — not compared,
+  // the incremental table never builds them).
+  ASSERT_EQ(inc.event_count(), cons.event_count());
+  ASSERT_EQ(inc.segment_count(), cons.segment_count());
+  expect_tables_identical(inc.table(), cons.table());
+
+  const double capacity = model->total_capacity();
+  for (const double frac : {0.2, 0.5, 0.95}) {
+    expect_choices_identical(inc.rank_all_k(frac * capacity),
+                             cons.rank_all_k(frac * capacity));
+  }
+}
+
+TEST(IncrementalConsolidator, SkuChurnMatchesColdRebuildBitForBit) {
+  size_t fast_paths = 0;
+  run_churn(sku_model(24, 4, 11), /*seed=*/1234, /*steps=*/60, &fast_paths);
+  // The whole point of the SKU case: the order-patching fast path (events
+  // unchanged) must actually fire, or this test proves nothing about it.
+  EXPECT_GT(fast_paths, 0u);
+}
+
+TEST(IncrementalConsolidator, DiverseChurnMatchesColdRebuildBitForBit) {
+  run_churn(diverse_model(16, 29), /*seed=*/77, /*steps=*/40, nullptr);
+}
+
+TEST(IncrementalConsolidator, BadMaskSizeNamesBothCounts) {
+  IncrementalConsolidator inc(share_model(sku_model(8, 2, 3)));
+  try {
+    inc.set_active(std::vector<char>(5, 1));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("5"), std::string::npos) << what;
+    EXPECT_NE(what.find("8"), std::string::npos) << what;
+  }
+}
+
+/// The engine-level guarantee: quarantined (restricted) solves route
+/// through the incremental table, and the batch result is identical at
+/// 1, 2 and 8 workers AND to a cold-cache engine solving each request
+/// fresh — regardless of the order workers mutate the shared table in.
+TEST(PlanEngine, QuarantinedBatchesAreWorkerCountInvariantAndIncremental) {
+  const SharedRoomModel model = share_model(sku_model(20, 4, 5));
+  const double capacity = model->total_capacity();
+  const size_t n = model->size();
+
+  util::Rng rng(4242);
+  std::vector<PlanRequest> requests;
+  for (size_t i = 0; i < 30; ++i) {
+    std::vector<size_t> quarantined;
+    const size_t q = static_cast<size_t>(rng.next_u64() % 5);
+    for (size_t j = 0; j < q; ++j) {
+      quarantined.push_back(static_cast<size_t>(rng.next_u64() % n));
+    }
+    requests.push_back(PlanRequest{Scenario::by_number(8),
+                                   rng.uniform(0.1, 0.9) * capacity,
+                                   std::move(quarantined)});
+  }
+
+  PlanEngine e1(model), e2(model), e8(model);
+  const std::vector<PlanResult> r1 = e1.solve_batch(requests, 1);
+  const std::vector<PlanResult> r2 = e2.solve_batch(requests, 2);
+  const std::vector<PlanResult> r8 = e8.solve_batch(requests, 8);
+  ASSERT_EQ(r1.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    expect_results_identical(r1[i], r2[i], i);
+    expect_results_identical(r1[i], r8[i], i);
+    // Cold-cache reference: a brand-new engine whose first restricted
+    // solve cold-builds the incremental table at exactly this mask.
+    PlanEngine fresh(model);
+    expect_results_identical(r1[i], fresh.solve(requests[i]), i);
+  }
+
+  const EngineCounters counters = e1.counters();
+  EXPECT_GT(counters.incremental_replans, 0u);
+  EXPECT_GT(counters.incremental_cold_builds, 0u);
+}
+
+}  // namespace
+}  // namespace coolopt::core

@@ -1,0 +1,254 @@
+// FleetEngine: topology validation errors name the offending shard, the
+// water-filling split is deterministic and serves the whole target, the
+// merged fleet result is bit-for-bit the per-shard engines' own answers at
+// any worker count, and the fleetplan verb serves the same bytes.
+#include "fleet/fleet_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/synthetic.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/wire.h"
+
+namespace coolopt::fleet {
+namespace {
+
+core::RoomModel test_room(size_t machines = 20, uint64_t seed = 7) {
+  core::SyntheticModelOptions options;
+  options.machines = machines;
+  options.seed = seed;
+  return core::make_synthetic_model(options);
+}
+
+std::string error_of(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(FleetTopology, ValidationNamesTheOffendingShard) {
+  FleetTopology empty;
+  EXPECT_NE(error_of([&] { empty.validate(); }).find("no shards"),
+            std::string::npos);
+
+  FleetTopology unnamed;
+  unnamed.shards.push_back(
+      FleetShard{"room-0", core::share_model(test_room(4))});
+  unnamed.shards.push_back(FleetShard{"", core::share_model(test_room(4))});
+  EXPECT_NE(error_of([&] { unnamed.validate(); })
+                .find("shard 1 of 2 has no name"),
+            std::string::npos);
+
+  FleetTopology null_model;
+  null_model.shards.push_back(
+      FleetShard{"room-0", core::share_model(test_room(4))});
+  null_model.shards.push_back(FleetShard{"room-1", nullptr});
+  const std::string what = error_of([&] { null_model.validate(); });
+  EXPECT_NE(what.find("shard 1 (room-1)"), std::string::npos) << what;
+  EXPECT_NE(what.find("null room model"), std::string::npos) << what;
+
+  FleetTopology empty_room;
+  empty_room.shards.push_back(
+      FleetShard{"room-0", core::share_model(core::RoomModel{})});
+  EXPECT_NE(error_of([&] { empty_room.validate(); })
+                .find("shard 0 (room-0) has no machines"),
+            std::string::npos);
+}
+
+TEST(FleetTopology, PartitionRoomIsRoundRobinAndComplete) {
+  const core::RoomModel room = test_room(10);
+  const FleetTopology topo = partition_room(room, 3);
+  ASSERT_EQ(topo.size(), 3u);
+  EXPECT_EQ(topo.shards[0].model->size(), 4u);
+  EXPECT_EQ(topo.shards[1].model->size(), 3u);
+  EXPECT_EQ(topo.shards[2].model->size(), 3u);
+  EXPECT_EQ(topo.total_machines(), room.size());
+  // Machine i of the room is machine i/3 of shard i%3, params untouched.
+  for (size_t i = 0; i < room.size(); ++i) {
+    const core::MachineModel& m = topo.shards[i % 3].model->machines[i / 3];
+    EXPECT_EQ(m.capacity, room.machines[i].capacity);
+    EXPECT_EQ(m.power.w1, room.machines[i].power.w1);
+  }
+  topo.validate();
+
+  EXPECT_NE(error_of([&] { partition_room(room, 0); }).find("0 shards"),
+            std::string::npos);
+  EXPECT_NE(error_of([&] { partition_room(room, 11); })
+                .find("10-machine room into 11 shards"),
+            std::string::npos);
+}
+
+TEST(FleetEngine, SplitLoadServesTheWholeTargetDeterministically) {
+  FleetEngine fleet(partition_room(test_room(24), 4));
+  const core::Scenario scenario = core::Scenario::by_number(8);
+  std::vector<double> caps;
+  for (size_t s = 0; s < fleet.shard_count(); ++s) {
+    caps.push_back(fleet.topology().shards[s].model->total_capacity());
+  }
+  const double load = 0.6 * fleet.total_capacity();
+  const std::vector<double> split = fleet.split_load(scenario, load, caps);
+  ASSERT_EQ(split.size(), 4u);
+  double assigned = 0.0;
+  for (size_t s = 0; s < split.size(); ++s) {
+    EXPECT_GE(split[s], 0.0);
+    EXPECT_LE(split[s], caps[s] + 1e-9);
+    assigned += split[s];
+  }
+  EXPECT_NEAR(assigned, load, 1e-9);
+  // Pure function: the second call reproduces the split bit-for-bit.
+  EXPECT_EQ(split, fleet.split_load(scenario, load, caps));
+}
+
+TEST(FleetEngine, SolveMergesExactlyThePerShardEngineAnswers) {
+  FleetEngine fleet(partition_room(test_room(24), 4));
+  FleetPlanRequest request;
+  request.load = 0.55 * fleet.total_capacity();
+  request.quarantined = {ShardMachine{1, 2}, ShardMachine{3, 0}};
+  const FleetPlanResult result = fleet.solve(request);
+
+  ASSERT_EQ(result.shard_results.size(), 4u);
+  EXPECT_EQ(result.unassigned_load, 0.0);
+  double power = 0.0;
+  for (size_t s = 0; s < 4; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    const core::PlanResult& r = result.shard_results[s];
+    EXPECT_EQ(r.shard, static_cast<int>(s));
+    ASSERT_TRUE(r.plan.has_value()) << r.error;
+    power += r.plan->allocation.total_power_w;
+
+    // Re-solving the shard's own engine with the same sub-request must
+    // reproduce the merged entry bit-for-bit.
+    core::PlanRequest direct(request.scenario, result.shard_loads[s]);
+    if (s == 1) direct.quarantined = {2};
+    if (s == 3) direct.quarantined = {0};
+    direct.shard = static_cast<int>(s);
+    const core::PlanResult again = fleet.engine(s).solve(direct);
+    EXPECT_EQ(r.plan->allocation.on, again.plan->allocation.on);
+    EXPECT_EQ(r.plan->allocation.loads, again.plan->allocation.loads);
+    EXPECT_EQ(r.plan->allocation.total_power_w,
+              again.plan->allocation.total_power_w);
+  }
+  EXPECT_EQ(result.total_power_w, power);
+  // The quarantined machines stayed off in their shards.
+  EXPECT_FALSE(result.shard_results[1].plan->allocation.on[2]);
+  EXPECT_FALSE(result.shard_results[3].plan->allocation.on[0]);
+}
+
+TEST(FleetEngine, SolveIsWorkerCountInvariant) {
+  FleetEngine fleet(partition_room(test_room(20), 5));
+  FleetPlanRequest request;
+  request.load = 0.7 * fleet.total_capacity();
+  request.quarantined = {ShardMachine{0, 1}};
+
+  const FleetPlanResult r1 = fleet.solve(request, 1);
+  for (const size_t workers : {2u, 8u}) {
+    const FleetPlanResult rw = fleet.solve(request, workers);
+    EXPECT_EQ(r1.shard_loads, rw.shard_loads);
+    EXPECT_EQ(r1.total_power_w, rw.total_power_w);
+    EXPECT_EQ(r1.shed_load, rw.shed_load);
+    for (size_t s = 0; s < r1.shard_results.size(); ++s) {
+      EXPECT_EQ(r1.shard_results[s].plan->allocation.loads,
+                rw.shard_results[s].plan->allocation.loads);
+      EXPECT_EQ(r1.shard_results[s].plan->allocation.on,
+                rw.shard_results[s].plan->allocation.on);
+    }
+  }
+}
+
+TEST(FleetEngine, ErrorsNameTheOffendingShard) {
+  FleetEngine fleet(partition_room(test_room(12), 3));
+  EXPECT_NE(error_of([&] { fleet.engine(7); })
+                .find("shard 7 out of range (fleet has 3 shards)"),
+            std::string::npos);
+
+  FleetPlanRequest bad_shard;
+  bad_shard.load = 10.0;
+  bad_shard.quarantined = {ShardMachine{5, 0}};
+  EXPECT_NE(error_of([&] { fleet.solve(bad_shard); })
+                .find("shard 5 but the fleet has 3 shards"),
+            std::string::npos);
+
+  FleetPlanRequest bad_machine;
+  bad_machine.load = 10.0;
+  bad_machine.quarantined = {ShardMachine{1, 9}};
+  const std::string what = error_of([&] { fleet.solve(bad_machine); });
+  EXPECT_NE(what.find("machine 9 in shard 1 (room-1)"), std::string::npos)
+      << what;
+
+  FleetPlanRequest over;
+  over.load = fleet.total_capacity() * 2.0;
+  EXPECT_NE(error_of([&] { fleet.solve(over); }).find("exceeds fleet capacity"),
+            std::string::npos);
+}
+
+/// The service contract extended to fleetplan: the bytes a client gets are
+/// exactly encode_fleetplan_response over a direct FleetEngine call.
+TEST(FleetEngine, FleetplanVerbServesDirectEngineBytes) {
+  service::ServiceConfig config;
+  config.model = core::share_model(test_room(20));
+  config.fleet_shards = 4;
+  service::PlanningService server(std::move(config));
+  server.start();
+  ASSERT_NE(server.fleet_engine(), nullptr);
+
+  service::ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  service::WireRequest request;
+  request.id = 31;
+  request.verb = service::Verb::kFleetplan;
+  request.load_pct = 55.0;
+  request.fleet_quarantined = {ShardMachine{2, 1}};
+  ASSERT_TRUE(client.send_line(service::encode_request(request)));
+  const auto line = client.recv_line();
+  ASSERT_TRUE(line.has_value());
+
+  FleetPlanRequest direct;
+  direct.scenario = core::Scenario::by_number(request.scenario);
+  direct.load = request.load_pct / 100.0 * server.info().capacity_files_s;
+  direct.quarantined = request.fleet_quarantined;
+  EXPECT_EQ(*line, service::encode_fleetplan_response(
+                       request.id, server.fleet_engine()->solve(direct)));
+
+  // Out-of-range quarantine comes back as invalid_argument, not a hangup.
+  request.id = 32;
+  request.fleet_quarantined = {ShardMachine{9, 0}};
+  ASSERT_TRUE(client.send_line(service::encode_request(request)));
+  const auto error_line = client.recv_line();
+  ASSERT_TRUE(error_line.has_value());
+  EXPECT_NE(error_line->find("invalid_argument"), std::string::npos);
+  EXPECT_NE(error_line->find("shard 9"), std::string::npos);
+  server.stop();
+}
+
+TEST(FleetEngine, MonolithicServerRejectsFleetplan) {
+  service::ServiceConfig config;
+  config.model = core::share_model(test_room(8));
+  service::PlanningService server(std::move(config));
+  server.start();
+  service::ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  service::WireRequest request;
+  request.id = 1;
+  request.verb = service::Verb::kFleetplan;
+  request.load_pct = 40.0;
+  ASSERT_TRUE(client.send_line(service::encode_request(request)));
+  const auto line = client.recv_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NE(line->find("unsupported_verb"), std::string::npos);
+  EXPECT_NE(line->find("--fleet-shards"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace coolopt::fleet

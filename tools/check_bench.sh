@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Bench-artifact shape check: every BENCH_*.json a perf binary emitted at the
+# repository root must be a well-formed result file —
+#
+#   * valid JSON with the required top-level keys: "bench" (non-empty
+#     string), "cases" (non-empty array), "pass" (boolean);
+#   * every case is an object with a numeric "n";
+#   * the n-sweep is monotone non-decreasing across cases, so downstream
+#     trajectory tooling can diff runs case-by-case without re-sorting.
+#
+# Finding no BENCH_*.json at all passes with a note: benches are run on
+# demand (`build/bench/perf_scale` etc.), not as part of the test suite.
+# Registered as the `check_bench` ctest; run manually from the repository
+# root as `tools/check_bench.sh`.
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+if ! command -v jq >/dev/null 2>&1; then
+  echo "check_bench: jq not found on PATH" >&2
+  exit 2
+fi
+
+shopt -s nullglob
+files=(BENCH_*.json)
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_bench: no BENCH_*.json artifacts present (run the perf benches to emit them) — nothing to validate"
+  exit 0
+fi
+
+failures=0
+for f in "${files[@]}"; do
+  if ! jq empty "$f" 2>/dev/null; then
+    echo "check_bench: $f is not valid JSON" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! jq -e '(.bench | type == "string" and length > 0)
+              and (.cases | type == "array" and length > 0)
+              and (.pass | type == "boolean")' "$f" >/dev/null; then
+    echo "check_bench: $f lacks the required shape (string \"bench\", non-empty array \"cases\", boolean \"pass\")" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! jq -e '.cases | all(type == "object" and (.n | type == "number"))' "$f" >/dev/null; then
+    echo "check_bench: $f has a case without a numeric \"n\"" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! jq -e '[.cases[].n] | . == sort' "$f" >/dev/null; then
+    echo "check_bench: $f case sizes are not monotone non-decreasing: $(jq -c '[.cases[].n]' "$f")" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "check_bench: $f ok ($(jq -r '.bench' "$f"), $(jq '.cases | length' "$f") cases, pass=$(jq -r '.pass' "$f"))"
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "check_bench: $failures malformed artifact(s)" >&2
+  exit 1
+fi
+echo "check_bench: ${#files[@]} artifact(s) validated"

@@ -22,7 +22,8 @@ DOCS=("$@")
 if [ ${#DOCS[@]} -eq 0 ]; then
   DOCS=(docs/README.md docs/model.md docs/simulator.md
         docs/consolidation.md docs/observability.md docs/architecture.md
-        docs/evaluation.md docs/robustness.md docs/service.md)
+        docs/evaluation.md docs/robustness.md docs/service.md
+        docs/scale.md)
 fi
 
 CODE_DIRS=(src tests bench tools examples)

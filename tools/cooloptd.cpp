@@ -60,6 +60,9 @@ int main(int argc, char** argv) {
   flags.define("servers", "machines in the simulated room", "20");
   flags.define("racks", "racks in the simulated room", "1");
   flags.define("seed", "simulation seed", "42");
+  flags.define("fleet-shards",
+               "split the room into N shards and serve fleetplan (0 = monolithic)",
+               "0");
   flags.define("queue-capacity", "admission queue bound (requests)", "256");
   flags.define("workers", "engine worker threads (0 = hardware default)", "0");
   flags.define("max-connections", "concurrent client connections", "64");
@@ -82,6 +85,7 @@ int main(int argc, char** argv) {
   config.workers = static_cast<size_t>(flags.get_int("workers", 0));
   config.max_connections =
       static_cast<size_t>(flags.get_int("max-connections", 64));
+  config.fleet_shards = static_cast<size_t>(flags.get_int("fleet-shards", 0));
   const std::string model_path = flags.get_string("model", "");
   if (!model_path.empty()) {
     try {
