@@ -69,6 +69,21 @@ void BM_BruteForceNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_BruteForceNaive)->DenseRange(8, 18, 2)->Complexity();
 
+void BM_RankAllKInto(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const core::RoomModel model = model_of_size(n);
+  const core::EventConsolidator consolidator(model);
+  const double load = model.total_capacity() * 0.4;
+  // Grow-only ranking buffer reused across iterations — the engine's warm
+  // candidate-walk call shape, vs the allocating rank_all_k().
+  std::vector<core::ConsolidationChoice> ranked;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consolidator.rank_all_k_into(load, ranked));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RankAllKInto)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
 void BM_MaxLoadForBudget(benchmark::State& state) {
   const core::RoomModel model = model_of_size(64);
   const core::EventConsolidator consolidator(model);

@@ -1,134 +1,249 @@
-// PlanEngine performance: what the shared caches buy.
+// PlanEngine hot-path performance: what the zero-allocation solve path and
+// the monotone plan memo buy on the warm replan loop.
 //
-// Cold-construct-and-solve rebuilds the whole solver stack per plan — the
-// pre-engine call pattern, where every ScenarioPlanner construction re-ran
-// model validation and (for consolidation scenarios) the O(n^3 lg n)
-// Algorithm 1 preprocessing. Warm replan reuses one engine across plans, so
-// every model-derived artifact is a cache hit; the gap between the two is
-// the engine's whole reason to exist (>= 10x at n = 200). Batch throughput
-// measures solve_batch fan-out over the worker pool; scenario #6 (Optimal
-// +AC, no consolidation) keeps n = 500 within the closed form + LP paths,
-// where Algorithm 1's event table would otherwise dominate memory.
+// Three timings per fleet size, all on scenario #8 (the paper's holistic
+// Optimal + AC + consolidation arm) over a 16-load operating cycle:
 //
-// Run with --metrics-out PATH to export the engine.* metrics (cache
-// hit/miss counts, solve and batch latency histograms) alongside the
-// benchmark numbers.
+//   cold      construct-and-solve once: the pre-engine call pattern, full
+//             model validation + Algorithm 1 preprocessing (context line —
+//             not gated here; perf_scale owns the cold-path targets);
+//   full      warm engine with the memo disabled (PlannerOptions::
+//             enable_memo = false): every solve walks the consolidation
+//             ranking — the pre-memo warm path, on the same scratch arena;
+//   memo      warm engine with the memo enabled (the default): same-cycle
+//             loads answer from the (k, segment) fast path after the first
+//             lap seeds it.
+//
+// Targets (exit nonzero when missed):
+//   * warm-solve p50 with the memo >= 2x better than without at n = 200;
+//   * the memo actually engages (hit counter advances) at every n;
+//   * memo-on plans are bit-for-bit the memo-off plans at every load —
+//     the fast path may change WHEN a plan is computed, never WHAT.
+//
+// Emits BENCH_engine.json (override with --json-out); tools/check_bench.sh
+// validates the shape of every BENCH_*.json in CI.
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/scratch.h"
 #include "core/synthetic.h"
+#include "obs/json_writer.h"
 #include "obs/session.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
 
 using namespace coolopt;
 
 namespace {
 
-core::RoomModel model_of_size(size_t n) {
-  core::SyntheticModelOptions options;
-  options.machines = n;
-  options.seed = 7;
-  return core::make_synthetic_model(options);
+double us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
-std::vector<double> load_points(const core::RoomModel& model, size_t count) {
-  std::vector<double> loads(count);
-  for (size_t i = 0; i < count; ++i) {
-    loads[i] = model.total_capacity() * (0.25 + 0.5 * static_cast<double>(i) /
-                                                    static_cast<double>(count));
+/// SKU-structured fleet (8 machine classes replicated across n slots) with
+/// 3x capacity headroom, as in perf_scale: per-machine caps stay slack at
+/// the cycle's operating points, so both arms run the pure closed-form
+/// walk and the timing isolates ranking-vs-memo, not LP fallbacks.
+core::RoomModel sku_model(size_t machines, uint64_t seed) {
+  constexpr size_t kSkus = 8;
+  core::SyntheticModelOptions opt;
+  opt.machines = machines;
+  opt.seed = seed;
+  core::RoomModel model = core::make_synthetic_model(opt);
+  for (size_t i = kSkus; i < model.size(); ++i) {
+    model.machines[i] = model.machines[i % kSkus];
+  }
+  for (core::MachineModel& m : model.machines) m.capacity *= 3.0;
+  return model;
+}
+
+/// The repeating operating cycle: 16 loads between 15% and 35% of (the
+/// headroom-inflated) capacity — a day of demand levels the planner keeps
+/// revisiting, which is exactly the shape the memo exists for.
+std::vector<double> load_cycle(const core::RoomModel& model) {
+  constexpr size_t kPoints = 16;
+  std::vector<double> loads(kPoints);
+  for (size_t i = 0; i < kPoints; ++i) {
+    loads[i] = model.total_capacity() *
+               (0.15 + 0.20 * static_cast<double>(i) /
+                           static_cast<double>(kPoints));
   }
   return loads;
 }
 
-/// Pre-engine behavior: a fresh solver stack per plan (validation +
-/// Algorithm 1 preprocessing every time).
-void BM_ColdConstructAndSolve(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  const core::RoomModel model = model_of_size(n);
+bool plans_identical(const core::PlanResult& a, const core::PlanResult& b) {
+  if (a.plan.has_value() != b.plan.has_value()) return false;
+  if (a.shed_load != b.shed_load) return false;
+  if (!a.plan.has_value()) return true;
+  return a.plan->allocation.on == b.plan->allocation.on &&
+         a.plan->allocation.loads == b.plan->allocation.loads &&
+         a.plan->allocation.t_ac == b.plan->allocation.t_ac &&
+         a.plan->allocation.total_power_w == b.plan->allocation.total_power_w;
+}
+
+struct CaseResult {
+  size_t n = 0;
+  double cold_us = 0.0;
+  double full_p50_us = 0.0;  ///< warm, memo disabled
+  double memo_p50_us = 0.0;  ///< warm, memo enabled
+  uint64_t memo_hits = 0;
+  bool identical = false;
+  double speedup() const {
+    return memo_p50_us > 0.0 ? full_p50_us / memo_p50_us : 0.0;
+  }
+};
+
+/// Warm p50: `rounds` laps of the cycle through one PlanResult slot (the
+/// zero-allocation call shape), timed per solve.
+double warm_p50_us(const core::PlanEngine& engine,
+                   const std::vector<double>& loads, size_t rounds) {
   const core::Scenario holistic = core::Scenario::by_number(8);
-  const core::SharedRoomModel shared = core::share_model(model);
-  const double load = model.total_capacity() * 0.6;
-  for (auto _ : state) {
-    const core::PlanEngine engine(shared);
-    benchmark::DoNotOptimize(engine.solve(core::PlanRequest{holistic, load}));
-  }
-  state.SetComplexityN(static_cast<int64_t>(n));
-}
-BENCHMARK(BM_ColdConstructAndSolve)
-    ->Arg(20)->Arg(100)->Arg(200)
-    ->Unit(benchmark::kMillisecond);
-
-/// Engine behavior: one shared engine, every artifact cached.
-void BM_WarmReplan(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  const core::PlanEngine engine(model_of_size(n));
-  const core::Scenario holistic = core::Scenario::by_number(8);
-  const std::vector<double> loads = load_points(engine.model(), 16);
-  // Prime the caches: the first solve pays the one-time preprocessing.
-  engine.solve(core::PlanRequest{holistic, loads.front()});
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        engine.solve(core::PlanRequest{holistic, loads[i++ % loads.size()]}));
-  }
-  state.SetComplexityN(static_cast<int64_t>(n));
-}
-BENCHMARK(BM_WarmReplan)->Arg(20)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
-
-/// solve_batch fan-out, 64 requests per batch, default worker pool.
-void BM_BatchThroughput(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  const core::PlanEngine engine(model_of_size(n));
-  const core::Scenario optimal_ac = core::Scenario::by_number(6);
-  const std::vector<double> loads = load_points(engine.model(), 64);
-  std::vector<core::PlanRequest> requests;
-  requests.reserve(loads.size());
-  for (const double load : loads) {
-    requests.push_back(core::PlanRequest{optimal_ac, load});
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.solve_batch(requests));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(requests.size()));
-  state.SetComplexityN(static_cast<int64_t>(n));
-}
-BENCHMARK(BM_BatchThroughput)
-    ->Arg(20)->Arg(100)->Arg(500)
-    ->Unit(benchmark::kMillisecond);
-
-/// Sequential baseline for the batch (same requests, no pool).
-void BM_SequentialSolves(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  const core::PlanEngine engine(model_of_size(n));
-  const core::Scenario optimal_ac = core::Scenario::by_number(6);
-  const std::vector<double> loads = load_points(engine.model(), 64);
-  for (auto _ : state) {
+  core::PlanRequest req(holistic, 0.0);
+  core::PlanResult slot;
+  std::vector<double> samples;
+  samples.reserve(rounds * loads.size());
+  for (size_t r = 0; r < rounds; ++r) {
     for (const double load : loads) {
-      benchmark::DoNotOptimize(
-          engine.solve(core::PlanRequest{optimal_ac, load}));
+      req.load = load;
+      const auto t0 = std::chrono::steady_clock::now();
+      engine.solve_into(req, core::SolveScratch::local(), slot);
+      samples.push_back(us_since(t0));
     }
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(loads.size()));
-  state.SetComplexityN(static_cast<int64_t>(n));
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
 }
-BENCHMARK(BM_SequentialSolves)
-    ->Arg(20)->Arg(100)->Arg(500)
-    ->Unit(benchmark::kMillisecond);
+
+CaseResult run_case(size_t n, size_t rounds) {
+  CaseResult r;
+  r.n = n;
+  const core::RoomModel room = sku_model(n, 42);
+  const core::SharedRoomModel shared = core::share_model(room);
+  const std::vector<double> loads = load_cycle(room);
+  const core::Scenario holistic = core::Scenario::by_number(8);
+
+  {  // cold reference: construct + first solve, preprocessing included
+    const auto t0 = std::chrono::steady_clock::now();
+    core::PlanEngine cold(shared);
+    (void)cold.solve(core::PlanRequest(holistic, loads.front()));
+    r.cold_us = us_since(t0);
+  }
+
+  core::PlannerOptions no_memo;
+  no_memo.enable_memo = false;
+  const core::PlanEngine full(shared, no_memo);
+  const core::PlanEngine memo(shared);
+
+  // Prime both arms with one full lap: caches hot, memo seeded.
+  for (const double load : loads) {
+    (void)full.solve(core::PlanRequest(holistic, load));
+    (void)memo.solve(core::PlanRequest(holistic, load));
+  }
+
+  r.full_p50_us = warm_p50_us(full, loads, rounds);
+  r.memo_p50_us = warm_p50_us(memo, loads, rounds);
+  r.memo_hits = memo.counters().memo_hits;
+
+  // The fast path may change when a plan is computed, never what: every
+  // cycle load must produce bit-identical plans on both arms.
+  r.identical = true;
+  for (const double load : loads) {
+    const core::PlanResult a = full.solve(core::PlanRequest(holistic, load));
+    const core::PlanResult b = memo.solve(core::PlanRequest(holistic, load));
+    if (!plans_identical(a, b)) {
+      r.identical = false;
+      break;
+    }
+  }
+  return r;
+}
 
 }  // namespace
 
-// Like BENCHMARK_MAIN(), but peels off --metrics-out/--trace-out first so
-// the suite can export the engine.* telemetry (benchmark::Initialize
-// rejects flags it does not know about).
 int main(int argc, char** argv) {
   coolopt::obs::ObsSession obs_session(argc, argv);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  util::CliFlags flags;
+  flags.define("json-out", "machine-readable results path",
+               "BENCH_engine.json");
+  flags.define("rounds", "warm cycle laps per measurement", "32");
+  std::string error;
+  if (!flags.parse(argc, argv, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s",
+                flags.usage("PlanEngine warm solve-path performance").c_str());
+    return 0;
+  }
+  const size_t rounds = static_cast<size_t>(flags.get_int("rounds", 32));
+
+  std::printf("PlanEngine hot path: scratch arena + plan memo\n\n");
+
+  std::vector<CaseResult> results;
+  results.push_back(run_case(200, rounds));
+  // The big room gets fewer laps: its memo-off arm re-walks a ~10k-wide
+  // ranking per solve and exists to show the asymptotic gap, not to soak.
+  results.push_back(run_case(10000, std::max<size_t>(2, rounds / 8)));
+
+  util::TextTable table({"n", "cold (us)", "full p50 (us)", "memo p50 (us)",
+                         "speedup", "memo hits", "identical"});
+  bool pass = true;
+  for (const CaseResult& r : results) {
+    table.row({util::strf("%zu", r.n), util::strf("%.0f", r.cold_us),
+               util::strf("%.1f", r.full_p50_us),
+               util::strf("%.1f", r.memo_p50_us),
+               util::strf("%.2f", r.speedup()),
+               util::strf("%llu", static_cast<unsigned long long>(r.memo_hits)),
+               r.identical ? "yes" : "NO"});
+    if (!r.identical || r.memo_hits == 0) pass = false;
+    if (r.n == 200 && r.speedup() < 2.0) pass = false;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const std::string json_path =
+      flags.get_string("json-out", "BENCH_engine.json");
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 2;
+  }
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("bench", "engine");
+  w.kv("rounds", static_cast<uint64_t>(rounds));
+  w.key("cases");
+  w.begin_array();
+  for (const CaseResult& r : results) {
+    w.begin_object();
+    w.kv("n", static_cast<uint64_t>(r.n));
+    w.kv("cold_us", r.cold_us);
+    w.kv("full_p50_us", r.full_p50_us);
+    w.kv("memo_p50_us", r.memo_p50_us);
+    w.kv("speedup", r.speedup());
+    w.kv("memo_hits", r.memo_hits);
+    w.kv("identical", r.identical);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("pass", pass);
+  w.end_object();
+  out << "\n";
+  std::printf("(JSON written to %s)\n", json_path.c_str());
+
+  std::printf(
+      "Targets (memo p50 >= 2x the full walk at n = 200; memo engages and "
+      "plans stay bit-for-bit at every n): %s\n",
+      pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
 }

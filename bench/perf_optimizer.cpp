@@ -35,8 +35,12 @@ void BM_ClosedFormSolve(benchmark::State& state) {
   const core::AnalyticOptimizer opt(model);
   const auto on = all_indices(n);
   const double load = model.total_capacity() * 0.6;
+  // One result slot reused across iterations (the warm scratch call shape):
+  // the timing measures the Eq. 19/21/22 arithmetic, not the allocator.
+  core::ClosedFormResult result;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(opt.solve(on, load));
+    opt.solve_into(on.data(), on.size(), load, result);
+    benchmark::DoNotOptimize(result.allocation.total_power_w);
   }
   state.SetComplexityN(static_cast<int64_t>(n));
 }
@@ -48,8 +52,12 @@ void BM_LpOptimizerSolve(benchmark::State& state) {
   const core::LpOptimizer opt(model);
   const auto on = all_indices(n);
   const double load = model.total_capacity() * 0.6;
+  // Reused tableau workspace + result slot: simplex pivots only.
+  core::LpWorkspace ws;
+  core::Allocation alloc;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(opt.solve(on, load));
+    opt.solve_into(on.data(), on.size(), load, ws, alloc);
+    benchmark::DoNotOptimize(alloc.total_power_w);
   }
   state.SetComplexityN(static_cast<int64_t>(n));
 }

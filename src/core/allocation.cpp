@@ -35,6 +35,18 @@ void Allocation::finalize(const RoomModel& model) {
   total_power_w = it_power_w + cooling_power_w;
 }
 
+void Allocation::finalize(const RoomModel& model, const RoomSoA& soa) {
+  if (loads.size() != soa.size() || on.size() != soa.size()) {
+    throw std::logic_error("Allocation::finalize: size mismatch with model");
+  }
+  it_power_w = 0.0;
+  for (size_t i = 0; i < soa.size(); ++i) {
+    if (on[i]) it_power_w += soa.w1[i] * loads[i] + soa.w2[i];
+  }
+  cooling_power_w = model.cooler.predict(t_ac, it_power_w);
+  total_power_w = it_power_w + cooling_power_w;
+}
+
 double predicted_cpu_temp(const RoomModel& model, const Allocation& alloc, size_t i) {
   const MachineModel& m = model.machines.at(i);
   const double p = m.power.predict(alloc.loads.at(i));
@@ -45,6 +57,17 @@ double predicted_peak_cpu_temp(const RoomModel& model, const Allocation& alloc) 
   double peak = -std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < model.size(); ++i) {
     if (alloc.on[i]) peak = std::max(peak, predicted_cpu_temp(model, alloc, i));
+  }
+  return peak;
+}
+
+double predicted_peak_cpu_temp(const RoomSoA& soa, const Allocation& alloc) {
+  double peak = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < soa.size(); ++i) {
+    if (!alloc.on[i]) continue;
+    const double p = soa.w1[i] * alloc.loads[i] + soa.w2[i];
+    const double t = soa.alpha[i] * alloc.t_ac + soa.beta[i] * p + soa.gamma[i];
+    peak = std::max(peak, t);
   }
   return peak;
 }
@@ -82,6 +105,19 @@ double max_safe_t_ac(const RoomModel& model, const std::vector<double>& loads,
     // alpha*t_ac + beta*p + gamma <= t_max
     const double bound = (model.t_max - m.thermal.beta * p - m.thermal.gamma) /
                          m.thermal.alpha;
+    t_ac = std::min(t_ac, bound);
+  }
+  return std::clamp(t_ac, model.t_ac_min, model.t_ac_max);
+}
+
+double max_safe_t_ac(const RoomModel& model, const RoomSoA& soa,
+                     const std::vector<double>& loads,
+                     const std::vector<bool>& on) {
+  double t_ac = model.t_ac_max;
+  for (size_t i = 0; i < soa.size(); ++i) {
+    if (!on[i]) continue;
+    const double p = soa.w1[i] * loads[i] + soa.w2[i];
+    const double bound = (model.t_max - soa.beta[i] * p - soa.gamma[i]) / soa.alpha[i];
     t_ac = std::min(t_ac, bound);
   }
   return std::clamp(t_ac, model.t_ac_min, model.t_ac_max);

@@ -27,6 +27,9 @@ struct Allocation {
 
   /// Recomputes the predicted powers from `model` (Eqs. 9-10).
   void finalize(const RoomModel& model);
+  /// Same recomputation over the flat SoA coefficient block (same machine
+  /// order, same arithmetic — bit-for-bit the finalize(model) result).
+  void finalize(const RoomModel& model, const RoomSoA& soa);
 };
 
 /// Model-predicted CPU temperature of machine i under this allocation.
@@ -34,6 +37,10 @@ double predicted_cpu_temp(const RoomModel& model, const Allocation& alloc, size_
 
 /// Highest predicted CPU temperature across ON machines (-inf if none ON).
 double predicted_peak_cpu_temp(const RoomModel& model, const Allocation& alloc);
+
+/// SoA form of the peak-temperature scan (the engine's per-plan safety
+/// check): contiguous coefficient reads, identical arithmetic and result.
+double predicted_peak_cpu_temp(const RoomSoA& soa, const Allocation& alloc);
 
 /// Verifies structural sanity: sizes match the model, loads are >= 0,
 /// loads on OFF machines are zero, and the load sum equals `total_load`
@@ -47,6 +54,12 @@ void check_allocation(const RoomModel& model, const Allocation& alloc,
 /// rule used for the non-optimal scenarios). Returns t_ac clamped into the
 /// model's [t_ac_min, t_ac_max].
 double max_safe_t_ac(const RoomModel& model, const std::vector<double>& loads,
+                     const std::vector<bool>& on);
+
+/// SoA form of max_safe_t_ac: `model` supplies t_max and the actuation
+/// clamps, `soa` the per-machine coefficients. Identical result.
+double max_safe_t_ac(const RoomModel& model, const RoomSoA& soa,
+                     const std::vector<double>& loads,
                      const std::vector<bool>& on);
 
 /// The conservative fixed cool-air temperature used by the "no AC control"

@@ -18,11 +18,13 @@ AnalyticOptimizer::AnalyticOptimizer(SharedRoomModel model)
     : model_(std::move(model)) {
   model_->validate();
   require_uniform_w1();
+  build_soa();
 }
 
 AnalyticOptimizer::AnalyticOptimizer(SharedRoomModel model, PreValidated)
     : model_(std::move(model)) {
   require_uniform_w1();
+  build_soa();
 }
 
 void AnalyticOptimizer::require_uniform_w1() {
@@ -32,6 +34,88 @@ void AnalyticOptimizer::require_uniform_w1() {
         "machines (paper Eq. 14); use LpOptimizer for heterogeneous fleets");
   }
   w1_ = model_->machines.front().power.w1;
+}
+
+void AnalyticOptimizer::build_soa() {
+  const size_t n = model_->size();
+  k_.resize(n);
+  ab_.resize(n);
+  beta_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    k_[i] = model_->machines[i].k_constant(model_->t_max);
+    ab_[i] = model_->machines[i].ab_ratio();
+    beta_[i] = model_->machines[i].thermal.beta;
+  }
+  soa_ = RoomSoA::from(*model_);
+}
+
+void AnalyticOptimizer::solve_into(const size_t* on_set, size_t count,
+                                   double total_load,
+                                   ClosedFormResult& out) const {
+  obs::ScopedTimer timer(obs::maybe_histogram("optimizer.closed_form.solve_us"));
+
+  const size_t n = model_->size();
+  out.allocation.loads.assign(n, 0.0);
+  out.allocation.on.assign(n, false);
+
+  // Eq. 20-21: optimal cool-air temperature.
+  double sum_k = 0.0;
+  double sum_ab = 0.0;
+  for (size_t j = 0; j < count; ++j) {
+    const size_t i = on_set[j];
+    sum_k += k_[i];
+    sum_ab += ab_[i];
+  }
+  const double t_ac = (sum_k - total_load) * w1_ / sum_ab;
+
+  // Eq. 22: optimal per-machine loads (every ON machine sits at T_max).
+  bool loads_ok = true;
+  for (size_t j = 0; j < count; ++j) {
+    const size_t i = on_set[j];
+    const double li = k_[i] - (sum_k - total_load) * ab_[i] / sum_ab;
+    out.allocation.loads[i] = li;
+    out.allocation.on[i] = true;
+    if (li < -1e-9 || li > soa_.capacity[i] + 1e-9) loads_ok = false;
+  }
+
+  out.allocation.t_ac = t_ac;
+  out.allocation.finalize(*model_, soa_);
+  out.loads_in_bounds = loads_ok;
+  out.t_ac_in_bounds = t_ac >= model_->t_ac_min - 1e-9 &&
+                       t_ac <= model_->t_ac_max + 1e-9;
+  out.sum_k = sum_k;
+  out.sum_ab = sum_ab;
+
+  // Shadow prices, Eqs. 15-16 (see the header on how the paper's lambda
+  // relates to the full marginal).
+  out.lambda = model_->cooler.cfac * w1_ / sum_ab;
+  out.marginal_power_per_load =
+      out.lambda + (1.0 + model_->cooler.q_coeff) * w1_;
+  out.mu.assign(n, 0.0);
+  for (size_t j = 0; j < count; ++j) {
+    const size_t i = on_set[j];
+    out.mu[i] = out.lambda / (beta_[i] * w1_);
+  }
+
+  obs::count("optimizer.closed_form.solves");
+  if (obs::metrics() != nullptr || obs::trace() != nullptr) {
+    // KKT stationarity puts every ON machine exactly at T_max (Eq. 17); the
+    // residual is how far the emitted allocation actually lands from that.
+    double residual = 0.0;
+    for (size_t j = 0; j < count; ++j) {
+      const size_t i = on_set[j];
+      const MachineModel& m = model_->machines[i];
+      const double t_cpu =
+          m.thermal.predict(t_ac, m.power.predict(out.allocation.loads[i]));
+      residual = std::max(residual, std::abs(t_cpu - model_->t_max));
+    }
+    obs::observe("optimizer.closed_form.kkt_residual_c", residual);
+    if (obs::RunTrace* tr = obs::trace()) {
+      tr->record_solve(obs::SolveSample{
+          "closed_form", static_cast<uint64_t>(count), 0, timer.elapsed_us(),
+          loads_ok && out.t_ac_in_bounds, residual});
+    }
+  }
 }
 
 ClosedFormResult AnalyticOptimizer::solve(const std::vector<size_t>& on_set,
@@ -54,68 +138,8 @@ ClosedFormResult AnalyticOptimizer::solve(const std::vector<size_t>& on_set,
     }
   }
 
-  obs::ScopedTimer timer(obs::maybe_histogram("optimizer.closed_form.solve_us"));
-
   ClosedFormResult result;
-  result.allocation.loads.assign(model_->size(), 0.0);
-  result.allocation.on.assign(model_->size(), false);
-
-  // Eq. 20-21: optimal cool-air temperature.
-  double sum_k = 0.0;
-  double sum_ab = 0.0;
-  for (const size_t i : on_set) {
-    sum_k += model_->machines[i].k_constant(model_->t_max);
-    sum_ab += model_->machines[i].ab_ratio();
-  }
-  const double t_ac = (sum_k - total_load) * w1_ / sum_ab;
-
-  // Eq. 22: optimal per-machine loads (every ON machine sits at T_max).
-  bool loads_ok = true;
-  for (const size_t i : on_set) {
-    const MachineModel& m = model_->machines[i];
-    const double li =
-        m.k_constant(model_->t_max) - (sum_k - total_load) * m.ab_ratio() / sum_ab;
-    result.allocation.loads[i] = li;
-    result.allocation.on[i] = true;
-    if (li < -1e-9 || li > m.capacity + 1e-9) loads_ok = false;
-  }
-
-  result.allocation.t_ac = t_ac;
-  result.allocation.finalize(*model_);
-  result.loads_in_bounds = loads_ok;
-  result.t_ac_in_bounds = t_ac >= model_->t_ac_min - 1e-9 &&
-                          t_ac <= model_->t_ac_max + 1e-9;
-  result.sum_k = sum_k;
-  result.sum_ab = sum_ab;
-
-  // Shadow prices, Eqs. 15-16 (see the header on how the paper's lambda
-  // relates to the full marginal).
-  result.lambda = model_->cooler.cfac * w1_ / sum_ab;
-  result.marginal_power_per_load =
-      result.lambda + (1.0 + model_->cooler.q_coeff) * w1_;
-  result.mu.assign(model_->size(), 0.0);
-  for (const size_t i : on_set) {
-    result.mu[i] = result.lambda / (model_->machines[i].thermal.beta * w1_);
-  }
-
-  obs::count("optimizer.closed_form.solves");
-  if (obs::metrics() != nullptr || obs::trace() != nullptr) {
-    // KKT stationarity puts every ON machine exactly at T_max (Eq. 17); the
-    // residual is how far the emitted allocation actually lands from that.
-    double residual = 0.0;
-    for (const size_t i : on_set) {
-      const MachineModel& m = model_->machines[i];
-      const double t_cpu =
-          m.thermal.predict(t_ac, m.power.predict(result.allocation.loads[i]));
-      residual = std::max(residual, std::abs(t_cpu - model_->t_max));
-    }
-    obs::observe("optimizer.closed_form.kkt_residual_c", residual);
-    if (obs::RunTrace* tr = obs::trace()) {
-      tr->record_solve(obs::SolveSample{
-          "closed_form", static_cast<uint64_t>(on_set.size()), 0,
-          timer.elapsed_us(), loads_ok && result.t_ac_in_bounds, residual});
-    }
-  }
+  solve_into(on_set.data(), on_set.size(), total_load, result);
   return result;
 }
 

@@ -71,6 +71,15 @@ class AnalyticOptimizer {
   /// indices, or negative load.
   ClosedFormResult solve(const std::vector<size_t>& on_set, double total_load) const;
 
+  /// Zero-allocation form: writes into `out`, reusing every buffer it
+  /// already owns, and skips the duplicate/range validation (the engine's
+  /// subsets are valid by construction — pass through solve() when the set
+  /// comes from outside). The Eq. 21/22 sums read the precomputed SoA
+  /// K_i / (alpha_i/beta_i) arrays in on_set order, so the result is
+  /// bit-for-bit what solve() returns.
+  void solve_into(const size_t* on_set, size_t count, double total_load,
+                  ClosedFormResult& out) const;
+
   /// Convenience: all machines ON.
   ClosedFormResult solve_all(double total_load) const;
 
@@ -78,9 +87,16 @@ class AnalyticOptimizer {
 
  private:
   void require_uniform_w1();
+  void build_soa();
 
   SharedRoomModel model_;
   double w1_ = 0.0;  // shared by all machines
+  // SoA mirrors of k_constant(t_max) and ab_ratio() per machine: the exact
+  // doubles the AoS calls produce, laid out contiguously for the sum loops.
+  std::vector<double> k_;
+  std::vector<double> ab_;
+  std::vector<double> beta_;
+  RoomSoA soa_;
 };
 
 }  // namespace coolopt::core

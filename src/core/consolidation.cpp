@@ -232,18 +232,25 @@ std::optional<ConsolidationChoice> EventConsolidator::query(double load,
 }
 
 std::vector<ConsolidationChoice> EventConsolidator::rank_all_k(double load) const {
+  std::vector<ConsolidationChoice> out;
+  out.resize(rank_all_k_into(load, out));
+  return out;
+}
+
+size_t EventConsolidator::rank_all_k_into(
+    double load, std::vector<ConsolidationChoice>& out) const {
   // Instrumented as a query: this is the Algorithm 2 machinery run once per
   // k, and it is the entry point the scenario planner actually exercises.
   obs::ScopedTimer timer(obs::maybe_histogram("consolidation.query_us"));
   obs::count("consolidation.queries");
-  std::vector<ConsolidationChoice> out = table_.rank_all_k(particles_, *model_, load);
-  if (out.empty()) obs::count("consolidation.infeasible_queries");
+  const size_t count = table_.rank_all_k_into(particles_, *model_, load, out);
+  if (count == 0) obs::count("consolidation.infeasible_queries");
   if (obs::RunTrace* tr = obs::trace()) {
     tr->record_solve(obs::SolveSample{
         "consolidation.rank_all_k", static_cast<uint64_t>(particles_.size()),
-        0, timer.elapsed_us(), !out.empty(), 0.0});
+        0, timer.elapsed_us(), count != 0, 0.0});
   }
-  return out;
+  return count;
 }
 
 double EventConsolidator::max_load_for_budget(double power_budget_w, size_t k) const {

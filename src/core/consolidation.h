@@ -95,6 +95,12 @@ class EventConsolidator {
   /// fails external validation (capacity/LP).
   std::vector<ConsolidationChoice> rank_all_k(double load) const;
 
+  /// rank_all_k into a grow-only buffer (see ConsolidationTable::
+  /// rank_all_k_into): entries [0, returned count) are the ranking, spare
+  /// slots keep their heap blocks for reuse. Same instrumentation, same
+  /// bit-for-bit sequence as rank_all_k.
+  size_t rank_all_k_into(double load, std::vector<ConsolidationChoice>& out) const;
+
   /// The paper's maxL(A, P_b, k): largest load exactly-k machines can
   /// serve with predicted total power <= power_budget_w. 0 if even L=0 is
   /// over budget; capped at the load that drives t to t_lo.

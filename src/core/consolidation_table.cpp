@@ -143,19 +143,48 @@ ConsolidationChoice ConsolidationTable::make_choice(const ParticleSystem& ps,
                                                     const RoomModel& model,
                                                     size_t segment, size_t k,
                                                     double load) const {
-  const Segment& seg = segments[segment];
   ConsolidationChoice choice;
-  choice.k = k;
-  choice.on_set.assign(seg.order.begin(), seg.order.begin() + static_cast<long>(k));
-  const double t_subset = (seg.prefix_a[k] - load) / seg.prefix_b[k];
-  choice.t_param = std::clamp(t_subset, ps.t_lo, ps.t_hi);
-  choice.t_ac = ps.w1 * choice.t_param;
-  double sum_w2 = 0.0;
-  for (const size_t i : choice.on_set) sum_w2 += model.machines[i].power.w2;
-  choice.predicted_total_power_w =
-      sum_w2 + ps.w1 * load +
-      model.cooler.predict(choice.t_ac, sum_w2 + ps.w1 * load);
+  make_choice_into(ps, model, segment, k, load, choice);
   return choice;
+}
+
+void ConsolidationTable::make_choice_into(const ParticleSystem& ps,
+                                          const RoomModel& model,
+                                          size_t segment, size_t k, double load,
+                                          ConsolidationChoice& out) const {
+  const Segment& seg = segments[segment];
+  out.k = k;
+  out.segment = segment;
+  out.on_set.assign(seg.order.begin(), seg.order.begin() + static_cast<long>(k));
+  const double t_subset = (seg.prefix_a[k] - load) / seg.prefix_b[k];
+  out.t_param = std::clamp(t_subset, ps.t_lo, ps.t_hi);
+  out.t_ac = ps.w1 * out.t_param;
+  double sum_w2 = 0.0;
+  for (const size_t i : out.on_set) sum_w2 += model.machines[i].power.w2;
+  out.predicted_total_power_w =
+      sum_w2 + ps.w1 * load +
+      model.cooler.predict(out.t_ac, sum_w2 + ps.w1 * load);
+}
+
+bool ConsolidationTable::peek_k(const ParticleSystem& ps,
+                                const RoomModel& model, double load, size_t k,
+                                double sum_w2_k, size_t* segment_out,
+                                double* power_out) const {
+  // Mirrors solve_for_k's feasibility gates and make_choice's arithmetic,
+  // with the iterated machine-by-machine w2 sum replaced by the caller's
+  // precomputed fold (identical double when w2 is bitwise-uniform).
+  if (k == 0 || k > width()) return false;
+  if (g(k, ps.t_lo) < load - kFeasEps) return false;
+  if (g(k, 0.0) < load - kFeasEps) return false;
+  const size_t s = operating_segment(ps, load, k);
+  const Segment& seg = segments[s];
+  const double t_subset = (seg.prefix_a[k] - load) / seg.prefix_b[k];
+  const double t_param = std::clamp(t_subset, ps.t_lo, ps.t_hi);
+  const double t_ac = ps.w1 * t_param;
+  *segment_out = s;
+  *power_out = sum_w2_k + ps.w1 * load +
+               model.cooler.predict(t_ac, sum_w2_k + ps.w1 * load);
+  return true;
 }
 
 size_t ConsolidationTable::operating_segment(const ParticleSystem& ps,
@@ -231,20 +260,62 @@ std::optional<ConsolidationChoice> ConsolidationTable::query_best(
   return make_choice(ps, model, best_segment, best_k, load);
 }
 
+bool ConsolidationTable::query_best_into(const ParticleSystem& ps,
+                                         const RoomModel& model, double load,
+                                         ConsolidationChoice& out) const {
+  size_t best_k = 0;
+  size_t best_segment = 0;
+  double best_power = 0.0;
+  for (size_t k = 1; k <= width(); ++k) {
+    if (g(k, ps.t_lo) < load - kFeasEps) continue;
+    if (g(k, 0.0) < load - kFeasEps) continue;
+    const size_t s = operating_segment(ps, load, k);
+    const Segment& seg = segments[s];
+    const double t_subset = (seg.prefix_a[k] - load) / seg.prefix_b[k];
+    const double t_ac = ps.w1 * std::clamp(t_subset, ps.t_lo, ps.t_hi);
+    // Same k * w2 approximation as query_best (see the comment there).
+    const double it_w = static_cast<double>(k) * ps.w2 + ps.w1 * load;
+    const double power = it_w + model.cooler.predict(t_ac, it_w);
+    if (best_k == 0 || power < best_power) {
+      best_k = k;
+      best_segment = s;
+      best_power = power;
+    }
+  }
+  if (best_k == 0) return false;
+  make_choice_into(ps, model, best_segment, best_k, load, out);
+  return true;
+}
+
 std::vector<ConsolidationChoice> ConsolidationTable::rank_all_k(
     const ParticleSystem& ps, const RoomModel& model, double load) const {
   std::vector<ConsolidationChoice> out;
+  const size_t count = rank_all_k_into(ps, model, load, out);
+  out.resize(count);
+  return out;
+}
+
+size_t ConsolidationTable::rank_all_k_into(
+    const ParticleSystem& ps, const RoomModel& model, double load,
+    std::vector<ConsolidationChoice>& out) const {
+  size_t count = 0;
   for (size_t k = 1; k <= width(); ++k) {
-    if (auto cand = solve_for_k(ps, model, load, k)) out.push_back(std::move(*cand));
+    // solve_for_k's feasibility gates, inlined to skip the optional.
+    if (g(k, ps.t_lo) < load - kFeasEps) continue;
+    if (g(k, 0.0) < load - kFeasEps) continue;
+    if (count == out.size()) out.emplace_back();
+    make_choice_into(ps, model, operating_segment(ps, load, k), k, load,
+                     out[count]);
+    ++count;
   }
-  std::sort(out.begin(), out.end(),
+  std::sort(out.begin(), out.begin() + static_cast<long>(count),
             [](const ConsolidationChoice& x, const ConsolidationChoice& y) {
               if (x.predicted_total_power_w != y.predicted_total_power_w) {
                 return x.predicted_total_power_w < y.predicted_total_power_w;
               }
               return x.k < y.k;
             });
-  return out;
+  return count;
 }
 
 std::optional<ConsolidationChoice> ConsolidationTable::query_paper(

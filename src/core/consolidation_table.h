@@ -36,6 +36,9 @@ struct ConsolidationChoice {
   double t_param = 0.0;        ///< clamped particle time actually used
   double t_ac = 0.0;           ///< w1 * t_param
   double predicted_total_power_w = 0.0;
+  /// Table segment the choice was materialized from (the memo layer's key;
+  /// only meaningful for choices produced by a ConsolidationTable).
+  size_t segment = 0;
 };
 
 /// The particle view of a room model (exposed for tests and benches).
@@ -131,12 +134,36 @@ struct ConsolidationTable {
   std::optional<ConsolidationChoice> query_best(const ParticleSystem& ps,
                                                 const RoomModel& model,
                                                 double load) const;
+  /// query_best writing into a caller-owned choice (on_set buffer reused).
+  /// Returns false when no k is feasible. Bit-for-bit the query_best result.
+  bool query_best_into(const ParticleSystem& ps, const RoomModel& model,
+                       double load, ConsolidationChoice& out) const;
   ConsolidationChoice make_choice(const ParticleSystem& ps, const RoomModel& model,
                                   size_t segment, size_t k, double load) const;
+  /// make_choice writing into a caller-owned choice (on_set buffer reused).
+  void make_choice_into(const ParticleSystem& ps, const RoomModel& model,
+                        size_t segment, size_t k, double load,
+                        ConsolidationChoice& out) const;
+  /// Feasibility + operating segment + predicted power for one k, without
+  /// materializing the on_set. `sum_w2_k` must be the iterated sum of the
+  /// subset's w2 draws; when w2 is bitwise-uniform across machines (the
+  /// engine checks), any k-subset folds to the same double, so the power
+  /// here is bit-for-bit what make_choice computes. This is the memo layer's
+  /// segment probe. Returns false when k machines cannot serve the load.
+  bool peek_k(const ParticleSystem& ps, const RoomModel& model, double load,
+              size_t k, double sum_w2_k, size_t* segment_out,
+              double* power_out) const;
   /// Best subset for every feasible k, sorted by predicted power then k.
   std::vector<ConsolidationChoice> rank_all_k(const ParticleSystem& ps,
                                               const RoomModel& model,
                                               double load) const;
+  /// rank_all_k into a grow-only buffer: entries [0, returned count) of
+  /// `out` are the ranked choices; slots past the count are untouched spare
+  /// capacity (their on_set heap blocks get reused next call). Bit-for-bit
+  /// the rank_all_k sequence.
+  size_t rank_all_k_into(const ParticleSystem& ps, const RoomModel& model,
+                         double load,
+                         std::vector<ConsolidationChoice>& out) const;
   /// The paper's Algorithm 2: binary search over statuses (requires a
   /// table built with statuses).
   std::optional<ConsolidationChoice> query_paper(const ParticleSystem& ps,

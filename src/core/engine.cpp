@@ -5,9 +5,11 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "core/baselines.h"
 #include "core/incremental.h"
+#include "core/scratch.h"
 #include "obs/obs.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -20,6 +22,11 @@ double now_us() {
   const auto t = std::chrono::steady_clock::now().time_since_epoch();
   return std::chrono::duration<double, std::micro>(t).count();
 }
+
+/// Memo entries are cheap (8 bytes) but unbounded load sweeps could still
+/// accumulate one per (k, segment); clear-and-restart far above any
+/// realistic working set.
+constexpr size_t kMemoMaxEntries = 4096;
 
 }  // namespace
 
@@ -93,6 +100,22 @@ const ModelAggregates& PlanEngine::aggregates() const {
               [&](size_t x, size_t y) {
                 return m.machines[x].power.w2 < m.machines[y].power.w2;
               });
+    agg->soa = RoomSoA::from(m);
+    // The memo fast path folds k * w2 as an iterated prefix sum and needs
+    // that fold to equal make_choice's machine-by-machine sum bit-for-bit,
+    // which holds exactly when every w2 is the same double.
+    const double w2_front = m.machines.front().power.w2;
+    agg->w2_exact_uniform = true;
+    for (const MachineModel& mm : m.machines) {
+      if (mm.power.w2 != w2_front) {
+        agg->w2_exact_uniform = false;
+        break;
+      }
+    }
+    agg->w2_prefix.assign(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      agg->w2_prefix[i + 1] = agg->w2_prefix[i] + w2_front;
+    }
     aggregates_ = std::move(agg);
   });
   return *aggregates_;
@@ -137,10 +160,12 @@ const ParticleSystem* PlanEngine::particles() const {
 
 bool PlanEngine::exact_paths() const { return aggregates().uniform_w1; }
 
-std::optional<std::vector<ConsolidationChoice>> PlanEngine::incremental_rank(
-    const std::vector<char>& active_mask, double load) const {
+bool PlanEngine::incremental_rank_into(const std::vector<char>& active_mask,
+                                       double load,
+                                       std::vector<ConsolidationChoice>& out,
+                                       size_t& count) const {
   const ModelAggregates& agg = aggregates();
-  if (!agg.uniform_w1 || !agg.uniform_w2) return std::nullopt;
+  if (!agg.uniform_w1 || !agg.uniform_w2) return false;
 
   std::scoped_lock lock(incremental_mu_);
   const double t0 = now_us();
@@ -168,192 +193,314 @@ std::optional<std::vector<ConsolidationChoice>> PlanEngine::incremental_rank(
     obs::count("engine.incremental.restored",
                static_cast<uint64_t>(stats.restored));
   }
-  auto ranked = incremental_->rank_all_k(load);
+  count = incremental_->rank_all_k_into(load, out);
   obs::observe("engine.incremental.apply_us", now_us() - t0);
-  return ranked;
+  return true;
 }
 
-std::optional<Allocation> PlanEngine::plan_optimal(
-    const std::vector<size_t>& on_set, double load, bool& closed_form_pure) const {
+bool PlanEngine::plan_optimal_into(const size_t* on_set, size_t count,
+                                   double load, SolveScratch& scr,
+                                   Allocation& out,
+                                   bool& closed_form_pure) const {
   if (const AnalyticOptimizer* cf_opt = analytic()) {
-    const ClosedFormResult cf = cf_opt->solve(on_set, load);
-    if (cf.within_bounds()) {
+    cf_opt->solve_into(on_set, count, load, scr.cf);
+    if (scr.cf.within_bounds()) {
       closed_form_pure = true;
-      return cf.allocation;
+      // The result swaps out; the slot's old buffers land in the closed-form
+      // workspace for the next solve to reuse.
+      std::swap(out, scr.cf.allocation);
+      return true;
     }
   }
   // Either a heterogeneous fleet (no closed form at all) or the paper's
   // assumptions broke on this instance (negative load, over-capacity load,
   // T_ac outside the CRAC range): solve the bounded LP instead.
   closed_form_pure = false;
-  return lp().solve(on_set, load);
+  return lp().solve_into(on_set, count, load, scr.lp, out);
 }
 
-std::optional<Plan> PlanEngine::compute_plan(const Scenario& s, double load,
-                                             const std::vector<size_t>* allowed) const {
+bool PlanEngine::try_memo_plan(double load, SolveScratch& scr,
+                               Allocation& out) const {
+  const EventConsolidator* cons = consolidator();
+  const detail::ConsolidationTable& table = cons->table();
+  const ParticleSystem& ps = cons->particles();
+  const ModelAggregates& agg = aggregates();
+  const RoomModel& planning = *margin_model_;
+
+  // Two-min scan over k: the winner and runner-up of the (power, k)-
+  // ascending ranking, via O(1) prefix-sum peeks — no on_set materialized.
+  // Ascending k with strict < reproduces the ranking's tie-break exactly.
+  size_t best_k = 0;
+  size_t best_seg = 0;
+  double best_p = 0.0;
+  double runner_p = 0.0;
+  bool have_runner = false;
+  for (size_t k = 1; k <= table.width(); ++k) {
+    size_t seg = 0;
+    double p = 0.0;
+    if (!table.peek_k(ps, planning, load, k, agg.w2_prefix[k], &seg, &p)) {
+      continue;
+    }
+    if (best_k == 0 || p < best_p) {
+      if (best_k != 0) {
+        runner_p = best_p;
+        have_runner = true;
+      }
+      best_k = k;
+      best_seg = seg;
+      best_p = p;
+    } else if (!have_runner || p < runner_p) {
+      runner_p = p;
+      have_runner = true;
+    }
+  }
+  if (best_k == 0) return false;  // no feasible k; the full walk will agree
+
+  const uint64_t key =
+      (static_cast<uint64_t>(best_k) << 32) | static_cast<uint64_t>(best_seg);
+  {
+    std::scoped_lock lock(memo_mu_);
+    if (memo_.find(key) == memo_.end()) {
+      counters_.memo_misses.fetch_add(1, std::memory_order_relaxed);
+      obs::count("engine.memo.miss");
+      return false;
+    }
+  }
+
+  // Hit candidate. Materialize the ranked head's subset from the segment
+  // order and re-run the walk's own acceptance conditions at THIS load:
+  // the closed form must be pure and within bounds (the walk's inner
+  // cutoff), and the runner-up's relaxation bound must already be beaten
+  // (the walk's branch-and-bound outer cutoff). When both hold, the full
+  // walk provably returns this exact allocation.
+  const auto& head_order = table.segments[best_seg].order;
+  scr.memo_on_set.clear();
+  for (size_t j = 0; j < best_k; ++j) {
+    scr.memo_on_set.push_back(head_order[j]);
+  }
+  bool pure = true;
+  const bool ok =
+      plan_optimal_into(scr.memo_on_set.data(), best_k, load, scr, out, pure);
+  if (!ok || !pure || (have_runner && runner_p < out.total_power_w - 1e-12)) {
+    counters_.memo_segment_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    obs::count("engine.memo.segment_fallback");
+    return false;
+  }
+  counters_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+  obs::count("engine.memo.hit");
+  return true;
+}
+
+bool PlanEngine::compute_plan_into(const Scenario& s, double load,
+                                   const std::vector<size_t>* allowed,
+                                   SolveScratch& scr, Plan& out) const {
   const RoomModel& fitted = *model_;
   const RoomModel& planning = *margin_model_;
   const ModelAggregates& agg = aggregates();
   const bool restricted = allowed != nullptr;
 
-  Plan plan;
-  plan.scenario = s;
-  plan.load = load;
+  out.scenario = s;
+  out.load = load;
+  out.closed_form_pure = true;  // the fresh-Plan default; `out` is reused
 
   // Zero load with consolidation: everything off (no allocator needed).
   if (load <= 1e-12 && s.consolidation) {
-    plan.allocation.loads.assign(fitted.size(), 0.0);
-    plan.allocation.on.assign(fitted.size(), false);
-    plan.allocation.t_ac = fitted.t_ac_max;
-    plan.allocation.finalize(fitted);
-    return plan;
+    out.allocation.loads.assign(fitted.size(), 0.0);
+    out.allocation.on.assign(fitted.size(), false);
+    out.allocation.t_ac = fitted.t_ac_max;
+    out.allocation.finalize(fitted, agg.soa);
+    return true;
   }
 
   // Restricted solves (quarantines) keep the cached sort orders but drop
   // the excluded machines from them.
-  std::vector<char> mask;
   if (restricted) {
-    mask.assign(fitted.size(), 0);
-    for (size_t i : *allowed) mask[i] = 1;
+    scr.mask.assign(fitted.size(), 0);
+    for (size_t i : *allowed) scr.mask[i] = 1;
   }
-  auto filter_order = [&](const std::vector<size_t>& base) {
-    std::vector<size_t> out;
-    out.reserve(allowed->size());
+  auto filter_order = [&](const std::vector<size_t>& base,
+                          std::vector<size_t>& dst) {
+    dst.clear();
     for (size_t i : base) {
-      if (mask[i]) out.push_back(i);
+      if (scr.mask[i]) dst.push_back(i);
     }
-    return out;
   };
-  const std::vector<size_t> order_store =
-      restricted ? filter_order(agg.coolness) : std::vector<size_t>{};
-  const std::vector<size_t>& order = restricted ? order_store : agg.coolness;
+  if (restricted) filter_order(agg.coolness, scr.order);
+  const std::vector<size_t>& order = restricted ? scr.order : agg.coolness;
 
   // --- choose the ON set and the load split ---
   if (s.distribution == Distribution::kOptimal) {
-    std::optional<Allocation> best;
+    bool have_best = false;
     bool best_pure = true;
     if (!s.consolidation) {
-      best = plan_optimal(restricted ? *allowed : agg.all_machines, load,
-                          best_pure);
+      const std::vector<size_t>& full = restricted ? *allowed : agg.all_machines;
+      bool pure = true;
+      if (plan_optimal_into(full.data(), full.size(), load, scr,
+                            scr.best_alloc, pure)) {
+        have_best = true;
+        best_pure = pure;
+      }
     } else {
-      const std::vector<size_t> capacity_store =
-          restricted ? filter_order(agg.capacity_desc) : std::vector<size_t>{};
+      if (restricted) filter_order(agg.capacity_desc, scr.capacity_order);
       const std::vector<size_t>& capacity_order =
-          restricted ? capacity_store : agg.capacity_desc;
-      auto probe_k = [&](size_t k, const std::vector<size_t>* ranked_subset) {
-        std::vector<std::vector<size_t>> subsets;
-        if (ranked_subset != nullptr) subsets.push_back(*ranked_subset);
-        subsets.emplace_back(capacity_order.begin(),
-                             capacity_order.begin() + static_cast<long>(k));
-        subsets.emplace_back(order.begin(), order.begin() + static_cast<long>(k));
-        for (size_t si = 0; si < subsets.size(); ++si) {
-          bool pure = true;
-          const auto alloc = plan_optimal(subsets[si], load, pure);
-          if (alloc && (!best || alloc->total_power_w < best->total_power_w - 1e-12)) {
-            best = alloc;
-            best_pure = pure;
-          }
-          // The ranked subset is the relaxation's optimal k-subset; when its
-          // closed form lands within bounds it attains the k-wide lower
-          // bound, so no heuristic subset of the same k can improve on it —
-          // skip them and their (cubic) LP fallbacks. When the closed form
-          // fails bounds, the heuristics are exactly the recovery they were
-          // added for, and still run.
-          if (si == 0 && ranked_subset != nullptr && pure && alloc) break;
-        }
-      };
+          restricted ? scr.capacity_order : agg.capacity_desc;
+
       // Unrestricted solves use the cached full-fleet Algorithm 1 table;
       // restricted (quarantine) solves use the delta-maintained incremental
       // table over the surviving machines. Both yield a ranking walked with
-      // the same branch and bound.
+      // the same branch and bound. The memo fast path sits in front of the
+      // unrestricted walk only (its keys index the immutable full-fleet
+      // table, so quarantine churn can never stale them).
       const EventConsolidator* cons = restricted ? nullptr : consolidator();
-      std::optional<std::vector<ConsolidationChoice>> ranked;
-      if (cons != nullptr) {
-        ranked = cons->rank_all_k(load);
-      } else if (restricted) {
-        ranked = incremental_rank(mask, load);
-      }
-      if (ranked) {
-        // Walk the optimal consolidation ranking; candidates may fail the
-        // bounded validation (capacities are invisible to the particle
-        // reduction), so for every k we also probe capacity-greedy and
-        // coolest-first k-subsets and keep the best feasible plan overall.
-        //
-        // Branch and bound: cand.predicted_total_power_w is the Eq. 23
-        // relaxation (capacity and nonnegativity dropped; both can only
-        // lower T_ac, i.e. raise power), so it lower-bounds every bounded
-        // plan of its own k — and, since the ranking ascends in predicted
-        // power, of every later candidate too. Once the incumbent is at or
-        // below the next candidate's bound, nothing further can win, which
-        // collapses the walk from O(n) LP probes to the one or two leaders.
-        for (const ConsolidationChoice& cand : *ranked) {
-          if (best && cand.predicted_total_power_w >= best->total_power_w - 1e-12) {
-            break;
-          }
-          probe_k(cand.k, &cand.on_set);
-        }
+      const bool memo_eligible =
+          options_.enable_memo && cons != nullptr && agg.w2_exact_uniform;
+      if (memo_eligible && try_memo_plan(load, scr, scr.best_alloc)) {
+        have_best = true;
+        best_pure = true;
       } else {
-        // Heterogeneous fleet: no particle reduction, so neither table
-        // applies. Probe a window of ON-set sizes above the capacity
-        // minimum with heuristic subset shapes, evaluating each with the
-        // bounded LP. The idle-draw order prefers cheap-idle nodes for
-        // padding.
-        const std::vector<size_t> idle_store =
-            restricted ? filter_order(agg.idle_asc) : std::vector<size_t>{};
-        const std::vector<size_t>& idle_order =
-            restricted ? idle_store : agg.idle_asc;
-        const size_t k_min = min_machines_for(planning, load, capacity_order);
-        const size_t k_hi = std::min(capacity_order.size(), k_min + 4);
-        for (size_t k = std::max<size_t>(1, k_min); k <= k_hi; ++k) {
-          const std::vector<size_t> cheap_idle(
-              idle_order.begin(), idle_order.begin() + static_cast<long>(k));
-          probe_k(k, &cheap_idle);
+        auto probe_subset = [&](const size_t* sub,
+                                size_t count) -> std::pair<bool, bool> {
+          bool pure = true;
+          const bool ok = plan_optimal_into(sub, count, load, scr,
+                                            scr.trial_alloc, pure);
+          if (ok && (!have_best ||
+                     scr.trial_alloc.total_power_w <
+                         scr.best_alloc.total_power_w - 1e-12)) {
+            std::swap(scr.best_alloc, scr.trial_alloc);
+            have_best = true;
+            best_pure = pure;
+          }
+          return {ok, pure};
+        };
+        auto probe_k = [&](size_t k, const size_t* first_subset) -> bool {
+          if (first_subset != nullptr) {
+            // The leading subset is the relaxation's optimal k-subset; when
+            // its closed form lands within bounds it attains the k-wide
+            // lower bound, so no heuristic subset of the same k can improve
+            // on it — skip them and their (cubic) LP fallbacks. When the
+            // closed form fails bounds, the heuristics are exactly the
+            // recovery they were added for, and still run.
+            const auto [ok, pure] = probe_subset(first_subset, k);
+            if (ok && pure) return true;
+          }
+          probe_subset(capacity_order.data(), k);
+          probe_subset(order.data(), k);
+          return false;
+        };
+
+        bool ranked_available = false;
+        size_t ranked_count = 0;
+        if (cons != nullptr) {
+          ranked_count = cons->rank_all_k_into(load, scr.ranked);
+          ranked_available = true;
+        } else if (restricted) {
+          ranked_available =
+              incremental_rank_into(scr.mask, load, scr.ranked, ranked_count);
+        }
+        if (ranked_available) {
+          // Walk the optimal consolidation ranking; candidates may fail the
+          // bounded validation (capacities are invisible to the particle
+          // reduction), so for every k we also probe capacity-greedy and
+          // coolest-first k-subsets and keep the best feasible plan overall.
+          //
+          // Branch and bound: cand.predicted_total_power_w is the Eq. 23
+          // relaxation (capacity and nonnegativity dropped; both can only
+          // lower T_ac, i.e. raise power), so it lower-bounds every bounded
+          // plan of its own k — and, since the ranking ascends in predicted
+          // power, of every later candidate too. Once the incumbent is at or
+          // below the next candidate's bound, nothing further can win, which
+          // collapses the walk from O(n) LP probes to the one or two leaders.
+          bool head_pure_win = false;
+          size_t probed = 0;
+          for (size_t ci = 0; ci < ranked_count; ++ci) {
+            const ConsolidationChoice& cand = scr.ranked[ci];
+            if (have_best && cand.predicted_total_power_w >=
+                                 scr.best_alloc.total_power_w - 1e-12) {
+              break;
+            }
+            const bool pure_win = probe_k(cand.k, cand.on_set.data());
+            if (probed == 0) head_pure_win = pure_win;
+            ++probed;
+          }
+          // The walk reduced to a single pure solve of the ranked head:
+          // exactly the shape the memo fast path reproduces. Remember the
+          // head's (k, segment) so same-segment loads skip the walk.
+          if (memo_eligible && head_pure_win && probed == 1 && have_best) {
+            const uint64_t key =
+                (static_cast<uint64_t>(scr.ranked[0].k) << 32) |
+                static_cast<uint64_t>(scr.ranked[0].segment);
+            std::scoped_lock lock(memo_mu_);
+            if (memo_.size() >= kMemoMaxEntries) memo_.clear();
+            memo_.insert(key);
+          }
+        } else {
+          // Heterogeneous fleet: no particle reduction, so neither table
+          // applies. Probe a window of ON-set sizes above the capacity
+          // minimum with heuristic subset shapes, evaluating each with the
+          // bounded LP. The idle-draw order prefers cheap-idle nodes for
+          // padding.
+          if (restricted) filter_order(agg.idle_asc, scr.idle_order);
+          const std::vector<size_t>& idle_order =
+              restricted ? scr.idle_order : agg.idle_asc;
+          const size_t k_min = min_machines_for(planning, load, capacity_order);
+          const size_t k_hi = std::min(capacity_order.size(), k_min + 4);
+          for (size_t k = std::max<size_t>(1, k_min); k <= k_hi; ++k) {
+            probe_k(k, idle_order.data());
+          }
         }
       }
     }
-    if (!best) return std::nullopt;
-    plan.allocation = std::move(*best);
-    plan.closed_form_pure = best_pure;
+    if (!have_best) return false;
+    std::swap(out.allocation, scr.best_alloc);
+    out.closed_form_pure = best_pure;
   } else {
-    std::vector<size_t> on_set;
+    std::vector<size_t>& on_set = scr.subset;
     if (s.consolidation) {
       const size_t k = min_machines_for(planning, load, order);
       on_set.assign(order.begin(), order.begin() + static_cast<long>(k));
     } else {
-      on_set = restricted ? *allowed : agg.all_machines;
+      const std::vector<size_t>& full = restricted ? *allowed : agg.all_machines;
+      on_set.assign(full.begin(), full.end());
     }
-    plan.allocation = s.distribution == Distribution::kEven
-                          ? even_allocation(planning, load, on_set)
-                          : bottom_up_allocation(planning, load, on_set);
+    out.allocation = s.distribution == Distribution::kEven
+                         ? even_allocation(planning, load, on_set)
+                         : bottom_up_allocation(planning, load, on_set);
   }
 
   // --- choose the cool-air temperature ---
   if (s.distribution == Distribution::kOptimal) {
     // Already chosen jointly with the loads; keep it inside actuation range
     // (clamping down is always safe, it only over-cools).
-    plan.allocation.t_ac =
-        std::clamp(plan.allocation.t_ac, fitted.t_ac_min, fitted.t_ac_max);
+    out.allocation.t_ac =
+        std::clamp(out.allocation.t_ac, fitted.t_ac_min, fitted.t_ac_max);
   } else if (s.ac_control) {
-    plan.allocation.t_ac =
-        max_safe_t_ac(planning, plan.allocation.loads, plan.allocation.on);
+    out.allocation.t_ac =
+        max_safe_t_ac(planning, agg.soa, out.allocation.loads, out.allocation.on);
   } else {
-    plan.allocation.t_ac = fixed_t_ac_;
+    out.allocation.t_ac = fixed_t_ac_;
   }
 
-  plan.allocation.finalize(fitted);
+  out.allocation.finalize(fitted, agg.soa);
 
   // --- final safety check against the margined ceiling ---
-  if (plan.allocation.count_on() > 0 &&
-      predicted_peak_cpu_temp(planning, plan.allocation) > planning.t_max + 1e-6) {
+  if (out.allocation.count_on() > 0 &&
+      predicted_peak_cpu_temp(agg.soa, out.allocation) > planning.t_max + 1e-6) {
     util::log_warn("PlanEngine: %s at load %.1f violates the temperature "
                    "ceiling even at t_ac_min; no feasible plan",
                    s.name().c_str(), load);
-    return std::nullopt;
+    return false;
   }
-  return plan;
+  return true;
 }
 
 PlanResult PlanEngine::solve(const PlanRequest& request) const {
+  PlanResult result;
+  solve_into(request, SolveScratch::local(), result);
+  return result;
+}
+
+void PlanEngine::solve_into(const PlanRequest& request, SolveScratch& scr,
+                            PlanResult& result) const {
   if (request.load < 0.0) {
     throw std::invalid_argument("PlanEngine: negative load");
   }
@@ -372,67 +519,78 @@ PlanResult PlanEngine::solve(const PlanRequest& request) const {
     }
   }
 
-  PlanResult result;
+  result.error.clear();
   result.shard = request.shard;
+  result.shed_load = 0.0;
+  result.shed_priority.clear();
   const double t0 = now_us();
 
   // Surviving machine set and its capacity. Demand above the surviving
   // capacity is shed, not an error — only the full-fleet capacity check
   // above throws.
-  std::vector<size_t> allowed;
+  scr.allowed.clear();
   double allowed_capacity = model_->total_capacity();
   const bool restricted = !request.quarantined.empty();
   if (restricted) {
-    std::vector<char> quarantined(n, 0);
-    for (size_t idx : request.quarantined) quarantined[idx] = 1;
+    scr.quarantined_mask.assign(n, 0);
+    for (size_t idx : request.quarantined) scr.quarantined_mask[idx] = 1;
     allowed_capacity = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      if (quarantined[i]) continue;
-      allowed.push_back(i);
+      if (scr.quarantined_mask[i]) continue;
+      scr.allowed.push_back(i);
       allowed_capacity += model_->machines[i].capacity;
     }
   }
-  const std::vector<size_t>* allowed_ptr = restricted ? &allowed : nullptr;
+  const std::vector<size_t>* allowed_ptr = restricted ? &scr.allowed : nullptr;
 
   const double serveable = std::min(request.load, allowed_capacity);
   double achieved = serveable;
-  if (restricted && allowed.empty()) {
+  if (restricted && scr.allowed.empty()) {
     // Whole fleet quarantined: the best effort is an all-off room.
-    Plan plan;
+    if (!result.plan) result.plan.emplace();
+    Plan& plan = *result.plan;
     plan.scenario = request.scenario;
     plan.load = 0.0;
+    plan.closed_form_pure = true;
     plan.allocation.loads.assign(n, 0.0);
     plan.allocation.on.assign(n, false);
     plan.allocation.t_ac = model_->t_ac_max;
-    plan.allocation.finalize(*model_);
-    result.plan = std::move(plan);
+    plan.allocation.finalize(*model_, aggregates().soa);
     achieved = 0.0;
   } else {
-    result.plan = compute_plan(request.scenario, serveable, allowed_ptr);
-    if (!result.plan && serveable > 1e-12) {
+    // Never emplace over an engaged optional: that would destroy (and so
+    // free) the previous plan's buffers this warm path is reusing.
+    if (!result.plan) result.plan.emplace();
+    const bool ok =
+        compute_plan_into(request.scenario, serveable, allowed_ptr, scr,
+                          *result.plan);
+    if (!ok && serveable > 1e-12) {
       // Thermally infeasible at the requested level: bisect for the
       // largest serveable load and return that plan instead of nothing.
-      // compute_plan is deterministic, so the backoff is too.
-      std::optional<Plan> best = compute_plan(request.scenario, 0.0, allowed_ptr);
+      // compute_plan_into is deterministic, so the backoff is too.
+      bool have_best =
+          compute_plan_into(request.scenario, 0.0, allowed_ptr, scr, scr.plan_a);
       double lo = 0.0;
       double hi = serveable;
-      if (best) {
+      if (have_best) {
         for (int iter = 0; iter < 22; ++iter) {
           const double mid = 0.5 * (lo + hi);
-          std::optional<Plan> probe = compute_plan(request.scenario, mid, allowed_ptr);
-          if (probe) {
+          if (compute_plan_into(request.scenario, mid, allowed_ptr, scr,
+                                scr.plan_b)) {
             lo = mid;
-            best = std::move(probe);
+            std::swap(scr.plan_a, scr.plan_b);  // probe becomes the incumbent
           } else {
             hi = mid;
           }
         }
-        result.plan = std::move(best);
+        std::swap(*result.plan, scr.plan_a);
         achieved = lo;
       } else {
+        result.plan.reset();
         achieved = 0.0;
       }
-    } else if (!result.plan) {
+    } else if (!ok) {
+      result.plan.reset();
       achieved = 0.0;
     }
   }
@@ -440,7 +598,17 @@ PlanResult PlanEngine::solve(const PlanRequest& request) const {
   result.shed_load = std::max(0.0, request.load - achieved);
   if (result.shed_load <= 1e-9) result.shed_load = 0.0;
   if (result.shed_load > 0.0) {
-    result.shed_priority = shed_priority_for(request.quarantined, allowed_ptr);
+    // Shedding order: quarantined machines first (their load is already
+    // gone), then the survivors from thermally worst to best — the order a
+    // supervisor should walk when it must drop more work.
+    result.shed_priority.assign(request.quarantined.begin(),
+                                request.quarantined.end());
+    const ModelAggregates& agg = aggregates();
+    for (auto it = agg.coolness.rbegin(); it != agg.coolness.rend(); ++it) {
+      if (!restricted || !scr.quarantined_mask[*it]) {
+        result.shed_priority.push_back(*it);
+      }
+    }
   }
   result.solve_us = now_us() - t0;
 
@@ -464,32 +632,23 @@ PlanResult PlanEngine::solve(const PlanRequest& request) const {
     obs::count("engine.degraded");
     obs::observe("engine.shed_load", result.shed_load);
   }
-  return result;
-}
-
-std::vector<size_t> PlanEngine::shed_priority_for(
-    const std::vector<size_t>& quarantined,
-    const std::vector<size_t>* allowed) const {
-  // Quarantined machines first (their load is already gone), then the
-  // survivors from thermally worst to best — the order a supervisor should
-  // walk when it must drop more work.
-  std::vector<size_t> priority(quarantined);
-  const ModelAggregates& agg = aggregates();
-  std::vector<char> mask;
-  if (allowed != nullptr) {
-    mask.assign(model_->size(), 0);
-    for (size_t i : *allowed) mask[i] = 1;
+  if (obs::metrics() != nullptr) {
+    obs::gauge_set("engine.alloc_bytes", static_cast<double>(scr.bytes()));
   }
-  for (auto it = agg.coolness.rbegin(); it != agg.coolness.rend(); ++it) {
-    if (allowed == nullptr || mask[*it]) priority.push_back(*it);
-  }
-  return priority;
 }
 
 std::vector<PlanResult> PlanEngine::solve_batch(
     std::span<const PlanRequest> requests, size_t workers) const {
-  std::vector<PlanResult> results(requests.size());
-  if (requests.empty()) return results;
+  std::vector<PlanResult> results;
+  solve_batch_into(requests, results, workers);
+  return results;
+}
+
+void PlanEngine::solve_batch_into(std::span<const PlanRequest> requests,
+                                  std::vector<PlanResult>& results,
+                                  size_t workers) const {
+  results.resize(requests.size());
+  if (requests.empty()) return;
 
   const double t0 = now_us();
   util::ThreadPool* pool = nullptr;
@@ -505,14 +664,28 @@ std::vector<PlanResult> PlanEngine::solve_batch(
   // Results land in index-addressed slots and every worker solves against
   // the same immutable cached artifacts, so the worker schedule cannot
   // change the output: element i is bit-for-bit what solve(requests[i])
-  // returns (modulo the wall-clock solve_us field).
-  pool->parallel_for(requests.size(), [&](size_t i) {
+  // returns (modulo the wall-clock solve_us field). The lambda captures one
+  // reference to a stack context (not the three pointers separately) so it
+  // fits std::function's small-buffer storage — no per-batch closure
+  // allocation.
+  struct BatchContext {
+    const PlanEngine* engine;
+    const PlanRequest* requests;
+    PlanResult* results;
+  };
+  BatchContext ctx{this, requests.data(), results.data()};
+  pool->parallel_for(requests.size(), [&ctx](size_t i) {
     try {
-      results[i] = solve(requests[i]);
+      ctx.engine->solve_into(ctx.requests[i], SolveScratch::local(),
+                             ctx.results[i]);
     } catch (const std::exception& e) {
-      results[i] = PlanResult{};
-      results[i].shard = requests[i].shard;
-      results[i].error = e.what();
+      PlanResult& r = ctx.results[i];
+      r.plan.reset();
+      r.error = e.what();
+      r.solve_us = 0.0;
+      r.shard = ctx.requests[i].shard;
+      r.shed_load = 0.0;
+      r.shed_priority.clear();
     }
   });
 
@@ -521,7 +694,6 @@ std::vector<PlanResult> PlanEngine::solve_batch(
   obs::count("engine.batch.batches");
   obs::count("engine.batch.requests", static_cast<uint64_t>(requests.size()));
   obs::observe("engine.batch.latency_us", now_us() - t0);
-  return results;
 }
 
 std::optional<Allocation> PlanEngine::rebalance(const std::vector<size_t>& on_set,
@@ -529,6 +701,13 @@ std::optional<Allocation> PlanEngine::rebalance(const std::vector<size_t>& on_se
   counters_.rebalances.fetch_add(1, std::memory_order_relaxed);
   obs::count("engine.rebalances");
   return lp().solve(on_set, load);
+}
+
+bool PlanEngine::rebalance_into(const std::vector<size_t>& on_set, double load,
+                                SolveScratch& scratch, Allocation& out) const {
+  counters_.rebalances.fetch_add(1, std::memory_order_relaxed);
+  obs::count("engine.rebalances");
+  return lp().solve_into(on_set.data(), on_set.size(), load, scratch.lp, out);
 }
 
 util::ThreadPool& PlanEngine::default_pool() const {
@@ -555,6 +734,10 @@ EngineCounters PlanEngine::counters() const {
       counters_.incremental_cold_builds.load(std::memory_order_relaxed);
   c.incremental_event_rebuilds =
       counters_.incremental_event_rebuilds.load(std::memory_order_relaxed);
+  c.memo_hits = counters_.memo_hits.load(std::memory_order_relaxed);
+  c.memo_misses = counters_.memo_misses.load(std::memory_order_relaxed);
+  c.memo_segment_fallbacks =
+      counters_.memo_segment_fallbacks.load(std::memory_order_relaxed);
   return c;
 }
 

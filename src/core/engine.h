@@ -32,6 +32,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/closed_form.h"
@@ -47,6 +48,7 @@ class ThreadPool;
 namespace coolopt::core {
 
 class IncrementalConsolidator;
+struct SolveScratch;
 
 /// One planning query: which policy, how much load (files/s).
 struct PlanRequest {
@@ -114,6 +116,20 @@ struct ModelAggregates {
   std::vector<size_t> coolness;       ///< coolest-first (baselines' order)
   std::vector<size_t> capacity_desc;  ///< capacity-descending
   std::vector<size_t> idle_asc;       ///< idle draw (w2) ascending
+  /// Flat per-machine coefficient block (same machine order as the model).
+  /// The Eq. 19/21/22 aggregation loops, finalize(), and the peak-temp
+  /// safety scan read these contiguous arrays instead of chasing the AoS
+  /// machine structs; the arithmetic (and therefore every emitted bit) is
+  /// unchanged.
+  RoomSoA soa;
+  /// True when every machine's w2 is the SAME double bit-for-bit (stricter
+  /// than the tolerance-based uniform_w2). Required by the memo fast path,
+  /// whose prefix-folded w2 sums must reproduce make_choice's
+  /// machine-by-machine folds exactly.
+  bool w2_exact_uniform = false;
+  /// w2_prefix[k] = iterated fold of k copies of w2 (only meaningful when
+  /// w2_exact_uniform): the subset idle draw of ANY k-machine subset.
+  std::vector<double> w2_prefix;
 };
 
 /// Monotonic per-engine counters (snapshot; the live values are relaxed
@@ -140,6 +156,15 @@ struct EngineCounters {
   /// Deltas where the collapsed event list changed, forcing a segment
   /// re-sort instead of the order-patching fast path.
   uint64_t incremental_event_rebuilds = 0;
+  /// Optimal-consolidation solves answered from the (k, segment) memo with
+  /// a single verified closed-form solve instead of the full ranked walk.
+  uint64_t memo_hits = 0;
+  /// Memo lookups that found no entry (the full walk ran and, when its
+  /// winner met the memoization conditions, seeded the cache).
+  uint64_t memo_misses = 0;
+  /// Memo entries that failed re-verification at the requested load (the
+  /// load crossed a segment/bound boundary); the full walk ran instead.
+  uint64_t memo_segment_fallbacks = 0;
 };
 
 class PlanEngine {
@@ -189,6 +214,14 @@ class PlanEngine {
   /// bisection) with the remainder in shed_load — see PlanResult.
   PlanResult solve(const PlanRequest& request) const;
 
+  /// The zero-allocation form solve() wraps: all intermediates live in
+  /// `scratch` (usually SolveScratch::local()) and the result is written
+  /// into `result`, reusing its buffers. After the scratch and result have
+  /// warmed to the request shape, a call performs no heap allocation.
+  /// Identical semantics to solve(), including the throws.
+  void solve_into(const PlanRequest& request, SolveScratch& scratch,
+                  PlanResult& result) const;
+
   /// Fans `requests` out across a worker pool and returns results in
   /// request order. Results are bit-for-bit identical to calling solve()
   /// sequentially (index-addressed output slots; shared immutable caches).
@@ -198,11 +231,26 @@ class PlanEngine {
   std::vector<PlanResult> solve_batch(std::span<const PlanRequest> requests,
                                       size_t workers = 0) const;
 
+  /// solve_batch writing into a caller-owned results vector (resized to
+  /// match; per-slot buffers reused). With `workers` == 0 and a warm
+  /// engine-owned pool, a repeat batch of the same shape performs no heap
+  /// allocation anywhere on the solve path (pinned by the engine-label
+  /// allocation test).
+  void solve_batch_into(std::span<const PlanRequest> requests,
+                        std::vector<PlanResult>& results,
+                        size_t workers = 0) const;
+
   /// Load-only redistribution over a fixed ON set (the adaptive
   /// controller's cheap middle tier): bounded LP on the cached solver, no
   /// power-state changes implied.
   std::optional<Allocation> rebalance(const std::vector<size_t>& on_set,
                                       double load) const;
+
+  /// Zero-allocation rebalance: LP workspace from `scratch`, allocation
+  /// written into `out` (false = infeasible). Skips the on_set validation
+  /// (callers pass sets they already own).
+  bool rebalance_into(const std::vector<size_t>& on_set, double load,
+                      SolveScratch& scratch, Allocation& out) const;
 
   EngineCounters counters() const;
 
@@ -221,6 +269,9 @@ class PlanEngine {
     std::atomic<uint64_t> incremental_replans{0};
     std::atomic<uint64_t> incremental_cold_builds{0};
     std::atomic<uint64_t> incremental_event_rebuilds{0};
+    std::atomic<uint64_t> memo_hits{0};
+    std::atomic<uint64_t> memo_misses{0};
+    std::atomic<uint64_t> memo_segment_fallbacks{0};
   };
 
   /// Runs `build` exactly once (first caller = cache miss, everyone else =
@@ -232,22 +283,31 @@ class PlanEngine {
   /// fleet); used by quarantine-aware solves. When the particle reduction
   /// applies, restricted solves rank subsets through the incremental
   /// Algorithm 1 table (delta-maintained across quarantine churn);
-  /// heterogeneous fleets fall back to the windowed-probe path.
-  std::optional<Plan> compute_plan(const Scenario& s, double load,
-                                   const std::vector<size_t>* allowed = nullptr) const;
+  /// heterogeneous fleets fall back to the windowed-probe path. Writes the
+  /// plan into `out` (buffers reused); false = no feasible plan.
+  bool compute_plan_into(const Scenario& s, double load,
+                         const std::vector<size_t>* allowed,
+                         SolveScratch& scratch, Plan& out) const;
+  /// Memo fast path for the unrestricted optimal-consolidation branch:
+  /// two-min peek scan over k, cache lookup on the winner's (k, segment),
+  /// then a verified closed-form solve of the head subset. True only when
+  /// the result provably equals the full ranked walk's (the walk's own
+  /// pure/bounds/branch-and-bound acceptance conditions are re-checked).
+  bool try_memo_plan(double load, SolveScratch& scratch, Allocation& out) const;
   /// Consolidation ranking over the active subset via the delta-maintained
-  /// Algorithm 1 table. std::nullopt when the particle reduction does not
-  /// apply (heterogeneous w1/w2). Thread-safe; the table is a pure
-  /// function of the mask, so concurrent callers with different masks
-  /// still see deterministic rankings.
-  std::optional<std::vector<ConsolidationChoice>> incremental_rank(
-      const std::vector<char>& active_mask, double load) const;
-  std::optional<Allocation> plan_optimal(const std::vector<size_t>& on_set,
-                                         double load, bool& closed_form_pure) const;
-  /// Shedding order for degraded results: quarantined machines first, then
-  /// the surviving machines warmest-first.
-  std::vector<size_t> shed_priority_for(const std::vector<size_t>& quarantined,
-                                        const std::vector<size_t>* allowed) const;
+  /// Algorithm 1 table, into a grow-only buffer (entries [0, count)).
+  /// False when the particle reduction does not apply (heterogeneous
+  /// w1/w2). Thread-safe; the table is a pure function of the mask, so
+  /// concurrent callers with different masks still see deterministic
+  /// rankings.
+  bool incremental_rank_into(const std::vector<char>& active_mask, double load,
+                             std::vector<ConsolidationChoice>& out,
+                             size_t& count) const;
+  /// Optimal split over a fixed ON set: closed form, LP fallback. Writes
+  /// into `out` (false = infeasible); workspaces from `scratch`.
+  bool plan_optimal_into(const size_t* on_set, size_t count, double load,
+                         SolveScratch& scratch, Allocation& out,
+                         bool& closed_form_pure) const;
   util::ThreadPool& default_pool() const;
 
   SharedRoomModel model_;         // as fitted
@@ -267,6 +327,17 @@ class PlanEngine {
   mutable std::unique_ptr<ParticleSystem> particles_;
   mutable std::mutex incremental_mu_;
   mutable std::unique_ptr<IncrementalConsolidator> incremental_;
+
+  /// Memoized (k << 32 | segment) keys for which the full consolidation
+  /// walk previously reduced to its ranked head with a pure closed form and
+  /// an immediate branch-and-bound cutoff. Presence is a *promise to
+  /// re-verify*, not to trust: the hit path re-runs the acceptance checks
+  /// at the requested load, so stale entries cost a fallback, never a wrong
+  /// plan. Restricted (quarantine) solves bypass the memo entirely — the
+  /// keys index the immutable full-fleet table, so membership deltas need
+  /// no invalidation here. Bounded (cleared at 4096 entries).
+  mutable std::mutex memo_mu_;
+  mutable std::unordered_set<uint64_t> memo_;
 
   mutable std::mutex pool_mu_;
   mutable std::unique_ptr<util::ThreadPool> pool_;

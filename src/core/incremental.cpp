@@ -215,4 +215,14 @@ std::optional<ConsolidationChoice> IncrementalConsolidator::query_best(
   return table_.query_best(particles_, *model_, load);
 }
 
+bool IncrementalConsolidator::query_best_into(double load,
+                                              ConsolidationChoice& out) const {
+  return table_.query_best_into(particles_, *model_, load, out);
+}
+
+size_t IncrementalConsolidator::rank_all_k_into(
+    double load, std::vector<ConsolidationChoice>& out) const {
+  return table_.rank_all_k_into(particles_, *model_, load, out);
+}
+
 }  // namespace coolopt::core

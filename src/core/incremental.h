@@ -74,6 +74,14 @@ class IncrementalConsolidator {
   /// in o(n^2): table patch + query, no quadratic step anywhere.
   std::optional<ConsolidationChoice> query_best(double load) const;
 
+  /// query_best writing into a caller-owned choice (buffers reused, no
+  /// allocation once grown). Returns false when no subset is feasible.
+  bool query_best_into(double load, ConsolidationChoice& out) const;
+
+  /// rank_all_k into a grow-only buffer; entries [0, returned count) are
+  /// the ranking. Same bit-for-bit sequence as rank_all_k.
+  size_t rank_all_k_into(double load, std::vector<ConsolidationChoice>& out) const;
+
   // --- introspection for tests/benches ---
   size_t active_count() const { return ids_.size(); }
   const std::vector<uint32_t>& active_ids() const { return ids_; }

@@ -17,13 +17,13 @@ namespace {
 /// own constraints (load conservation, temperature ceilings, boxes) —
 /// observability's KKT residual for the bounded solver. Only evaluated when
 /// a sink is attached.
-double lp_residual(const RoomModel& model, const std::vector<size_t>& on_set,
+double lp_residual(const RoomModel& model, const size_t* on_set, size_t count,
                    double total_load, const LpSolution& sol) {
   const double t_ac = sol.x[0];
   double residual = std::max(0.0, model.t_ac_min - t_ac);
   residual = std::max(residual, t_ac - model.t_ac_max);
   double load_sum = 0.0;
-  for (size_t j = 0; j < on_set.size(); ++j) {
+  for (size_t j = 0; j < count; ++j) {
     const MachineModel& m = model.machines[on_set[j]];
     const double li = sol.x[1 + j];
     load_sum += li;
@@ -47,6 +47,78 @@ LpOptimizer::LpOptimizer(SharedRoomModel model) : model_(std::move(model)) {
 LpOptimizer::LpOptimizer(SharedRoomModel model, PreValidated)
     : model_(std::move(model)) {}
 
+bool LpOptimizer::solve_into(const size_t* on_set, size_t k, double total_load,
+                             LpWorkspace& ws, Allocation& out) const {
+  // Variables: x[0] = T_ac, x[1..k] = loads of on_set machines, all >= 0.
+  // (T_ac >= 0 is implied; the explicit t_ac_min bound dominates it for any
+  // physically meaningful model.)
+  LpProblem& lp = ws.problem;
+  lp.reset(1 + k);
+
+  // Objective: minimize IT power + cooling power. Constant terms (w2 sums,
+  // cfac * t_sp_ref, fan) are added back after solving.
+  lp.set_objective(0, -model_->cooler.cfac);
+  for (size_t j = 0; j < k; ++j) {
+    lp.set_objective(1 + j, model_->machines[on_set[j]].power.w1);
+  }
+
+  // Load conservation.
+  {
+    double* row = lp.add_equality_row(total_load);
+    for (size_t j = 0; j < k; ++j) row[1 + j] = 1.0;
+  }
+
+  // Temperature ceilings: alpha*T_ac + beta*w1*L <= T_max - gamma - beta*w2.
+  for (size_t j = 0; j < k; ++j) {
+    const MachineModel& m = model_->machines[on_set[j]];
+    double* row = lp.add_less_equal_row(
+        model_->t_max - m.thermal.gamma - m.thermal.beta * m.power.w2);
+    row[0] = m.thermal.alpha;
+    row[1 + j] = m.thermal.beta * m.power.w1;
+  }
+
+  // Capacity bounds and T_ac range.
+  for (size_t j = 0; j < k; ++j) {
+    lp.add_upper_bound(1 + j, model_->machines[on_set[j]].capacity);
+  }
+  lp.add_upper_bound(0, model_->t_ac_max);
+  lp.add_lower_bound(0, model_->t_ac_min);
+
+  obs::ScopedTimer timer(obs::maybe_histogram("optimizer.lp.solve_us"));
+  solve_lp_into(lp, ws.tableau, ws.solution);
+  const LpSolution& sol = ws.solution;
+  const bool feasible = sol.status == LpStatus::kOptimal;
+
+  obs::count("optimizer.lp.solves");
+  if (!feasible) obs::count("optimizer.lp.infeasible");
+  obs::observe("optimizer.lp.iterations", static_cast<double>(sol.iterations));
+  double residual = 0.0;
+  if ((obs::metrics() != nullptr || obs::trace() != nullptr) && feasible) {
+    residual = lp_residual(*model_, on_set, k, total_load, sol);
+    obs::observe("optimizer.lp.kkt_residual", residual);
+  }
+  if (obs::RunTrace* tr = obs::trace()) {
+    tr->record_solve(obs::SolveSample{"lp", static_cast<uint64_t>(k),
+                                      static_cast<uint64_t>(sol.iterations),
+                                      timer.elapsed_us(), feasible, residual});
+  }
+
+  if (!feasible) return false;
+
+  out.loads.assign(model_->size(), 0.0);
+  out.on.assign(model_->size(), false);
+  out.t_ac = sol.x[0];
+  for (size_t j = 0; j < k; ++j) {
+    out.on[on_set[j]] = true;
+    // Snap simplex round-off into the box so downstream checks are clean.
+    double li = sol.x[1 + j];
+    if (li < 0.0 && li > -1e-7) li = 0.0;
+    out.loads[on_set[j]] = li;
+  }
+  out.finalize(*model_);
+  return true;
+}
+
 std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
                                              double total_load) const {
   if (on_set.empty()) {
@@ -66,75 +138,11 @@ std::optional<Allocation> LpOptimizer::solve(const std::vector<size_t>& on_set,
     }
   }
 
-  // Variables: x[0] = T_ac, x[1..k] = loads of on_set machines, all >= 0.
-  // (T_ac >= 0 is implied; the explicit t_ac_min bound dominates it for any
-  // physically meaningful model.)
-  const size_t k = on_set.size();
-  LpProblem lp(1 + k);
-
-  // Objective: minimize IT power + cooling power. Constant terms (w2 sums,
-  // cfac * t_sp_ref, fan) are added back after solving.
-  lp.set_objective(0, -model_->cooler.cfac);
-  for (size_t j = 0; j < k; ++j) {
-    lp.set_objective(1 + j, model_->machines[on_set[j]].power.w1);
-  }
-
-  // Load conservation.
-  {
-    std::vector<double> row(1 + k, 0.0);
-    for (size_t j = 0; j < k; ++j) row[1 + j] = 1.0;
-    lp.add_equality(std::move(row), total_load);
-  }
-
-  // Temperature ceilings: alpha*T_ac + beta*w1*L <= T_max - gamma - beta*w2.
-  for (size_t j = 0; j < k; ++j) {
-    const MachineModel& m = model_->machines[on_set[j]];
-    std::vector<double> row(1 + k, 0.0);
-    row[0] = m.thermal.alpha;
-    row[1 + j] = m.thermal.beta * m.power.w1;
-    lp.add_less_equal(std::move(row),
-                      model_->t_max - m.thermal.gamma - m.thermal.beta * m.power.w2);
-  }
-
-  // Capacity bounds and T_ac range.
-  for (size_t j = 0; j < k; ++j) {
-    lp.add_upper_bound(1 + j, model_->machines[on_set[j]].capacity);
-  }
-  lp.add_upper_bound(0, model_->t_ac_max);
-  lp.add_lower_bound(0, model_->t_ac_min);
-
-  obs::ScopedTimer timer(obs::maybe_histogram("optimizer.lp.solve_us"));
-  const LpSolution sol = solve_lp(lp);
-  const bool feasible = sol.status == LpStatus::kOptimal;
-
-  obs::count("optimizer.lp.solves");
-  if (!feasible) obs::count("optimizer.lp.infeasible");
-  obs::observe("optimizer.lp.iterations", static_cast<double>(sol.iterations));
-  double residual = 0.0;
-  if ((obs::metrics() != nullptr || obs::trace() != nullptr) && feasible) {
-    residual = lp_residual(*model_, on_set, total_load, sol);
-    obs::observe("optimizer.lp.kkt_residual", residual);
-  }
-  if (obs::RunTrace* tr = obs::trace()) {
-    tr->record_solve(obs::SolveSample{"lp", static_cast<uint64_t>(k),
-                                      static_cast<uint64_t>(sol.iterations),
-                                      timer.elapsed_us(), feasible, residual});
-  }
-
-  if (!feasible) return std::nullopt;
-
+  LpWorkspace ws;
   Allocation alloc;
-  alloc.loads.assign(model_->size(), 0.0);
-  alloc.on.assign(model_->size(), false);
-  alloc.t_ac = sol.x[0];
-  for (size_t j = 0; j < k; ++j) {
-    alloc.on[on_set[j]] = true;
-    // Snap simplex round-off into the box so downstream checks are clean.
-    double li = sol.x[1 + j];
-    if (li < 0.0 && li > -1e-7) li = 0.0;
-    alloc.loads[on_set[j]] = li;
+  if (!solve_into(on_set.data(), on_set.size(), total_load, ws, alloc)) {
+    return std::nullopt;
   }
-  alloc.finalize(*model_);
   return alloc;
 }
 

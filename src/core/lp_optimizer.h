@@ -19,8 +19,23 @@
 
 #include "core/allocation.h"
 #include "core/model.h"
+#include "core/simplex.h"
 
 namespace coolopt::core {
+
+/// Reusable storage for one LP fallback solve: the problem rows, the simplex
+/// tableau, and the solution vector, all grow-only. One lives in each
+/// thread's SolveScratch so warm LP fallbacks never touch the heap.
+struct LpWorkspace {
+  LpProblem problem{1};
+  SimplexWorkspace tableau;
+  LpSolution solution;
+
+  size_t bytes() const {
+    return problem.bytes() + tableau.bytes() +
+           solution.x.capacity() * sizeof(double);
+  }
+};
 
 class LpOptimizer {
  public:
@@ -38,6 +53,14 @@ class LpOptimizer {
   /// be met even at t_ac_min).
   std::optional<Allocation> solve(const std::vector<size_t>& on_set,
                                   double total_load) const;
+
+  /// Zero-allocation form: builds the LP in `ws`, solves it with the
+  /// workspace tableau, and writes the allocation into `out` (buffers
+  /// reused). Skips the duplicate/range validation — engine subsets are
+  /// valid by construction. Returns false when infeasible (`out` is then
+  /// unspecified). Bit-for-bit the solve() result.
+  bool solve_into(const size_t* on_set, size_t count, double total_load,
+                  LpWorkspace& ws, Allocation& out) const;
 
   std::optional<Allocation> solve_all(double total_load) const;
 

@@ -73,6 +73,33 @@ bool RoomModel::uniform_w1(double rel_tol) const {
   return true;
 }
 
+RoomSoA RoomSoA::from(const RoomModel& model) {
+  RoomSoA soa;
+  const size_t n = model.size();
+  soa.w1.resize(n);
+  soa.w2.resize(n);
+  soa.alpha.resize(n);
+  soa.beta.resize(n);
+  soa.gamma.resize(n);
+  soa.capacity.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const MachineModel& m = model.machines[i];
+    soa.w1[i] = m.power.w1;
+    soa.w2[i] = m.power.w2;
+    soa.alpha[i] = m.thermal.alpha;
+    soa.beta[i] = m.thermal.beta;
+    soa.gamma[i] = m.thermal.gamma;
+    soa.capacity[i] = m.capacity;
+  }
+  return soa;
+}
+
+size_t RoomSoA::bytes() const {
+  return (w1.capacity() + w2.capacity() + alpha.capacity() + beta.capacity() +
+          gamma.capacity() + capacity.capacity()) *
+         sizeof(double);
+}
+
 bool RoomModel::uniform_w2(double rel_tol) const {
   if (machines.empty()) return true;
   const double ref = machines.front().power.w2;

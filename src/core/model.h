@@ -112,6 +112,28 @@ struct RoomModel {
   bool uniform_w2(double rel_tol = 1e-6) const;
 };
 
+/// Structure-of-arrays mirror of RoomModel::machines: one contiguous array
+/// per coefficient, holding the exact doubles of the source structs. The
+/// hot aggregation loops (Eq. 19/21/22 sums, LP row builds, peak-temperature
+/// scans) read these flat blocks instead of striding through 72-byte
+/// MachineModel records, which is what lets them autovectorize. The AoS
+/// structs stay the authoritative view; a RoomSoA is derived once per model
+/// and never mutated, so SoA-based results are bit-for-bit what the struct
+/// walk computes.
+struct RoomSoA {
+  std::vector<double> w1;        ///< PowerModel::w1
+  std::vector<double> w2;        ///< PowerModel::w2
+  std::vector<double> alpha;     ///< ThermalCoeffs::alpha
+  std::vector<double> beta;      ///< ThermalCoeffs::beta
+  std::vector<double> gamma;     ///< ThermalCoeffs::gamma
+  std::vector<double> capacity;  ///< MachineModel::capacity
+
+  static RoomSoA from(const RoomModel& model);
+  size_t size() const { return w1.size(); }
+  /// Resident heap footprint — feeds the engine.alloc_bytes gauge.
+  size_t bytes() const;
+};
+
 /// The solver stack shares one immutable model instead of copying it into
 /// every optimizer (the model is fitted once and never mutated between
 /// replans).

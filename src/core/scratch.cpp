@@ -1,0 +1,36 @@
+#include "core/scratch.h"
+
+namespace coolopt::core {
+namespace {
+
+size_t allocation_bytes(const Allocation& a) {
+  return a.loads.capacity() * sizeof(double) + a.on.capacity() / 8;
+}
+
+size_t plan_bytes(const Plan& p) { return allocation_bytes(p.allocation); }
+
+}  // namespace
+
+size_t SolveScratch::bytes() const {
+  size_t b = (allowed.capacity() + order.capacity() + capacity_order.capacity() +
+              idle_order.capacity() + subset.capacity() +
+              memo_on_set.capacity()) *
+                 sizeof(size_t) +
+             quarantined_mask.capacity() + mask.capacity();
+  b += ranked.capacity() * sizeof(ConsolidationChoice);
+  for (const ConsolidationChoice& c : ranked) {
+    b += c.on_set.capacity() * sizeof(size_t);
+  }
+  b += allocation_bytes(best_alloc) + allocation_bytes(trial_alloc);
+  b += plan_bytes(plan_a) + plan_bytes(plan_b);
+  b += allocation_bytes(cf.allocation) + cf.mu.capacity() * sizeof(double);
+  b += lp.bytes();
+  return b;
+}
+
+SolveScratch& SolveScratch::local() {
+  thread_local SolveScratch scratch;
+  return scratch;
+}
+
+}  // namespace coolopt::core

@@ -1,0 +1,62 @@
+// SolveScratch — the per-thread arena behind the zero-allocation solve path.
+//
+// Every buffer the engine's dispatch loop historically materialized per
+// call (quarantine masks, filtered sort orders, probe subsets, the
+// consolidation ranking, closed-form and LP workspaces, bisection plan
+// slots) lives here instead, grow-only: a buffer is cleared and refilled
+// in place, never shrunk, so once a scratch has seen the largest request
+// shape it will ever serve, subsequent solves perform no heap allocation
+// at all. PlanEngine::solve() uses the calling thread's scratch
+// (SolveScratch::local()); solve_batch workers each use their own, so the
+// arena is never shared across threads and needs no locking.
+//
+// The arena only changes WHERE intermediates live, never WHAT is computed:
+// every consumer funnels through the same `_into` entry points the
+// allocating convenience wrappers call, so plans are bit-for-bit identical
+// with or without a warm scratch (pinned by the determinism suites).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/closed_form.h"
+#include "core/consolidation_table.h"
+#include "core/lp_optimizer.h"
+#include "core/scenario.h"
+
+namespace coolopt::core {
+
+struct SolveScratch {
+  // --- solve()-level buffers ---
+  std::vector<size_t> allowed;          ///< surviving machines (quarantines)
+  std::vector<char> quarantined_mask;   ///< 1 = quarantined
+  // --- compute_plan-level buffers ---
+  std::vector<char> mask;               ///< 1 = allowed (restricted solves)
+  std::vector<size_t> order;            ///< filtered coolness order
+  std::vector<size_t> capacity_order;   ///< filtered capacity-descending
+  std::vector<size_t> idle_order;       ///< filtered idle-draw ascending
+  std::vector<size_t> subset;           ///< heuristic probe subset
+  std::vector<size_t> memo_on_set;      ///< memo fast-path head subset
+  /// Consolidation ranking (grow-only; rank_all_k_into count is transient).
+  std::vector<ConsolidationChoice> ranked;
+  // --- solver workspaces and result slots ---
+  Allocation best_alloc;   ///< incumbent of the candidate walk
+  Allocation trial_alloc;  ///< probe under evaluation (swapped on improve)
+  Plan plan_a;             ///< bisection backoff: best feasible plan
+  Plan plan_b;             ///< bisection backoff: probe slot
+  ClosedFormResult cf;
+  LpWorkspace lp;
+
+  /// Resident heap footprint of the arena (capacities, not sizes) —
+  /// exported as the `engine.alloc_bytes` gauge after each solve.
+  size_t bytes() const;
+
+  /// The calling thread's scratch (thread_local; created on first use,
+  /// freed at thread exit). ThreadPool workers and serial callers each get
+  /// their own, which is what makes the zero-allocation property hold
+  /// without any synchronization.
+  static SolveScratch& local();
+};
+
+}  // namespace coolopt::core

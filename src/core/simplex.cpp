@@ -12,18 +12,25 @@ constexpr double kEps = 1e-9;
 
 /// Dense simplex tableau over the standard-form problem
 ///   min c.x  s.t.  A x = b (b >= 0), x >= 0
-/// with an explicit basis; used for both phases.
+/// with an explicit basis; used for both phases. Storage is borrowed from
+/// the caller's SimplexWorkspace (grow-only, zeroed here), so repeated
+/// solves of same-shaped problems never allocate.
 class Tableau {
  public:
-  Tableau(size_t rows, size_t cols)
-      : b_(rows, 0.0), c_(cols, 0.0), basis_(rows, SIZE_MAX), rows_(rows),
-        cols_(cols), a_(rows * cols, 0.0) {}
+  Tableau(size_t rows, size_t cols, SimplexWorkspace& ws)
+      : b_(ws.b), c_(ws.c), basis_(ws.basis), rows_(rows), cols_(cols),
+        a_(ws.a) {
+    a_.assign(rows * cols, 0.0);
+    b_.assign(rows, 0.0);
+    c_.assign(cols, 0.0);
+    basis_.assign(rows, SIZE_MAX);
+  }
 
   double& a(size_t r, size_t c) { return a_[r * cols_ + c]; }
   double a(size_t r, size_t c) const { return a_[r * cols_ + c]; }
-  std::vector<double> b_;
-  std::vector<double> c_;
-  std::vector<size_t> basis_;
+  std::vector<double>& b_;
+  std::vector<double>& c_;
+  std::vector<size_t>& basis_;
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -94,17 +101,10 @@ class Tableau {
     basis_[row] = col;
   }
 
-  /// Objective value of the current basic solution (for the priced-out c).
-  double objective_value(const std::vector<double>& original_c) const {
-    double v = 0.0;
-    for (size_t r = 0; r < rows_; ++r) v += original_c[basis_[r]] * b_[r];
-    return v;
-  }
-
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> a_;
+  std::vector<double>& a_;
   double obj_shift_ = 0.0;
   size_t pivots_ = 0;
 };
@@ -116,6 +116,16 @@ LpProblem::LpProblem(size_t num_vars)
   if (num_vars == 0) throw std::invalid_argument("LpProblem: need >= 1 variable");
 }
 
+void LpProblem::reset(size_t num_vars) {
+  if (num_vars == 0) throw std::invalid_argument("LpProblem: need >= 1 variable");
+  num_vars_ = num_vars;
+  objective_.assign(num_vars, 0.0);
+  eq_coeffs_.clear();
+  eq_rhs_.clear();
+  le_coeffs_.clear();
+  le_rhs_.clear();
+}
+
 void LpProblem::set_objective(size_t j, double c) { objective_.at(j) = c; }
 
 void LpProblem::check_row(const std::vector<double>& coeffs) const {
@@ -124,32 +134,58 @@ void LpProblem::check_row(const std::vector<double>& coeffs) const {
   }
 }
 
-void LpProblem::add_equality(std::vector<double> coeffs, double rhs) {
-  check_row(coeffs);
-  equalities_.push_back(Row{std::move(coeffs), rhs});
+double* LpProblem::add_equality_row(double rhs) {
+  eq_coeffs_.resize(eq_coeffs_.size() + num_vars_, 0.0);
+  eq_rhs_.push_back(rhs);
+  return eq_coeffs_.data() + eq_coeffs_.size() - num_vars_;
 }
 
-void LpProblem::add_less_equal(std::vector<double> coeffs, double rhs) {
-  check_row(coeffs);
-  inequalities_.push_back(Row{std::move(coeffs), rhs});
+double* LpProblem::add_less_equal_row(double rhs) {
+  le_coeffs_.resize(le_coeffs_.size() + num_vars_, 0.0);
+  le_rhs_.push_back(rhs);
+  return le_coeffs_.data() + le_coeffs_.size() - num_vars_;
 }
 
-void LpProblem::add_greater_equal(std::vector<double> coeffs, double rhs) {
+void LpProblem::add_equality(const std::vector<double>& coeffs, double rhs) {
   check_row(coeffs);
-  for (double& c : coeffs) c = -c;
-  inequalities_.push_back(Row{std::move(coeffs), -rhs});
+  double* row = add_equality_row(rhs);
+  std::copy(coeffs.begin(), coeffs.end(), row);
+}
+
+void LpProblem::add_less_equal(const std::vector<double>& coeffs, double rhs) {
+  check_row(coeffs);
+  double* row = add_less_equal_row(rhs);
+  std::copy(coeffs.begin(), coeffs.end(), row);
+}
+
+void LpProblem::add_greater_equal(const std::vector<double>& coeffs, double rhs) {
+  check_row(coeffs);
+  double* row = add_less_equal_row(-rhs);
+  for (size_t j = 0; j < num_vars_; ++j) row[j] = -coeffs[j];
 }
 
 void LpProblem::add_upper_bound(size_t j, double ub) {
-  std::vector<double> row(num_vars_, 0.0);
-  row.at(j) = 1.0;
-  add_less_equal(std::move(row), ub);
+  if (j >= num_vars_) throw std::out_of_range("LpProblem: bound index");
+  double* row = add_less_equal_row(ub);
+  row[j] = 1.0;
 }
 
 void LpProblem::add_lower_bound(size_t j, double lb) {
-  std::vector<double> row(num_vars_, 0.0);
-  row.at(j) = 1.0;
-  add_greater_equal(std::move(row), lb);
+  if (j >= num_vars_) throw std::out_of_range("LpProblem: bound index");
+  double* row = add_less_equal_row(-lb);
+  row[j] = -1.0;
+}
+
+size_t LpProblem::bytes() const {
+  return (objective_.capacity() + eq_coeffs_.capacity() + eq_rhs_.capacity() +
+          le_coeffs_.capacity() + le_rhs_.capacity()) *
+         sizeof(double);
+}
+
+size_t SimplexWorkspace::bytes() const {
+  return (a.capacity() + b.capacity() + c.capacity() + full_c.capacity()) *
+             sizeof(double) +
+         basis.capacity() * sizeof(size_t);
 }
 
 const char* to_string(LpStatus status) {
@@ -161,30 +197,39 @@ const char* to_string(LpStatus status) {
   return "?";
 }
 
-LpSolution solve_lp(const LpProblem& problem) {
+void solve_lp_into(const LpProblem& problem, SimplexWorkspace& ws,
+                   LpSolution& out) {
   const size_t n = problem.num_vars();
-  const size_t n_eq = problem.equalities().size();
-  const size_t n_le = problem.inequalities().size();
+  const size_t n_eq = problem.equality_count();
+  const size_t n_le = problem.inequality_count();
   const size_t m = n_eq + n_le;
+  out.objective = 0.0;
+  out.iterations = 0;
   if (m == 0) {
     // x >= 0 only: bounded iff all objective coefficients >= 0; optimum at 0.
     for (const double c : problem.objective()) {
-      if (c < -kEps) return LpSolution{LpStatus::kUnbounded, {}, 0.0};
+      if (c < -kEps) {
+        out.status = LpStatus::kUnbounded;
+        out.x.clear();
+        return;
+      }
     }
-    return LpSolution{LpStatus::kOptimal, std::vector<double>(n, 0.0), 0.0};
+    out.status = LpStatus::kOptimal;
+    out.x.assign(n, 0.0);
+    return;
   }
 
   // Columns: n structural + n_le slacks + m artificials.
   const size_t slack0 = n;
   const size_t art0 = n + n_le;
   const size_t cols = n + n_le + m;
-  Tableau t(m, cols);
+  Tableau t(m, cols, ws);
 
   size_t row = 0;
-  auto load_row = [&](const LpProblem::Row& src, long slack_col) {
-    double sign = src.rhs < 0.0 ? -1.0 : 1.0;
-    for (size_t j = 0; j < n; ++j) t.a(row, j) = sign * src.coeffs[j];
-    t.b_[row] = sign * src.rhs;
+  auto load_row = [&](const double* coeffs, double rhs, long slack_col) {
+    double sign = rhs < 0.0 ? -1.0 : 1.0;
+    for (size_t j = 0; j < n; ++j) t.a(row, j) = sign * coeffs[j];
+    t.b_[row] = sign * rhs;
     if (slack_col >= 0) t.a(row, static_cast<size_t>(slack_col)) = sign * 1.0;
     // Artificial always added so phase 1 has a trivial starting basis. If a
     // slack has +1 coefficient it could serve as the basic var, but using
@@ -193,22 +238,33 @@ LpSolution solve_lp(const LpProblem& problem) {
     t.basis_[row] = art0 + row;
     ++row;
   };
-  for (const auto& eq : problem.equalities()) load_row(eq, -1);
+  for (size_t i = 0; i < n_eq; ++i) {
+    load_row(problem.equality_coeffs(i), problem.equality_rhs(i), -1);
+  }
   for (size_t i = 0; i < n_le; ++i) {
-    load_row(problem.inequalities()[i], static_cast<long>(slack0 + i));
+    load_row(problem.inequality_coeffs(i), problem.inequality_rhs(i),
+             static_cast<long>(slack0 + i));
   }
 
   // Phase 1: minimize sum of artificials.
   for (size_t j = art0; j < cols; ++j) t.c_[j] = 1.0;
   if (!t.optimize()) {
     // Phase-1 objective is bounded below by 0; unbounded cannot happen.
-    return LpSolution{LpStatus::kInfeasible, {}, 0.0, t.pivots()};
+    out.status = LpStatus::kInfeasible;
+    out.x.clear();
+    out.iterations = t.pivots();
+    return;
   }
   double phase1 = 0.0;
   for (size_t r = 0; r < m; ++r) {
     if (t.basis_[r] >= art0) phase1 += t.b_[r];
   }
-  if (phase1 > 1e-7) return LpSolution{LpStatus::kInfeasible, {}, 0.0, t.pivots()};
+  if (phase1 > 1e-7) {
+    out.status = LpStatus::kInfeasible;
+    out.x.clear();
+    out.iterations = t.pivots();
+    return;
+  }
 
   // Drive any residual (degenerate) artificials out of the basis.
   for (size_t r = 0; r < m; ++r) {
@@ -230,23 +286,33 @@ LpSolution solve_lp(const LpProblem& problem) {
 
   // Phase 2: original objective; artificials get a large cost so they never
   // re-enter (they are at 0, so the optimum is unaffected).
-  std::vector<double> full_c(cols, 0.0);
-  for (size_t j = 0; j < n; ++j) full_c[j] = problem.objective()[j];
+  ws.full_c.assign(cols, 0.0);
+  for (size_t j = 0; j < n; ++j) ws.full_c[j] = problem.objective()[j];
   double big = 1.0;
   for (const double c : problem.objective()) big += std::abs(c);
-  for (size_t j = art0; j < cols; ++j) full_c[j] = 1e6 * big;
-  t.c_ = full_c;
-  if (!t.optimize()) return LpSolution{LpStatus::kUnbounded, {}, 0.0, t.pivots()};
-
-  LpSolution sol;
-  sol.status = LpStatus::kOptimal;
-  sol.iterations = t.pivots();
-  sol.x.assign(n, 0.0);
-  for (size_t r = 0; r < m; ++r) {
-    if (t.basis_[r] < n) sol.x[t.basis_[r]] = t.b_[r];
+  for (size_t j = art0; j < cols; ++j) ws.full_c[j] = 1e6 * big;
+  t.c_.assign(ws.full_c.begin(), ws.full_c.end());
+  if (!t.optimize()) {
+    out.status = LpStatus::kUnbounded;
+    out.x.clear();
+    out.iterations = t.pivots();
+    return;
   }
-  sol.objective = 0.0;
-  for (size_t j = 0; j < n; ++j) sol.objective += problem.objective()[j] * sol.x[j];
+
+  out.status = LpStatus::kOptimal;
+  out.iterations = t.pivots();
+  out.x.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (t.basis_[r] < n) out.x[t.basis_[r]] = t.b_[r];
+  }
+  out.objective = 0.0;
+  for (size_t j = 0; j < n; ++j) out.objective += problem.objective()[j] * out.x[j];
+}
+
+LpSolution solve_lp(const LpProblem& problem) {
+  SimplexWorkspace ws;
+  LpSolution sol;
+  solve_lp_into(problem, ws, sol);
   return sol;
 }
 

@@ -13,6 +13,12 @@
 //
 // Problems here have tens of variables/constraints; a dense tableau with
 // Bland's anti-cycling rule is simple, exact enough, and fast.
+//
+// Storage discipline: LpProblem keeps its rows in flat (row-major) arrays
+// and is reusable via reset(), and solve_lp_into() borrows its tableau from
+// a caller-owned SimplexWorkspace — together the warm solve path builds and
+// solves an LP without touching the heap (core/scratch.h owns one workspace
+// per thread). solve_lp() remains the convenience one-shot form.
 #pragma once
 
 #include <cstddef>
@@ -26,34 +32,53 @@ class LpProblem {
  public:
   explicit LpProblem(size_t num_vars);
 
+  /// Reuses the row/objective storage for a fresh problem of `num_vars`
+  /// variables: clears every row but keeps the heap capacity, so rebuilding
+  /// a same-shaped problem allocates nothing.
+  void reset(size_t num_vars);
+
   size_t num_vars() const { return num_vars_; }
 
   /// Sets the objective coefficient of variable j.
   void set_objective(size_t j, double c);
 
-  void add_equality(std::vector<double> coeffs, double rhs);
-  void add_less_equal(std::vector<double> coeffs, double rhs);
-  void add_greater_equal(std::vector<double> coeffs, double rhs);
+  void add_equality(const std::vector<double>& coeffs, double rhs);
+  void add_less_equal(const std::vector<double>& coeffs, double rhs);
+  void add_greater_equal(const std::vector<double>& coeffs, double rhs);
+
+  /// Appends a zero-filled row and returns its coefficient block (width
+  /// num_vars) for in-place filling — the allocation-free builder path.
+  double* add_equality_row(double rhs);
+  double* add_less_equal_row(double rhs);
 
   /// Convenience: lower/upper bound on a single variable (on top of x >= 0).
   void add_upper_bound(size_t j, double ub);
   void add_lower_bound(size_t j, double lb);
 
-  struct Row {
-    std::vector<double> coeffs;
-    double rhs = 0.0;
-  };
   const std::vector<double>& objective() const { return objective_; }
-  const std::vector<Row>& equalities() const { return equalities_; }
-  const std::vector<Row>& inequalities() const { return inequalities_; }
+  size_t equality_count() const { return eq_rhs_.size(); }
+  size_t inequality_count() const { return le_rhs_.size(); }
+  const double* equality_coeffs(size_t r) const {
+    return eq_coeffs_.data() + r * num_vars_;
+  }
+  double equality_rhs(size_t r) const { return eq_rhs_[r]; }
+  const double* inequality_coeffs(size_t r) const {
+    return le_coeffs_.data() + r * num_vars_;
+  }
+  double inequality_rhs(size_t r) const { return le_rhs_[r]; }
+
+  /// Resident heap footprint (capacity, not size) — feeds engine.alloc_bytes.
+  size_t bytes() const;
 
  private:
   void check_row(const std::vector<double>& coeffs) const;
 
   size_t num_vars_;
   std::vector<double> objective_;
-  std::vector<Row> equalities_;
-  std::vector<Row> inequalities_;
+  std::vector<double> eq_coeffs_;  // row-major, stride num_vars_
+  std::vector<double> eq_rhs_;
+  std::vector<double> le_coeffs_;  // row-major, stride num_vars_
+  std::vector<double> le_rhs_;
 };
 
 enum class LpStatus {
@@ -73,8 +98,24 @@ struct LpSolution {
   size_t iterations = 0;
 };
 
+/// Grow-only tableau storage reused across solve_lp_into() calls.
+struct SimplexWorkspace {
+  std::vector<double> a;       // rows * cols, row-major
+  std::vector<double> b;
+  std::vector<double> c;
+  std::vector<double> full_c;  // phase-2 priced objective
+  std::vector<size_t> basis;
+
+  size_t bytes() const;
+};
+
 /// Solves the LP. Deterministic; terminates on degenerate problems
 /// (Bland's rule). Tolerance ~1e-9 on feasibility/optimality.
 LpSolution solve_lp(const LpProblem& problem);
+
+/// Identical algorithm and results, but the tableau lives in `ws` and the
+/// solution is written into `out` (x reused in place) — no allocation once
+/// both have grown to the problem's shape.
+void solve_lp_into(const LpProblem& problem, SimplexWorkspace& ws, LpSolution& out);
 
 }  // namespace coolopt::core

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/scratch.h"
 #include "obs/obs.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -75,13 +76,17 @@ const std::vector<FleetEngine::ShardFrontier>& FleetEngine::frontiers_for(
     const double cap = topology_.shards[shard].model->total_capacity();
     std::vector<FrontierPoint> points;
     points.reserve(samples + 1);
+    // One request/result pair reused across the whole sweep: every sample
+    // after the first refills the previous PlanResult's buffers in place
+    // through the engine's warm scratch path instead of materializing a
+    // fresh result per load level.
+    core::PlanRequest req(s, 0.0);
+    core::PlanResult r;
     for (size_t j = 0; j <= samples; ++j) {
-      const double target =
-          cap * static_cast<double>(j) / static_cast<double>(samples);
-      const core::PlanResult r =
-          engines_[shard]->solve(core::PlanRequest(s, target));
+      req.load = cap * static_cast<double>(j) / static_cast<double>(samples);
+      engines_[shard]->solve_into(req, core::SolveScratch::local(), r);
       if (!r.plan) continue;
-      points.push_back(FrontierPoint{target - r.shed_load,
+      points.push_back(FrontierPoint{req.load - r.shed_load,
                                      r.plan->allocation.total_power_w});
     }
     std::sort(points.begin(), points.end(),
@@ -238,7 +243,8 @@ FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
     core::PlanRequest req(request.scenario, out.shard_loads[s], quarantined[s]);
     req.shard = static_cast<int>(s);
     try {
-      out.shard_results[s] = engines_[s]->solve(req);
+      engines_[s]->solve_into(req, core::SolveScratch::local(),
+                              out.shard_results[s]);
     } catch (const std::exception& e) {
       out.shard_results[s] = core::PlanResult{};
       out.shard_results[s].shard = static_cast<int>(s);

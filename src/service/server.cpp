@@ -14,6 +14,7 @@
 
 #include "control/fault_campaign.h"
 #include "core/scenario.h"
+#include "core/scratch.h"
 #include "obs/obs.h"
 #include "sim/fault_scheduler.h"
 #include "util/strings.h"
@@ -437,8 +438,14 @@ std::string PlanningService::handle_request(const WireRequest& request) {
       core::PlanRequest plan_request(core::Scenario::by_number(request.scenario),
                                      load, request.quarantined);
       try {
-        return encode_plan_response(request.id,
-                                    plan_engine_->solve(plan_request));
+        // Pool workers are long-lived, so each keeps one PlanResult slot
+        // (plus its SolveScratch) warm across requests: a steady stream of
+        // plan queries reuses the same buffers instead of allocating a
+        // result per request.
+        thread_local core::PlanResult slot;
+        plan_engine_->solve_into(plan_request, core::SolveScratch::local(),
+                                 slot);
+        return encode_plan_response(request.id, slot);
       } catch (const std::invalid_argument& e) {
         return encode_error(request.id, Verb::kPlan, kErrInvalidArgument,
                             e.what());

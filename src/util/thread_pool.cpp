@@ -3,9 +3,7 @@
 #include "util/log.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
-#include <memory>
 #include <utility>
 
 namespace coolopt::util {
@@ -62,15 +60,44 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  // Each worker remembers the last parallel_for generation it served so a
+  // single notify_all can wake every worker exactly once per range.
+  uint64_t last_pf_gen = 0;
   for (;;) {
     std::function<void()> job;
+    const std::function<void(size_t)>* pf_fn = nullptr;
+    size_t pf_count = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ with a drained queue
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
+      work_cv_.wait(lock, [&] {
+        return stopping_ || !queue_.empty() ||
+               (pf_fn_ != nullptr && pf_gen_ != last_pf_gen);
+      });
+      if (pf_fn_ != nullptr && pf_gen_ != last_pf_gen) {
+        // Join the active range. The membership count is taken under the
+        // lock, so the caller cannot observe completion (and retire pf_fn_)
+        // while this worker is inside.
+        last_pf_gen = pf_gen_;
+        ++pf_workers_inside_;
+        pf_fn = pf_fn_;
+        pf_count = pf_count_;
+      } else if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        ++in_flight_;
+      } else {
+        return;  // stopping_ with a drained queue and no pending range
+      }
+    }
+    if (pf_fn != nullptr) {
+      pf_run_range(*pf_fn, pf_count);
+      std::unique_lock<std::mutex> lock(mu_);
+      --pf_workers_inside_;
+      if (pf_workers_inside_ == 0 &&
+          pf_cursor_.load(std::memory_order_relaxed) >= pf_count_) {
+        pf_done_cv_.notify_all();
+      }
+      continue;
     }
     try {
       job();
@@ -93,40 +120,60 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(size_t count, const std::function<void(size_t)>& fn) {
-  if (count == 0) return;
-
-  // One logical task per index, pulled off a shared cursor so a slow task
-  // does not serialize the tail behind it. The first failing index (task
-  // order, not completion order — deterministic) keeps its exception.
-  auto cursor = std::make_shared<std::atomic<size_t>>(0);
-  auto first_error_index =
-      std::make_shared<std::atomic<size_t>>(std::numeric_limits<size_t>::max());
-  auto errors = std::make_shared<std::vector<std::exception_ptr>>(count);
-
-  const size_t lanes = std::min(count, worker_count());
-  for (size_t lane = 0; lane < lanes; ++lane) {
-    submit([cursor, first_error_index, errors, count, &fn] {
-      for (;;) {
-        const size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        try {
-          fn(i);
-        } catch (...) {
-          (*errors)[i] = std::current_exception();
-          size_t prev = first_error_index->load(std::memory_order_relaxed);
-          while (i < prev && !first_error_index->compare_exchange_weak(
-                                 prev, i, std::memory_order_relaxed)) {
-          }
-        }
+void ThreadPool::pf_run_range(const std::function<void(size_t)>& fn,
+                              size_t count) {
+  for (;;) {
+    const size_t i = pf_cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      fn(i);
+    } catch (...) {
+      pf_errors_[i] = std::current_exception();
+      size_t prev = pf_first_error_.load(std::memory_order_relaxed);
+      while (i < prev && !pf_first_error_.compare_exchange_weak(
+                             prev, i, std::memory_order_relaxed)) {
       }
-    });
+    }
   }
-  wait_idle();
+}
 
-  const size_t bad = first_error_index->load(std::memory_order_relaxed);
+void ThreadPool::parallel_for(size_t count,
+                              const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  std::scoped_lock serial(pf_serial_mu_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (pf_errors_.size() < count) pf_errors_.resize(count);  // grow-only
+    std::fill_n(pf_errors_.begin(), static_cast<long>(count),
+                std::exception_ptr{});
+    pf_first_error_.store(std::numeric_limits<size_t>::max(),
+                          std::memory_order_relaxed);
+    pf_cursor_.store(0, std::memory_order_relaxed);
+    pf_count_ = count;
+    pf_fn_ = &fn;
+    ++pf_gen_;
+  }
+  work_cv_.notify_all();
+
+  // Work the range on the calling thread too: progress never depends on a
+  // worker being free (they may all be deep in raw submit() jobs).
+  pf_run_range(fn, count);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    pf_done_cv_.wait(lock, [this] {
+      return pf_workers_inside_ == 0 &&
+             pf_cursor_.load(std::memory_order_relaxed) >= pf_count_;
+    });
+    // Retire the range inside the same critical section the wait completed
+    // in: a worker acquiring mu_ after this sees a null pf_fn_ and cannot
+    // join a stale generation.
+    pf_fn_ = nullptr;
+  }
+
+  const size_t bad = pf_first_error_.load(std::memory_order_relaxed);
   if (bad != std::numeric_limits<size_t>::max()) {
-    std::rethrow_exception((*errors)[bad]);
+    std::rethrow_exception(std::exchange(pf_errors_[bad], nullptr));
   }
 }
 

@@ -6,10 +6,19 @@
 // caller's thread), and zero cleverness — a mutex + condvar queue is
 // plenty for the "tens of solves per batch" workloads the PlanEngine
 // fans out. Workers are started once and live for the pool's lifetime.
+//
+// parallel_for is additionally allocation-free in steady state: instead of
+// enqueueing per-lane closures, the range is published through persistent
+// members (a generation counter wakes the workers) and indices are pulled
+// off a shared atomic cursor. The only allocations are the grow-only error
+// slot array on the first (or widest) call, and the exception objects
+// themselves when a callback actually throws.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -50,8 +59,12 @@ class ThreadPool {
   void wait_idle();
 
   /// Runs fn(i) for every i in [0, count) across the pool and blocks until
-  /// all complete. If any invocation throws, the first exception (in task
-  /// order) is rethrown here after the whole range has been attempted.
+  /// all complete. The calling thread works the range alongside the
+  /// workers, so progress never depends on a worker being free. If any
+  /// invocation throws, the first exception (in task order, not completion
+  /// order — deterministic) is rethrown here after the whole range has
+  /// been attempted. Concurrent parallel_for calls on one pool serialize
+  /// against each other; raw submit() traffic interleaves freely.
   void parallel_for(size_t count, const std::function<void(size_t)>& fn);
 
   /// Default worker count used when the constructor is passed 0.
@@ -61,6 +74,8 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Pulls indices off pf_cursor_ and runs fn until the range is drained.
+  void pf_run_range(const std::function<void(size_t)>& fn, size_t count);
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: job available / stop
@@ -69,6 +84,18 @@ class ThreadPool {
   size_t in_flight_ = 0;              // dequeued but not yet finished
   std::exception_ptr submit_error_;   // first uncaught raw-job exception
   bool stopping_ = false;
+
+  // --- parallel_for rendezvous (all non-atomics guarded by mu_) ---
+  std::mutex pf_serial_mu_;           // serializes parallel_for callers
+  std::condition_variable pf_done_cv_;
+  const std::function<void(size_t)>* pf_fn_ = nullptr;  // null = no range
+  size_t pf_count_ = 0;
+  uint64_t pf_gen_ = 0;               // bumped per call; wakes stale workers
+  size_t pf_workers_inside_ = 0;      // workers currently running the range
+  std::atomic<size_t> pf_cursor_{0};
+  std::atomic<size_t> pf_first_error_{0};
+  std::vector<std::exception_ptr> pf_errors_;  // grow-only, per-index slots
+
   std::vector<std::thread> workers_;
 };
 

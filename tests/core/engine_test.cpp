@@ -265,6 +265,63 @@ TEST(PlanEngine, CountersTrackBatches) {
   EXPECT_EQ(counters.solves, 4u);
 }
 
+TEST(PlanEngine, MemoPlansMatchMemoOffBitForBit) {
+  // Two engines over the same model: the default (memo on) against a
+  // memo-off twin. Every plan must agree bit-for-bit across the full
+  // determinism sweep — twice, so the second lap runs with a warm cache —
+  // and across quarantined requests (which bypass the memo entirely).
+  const SharedRoomModel model = share_model(uniform_model());
+  PlannerOptions memo_off;
+  memo_off.enable_memo = false;
+  const PlanEngine memoized(model);
+  const PlanEngine walker(model, memo_off);
+
+  std::vector<PlanRequest> requests = sweep_requests(*model);
+  const std::vector<PlanRequest> base = requests;
+  for (PlanRequest r : base) {
+    r.quarantined = {0, 3, 7};
+    requests.push_back(r);
+  }
+
+  for (int lap = 0; lap < 2; ++lap) {
+    SCOPED_TRACE("lap " + std::to_string(lap));
+    for (size_t i = 0; i < requests.size(); ++i) {
+      expect_identical(memoized.solve(requests[i]), walker.solve(requests[i]),
+                       i);
+    }
+  }
+  // The memo-off engine must never touch the cache.
+  EXPECT_EQ(walker.counters().memo_hits, 0u);
+  EXPECT_EQ(walker.counters().memo_misses, 0u);
+}
+
+TEST(PlanEngine, MemoHitsOnRepeatedLoadsAndSkipsRestrictedSolves) {
+  // Capacity headroom keeps the holistic scenario on the pure closed-form
+  // walk, where single-probe winners seed the (k, segment) memo.
+  RoomModel roomy = uniform_model();
+  for (MachineModel& m : roomy.machines) m.capacity *= 3.0;
+  const PlanEngine engine(std::move(roomy));
+  const Scenario holistic = Scenario::by_number(8);
+  const double load = engine.model().total_capacity() * 0.25;
+
+  const PlanResult cold = engine.solve(PlanRequest{holistic, load});
+  const PlanResult warm = engine.solve(PlanRequest{holistic, load});
+  expect_identical(cold, warm, 0);
+  const EngineCounters after_warm = engine.counters();
+  EXPECT_GT(after_warm.memo_hits, 0u);
+
+  // Quarantine restricts the membership set: those solves bypass the memo
+  // in both directions (no lookups, no seeding), so the counters freeze.
+  const PlanRequest restricted{holistic, load, {1, 4}};
+  (void)engine.solve(restricted);
+  (void)engine.solve(restricted);
+  const EngineCounters after_restricted = engine.counters();
+  EXPECT_EQ(after_restricted.memo_hits, after_warm.memo_hits);
+  EXPECT_EQ(after_restricted.memo_misses, after_warm.memo_misses);
+  EXPECT_EQ(after_restricted.memo_segment_fallbacks,
+            after_warm.memo_segment_fallbacks);
+}
+
 TEST(PlanEngine, ZeroLoadWithConsolidationTurnsEverythingOff) {
   const PlanEngine engine(uniform_model());
   const auto result = engine.solve(PlanRequest{Scenario::by_number(8), 0.0});
