@@ -11,6 +11,7 @@
 #include "core/incremental.h"
 #include "core/scratch.h"
 #include "obs/obs.h"
+#include "obs/span.h"
 #include "util/log.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -524,6 +525,11 @@ void PlanEngine::solve_into(const PlanRequest& request, SolveScratch& scr,
   result.shed_load = 0.0;
   result.shed_priority.clear();
   const double t0 = now_us();
+  // Tracing: one serial span covering the whole solve. The context's
+  // record vector is grow-only, so a reused context keeps the warm path
+  // allocation-free (guarded by WarmTracedSolveIsAllocationFree).
+  const int solve_span =
+      request.spans != nullptr ? request.spans->begin("engine.solve") : -1;
 
   // Surviving machine set and its capacity. Demand above the surviving
   // capacity is shed, not an error — only the full-fleet capacity check
@@ -610,6 +616,7 @@ void PlanEngine::solve_into(const PlanRequest& request, SolveScratch& scr,
       }
     }
   }
+  if (solve_span >= 0) request.spans->end(solve_span);
   result.solve_us = now_us() - t0;
 
   counters_.solves.fetch_add(1, std::memory_order_relaxed);

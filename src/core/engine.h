@@ -45,6 +45,10 @@ namespace coolopt::util {
 class ThreadPool;
 }  // namespace coolopt::util
 
+namespace coolopt::obs {
+class SpanContext;
+}  // namespace coolopt::obs
+
 namespace coolopt::core {
 
 class IncrementalConsolidator;
@@ -67,6 +71,12 @@ struct PlanRequest {
   /// plans (set by fleet::FleetEngine when it fans a global target out).
   /// -1 for a plain single-room request; echoed into PlanResult::shard.
   int shard = -1;
+  /// Optional request tracing: when non-null, solve_into() records an
+  /// "engine.solve" span here (the context's serial API, so a request with
+  /// spans attached must be solved from one thread at a time — FleetEngine
+  /// therefore hands its parallel shard sub-requests spans = nullptr and
+  /// pre-opens their slots itself). Never owned; nullptr = untraced.
+  obs::SpanContext* spans = nullptr;
 };
 
 /// Outcome of one request. `error` is non-empty when the request itself was

@@ -7,6 +7,7 @@
 
 #include "core/scratch.h"
 #include "obs/obs.h"
+#include "obs/span.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -211,6 +212,8 @@ FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
   }
 
   const double t0 = now_us();
+  obs::SpanContext* const spans = request.spans;
+  const int fleet_span = spans != nullptr ? spans->begin("fleet.solve") : -1;
 
   // Surviving capacity per shard: the frontier is sampled on the healthy
   // room; quarantines tighten the cap here and are planned exactly by the
@@ -226,7 +229,9 @@ FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
   }
 
   FleetPlanResult out;
+  const int split_span = spans != nullptr ? spans->begin("fleet.split") : -1;
   out.shard_loads = split_load(request.scenario, request.load, caps);
+  if (split_span >= 0) spans->end(split_span);
   out.shard_results.resize(nshards);
 
   util::ThreadPool* pool = nullptr;
@@ -237,11 +242,24 @@ FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
     local.emplace(workers);
     pool = &*local;
   }
+  // Tracing across the fan-out uses pre-opened slots: the context's record
+  // vector is fully sized here, each worker brackets only its own slot, and
+  // the sub-requests carry spans = nullptr (the serial API is not safe
+  // under parallel_for). Record order stays deterministic (slot order).
+  std::vector<int> shard_spans;
+  if (spans != nullptr) {
+    shard_spans.resize(nshards);
+    for (size_t s = 0; s < nshards; ++s) {
+      shard_spans[s] = spans->open_slot("shard.engine.solve", fleet_span,
+                                        static_cast<int64_t>(s));
+    }
+  }
   // Index-addressed slots + per-shard immutable engines: the schedule
   // cannot change a byte of the merged result.
   pool->parallel_for(nshards, [&](size_t s) {
     core::PlanRequest req(request.scenario, out.shard_loads[s], quarantined[s]);
     req.shard = static_cast<int>(s);
+    if (spans != nullptr) spans->slot_begin(shard_spans[s]);
     try {
       engines_[s]->solve_into(req, core::SolveScratch::local(),
                               out.shard_results[s]);
@@ -250,6 +268,7 @@ FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
       out.shard_results[s].shard = static_cast<int>(s);
       out.shard_results[s].error = e.what();
     }
+    if (spans != nullptr) spans->slot_end(shard_spans[s]);
   });
 
   double assigned = 0.0;
@@ -261,6 +280,7 @@ FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
     if (r.plan) out.total_power_w += r.plan->allocation.total_power_w;
     out.shed_load += r.shed_load;
   }
+  if (fleet_span >= 0) spans->end(fleet_span);
   out.solve_us = now_us() - t0;
 
   solves_.fetch_add(1, std::memory_order_relaxed);

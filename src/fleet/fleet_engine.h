@@ -54,6 +54,12 @@ struct FleetPlanRequest {
   /// Machines the planner must leave OFF, addressed as (shard, machine).
   /// Out-of-range indices throw, naming the offending shard.
   std::vector<ShardMachine> quarantined;
+  /// Optional request tracing: when non-null, solve() records a
+  /// "fleet.solve" span with a "fleet.split" child and one
+  /// "shard.engine.solve" slot per shard (detail = shard index). Slots are
+  /// pre-opened before the parallel fan-out, so shard workers never mutate
+  /// the context structure concurrently. Never owned; nullptr = untraced.
+  obs::SpanContext* spans = nullptr;
 };
 
 /// Deterministic merge of the per-shard results.

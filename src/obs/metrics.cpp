@@ -67,7 +67,18 @@ HistogramSnapshot Histogram::snapshot() const {
     s.min = count_ > 0 ? min_ : 0.0;
     s.max = count_ > 0 ? max_ : 0.0;
     s.mean = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
-    sorted = samples_;
+    const size_t n = samples_.size();
+    if (n <= kPercentileBudget) {
+      sorted = samples_;
+    } else {
+      // Deterministic stride subsample: bounds the copy (under the lock,
+      // where observers wait) and the sort below to kPercentileBudget
+      // elements. The broadcaster snapshots every registry histogram once
+      // per tick interval, so this cost is on the streaming steady state.
+      const size_t stride = (n + kPercentileBudget - 1) / kPercentileBudget;
+      sorted.reserve((n + stride - 1) / stride);
+      for (size_t i = 0; i < n; i += stride) sorted.push_back(samples_[i]);
+    }
   }
   if (!sorted.empty()) {
     std::sort(sorted.begin(), sorted.end());
@@ -83,6 +94,16 @@ HistogramSnapshot Histogram::snapshot() const {
     s.p99 = at(99.0);
   }
   return s;
+}
+
+void Histogram::reset_window() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();  // keeps capacity for the next window
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  lcg_ = kLcgSeed;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -118,6 +139,34 @@ std::vector<std::string> keys_of(std::mutex& mu, const Map& map) {
 }
 
 }  // namespace
+
+void MetricsRegistry::snapshot(MetricsSnapshot& out) const {
+  out.counters.clear();
+  out.gauges.clear();
+  out.histograms.clear();
+  // Collect stable instrument pointers under the registry lock, then read
+  // values after releasing it: instruments are never destroyed while the
+  // registry lives, so emitters only ever contend on their own instrument.
+  thread_local std::vector<std::pair<const std::string*, const Counter*>> cs;
+  thread_local std::vector<std::pair<const std::string*, const Gauge*>> gs;
+  thread_local std::vector<std::pair<const std::string*, const Histogram*>> hs;
+  cs.clear();
+  gs.clear();
+  hs.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) cs.emplace_back(&name, c.get());
+    for (const auto& [name, g] : gauges_) gs.emplace_back(&name, g.get());
+    for (const auto& [name, h] : histograms_) hs.emplace_back(&name, h.get());
+  }
+  out.counters.reserve(cs.size());
+  out.gauges.reserve(gs.size());
+  out.histograms.reserve(hs.size());
+  for (const auto& [name, c] : cs) out.counters.emplace_back(*name, c->value());
+  for (const auto& [name, g] : gs) out.gauges.emplace_back(*name, g->value());
+  for (const auto& [name, h] : hs) out.histograms.emplace_back(*name, h->snapshot());
+  out.sequence = advance_sequence();
+}
 
 std::vector<std::string> MetricsRegistry::counter_names() const {
   return keys_of(mu_, counters_);

@@ -70,11 +70,27 @@ class Histogram {
   void observe(double v);
 
   uint64_t count() const;
+  /// Aggregates are exact; the p50/p95/p99 fields interpolate over at most
+  /// kPercentileBudget retained samples — beyond that, a deterministic
+  /// stride subsample (every ceil(n/budget)-th sample) bounds the copy-and-
+  /// sort cost so interval snapshotting (the telemetry broadcaster samples
+  /// every subscriber interval) stays cheap no matter how full the buffer.
   HistogramSnapshot snapshot() const;
   /// Linear-interpolated percentile over the retained samples, p in [0,100].
+  /// Exact over the full retained set (no stride): this is the offline /
+  /// test-assertion accessor, not the streaming one.
   double percentile(double p) const;
 
+  /// Discards every retained sample and aggregate (count/sum/min/max) while
+  /// keeping the sample buffer's capacity, and rewinds the reservoir LCG to
+  /// its initial seed so each window replays the same deterministic stream.
+  /// Interval snapshotting for telemetry streaming: snapshot(), then
+  /// reset_window() to start the next interval from empty.
+  void reset_window();
+
   static constexpr size_t kDefaultSampleCap = 1 << 18;
+  static constexpr size_t kPercentileBudget = 4096;
+  static constexpr uint64_t kLcgSeed = 0x9e3779b97f4a7c15ull;
 
  private:
   mutable std::mutex mu_;
@@ -84,7 +100,24 @@ class Histogram {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
-  uint64_t lcg_ = 0x9e3779b97f4a7c15ull;  // deterministic reservoir stream
+  uint64_t lcg_ = kLcgSeed;  // deterministic reservoir stream
+};
+
+/// Point-in-time copy of every instrument in a registry, stamped with the
+/// registry's monotone snapshot sequence number. Entries are sorted by name
+/// (the registry maps are ordered), which telemetry_delta relies on.
+struct MetricsSnapshot {
+  uint64_t sequence = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  void clear() {
+    sequence = 0;
+    counters.clear();
+    gauges.clear();
+    histograms.clear();
+  }
 };
 
 /// Named instrument directory. Instruments are created on first use and
@@ -99,6 +132,26 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  /// Copies every instrument into `out` (reusing its buffers) and stamps it
+  /// with the next value of the registry's snapshot sequence. Lock-light:
+  /// the registry mutex is held only to walk the append-only maps; counter
+  /// and gauge values are relaxed atomic reads and histogram snapshots take
+  /// each histogram's own short lock.
+  void snapshot(MetricsSnapshot& out) const;
+
+  /// Sequence number the next snapshot() call will be stamped with, minus
+  /// one — i.e. how many snapshots have been taken so far.
+  uint64_t snapshot_sequence() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+  /// Claims the next sequence number without copying instruments — for
+  /// exporters (ObsSession::flush) that serialize the registry directly but
+  /// still participate in the same ordering as snapshot() consumers.
+  uint64_t advance_sequence() const {
+    return seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   /// Sorted instrument names per kind (for export and tests).
   std::vector<std::string> counter_names() const;
@@ -118,6 +171,7 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
+  mutable std::atomic<uint64_t> seq_{0};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

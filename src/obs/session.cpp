@@ -108,6 +108,7 @@ void ObsSession::flush() {
     JsonWriter w(os);
     w.begin_object();
     w.kv("schema", "coolopt.obs.v1");
+    w.kv("sequence", registry_->advance_sequence());
     w.key("metrics");
     registry_->write_json(w);
     w.key("trace");

@@ -49,9 +49,12 @@ class ObsSession {
   bool active() const { return registry_ != nullptr; }
 
   /// Writes the configured outputs now (also called by the destructor;
-  /// rewrites whole files, so calling twice is safe). Throws
-  /// std::runtime_error if an output file cannot be opened — except from
-  /// the destructor, where failures are logged instead.
+  /// rewrites whole files, so calling twice is safe). Each flush advances
+  /// the registry's snapshot sequence and stamps it into the document's
+  /// top-level "sequence" field, so successive on-demand exports (e.g. one
+  /// per cooloptd drain) are ordered. Throws std::runtime_error if an
+  /// output file cannot be opened — except from the destructor, where
+  /// failures are logged instead.
   void flush();
 
   MetricsRegistry* registry() { return registry_.get(); }

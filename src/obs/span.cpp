@@ -1,0 +1,52 @@
+#include "obs/span.h"
+
+namespace coolopt::obs {
+
+void SpanContext::reset(uint64_t trace_id) {
+  trace_id_ = trace_id;
+  current_ = -1;
+  records_.clear();  // grow-only: capacity survives for the next trace
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+double SpanContext::since_epoch_us() const {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+int SpanContext::begin(const char* name, int64_t detail) {
+  const int index = static_cast<int>(records_.size());
+  SpanRecord& r = records_.emplace_back();
+  r.name = name;
+  r.parent = current_;
+  r.detail = detail;
+  r.start_us = since_epoch_us();
+  current_ = index;
+  return index;
+}
+
+void SpanContext::end(int index) {
+  SpanRecord& r = records_[static_cast<size_t>(index)];
+  r.dur_us = since_epoch_us() - r.start_us;
+  current_ = r.parent;
+}
+
+int SpanContext::open_slot(const char* name, int parent, int64_t detail) {
+  const int index = static_cast<int>(records_.size());
+  SpanRecord& r = records_.emplace_back();
+  r.name = name;
+  r.parent = parent;
+  r.detail = detail;
+  return index;
+}
+
+void SpanContext::slot_begin(int index) {
+  records_[static_cast<size_t>(index)].start_us = since_epoch_us();
+}
+
+void SpanContext::slot_end(int index) {
+  SpanRecord& r = records_[static_cast<size_t>(index)];
+  r.dur_us = since_epoch_us() - r.start_us;
+}
+
+}  // namespace coolopt::obs

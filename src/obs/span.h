@@ -1,0 +1,75 @@
+// Per-request span context: a trace_id plus a flat, parent-linked list of
+// timed spans, built to ride the zero-allocation warm solve path.
+//
+// Design constraints (issue 9):
+//  - Warm traced solves must not allocate: records live in a grow-only
+//    vector that reset() clears without releasing capacity, and span names
+//    are string literals (the context never owns or copies name storage).
+//  - FleetEngine solves shards on a thread pool, so the serial begin()/end()
+//    stack discipline cannot be used inside the fan-out. Instead the request
+//    thread pre-creates one slot per shard with open_slot() BEFORE the
+//    parallel section; each worker then touches only its own record via
+//    slot_begin()/slot_end(). The vector never grows during the fan-out and
+//    no two threads share a record, so the section is race-free without a
+//    lock, and record order (= slot creation order) is deterministic.
+//
+// Timestamps are microseconds on the steady clock, relative to the epoch
+// captured by reset(), so a serialized trace is self-contained.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace coolopt::obs {
+
+/// One timed span. `name` must be a string literal (or otherwise outlive
+/// the context); `parent` indexes the owning context's records (-1 = root);
+/// `detail` is a small free-form payload — the fleet layer stores the shard
+/// index, -1 means "none".
+struct SpanRecord {
+  const char* name = "";
+  int32_t parent = -1;
+  int64_t detail = -1;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+};
+
+class SpanContext {
+ public:
+  /// Starts a fresh trace: drops prior records (capacity retained), stamps
+  /// the trace id, and re-anchors the time epoch at "now".
+  void reset(uint64_t trace_id);
+
+  uint64_t trace_id() const { return trace_id_; }
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+  const std::vector<SpanRecord>& records() const { return records_; }
+
+  /// Serial API (single-threaded, stack discipline): opens a span whose
+  /// parent is the innermost still-open serial span. Returns its index.
+  int begin(const char* name, int64_t detail = -1);
+  /// Closes the span opened by begin(); `index` must be its return value.
+  void end(int index);
+
+  /// Parallel-section API: pre-creates an unstarted record (call serially,
+  /// before the fan-out). Workers then bracket their own slot with
+  /// slot_begin()/slot_end(); nothing else may touch the context until the
+  /// fan-out joins.
+  int open_slot(const char* name, int parent, int64_t detail = -1);
+  void slot_begin(int index);
+  void slot_end(int index);
+
+  /// Index of the innermost open serial span, -1 when none.
+  int current() const { return current_; }
+
+ private:
+  double since_epoch_us() const;
+
+  uint64_t trace_id_ = 0;
+  int current_ = -1;
+  std::vector<SpanRecord> records_;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+}  // namespace coolopt::obs

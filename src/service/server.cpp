@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -28,7 +29,13 @@ namespace {
 constexpr size_t kMaxLineBytes = 1 << 20;
 
 /// Reader/accept poll granularity: how quickly threads notice stop flags.
+/// Also the telemetry mailbox flush granularity, which is why the
+/// subscribe interval floor (kMinTickIntervalMs) sits well above it.
 constexpr int kPollMs = 50;
+
+/// Broadcaster wakeup granularity: due-time scan period. Finer than the
+/// interval floor so tick cadence error stays small.
+constexpr int kBroadcastPollMs = 25;
 
 bool send_all(int fd, std::string_view bytes) {
   size_t sent = 0;
@@ -130,6 +137,8 @@ void PlanningService::start() {
 
   accept_thread_ = std::thread([this] { accept_loop(); });
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  stop_broadcaster_.store(false, std::memory_order_release);
+  broadcaster_thread_ = std::thread([this] { broadcaster_loop(); });
 }
 
 void PlanningService::stop() {
@@ -154,6 +163,32 @@ void PlanningService::stop() {
   }
   pause_cv_.notify_all();
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
+
+  // 2b. Stop streaming: join the broadcaster, then write one best-effort
+  //     closing tick per live subscriber directly (the workers are idle
+  //     now, so the direct write cannot interleave with a response).
+  stop_broadcaster_.store(true, std::memory_order_release);
+  subs_cv_.notify_all();
+  if (broadcaster_thread_.joinable()) broadcaster_thread_.join();
+  {
+    std::vector<std::shared_ptr<Subscription>> subs;
+    {
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      subs.swap(subs_);
+    }
+    obs::MetricsDelta closing;
+    obs::MetricsRegistry* registry = obs::metrics();
+    if (registry != nullptr) closing.to_sequence = registry->snapshot_sequence();
+    for (const std::shared_ptr<Subscription>& sub : subs) {
+      if (sub->done || !sub->session->open.load(std::memory_order_acquire)) {
+        continue;
+      }
+      flush_pending_tick(sub->session);
+      write_line(sub->session, encode_telemetry_tick(sub->id, sub->ticks_sent + 1,
+                                                     closing, /*closing=*/true));
+    }
+  }
+  obs::gauge_set("service.telemetry.subscribers", 0.0);
 
   // 3. Tear down connections: shutdown() unblocks any reader mid-recv,
   //    then the reader threads exit on their stop flag / EOF.
@@ -270,6 +305,10 @@ void PlanningService::reader_loop(std::shared_ptr<Session> session) {
       if (errno == EINTR) continue;
       break;
     }
+    // Deliver any telemetry tick the broadcaster parked for this session.
+    // Happens at poll granularity whether or not request bytes arrived,
+    // and blocks only THIS connection's reader if the peer reads slowly.
+    flush_pending_tick(session);
     if (ready == 0) continue;
     const ssize_t n = ::recv(session->fd, chunk, sizeof chunk, 0);
     if (n == 0) break;  // peer closed
@@ -317,7 +356,8 @@ void PlanningService::handle_line(const std::shared_ptr<Session>& session,
     return;
   }
   if (!sim_backed_ && request.verb != Verb::kPing &&
-      request.verb != Verb::kPlan && request.verb != Verb::kFleetplan) {
+      request.verb != Verb::kPlan && request.verb != Verb::kFleetplan &&
+      request.verb != Verb::kSubscribe) {
     write_line(session,
                encode_error(request.id, request.verb, kErrUnsupportedVerb,
                             util::strf("verb %s needs a simulator-backed "
@@ -330,6 +370,12 @@ void PlanningService::handle_line(const std::shared_ptr<Session>& session,
                encode_error(request.id, request.verb, kErrUnsupportedVerb,
                             "verb fleetplan needs a fleet topology (started "
                             "without --fleet-shards)"));
+    return;
+  }
+  if (request.verb == Verb::kSubscribe) {
+    // Control plane: registered right here on the reader thread, never
+    // admitted to the queue — streaming cannot contend with solves.
+    handle_subscribe(session, request);
     return;
   }
 
@@ -378,6 +424,146 @@ void PlanningService::handle_line(const std::shared_ptr<Session>& session,
     case PushResult::kClosed:
       shed(kErrShedDraining, "server is draining", queue_.size());
       break;
+  }
+}
+
+// --- telemetry streaming (subscribe verb) ---
+
+void PlanningService::handle_subscribe(const std::shared_ptr<Session>& session,
+                                       const WireRequest& request) {
+  if (draining_.load(std::memory_order_acquire)) {
+    obs::count("service.requests.shed");
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed;
+    }
+    write_line(session, encode_error(request.id, request.verb, kErrShedDraining,
+                                     "server is draining", queue_.size()));
+    return;
+  }
+  const uint64_t interval_ms =
+      std::clamp(request.interval_ms, kMinTickIntervalMs, kMaxTickIntervalMs);
+  auto sub = std::make_shared<Subscription>();
+  sub->session = session;
+  sub->id = request.id;
+  sub->interval_ms = interval_ms;
+  sub->ticks_limit = request.ticks;
+  // First tick (the full baseline: a delta against the empty snapshot) goes
+  // out on the broadcaster's next scan; later ticks pace at interval_ms.
+  sub->next_due = std::chrono::steady_clock::now();
+  size_t active = 0;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs_.push_back(std::move(sub));
+    active = subs_.size();
+  }
+  obs::count("service.telemetry.subscribed");
+  obs::gauge_set("service.telemetry.subscribers", static_cast<double>(active));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.subscriptions;
+  }
+  // Ack before the first tick so clients always see response, then stream.
+  write_line(session,
+             encode_subscribe_response(request.id, interval_ms, request.ticks));
+  subs_cv_.notify_all();
+}
+
+void PlanningService::flush_pending_tick(
+    const std::shared_ptr<Session>& session) {
+  std::string line;
+  {
+    std::lock_guard<std::mutex> lock(session->tick_mu);
+    if (!session->has_tick) return;
+    line.swap(session->pending_tick);
+    session->has_tick = false;
+  }
+  write_line(session, line);
+}
+
+void PlanningService::broadcaster_loop() {
+  // Persistent buffers: snapshot/delta churn stays in these three objects
+  // instead of allocating per round.
+  obs::MetricsSnapshot current;
+  obs::MetricsSnapshot hist_prev;
+  obs::MetricsDelta delta;
+  while (!stop_broadcaster_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(subs_mu_);
+      subs_cv_.wait_for(lock, std::chrono::milliseconds(kBroadcastPollMs),
+                        [this] {
+                          return stop_broadcaster_.load(
+                              std::memory_order_acquire);
+                        });
+    }
+    if (stop_broadcaster_.load(std::memory_order_acquire)) break;
+    broadcast_round(current, hist_prev, delta);
+  }
+}
+
+void PlanningService::broadcast_round(obs::MetricsSnapshot& current,
+                                      obs::MetricsSnapshot& hist_prev,
+                                      obs::MetricsDelta& delta) {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<Subscription>> due;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    std::erase_if(subs_, [](const std::shared_ptr<Subscription>& s) {
+      return s->done || !s->session->open.load(std::memory_order_acquire);
+    });
+    obs::gauge_set("service.telemetry.subscribers",
+                   static_cast<double>(subs_.size()));
+    for (const std::shared_ptr<Subscription>& s : subs_) {
+      if (now >= s->next_due) due.push_back(s);
+    }
+  }
+  if (due.empty()) return;
+
+  // One registry sample serves every due subscriber this round. With no
+  // registry attached the stream still carries heartbeat ticks (sequence
+  // and tick numbers over empty deltas).
+  obs::MetricsRegistry* registry = obs::metrics();
+  if (registry != nullptr) {
+    registry->snapshot(current);
+    telemetry_delta(hist_prev, current, delta);
+    history_.record(delta);
+    hist_prev = current;
+  } else {
+    current.clear();
+  }
+
+  for (const std::shared_ptr<Subscription>& sub : due) {
+    telemetry_delta(sub->last, current, delta);
+    std::string line =
+        encode_telemetry_tick(sub->id, sub->ticks_sent + 1, delta);
+    bool delivered = false;
+    {
+      std::lock_guard<std::mutex> lock(sub->session->tick_mu);
+      if (!sub->session->has_tick) {
+        sub->session->pending_tick = std::move(line);
+        sub->session->has_tick = true;
+        delivered = true;
+      }
+    }
+    if (delivered) {
+      obs::count("service.telemetry.ticks");
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.telemetry_ticks;
+      }
+      // Advance the delta basis only on delivery: a dropped tick's changes
+      // ride along on the next delivered one instead of vanishing.
+      sub->last = current;
+      ++sub->ticks_sent;
+      if (sub->ticks_limit > 0 && sub->ticks_sent >= sub->ticks_limit) {
+        sub->done = true;
+      }
+    } else {
+      obs::count("service.telemetry.dropped_ticks");
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.dropped_ticks;
+    }
+    sub->next_due = now + std::chrono::milliseconds(sub->interval_ms);
   }
 }
 
@@ -441,11 +627,23 @@ std::string PlanningService::handle_request(const WireRequest& request) {
         // Pool workers are long-lived, so each keeps one PlanResult slot
         // (plus its SolveScratch) warm across requests: a steady stream of
         // plan queries reuses the same buffers instead of allocating a
-        // result per request.
+        // result per request. The span context is reused the same way, so
+        // traced warm solves stay allocation-free too.
         thread_local core::PlanResult slot;
+        thread_local obs::SpanContext spans;
+        const bool traced = request.trace_id.has_value();
+        int root = -1;
+        if (traced) {
+          spans.reset(*request.trace_id);
+          root = spans.begin("service.request");
+          plan_request.spans = &spans;
+          obs::count("service.trace.requests");
+        }
         plan_engine_->solve_into(plan_request, core::SolveScratch::local(),
                                  slot);
-        return encode_plan_response(request.id, slot);
+        if (!traced) return encode_plan_response(request.id, slot);
+        spans.end(root);
+        return encode_plan_response(request.id, slot, &spans);
       } catch (const std::invalid_argument& e) {
         return encode_error(request.id, Verb::kPlan, kErrInvalidArgument,
                             e.what());
@@ -463,8 +661,19 @@ std::string PlanningService::handle_request(const WireRequest& request) {
       fleet_request.load = load;
       fleet_request.quarantined = request.fleet_quarantined;
       try {
-        return encode_fleetplan_response(request.id,
-                                         fleet_engine_->solve(fleet_request));
+        thread_local obs::SpanContext spans;
+        const bool traced = request.trace_id.has_value();
+        int root = -1;
+        if (traced) {
+          spans.reset(*request.trace_id);
+          root = spans.begin("service.request");
+          fleet_request.spans = &spans;
+          obs::count("service.trace.requests");
+        }
+        const fleet::FleetPlanResult result = fleet_engine_->solve(fleet_request);
+        if (!traced) return encode_fleetplan_response(request.id, result);
+        spans.end(root);
+        return encode_fleetplan_response(request.id, result, &spans);
       } catch (const std::invalid_argument& e) {
         return encode_error(request.id, Verb::kFleetplan, kErrInvalidArgument,
                             e.what());
@@ -518,6 +727,9 @@ std::string PlanningService::handle_request(const WireRequest& request) {
       return encode_inject_response(request.id,
                                     control::run_fault_campaign(options));
     }
+    case Verb::kSubscribe:
+      // Registered on the reader thread (handle_subscribe); never admitted.
+      break;
   }
   return encode_error(request.id, request.verb, kErrInternal, "unreachable");
 }
@@ -555,6 +767,8 @@ void PlanningService::observe_latency(Verb verb, double us) {
     case Verb::kInject:
       obs::observe("service.latency.inject_us", us);
       break;
+    case Verb::kSubscribe:
+      break;  // never dispatched; ticks are books of their own
   }
 }
 

@@ -12,6 +12,12 @@
 //                  dispatch thread ──► util::ThreadPool workers
 //                         (slot-limited)      (solve/measure, write response)
 //
+//   broadcaster thread: samples obs registry deltas and deposits telemetry
+//   ticks into per-session one-slot mailboxes, which each session's own
+//   reader thread flushes (subscribe verb). Entirely off the solve path —
+//   it shares no lock with admission, dispatch, or the workers, and a slow
+//   subscriber costs a dropped tick, never a stall.
+//
 // Admission control happens on the reader threads: a request is either
 // accepted into the bounded queue or shed *immediately* with an explicit
 // machine-readable reason (shed_queue_full / shed_priority / shed_draining)
@@ -42,6 +48,7 @@
 #include "control/eval_engine.h"
 #include "core/engine.h"
 #include "fleet/fleet_engine.h"
+#include "obs/telemetry.h"
 #include "service/mpsc_queue.h"
 #include "service/wire.h"
 #include "util/thread_pool.h"
@@ -137,8 +144,15 @@ class PlanningService {
     uint64_t shed = 0;
     uint64_t bad_requests = 0;
     size_t queue_high_water = 0;
+    uint64_t subscriptions = 0;     ///< subscribe verbs accepted
+    uint64_t telemetry_ticks = 0;   ///< tick lines handed to sessions
+    uint64_t dropped_ticks = 0;     ///< ticks dropped on slow subscribers
   };
   Stats stats() const;
+
+  /// Per-metric time series recorded by the broadcaster (one sample per
+  /// sampling round in which the metric changed), for embedders and tests.
+  const obs::TelemetryHistory& telemetry_history() const { return history_; }
 
  private:
   struct Session {
@@ -146,6 +160,27 @@ class PlanningService {
     uint64_t id = 0;
     std::mutex write_mu;          ///< one response line at a time
     std::atomic<bool> open{true};
+    /// One-slot telemetry mailbox. The broadcaster deposits an encoded
+    /// tick here (dropping it when the previous one is still unclaimed);
+    /// the session's OWN reader thread flushes it with a blocking
+    /// write_line each poll iteration. A slow subscriber therefore stalls
+    /// only its own reader — never the broadcaster, dispatcher or workers.
+    std::mutex tick_mu;
+    std::string pending_tick;
+    bool has_tick = false;
+  };
+
+  /// One live subscribe stream. Mutated only by the broadcaster thread
+  /// after registration (the subs_mu_-guarded vector hands it over).
+  struct Subscription {
+    std::shared_ptr<Session> session;
+    uint64_t id = 0;            ///< subscribe request id, echoed in ticks
+    uint64_t interval_ms = WireRequest::kDefaultTickIntervalMs;
+    uint64_t ticks_limit = 0;   ///< 0 == unbounded
+    uint64_t ticks_sent = 0;
+    bool done = false;
+    std::chrono::steady_clock::time_point next_due{};
+    obs::MetricsSnapshot last;  ///< basis for this subscriber's next delta
   };
 
   struct Job {
@@ -157,6 +192,20 @@ class PlanningService {
   void accept_loop();
   void reader_loop(std::shared_ptr<Session> session);
   void dispatch_loop();
+  /// Samples registry deltas and deposits encoded ticks into subscriber
+  /// mailboxes at each subscription's own cadence. Fully off the solve
+  /// path: never blocks on a socket and never touches queue_ or pool_.
+  void broadcaster_loop();
+  /// One sampling round: purge dead subscriptions, snapshot the registry
+  /// once, deliver a delta tick to every due subscriber.
+  void broadcast_round(obs::MetricsSnapshot& current,
+                       obs::MetricsSnapshot& hist_prev,
+                       obs::MetricsDelta& delta);
+  /// Registers a subscribe request and writes the ack (reader threads).
+  void handle_subscribe(const std::shared_ptr<Session>& session,
+                        const WireRequest& request);
+  /// Writes a mailbox tick, if any (the session's reader thread).
+  void flush_pending_tick(const std::shared_ptr<Session>& session);
 
   /// Parse + admission for one request line (reader threads).
   void handle_line(const std::shared_ptr<Session>& session,
@@ -199,6 +248,12 @@ class PlanningService {
 
   std::thread accept_thread_;
   std::thread dispatch_thread_;
+  std::thread broadcaster_thread_;
+  std::atomic<bool> stop_broadcaster_{false};
+  std::mutex subs_mu_;
+  std::condition_variable subs_cv_;
+  std::vector<std::shared_ptr<Subscription>> subs_;
+  obs::TelemetryHistory history_;
   std::mutex sessions_mu_;
   std::vector<std::shared_ptr<Session>> sessions_;
   std::vector<std::thread> reader_threads_;

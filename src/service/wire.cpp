@@ -248,6 +248,7 @@ const char* to_string(Verb verb) {
     case Verb::kMeasure: return "measure";
     case Verb::kSweep: return "sweep";
     case Verb::kInject: return "inject";
+    case Verb::kSubscribe: return "subscribe";
   }
   return "?";
 }
@@ -270,6 +271,7 @@ bool parse_verb(const std::string& name, Verb& out) {
   else if (name == "measure") out = Verb::kMeasure;
   else if (name == "sweep") out = Verb::kSweep;
   else if (name == "inject") out = Verb::kInject;
+  else if (name == "subscribe") out = Verb::kSubscribe;
   else return false;
   return true;
 }
@@ -304,7 +306,7 @@ bool field_allowed(Verb verb, const std::string& key) {
     case Verb::kPlan:
     case Verb::kFleetplan:
       return key == "scenario" || key == "load_pct" || key == "load" ||
-             key == "quarantined";
+             key == "quarantined" || key == "trace_id";
     case Verb::kMeasure:
       return key == "scenario" || key == "load_pct";
     case Verb::kSweep:
@@ -312,6 +314,8 @@ bool field_allowed(Verb verb, const std::string& key) {
     case Verb::kInject:
       return key == "fault" || key == "defense" || key == "load_pct" ||
              key == "duration_s" || key == "control_period_s";
+    case Verb::kSubscribe:
+      return key == "interval_ms" || key == "ticks";
   }
   return false;
 }
@@ -337,7 +341,8 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
   const JsonValue* verb = doc.find("verb");
   if (verb == nullptr || !verb->is_string() ||
       !parse_verb(verb->as_string(), out.verb)) {
-    error = "\"verb\" must be one of ping|plan|fleetplan|measure|sweep|inject";
+    error = "\"verb\" must be one of "
+            "ping|plan|fleetplan|measure|sweep|inject|subscribe";
     return false;
   }
   for (const auto& [key, value] : doc.members()) {
@@ -370,6 +375,17 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
       return false;
     }
     dst = v.as_number();
+    return true;
+  };
+  auto trace_field = [&]() {
+    if (const JsonValue* t = doc.find("trace_id")) {
+      uint64_t v = 0;
+      if (!as_uint(*t, v)) {
+        error = "\"trace_id\" must be a non-negative integer";
+        return false;
+      }
+      out.trace_id = v;
+    }
     return true;
   };
 
@@ -412,6 +428,7 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
           out.quarantined.push_back(static_cast<size_t>(index));
         }
       }
+      if (!trace_field()) return false;
       break;
     }
     case Verb::kFleetplan: {
@@ -459,6 +476,7 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
                                   static_cast<size_t>(m_index)});
         }
       }
+      if (!trace_field()) return false;
       break;
     }
     case Verb::kMeasure: {
@@ -538,6 +556,23 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
       }
       break;
     }
+    case Verb::kSubscribe: {
+      if (const JsonValue* i = doc.find("interval_ms")) {
+        uint64_t v = 0;
+        if (!as_uint(*i, v) || v == 0) {
+          error = "\"interval_ms\" must be a positive integer";
+          return false;
+        }
+        out.interval_ms = v;  // clamped to the server bounds at admission
+      }
+      if (const JsonValue* t = doc.find("ticks")) {
+        if (!as_uint(*t, out.ticks)) {
+          error = "\"ticks\" must be a non-negative integer (0 = unbounded)";
+          return false;
+        }
+      }
+      break;
+    }
   }
   return true;
 }
@@ -571,6 +606,29 @@ void write_plan_object(obs::JsonWriter& w, const core::Plan& plan) {
   w.key("loads");
   w.begin_array();
   for (const double load : plan.allocation.loads) w.value(load);
+  w.end_array();
+  w.end_object();
+}
+
+/// `"trace":{"trace_id":N,"spans":[...]}` — appended after "result" on
+/// traced responses only, so untraced responses keep their exact bytes.
+/// Spans serialize in record order (parents before children by
+/// construction); `shard` appears only on spans carrying a shard detail.
+void write_trace_object(obs::JsonWriter& w, const obs::SpanContext& spans) {
+  w.key("trace");
+  w.begin_object();
+  w.kv("trace_id", spans.trace_id());
+  w.key("spans");
+  w.begin_array();
+  for (const obs::SpanRecord& r : spans.records()) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("parent", static_cast<double>(r.parent));
+    if (r.detail >= 0) w.kv("shard", static_cast<uint64_t>(r.detail));
+    w.kv("start_us", r.start_us);
+    w.kv("dur_us", r.dur_us);
+    w.end_object();
+  }
   w.end_array();
   w.end_object();
 }
@@ -639,13 +697,15 @@ std::string encode_ping_response(uint64_t id, const ServerInfo& info) {
     w.value("sweep");
     w.value("inject");
   }
+  w.value("subscribe");
   w.end_array();
   w.end_object();
   w.end_object();
   return os.str();
 }
 
-std::string encode_plan_response(uint64_t id, const core::PlanResult& result) {
+std::string encode_plan_response(uint64_t id, const core::PlanResult& result,
+                                 const obs::SpanContext* spans) {
   if (!result.error.empty()) {
     return encode_error(id, Verb::kPlan, kErrInvalidArgument, result.error);
   }
@@ -676,12 +736,14 @@ std::string encode_plan_response(uint64_t id, const core::PlanResult& result) {
     w.value_null();
   }
   w.end_object();
+  if (spans != nullptr) write_trace_object(w, *spans);
   w.end_object();
   return os.str();
 }
 
 std::string encode_fleetplan_response(uint64_t id,
-                                      const fleet::FleetPlanResult& result) {
+                                      const fleet::FleetPlanResult& result,
+                                      const obs::SpanContext* spans) {
   std::ostringstream os;
   obs::JsonWriter w(os);
   begin_response(w, id, Verb::kFleetplan, true);
@@ -714,6 +776,7 @@ std::string encode_fleetplan_response(uint64_t id,
   }
   w.end_array();
   w.end_object();
+  if (spans != nullptr) write_trace_object(w, *spans);
   w.end_object();
   return os.str();
 }
@@ -775,6 +838,59 @@ std::string encode_inject_response(uint64_t id,
   return os.str();
 }
 
+std::string encode_subscribe_response(uint64_t id, uint64_t interval_ms,
+                                      uint64_t ticks) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  begin_response(w, id, Verb::kSubscribe, true);
+  w.key("result");
+  w.begin_object();
+  w.kv("interval_ms", interval_ms);
+  w.kv("ticks", ticks);
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string encode_telemetry_tick(uint64_t subscription_id, uint64_t tick,
+                                  const obs::MetricsDelta& delta,
+                                  bool closing) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  // Ticks lead with "verb":"telemetry" while responses lead with "id", so
+  // a client multiplexing plans and a subscription on one connection can
+  // split the streams on the first key.
+  w.kv("verb", "telemetry");
+  w.kv("subscription", subscription_id);
+  w.kv("tick", tick);
+  w.kv("seq", delta.to_sequence);
+  if (closing) w.kv("closing", true);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : delta.counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : delta.gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, s] : delta.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("p50", s.p50);
+    w.kv("p95", s.p95);
+    w.kv("p99", s.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
 std::string encode_request(const WireRequest& request) {
   std::ostringstream os;
   obs::JsonWriter w(os);
@@ -800,6 +916,7 @@ std::string encode_request(const WireRequest& request) {
         }
         w.end_array();
       }
+      if (request.trace_id.has_value()) w.kv("trace_id", *request.trace_id);
       break;
     case Verb::kFleetplan:
       w.kv("scenario", static_cast<uint64_t>(request.scenario));
@@ -819,6 +936,7 @@ std::string encode_request(const WireRequest& request) {
         }
         w.end_array();
       }
+      if (request.trace_id.has_value()) w.kv("trace_id", *request.trace_id);
       break;
     case Verb::kMeasure:
       w.kv("scenario", static_cast<uint64_t>(request.scenario));
@@ -846,6 +964,10 @@ std::string encode_request(const WireRequest& request) {
       w.kv("load_pct", request.load_pct);
       w.kv("duration_s", request.duration_s);
       w.kv("control_period_s", request.control_period_s);
+      break;
+    case Verb::kSubscribe:
+      w.kv("interval_ms", request.interval_ms);
+      if (request.ticks > 0) w.kv("ticks", request.ticks);
       break;
   }
   w.end_object();

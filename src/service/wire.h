@@ -26,6 +26,8 @@
 #include "control/fault_campaign.h"
 #include "core/engine.h"
 #include "fleet/fleet_engine.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 
 namespace coolopt::service {
 
@@ -74,7 +76,7 @@ inline constexpr size_t kMaxJsonDepth = 32;
 
 // --- protocol: requests ---
 
-enum class Verb { kPing, kPlan, kFleetplan, kMeasure, kSweep, kInject };
+enum class Verb { kPing, kPlan, kFleetplan, kMeasure, kSweep, kInject, kSubscribe };
 enum class Priority { kHigh, kNormal, kLow };
 
 const char* to_string(Verb verb);
@@ -105,7 +107,26 @@ struct WireRequest {
   std::string defense = "supervisor";
   double duration_s = 3600.0;
   double control_period_s = 30.0;
+
+  // plan / fleetplan: client-chosen trace id. Presence turns tracing on —
+  // the response then carries a "trace" block with timed spans; absence
+  // keeps the historical response bytes exactly.
+  std::optional<uint64_t> trace_id;
+
+  // subscribe
+  uint64_t interval_ms = kDefaultTickIntervalMs;  ///< clamped by the server
+  uint64_t ticks = 0;                             ///< 0 == unbounded stream
+
+  static constexpr uint64_t kDefaultTickIntervalMs = 1000;
 };
+
+/// Server-side clamp bounds for the subscribe interval. The floor tracks
+/// the reader-thread poll granularity (ticks are flushed to a session by
+/// its own reader, every poll iteration); the ceiling keeps an idle
+/// subscription from pinning a silent connection open for more than a
+/// minute between proofs of life.
+inline constexpr uint64_t kMinTickIntervalMs = 100;
+inline constexpr uint64_t kMaxTickIntervalMs = 60000;
 
 /// Decodes one request line. On failure returns false, fills `error` with
 /// a human-readable reason, and still recovers the request `id` when the
@@ -148,15 +169,35 @@ struct ServerInfo {
 };
 
 std::string encode_ping_response(uint64_t id, const ServerInfo& info);
-std::string encode_plan_response(uint64_t id, const core::PlanResult& result);
+/// Plan responses: `spans` non-null appends a "trace" block (trace_id +
+/// every recorded span) after "result"; null keeps the historical bytes.
+std::string encode_plan_response(uint64_t id, const core::PlanResult& result,
+                                 const obs::SpanContext* spans = nullptr);
 /// Fleet solve: global split + per-shard plans, each with attribution.
 std::string encode_fleetplan_response(uint64_t id,
-                                      const fleet::FleetPlanResult& result);
+                                      const fleet::FleetPlanResult& result,
+                                      const obs::SpanContext* spans = nullptr);
 std::string encode_measure_response(uint64_t id,
                                     const control::EvalPoint& point);
 std::string encode_sweep_response(uint64_t id,
                                   std::span<const control::EvalPoint> points);
 std::string encode_inject_response(uint64_t id,
                                    const control::FaultCampaignResult& result);
+/// Subscribe ack: echoes the (clamped) interval and the tick budget the
+/// server accepted (ticks == 0 means the stream runs until disconnect or
+/// drain).
+std::string encode_subscribe_response(uint64_t id, uint64_t interval_ms,
+                                      uint64_t ticks);
+
+// --- protocol: telemetry ticks (pushed lines, not responses) ---
+
+/// One streamed telemetry line: `{"verb":"telemetry","subscription":...}`.
+/// Carries only the metrics that changed since the subscriber's previous
+/// tick (`delta`); the first tick of a subscription is a full baseline by
+/// construction (delta against an empty snapshot). `closing` marks the
+/// final best-effort tick written during a server drain.
+std::string encode_telemetry_tick(uint64_t subscription_id, uint64_t tick,
+                                  const obs::MetricsDelta& delta,
+                                  bool closing = false);
 
 }  // namespace coolopt::service

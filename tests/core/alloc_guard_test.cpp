@@ -34,6 +34,7 @@
 #include "core/engine.h"
 #include "core/scratch.h"
 #include "core/synthetic.h"
+#include "obs/span.h"
 
 namespace {
 std::atomic<unsigned long long> g_news{0};
@@ -175,6 +176,41 @@ TEST(AllocGuard, WarmSolveBatchOf200IsAllocationFree) {
     ASSERT_TRUE(r.error.empty()) << r.error;
     ASSERT_TRUE(r.plan.has_value());
   }
+}
+
+/// Issue 9's hard requirement: attaching a span context must not buy the
+/// warm path a single allocation. The context's record vector is grow-only
+/// (warmed by the priming rounds) and span names are literals, so a warm
+/// TRACED solve — reset, nested spans, timing — stays at zero.
+TEST(AllocGuard, WarmTracedSolveIsAllocationFree) {
+  const core::PlanEngine engine(test_model(200));
+  const std::vector<core::PlanRequest> requests =
+      cycle_requests(engine.model(), 32);
+  core::SolveScratch& scratch = core::SolveScratch::local();
+  core::PlanResult slot;
+  obs::SpanContext spans;
+  uint64_t trace_id = 1;
+  const auto traced_cycle = [&] {
+    for (const core::PlanRequest& r : requests) {
+      spans.reset(trace_id++);
+      const int root = spans.begin("service.request");
+      core::PlanRequest traced = r;
+      traced.spans = &spans;
+      engine.solve_into(traced, scratch, slot);
+      spans.end(root);
+    }
+  };
+  traced_cycle();
+  traced_cycle();
+  const unsigned long long before = allocs();
+  traced_cycle();
+  EXPECT_EQ(allocs() - before, 0u);
+  ASSERT_TRUE(slot.plan.has_value());
+  // The spans actually recorded: service.request wrapping engine.solve.
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans.records()[1].name, "engine.solve");
+  EXPECT_EQ(spans.records()[1].parent, 0);
+  EXPECT_GE(spans.records()[0].dur_us, spans.records()[1].dur_us);
 }
 
 TEST(AllocGuard, WarmRebalanceIsAllocationFree) {

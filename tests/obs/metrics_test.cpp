@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -85,6 +86,110 @@ TEST(Histogram, ReservoirKeepsExactAggregatesBeyondTheCap) {
   // of the uniform distribution (loose bound, deterministic LCG stream).
   EXPECT_GT(s.p50, 0.1 * n);
   EXPECT_LT(s.p50, 0.9 * n);
+}
+
+TEST(Histogram, SnapshotPercentilesUseABoundedDeterministicSubsample) {
+  // Above kPercentileBudget retained samples, snapshot() interpolates over
+  // every ceil(n/budget)-th sample instead of the full set — the telemetry
+  // broadcaster snapshots each histogram once per tick, so the cost must
+  // not grow with the buffer. The subsample is a pure function of the
+  // retained order, so the values are pinned here.
+  Histogram h;  // default cap; 10000 observations are retained verbatim
+  const size_t n = 10000;
+  ASSERT_GT(n, Histogram::kPercentileBudget);
+  for (size_t i = 1; i <= n; ++i) h.observe(static_cast<double>(i));
+
+  const HistogramSnapshot a = h.snapshot();
+  const HistogramSnapshot b = h.snapshot();
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+
+  // Replay the stride rule over the known retained order (1..n inserted
+  // under the cap, so samples_[i] == i + 1).
+  const size_t stride =
+      (n + Histogram::kPercentileBudget - 1) / Histogram::kPercentileBudget;
+  std::vector<double> expected;
+  for (size_t i = 0; i < n; i += stride) {
+    expected.push_back(static_cast<double>(i + 1));
+  }
+  std::sort(expected.begin(), expected.end());
+  const auto at = [&](double p) {
+    const double rank = p / 100.0 * static_cast<double>(expected.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, expected.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return expected[lo] * (1.0 - frac) + expected[hi] * frac;
+  };
+  EXPECT_DOUBLE_EQ(a.p50, at(50.0));
+  EXPECT_DOUBLE_EQ(a.p95, at(95.0));
+  EXPECT_DOUBLE_EQ(a.p99, at(99.0));
+
+  // Aggregates and the exact accessor are untouched by the stride.
+  EXPECT_EQ(a.count, static_cast<uint64_t>(n));
+  EXPECT_DOUBLE_EQ(a.min, 1.0);
+  EXPECT_DOUBLE_EQ(a.max, static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), (1.0 + n) / 2.0);
+}
+
+TEST(Histogram, PercentileInterpolationIsExactAtTheReservoirBoundary) {
+  // Regression pin for the cap boundary: with exactly sample_cap samples
+  // retained, percentiles still interpolate over the EXACT sample set (the
+  // reservoir only starts replacing on observation cap+1).
+  Histogram h(/*sample_cap=*/8);
+  for (int v = 1; v <= 8; ++v) h.observe(static_cast<double>(v));
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 4.5);    // rank 3.5 over 1..8
+  EXPECT_DOUBLE_EQ(h.percentile(95.0), 7.65);   // rank 6.65
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 7.93);   // rank 6.93
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 8.0);
+
+  // Observation cap+1 crosses into the reservoir. Algorithm R's slot choice
+  // is a pure function of the published LCG constants, so the retained set
+  // is pinned: replay the step here and assert the exact post-switch p50.
+  h.observe(9.0);
+  const uint64_t lcg =
+      Histogram::kLcgSeed * 6364136223846793005ull + 1442695040888963407ull;
+  const uint64_t slot = (lcg >> 16) % 9;  // count_ == 9 at the draw
+  std::vector<double> expected{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  if (slot < 8) expected[slot] = 9.0;
+  std::sort(expected.begin(), expected.end());
+  const double rank = 0.5 * 7.0;
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  const double want_p50 =
+      expected[lo] * (1.0 - frac) + expected[lo + 1] * frac;
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), want_p50);
+  EXPECT_EQ(h.count(), 9u);  // aggregates stay exact past the switch
+  EXPECT_DOUBLE_EQ(h.snapshot().max, 9.0);
+}
+
+TEST(Histogram, ResetWindowReplaysTheSameDeterministicStream) {
+  const auto feed = [](Histogram& h) {
+    for (int i = 1; i <= 200; ++i) {
+      h.observe(static_cast<double>((i * 37) % 101));
+    }
+  };
+  Histogram h(/*sample_cap=*/32);
+  feed(h);
+  const HistogramSnapshot first = h.snapshot();
+  ASSERT_EQ(first.count, 200u);
+
+  h.reset_window();
+  EXPECT_EQ(h.count(), 0u);
+  const HistogramSnapshot empty = h.snapshot();
+  EXPECT_DOUBLE_EQ(empty.min, 0.0);
+  EXPECT_DOUBLE_EQ(empty.sum, 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+
+  // The LCG rewinds with the window: replaying the same observations must
+  // rebuild the identical reservoir, percentiles included.
+  feed(h);
+  const HistogramSnapshot second = h.snapshot();
+  EXPECT_EQ(second.count, first.count);
+  EXPECT_DOUBLE_EQ(second.sum, first.sum);
+  EXPECT_DOUBLE_EQ(second.p50, first.p50);
+  EXPECT_DOUBLE_EQ(second.p95, first.p95);
+  EXPECT_DOUBLE_EQ(second.p99, first.p99);
 }
 
 TEST(MetricsRegistry, ConcurrentIncrementsFromMultipleThreads) {

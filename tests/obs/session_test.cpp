@@ -1,0 +1,76 @@
+// ObsSession on-demand flushes: cooloptd calls flush() after each drain, so
+// successive exports of the same session must carry strictly increasing
+// top-level "sequence" stamps (the registry's snapshot sequence).
+#include "obs/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace coolopt::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Extracts the integer value of a top-level `"sequence":N` member.
+uint64_t sequence_of(const std::string& doc) {
+  const std::string key = "\"sequence\":";
+  const size_t at = doc.find(key);
+  EXPECT_NE(at, std::string::npos) << doc;
+  if (at == std::string::npos) return 0;
+  return std::stoull(doc.substr(at + key.size()));
+}
+
+TEST(ObsSession, RepeatedFlushesStampMonotoneSequenceNumbers) {
+  const std::string metrics_path = testing::TempDir() + "/obs_flush_seq.json";
+  {
+    ObsSession session(metrics_path, "");
+    ASSERT_TRUE(session.active());
+    obs::count("flush.test.events", 3);
+
+    session.flush();
+    const uint64_t first = sequence_of(slurp(metrics_path));
+
+    obs::count("flush.test.events", 4);
+    session.flush();
+    const uint64_t second = sequence_of(slurp(metrics_path));
+
+    EXPECT_GT(second, first);
+
+    // The destructor's flush is one more export in the same ordering.
+  }
+  const std::string final_doc = slurp(metrics_path);
+  EXPECT_GT(sequence_of(final_doc), 1u);
+  // The flushed-again document carries the updated instrument values.
+  EXPECT_NE(final_doc.find("\"flush.test.events\":7"), std::string::npos)
+      << final_doc;
+  std::remove(metrics_path.c_str());
+}
+
+TEST(ObsSession, FlushInterleavesWithSnapshotSequence) {
+  const std::string metrics_path = testing::TempDir() + "/obs_flush_snap.json";
+  {
+    ObsSession session(metrics_path, "");
+    ASSERT_TRUE(session.active());
+    MetricsSnapshot snap;
+    session.registry()->snapshot(snap);  // claims sequence 1
+    session.flush();                     // claims sequence 2
+    EXPECT_EQ(sequence_of(slurp(metrics_path)), snap.sequence + 1);
+    session.registry()->snapshot(snap);
+    EXPECT_EQ(snap.sequence, 3u);  // flush participates in the same ordering
+  }
+  std::remove(metrics_path.c_str());
+}
+
+}  // namespace
+}  // namespace coolopt::obs

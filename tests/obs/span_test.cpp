@@ -1,0 +1,93 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace coolopt::obs {
+namespace {
+
+TEST(SpanContext, SerialNestingLinksParents) {
+  SpanContext ctx;
+  ctx.reset(42);
+  EXPECT_EQ(ctx.trace_id(), 42u);
+  EXPECT_TRUE(ctx.empty());
+  EXPECT_EQ(ctx.current(), -1);
+
+  const int root = ctx.begin("service.request");
+  EXPECT_EQ(root, 0);
+  EXPECT_EQ(ctx.current(), root);
+  const int child = ctx.begin("engine.solve");
+  EXPECT_EQ(ctx.current(), child);
+  ctx.end(child);
+  EXPECT_EQ(ctx.current(), root);
+  const int sibling = ctx.begin("engine.audit", /*detail=*/7);
+  ctx.end(sibling);
+  ctx.end(root);
+  EXPECT_EQ(ctx.current(), -1);
+
+  ASSERT_EQ(ctx.size(), 3u);
+  const std::vector<SpanRecord>& r = ctx.records();
+  EXPECT_STREQ(r[0].name, "service.request");
+  EXPECT_EQ(r[0].parent, -1);
+  EXPECT_EQ(r[1].parent, 0);
+  EXPECT_EQ(r[2].parent, 0);
+  EXPECT_EQ(r[2].detail, 7);
+  // Closed spans carry non-negative durations nested inside the root's.
+  EXPECT_GE(r[1].dur_us, 0.0);
+  EXPECT_GE(r[0].dur_us, r[1].dur_us);
+}
+
+TEST(SpanContext, ResetDropsRecordsButKeepsCapacity) {
+  SpanContext ctx;
+  ctx.reset(1);
+  for (int i = 0; i < 16; ++i) ctx.end(ctx.begin("warm"));
+  const size_t cap = ctx.records().capacity();
+  ASSERT_GE(cap, 16u);
+
+  ctx.reset(2);
+  EXPECT_EQ(ctx.trace_id(), 2u);
+  EXPECT_TRUE(ctx.empty());
+  // The grow-only contract behind the zero-allocation warm path: a reset
+  // context re-records the same shape without growing its vector.
+  EXPECT_EQ(ctx.records().capacity(), cap);
+  for (int i = 0; i < 16; ++i) ctx.end(ctx.begin("warm"));
+  EXPECT_EQ(ctx.records().capacity(), cap);
+}
+
+TEST(SpanContext, PreOpenedSlotsAreSafeAcrossThreads) {
+  SpanContext ctx;
+  ctx.reset(9);
+  const int root = ctx.begin("fleet.solve");
+  constexpr int kSlots = 8;
+  std::vector<int> slots;
+  slots.reserve(kSlots);
+  for (int s = 0; s < kSlots; ++s) {
+    slots.push_back(ctx.open_slot("shard.engine.solve", root, s));
+  }
+  // Workers bracket only their own slot; the vector must not move under
+  // them (pre-sized before the fan-out).
+  std::vector<std::thread> workers;
+  workers.reserve(kSlots);
+  for (int s = 0; s < kSlots; ++s) {
+    workers.emplace_back([&ctx, &slots, s] {
+      ctx.slot_begin(slots[s]);
+      ctx.slot_end(slots[s]);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  ctx.end(root);
+
+  ASSERT_EQ(ctx.size(), 1u + kSlots);
+  for (int s = 0; s < kSlots; ++s) {
+    const SpanRecord& r = ctx.records()[slots[s]];
+    EXPECT_STREQ(r.name, "shard.engine.solve");
+    EXPECT_EQ(r.parent, root);
+    EXPECT_EQ(r.detail, s);  // record order == slot creation order
+    EXPECT_GE(r.dur_us, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace coolopt::obs

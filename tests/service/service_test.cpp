@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/synthetic.h"
+#include "obs/obs.h"
 #include "service/client.h"
 #include "service/wire.h"
 #include "util/strings.h"
@@ -361,6 +362,253 @@ TEST(PlanningService, SimBackedMeasureMatchesDirectCall) {
       server.eval_engine()->measure(core::Scenario::by_number(7), 40.0);
   EXPECT_EQ(*response, encode_measure_response(5, direct));
   server.stop();
+}
+
+// --- telemetry streaming + request tracing (issue 9) ---
+
+JsonValue must_parse(const std::string& line) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(parse_json(line, doc, error)) << error << ": " << line;
+  return doc;
+}
+
+bool is_telemetry_line(const std::string& line) {
+  // Ticks lead with "verb":"telemetry"; responses lead with "id".
+  return line.rfind(R"({"verb":"telemetry")", 0) == 0;
+}
+
+TEST(PlanningService, SubscribeStreamsBoundedDeltaTicks) {
+  obs::MetricsRegistry registry;
+  obs::ScopedObservation scope(&registry);
+  PlanningService server(model_config());
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  const auto ack = client.call(
+      R"({"id":9,"verb":"subscribe","interval_ms":100,"ticks":3})");
+  ASSERT_TRUE(ack.has_value()) << client.last_error();
+  const JsonValue ack_doc = must_parse(*ack);
+  EXPECT_TRUE(ack_doc.find("ok")->as_bool()) << *ack;
+  EXPECT_DOUBLE_EQ(ack_doc.find("id")->as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(ack_doc.find("result")->find("interval_ms")->as_number(),
+                   100.0);
+  EXPECT_DOUBLE_EQ(ack_doc.find("result")->find("ticks")->as_number(), 3.0);
+
+  uint64_t prev_seq = 0;
+  size_t non_empty = 0;
+  for (uint64_t n = 1; n <= 3; ++n) {
+    const auto line = client.recv_line();
+    ASSERT_TRUE(line.has_value()) << client.last_error();
+    ASSERT_TRUE(is_telemetry_line(*line)) << *line;
+    const JsonValue tick = must_parse(*line);
+    EXPECT_DOUBLE_EQ(tick.find("subscription")->as_number(), 9.0);
+    EXPECT_DOUBLE_EQ(tick.find("tick")->as_number(),
+                     static_cast<double>(n));
+    const uint64_t seq =
+        static_cast<uint64_t>(tick.find("seq")->as_number());
+    EXPECT_GT(seq, prev_seq);  // delta basis advances every delivered tick
+    prev_seq = seq;
+    if (tick.find("counters")->members().size() > 0) ++non_empty;
+  }
+  // Tick 1 is the full baseline; the broadcaster's own books
+  // (service.telemetry.ticks) keep later deltas non-empty.
+  EXPECT_GE(non_empty, 2u);
+
+  // The budget is spent: the stream ends but the CONNECTION survives, and
+  // other verbs keep working on it.
+  const auto ping = client.call(R"({"id":10,"verb":"ping"})");
+  ASSERT_TRUE(ping.has_value()) << client.last_error();
+  EXPECT_EQ(*ping, encode_ping_response(10, server.info()));
+
+  const PlanningService::Stats stats = server.stats();
+  EXPECT_EQ(stats.subscriptions, 1u);
+  EXPECT_GE(stats.telemetry_ticks, 3u);
+  // The broadcaster also filed the series into the embedder-facing history.
+  EXPECT_FALSE(server.telemetry_history().series("service.telemetry.ticks")
+                   .empty());
+  server.stop();
+}
+
+TEST(PlanningService, SubscribeClampsTheRequestedInterval) {
+  obs::MetricsRegistry registry;
+  obs::ScopedObservation scope(&registry);
+  PlanningService server(model_config());
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const auto low = client.call(
+      R"({"id":1,"verb":"subscribe","interval_ms":1,"ticks":1})");
+  ASSERT_TRUE(low.has_value());
+  EXPECT_DOUBLE_EQ(
+      must_parse(*low).find("result")->find("interval_ms")->as_number(),
+      static_cast<double>(kMinTickIntervalMs));
+  const auto high = client.call(
+      R"({"id":2,"verb":"subscribe","interval_ms":86400000,"ticks":1})");
+  ASSERT_TRUE(high.has_value());
+  EXPECT_DOUBLE_EQ(
+      must_parse(*high).find("result")->find("interval_ms")->as_number(),
+      static_cast<double>(kMaxTickIntervalMs));
+  server.stop();
+}
+
+/// One connection runs a subscription AND planning traffic: responses stay
+/// byte-identical to direct engine calls while ticks interleave freely.
+TEST(PlanningService, SubscriptionInterleavesWithPlansOnOneConnection) {
+  obs::MetricsRegistry registry;
+  obs::ScopedObservation scope(&registry);
+  PlanningService server(model_config());
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  const auto ack = client.call(
+      R"({"id":1000,"verb":"subscribe","interval_ms":100})");
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_TRUE(must_parse(*ack).find("ok")->as_bool()) << *ack;
+
+  constexpr size_t kPlans = 8;
+  std::map<uint64_t, std::string> expected;
+  for (size_t i = 0; i < kPlans; ++i) {
+    const WireRequest request = plan_point(i, i * 5);
+    expected[request.id] = expected_plan_bytes(server, request);
+    ASSERT_TRUE(client.send_line(encode_request(request)));
+  }
+  size_t responses = 0;
+  size_t ticks = 0;
+  while (responses < kPlans) {
+    const auto line = client.recv_line();
+    ASSERT_TRUE(line.has_value()) << client.last_error();
+    if (is_telemetry_line(*line)) {
+      ++ticks;
+      continue;
+    }
+    const JsonValue doc = must_parse(*line);
+    const uint64_t id = static_cast<uint64_t>(doc.find("id")->as_number());
+    ASSERT_TRUE(expected.count(id) > 0) << *line;
+    EXPECT_EQ(*line, expected[id]);
+    ++responses;
+  }
+  // Keep reading until at least two ticks prove the stream kept running
+  // through the planning burst.
+  while (ticks < 2) {
+    const auto line = client.recv_line();
+    ASSERT_TRUE(line.has_value()) << client.last_error();
+    if (is_telemetry_line(*line)) ++ticks;
+  }
+  server.stop();
+}
+
+TEST(PlanningService, TracedPlanAppendsServiceAndEngineSpans) {
+  PlanningService server(model_config());
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  WireRequest request = plan_point(77, 4);
+  const std::string untraced_bytes = expected_plan_bytes(server, request);
+  request.trace_id = 31337;
+  const auto response = client.call(encode_request(request));
+  ASSERT_TRUE(response.has_value()) << client.last_error();
+  // The traced response is the untraced bytes plus an appended trace block
+  // — tracing changes nothing about the result payload.
+  ASSERT_GT(response->size(), untraced_bytes.size());
+  EXPECT_EQ(response->substr(0, untraced_bytes.size() - 1),
+            untraced_bytes.substr(0, untraced_bytes.size() - 1));
+
+  const JsonValue doc = must_parse(*response);
+  const JsonValue* trace = doc.find("trace");
+  ASSERT_NE(trace, nullptr) << *response;
+  EXPECT_DOUBLE_EQ(trace->find("trace_id")->as_number(), 31337.0);
+  const auto& spans = trace->find("spans")->items();
+  ASSERT_GE(spans.size(), 2u);
+  EXPECT_EQ(spans[0].find("name")->as_string(), "service.request");
+  EXPECT_DOUBLE_EQ(spans[0].find("parent")->as_number(), -1.0);
+  EXPECT_EQ(spans[1].find("name")->as_string(), "engine.solve");
+  EXPECT_DOUBLE_EQ(spans[1].find("parent")->as_number(), 0.0);
+  EXPECT_GE(spans[0].find("dur_us")->as_number(),
+            spans[1].find("dur_us")->as_number());
+
+  // Untraced requests on the same server still answer the historical bytes.
+  request.trace_id.reset();
+  const auto plain = client.call(encode_request(request));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(*plain, untraced_bytes);
+  server.stop();
+}
+
+TEST(PlanningService, TracedFleetplanCarriesPerShardSpans) {
+  ServiceConfig config = model_config();
+  config.fleet_shards = 3;
+  PlanningService server(std::move(config));
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  const auto response = client.call(
+      R"({"id":8,"verb":"fleetplan","load_pct":35,"trace_id":5})");
+  ASSERT_TRUE(response.has_value()) << client.last_error();
+  const JsonValue doc = must_parse(*response);
+  ASSERT_TRUE(doc.find("ok")->as_bool()) << *response;
+  const JsonValue* trace = doc.find("trace");
+  ASSERT_NE(trace, nullptr) << *response;
+  const auto& spans = trace->find("spans")->items();
+
+  std::vector<double> shards_seen;
+  int fleet_index = -1;
+  bool saw_split = false;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const std::string name = spans[i].find("name")->as_string();
+    if (name == "fleet.solve") fleet_index = static_cast<int>(i);
+    if (name == "fleet.split") saw_split = true;
+    if (name == "shard.engine.solve") {
+      // Shard spans hang off fleet.solve and carry their shard index.
+      EXPECT_DOUBLE_EQ(spans[i].find("parent")->as_number(),
+                       static_cast<double>(fleet_index));
+      shards_seen.push_back(spans[i].find("shard")->as_number());
+    }
+  }
+  EXPECT_EQ(spans[0].find("name")->as_string(), "service.request");
+  ASSERT_NE(fleet_index, -1);
+  EXPECT_TRUE(saw_split);
+  EXPECT_EQ(shards_seen, (std::vector<double>{0.0, 1.0, 2.0}));
+  server.stop();
+}
+
+/// SIGTERM drain with a live subscription: the stream ends with a closing
+/// tick, then the connection closes.
+TEST(PlanningService, DrainWritesAClosingTickToSubscribers) {
+  obs::MetricsRegistry registry;
+  obs::ScopedObservation scope(&registry);
+  PlanningService server(model_config());
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const auto ack = client.call(
+      R"({"id":44,"verb":"subscribe","interval_ms":100})");
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_TRUE(must_parse(*ack).find("ok")->as_bool());
+  // Wait for proof the stream is live before draining.
+  const auto first = client.recv_line();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(is_telemetry_line(*first));
+
+  std::thread stopper([&] { server.stop(); });
+  bool saw_closing = false;
+  for (;;) {
+    const auto line = client.recv_line();
+    if (!line.has_value()) break;  // connection closed after the drain
+    if (!is_telemetry_line(*line)) continue;
+    const JsonValue tick = must_parse(*line);
+    const JsonValue* closing = tick.find("closing");
+    if (closing != nullptr && closing->as_bool()) {
+      EXPECT_DOUBLE_EQ(tick.find("subscription")->as_number(), 44.0);
+      saw_closing = true;
+    }
+  }
+  stopper.join();
+  EXPECT_TRUE(saw_closing);
 }
 
 }  // namespace

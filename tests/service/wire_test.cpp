@@ -289,10 +289,193 @@ TEST(EncodeResponse, PingResponseListsVerbsByBackend) {
   info.workers = 4;
   info.sim_backed = false;
   const JsonValue model_backed = parse_ok(encode_ping_response(1, info));
-  EXPECT_EQ(model_backed.find("result")->find("verbs")->items().size(), 2u);
+  EXPECT_EQ(model_backed.find("result")->find("verbs")->items().size(), 3u);
   info.sim_backed = true;
   const JsonValue sim_backed = parse_ok(encode_ping_response(1, info));
-  EXPECT_EQ(sim_backed.find("result")->find("verbs")->items().size(), 5u);
+  const JsonValue* verbs = sim_backed.find("result")->find("verbs");
+  EXPECT_EQ(verbs->items().size(), 6u);
+  // subscribe is served in both backing modes, so it is always advertised.
+  EXPECT_EQ(verbs->items().back().as_string(), "subscribe");
+}
+
+// --- subscribe + tracing (issue 9) ---
+
+TEST(ParseRequest, SubscribeDefaultsAndFields) {
+  const WireRequest defaults = request_ok(R"({"id":1,"verb":"subscribe"})");
+  EXPECT_EQ(defaults.interval_ms, WireRequest::kDefaultTickIntervalMs);
+  EXPECT_EQ(defaults.ticks, 0u);
+  const WireRequest r = request_ok(
+      R"({"id":2,"verb":"subscribe","interval_ms":250,"ticks":12})");
+  EXPECT_EQ(r.verb, Verb::kSubscribe);
+  EXPECT_EQ(r.interval_ms, 250u);
+  EXPECT_EQ(r.ticks, 12u);
+  // Out-of-range intervals parse fine: clamping is the SERVER's job (the
+  // ack echoes the effective value), not the codec's.
+  EXPECT_EQ(request_ok(R"({"id":3,"verb":"subscribe","interval_ms":1})")
+                .interval_ms,
+            1u);
+}
+
+TEST(ParseRequest, SubscribeRejectsMalformedPayloads) {
+  const std::string zero =
+      request_fail(R"({"id":4,"verb":"subscribe","interval_ms":0})", 4);
+  EXPECT_NE(zero.find("interval_ms"), std::string::npos);
+  request_fail(R"({"id":5,"verb":"subscribe","interval_ms":-100})", 5);
+  request_fail(R"({"id":6,"verb":"subscribe","interval_ms":99.5})", 6);
+  const std::string ticks =
+      request_fail(R"({"id":7,"verb":"subscribe","ticks":-1})", 7);
+  EXPECT_NE(ticks.find("ticks"), std::string::npos);
+  request_fail(R"({"id":8,"verb":"subscribe","ticks":1.5})", 8);
+  request_fail(R"({"id":9,"verb":"subscribe","interval_ms":"fast"})", 9);
+}
+
+TEST(ParseRequest, SubscribeWhitelistsItsOwnFieldsOnly) {
+  // Plan fields on subscribe (and vice versa) fail by name — the per-verb
+  // whitelist, not a silent default.
+  const std::string scenario =
+      request_fail(R"({"id":1,"verb":"subscribe","scenario":8})", 1);
+  EXPECT_NE(scenario.find("scenario"), std::string::npos);
+  request_fail(R"({"id":1,"verb":"subscribe","load_pct":50})", 1);
+  request_fail(R"({"id":1,"verb":"subscribe","trace_id":1})", 1);
+  const std::string interval =
+      request_fail(R"({"id":1,"verb":"plan","load_pct":10,"interval_ms":5})", 1);
+  EXPECT_NE(interval.find("interval_ms"), std::string::npos);
+  request_fail(R"({"id":1,"verb":"ping","ticks":3})", 1);
+}
+
+TEST(ParseRequest, TraceIdOnPlanAndFleetplanOnly) {
+  const WireRequest plain = request_ok(R"({"id":1,"verb":"plan","load_pct":10})");
+  EXPECT_FALSE(plain.trace_id.has_value());
+  const WireRequest traced = request_ok(
+      R"({"id":2,"verb":"plan","load_pct":10,"trace_id":777})");
+  ASSERT_TRUE(traced.trace_id.has_value());
+  EXPECT_EQ(*traced.trace_id, 777u);
+  const WireRequest fleet = request_ok(
+      R"({"id":3,"verb":"fleetplan","load_pct":10,"trace_id":0})");
+  ASSERT_TRUE(fleet.trace_id.has_value());
+  EXPECT_EQ(*fleet.trace_id, 0u);
+
+  request_fail(R"({"id":4,"verb":"plan","load_pct":10,"trace_id":-1})", 4);
+  request_fail(R"({"id":5,"verb":"plan","load_pct":10,"trace_id":1.5})", 5);
+  request_fail(R"({"id":6,"verb":"plan","load_pct":10,"trace_id":"abc"})", 6);
+  const std::string scoped =
+      request_fail(R"({"id":7,"verb":"measure","load_pct":10,"trace_id":1})", 7);
+  EXPECT_NE(scoped.find("trace_id"), std::string::npos);
+}
+
+TEST(ParseRequest, SubscribeAndTraceIdRoundTripThroughEncode) {
+  WireRequest sub;
+  sub.id = 21;
+  sub.verb = Verb::kSubscribe;
+  sub.interval_ms = 500;
+  sub.ticks = 4;
+  const WireRequest sub_round = request_ok(encode_request(sub));
+  EXPECT_EQ(sub_round.verb, Verb::kSubscribe);
+  EXPECT_EQ(sub_round.interval_ms, 500u);
+  EXPECT_EQ(sub_round.ticks, 4u);
+
+  WireRequest traced;
+  traced.id = 22;
+  traced.verb = Verb::kPlan;
+  traced.load_pct = 30.0;
+  traced.trace_id = 99;
+  const WireRequest traced_round = request_ok(encode_request(traced));
+  ASSERT_TRUE(traced_round.trace_id.has_value());
+  EXPECT_EQ(*traced_round.trace_id, 99u);
+}
+
+TEST(EncodeResponse, SubscribeAckEchoesClampedBudget) {
+  const std::string line = encode_subscribe_response(31, 250, 12);
+  EXPECT_TRUE(obs::json_syntax_valid(line));
+  const JsonValue doc = parse_ok(line);
+  EXPECT_DOUBLE_EQ(doc.find("id")->as_number(), 31.0);
+  EXPECT_EQ(doc.find("verb")->as_string(), "subscribe");
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_DOUBLE_EQ(doc.find("result")->find("interval_ms")->as_number(), 250.0);
+  EXPECT_DOUBLE_EQ(doc.find("result")->find("ticks")->as_number(), 12.0);
+}
+
+TEST(EncodeResponse, TelemetryTickLeadsWithTheTelemetryVerb) {
+  obs::MetricsDelta delta;
+  delta.to_sequence = 5;
+  delta.counters.emplace_back("service.requests", 42);
+  delta.gauges.emplace_back("service.queue.depth", 3.0);
+  obs::HistogramSnapshot h;
+  h.count = 2;
+  h.sum = 30.0;
+  h.p50 = 15.0;
+  h.p95 = 20.0;
+  h.p99 = 20.0;
+  delta.histograms.emplace_back("service.latency.plan_us", h);
+
+  const std::string line = encode_telemetry_tick(7, 3, delta);
+  EXPECT_TRUE(obs::json_syntax_valid(line));
+  // Responses lead with "id"; pushed ticks lead with "verb":"telemetry" so
+  // one connection can split the two streams on the first key.
+  EXPECT_EQ(line.rfind(R"({"verb":"telemetry")", 0), 0u) << line;
+  const JsonValue doc = parse_ok(line);
+  EXPECT_DOUBLE_EQ(doc.find("subscription")->as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.find("tick")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(doc.find("seq")->as_number(), 5.0);
+  EXPECT_EQ(doc.find("closing"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      doc.find("counters")->find("service.requests")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(
+      doc.find("gauges")->find("service.queue.depth")->as_number(), 3.0);
+  const JsonValue* lat = doc.find("histograms")->find("service.latency.plan_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(lat->find("p95")->as_number(), 20.0);
+
+  obs::MetricsDelta empty;
+  const JsonValue closing = parse_ok(encode_telemetry_tick(7, 4, empty, true));
+  EXPECT_TRUE(closing.find("closing")->as_bool());
+  EXPECT_EQ(closing.find("counters")->members().size(), 0u);
+}
+
+TEST(EncodeResponse, TracedPlanResponseAppendsTheSpanTree) {
+  core::SyntheticModelOptions options;
+  options.machines = 8;
+  options.seed = 5;
+  const core::PlanEngine engine(core::make_synthetic_model(options));
+  const double cap = engine.aggregates().total_capacity;
+  const core::PlanResult result =
+      engine.solve(core::PlanRequest(core::Scenario::by_number(8), 0.4 * cap));
+
+  const std::string untraced = encode_plan_response(50, result);
+  EXPECT_EQ(untraced.find("\"trace\""), std::string::npos);
+
+  obs::SpanContext spans;
+  spans.reset(777);
+  const int root = spans.begin("service.request");
+  const int solve = spans.begin("engine.solve");
+  spans.end(solve);
+  const int shard = spans.open_slot("shard.engine.solve", root, /*detail=*/2);
+  spans.slot_begin(shard);
+  spans.slot_end(shard);
+  spans.end(root);
+
+  const std::string line = encode_plan_response(50, result, &spans);
+  EXPECT_TRUE(obs::json_syntax_valid(line));
+  // The trace block is strictly appended: the untraced bytes are a prefix
+  // (modulo the closing brace), preserving historical responses exactly.
+  EXPECT_EQ(line.rfind(untraced.substr(0, untraced.size() - 1), 0), 0u);
+  const JsonValue doc = parse_ok(line);
+  const JsonValue* trace = doc.find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_DOUBLE_EQ(trace->find("trace_id")->as_number(), 777.0);
+  const JsonValue* arr = trace->find("spans");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items().size(), 3u);
+  const JsonValue& req_span = arr->items()[0];
+  EXPECT_EQ(req_span.find("name")->as_string(), "service.request");
+  EXPECT_DOUBLE_EQ(req_span.find("parent")->as_number(), -1.0);
+  EXPECT_EQ(req_span.find("shard"), nullptr);  // detail < 0 omits the key
+  EXPECT_GE(req_span.find("dur_us")->as_number(), 0.0);
+  const JsonValue& shard_span = arr->items()[2];
+  EXPECT_EQ(shard_span.find("name")->as_string(), "shard.engine.solve");
+  EXPECT_DOUBLE_EQ(shard_span.find("parent")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(shard_span.find("shard")->as_number(), 2.0);
 }
 
 }  // namespace

@@ -71,6 +71,38 @@ for f in "${files[@]}"; do
       continue
     fi
   fi
+  # Bench-specific schema: the service artifact carries throughput and tail
+  # latencies per client-count case plus the subscriber-overhead block
+  # (streaming telemetry must not cost the plan path more than 5%).
+  if [ "$(jq -r '.bench' "$f")" = "service" ]; then
+    if ! jq -e '.cases | all((.clients | type == "number")
+                             and (.req_per_s | type == "number")
+                             and (.p50_us | type == "number")
+                             and (.p99_us | type == "number")
+                             and (.p999_us | type == "number")
+                             and (.mismatches == 0))' "$f" >/dev/null; then
+      echo "check_bench: $f lacks the service case schema (numeric clients/req_per_s/p50_us/p99_us/p999_us, mismatches == 0)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! jq -e '.subscribers | type == "object"
+                and (.subscribers | type == "number")
+                and (.interval_ms | type == "number")
+                and (.baseline_req_per_s | type == "number")
+                and (.with_subscribers_req_per_s | type == "number")
+                and (.overhead_pct | type == "number")
+                and (.ticks_received | type == "number")
+                and (.pass | type == "boolean")' "$f" >/dev/null; then
+      echo "check_bench: $f lacks the subscriber-overhead block (object \"subscribers\" with numeric subscribers/interval_ms/baseline_req_per_s/with_subscribers_req_per_s/overhead_pct/ticks_received, boolean pass)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! jq -e '.subscribers | (.overhead_pct <= 5) and .pass' "$f" >/dev/null; then
+      echo "check_bench: $f reports subscriber overhead above the 5% budget (overhead_pct=$(jq -r '.subscribers.overhead_pct' "$f"))" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+  fi
   echo "check_bench: $f ok ($(jq -r '.bench' "$f"), $(jq '.cases | length' "$f") cases, pass=$(jq -r '.pass' "$f"))"
 done
 

@@ -34,6 +34,24 @@ for name in $emitted; do
   fi
 done
 
+# Required families: the telemetry-streaming and tracing surface must stay
+# both emitted and cataloged — these names are load-bearing for the
+# `subscribe` stream consumers and the docs' ops guidance, so a rename or
+# removal has to show up here, not in a consumer.
+required="service.telemetry.subscribed service.telemetry.subscribers
+service.telemetry.ticks service.telemetry.dropped_ticks
+service.trace.requests"
+for name in $required; do
+  if ! printf '%s\n' "$emitted" | grep -Fxq "$name"; then
+    echo "check_metrics: required metric \`$name\` is no longer emitted from src/" >&2
+    failures=$((failures + 1))
+  fi
+  if ! grep -Fq "\`$name\`" "$CATALOG"; then
+    echo "check_metrics: required metric \`$name\` has no catalog row in $CATALOG" >&2
+    failures=$((failures + 1))
+  fi
+done
+
 if [ "$failures" -gt 0 ]; then
   echo "check_metrics: $failures undocumented metric(s)" >&2
   exit 1

@@ -20,9 +20,11 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "obs/session.h"
 #include "profiling/profile_io.h"
 #include "service/server.h"
@@ -115,6 +117,13 @@ int main(int argc, char** argv) {
   // scope, i.e. after the drain — the dump includes the final service.*
   // values.
   obs::ObsSession obs_session(metrics_out, trace_out);
+  // The subscribe verb streams registry deltas, so the daemon always keeps
+  // a registry attached: without --metrics-out the session attaches
+  // nothing, and this process-local one (no file export) feeds the
+  // broadcaster instead. The scope detaches it before it is destroyed.
+  obs::MetricsRegistry standalone_registry;
+  std::optional<obs::ScopedObservation> standalone_scope;
+  if (!obs_session.active()) standalone_scope.emplace(&standalone_registry);
   try {
     service::PlanningService server(std::move(config));
     server.start();
@@ -135,6 +144,10 @@ int main(int argc, char** argv) {
     std::cout << "cooloptd draining...\n";
     std::cout.flush();
     server.stop();
+    // Per-drain on-demand export (the destructor would flush too; doing it
+    // here stamps the post-drain books the moment they are final, and a
+    // future reload/re-start cycle would get one export per drain).
+    obs_session.flush();
     std::cout << "cooloptd drained; bye\n";
   } catch (const std::exception& e) {
     std::cerr << "cooloptd: " << e.what() << "\n";

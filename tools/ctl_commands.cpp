@@ -31,6 +31,7 @@ constexpr const char* kUsage =
     "  frontier  print the maxL power-budget capacity frontier\n"
     "  inject    replay a fault scenario against a live room under a defense\n"
     "  client    send one request to a running cooloptd and print the reply\n"
+    "  watch     subscribe to a running cooloptd and stream telemetry ticks\n"
     "\n"
     "Global flags (any command):\n"
     "  --metrics-out PATH  write the metrics + run-trace JSON on exit\n"
@@ -374,12 +375,16 @@ int cmd_client(util::CliFlags& flags, int argc, const char* const* argv,
                std::ostream& out, std::ostream& err) {
   flags.define("host", "cooloptd address", "127.0.0.1");
   flags.define("port", "cooloptd port", "7077");
-  flags.define("verb", "ping | plan | measure | sweep | inject", "ping");
+  flags.define("verb", "ping | plan | fleetplan | measure | sweep | inject", "ping");
   flags.define("priority", "admission priority: high | normal | low", "normal");
   flags.define("id", "request id echoed in the response", "1");
   flags.define("scenario", "Fig. 4 scenario number (plan/measure)", "8");
   flags.define("load-pct", "load, percent of fitted capacity", "50");
   flags.define("quarantined", "comma-separated machine indices (plan)", "");
+  flags.define("trace-id",
+               "attach this trace id to plan/fleetplan; the response then "
+               "carries a trace block with timed spans",
+               "");
   flags.define("fault", "fault scenario name (inject)", "fan-failure");
   flags.define("defense", "none | watchdog | supervisor (inject)", "supervisor");
   flags.define("line", "raw protocol line to send instead of building one", "");
@@ -400,6 +405,7 @@ int cmd_client(util::CliFlags& flags, int argc, const char* const* argv,
     const std::string verb = flags.get_string("verb", "ping");
     if (verb == "ping") request.verb = service::Verb::kPing;
     else if (verb == "plan") request.verb = service::Verb::kPlan;
+    else if (verb == "fleetplan") request.verb = service::Verb::kFleetplan;
     else if (verb == "measure") request.verb = service::Verb::kMeasure;
     else if (verb == "sweep") request.verb = service::Verb::kSweep;
     else if (verb == "inject") request.verb = service::Verb::kInject;
@@ -429,6 +435,16 @@ int cmd_client(util::CliFlags& flags, int argc, const char* const* argv,
     }
     request.fault = flags.get_string("fault", "fan-failure");
     request.defense = flags.get_string("defense", "supervisor");
+    const std::string trace_id = flags.get_string("trace-id", "");
+    if (!trace_id.empty()) {
+      int id = 0;
+      if (!util::parse_int(trace_id, id) || id < 0) {
+        err << "client: --trace-id must be a non-negative integer, got '"
+            << trace_id << "'\n";
+        return 2;
+      }
+      request.trace_id = static_cast<uint64_t>(id);
+    }
     line = service::encode_request(request);
   }
 
@@ -452,6 +468,154 @@ int cmd_client(util::CliFlags& flags, int argc, const char* const* argv,
     if (ok != nullptr && ok->is_bool() && !ok->as_bool()) return 1;
   }
   return 0;
+}
+
+/// Renders one parsed telemetry tick as indented `name = value` lines so a
+/// terminal session stays readable; `--raw` bypasses this for pipelines.
+void print_tick(const service::JsonValue& doc, std::ostream& out) {
+  const service::JsonValue* tick = doc.find("tick");
+  const service::JsonValue* seq = doc.find("seq");
+  const service::JsonValue* closing = doc.find("closing");
+  out << util::strf(
+      "tick %.0f  seq %.0f%s\n",
+      tick != nullptr && tick->is_number() ? tick->as_number() : 0.0,
+      seq != nullptr && seq->is_number() ? seq->as_number() : 0.0,
+      closing != nullptr && closing->is_bool() && closing->as_bool()
+          ? "  (closing: server is draining)"
+          : "");
+  const service::JsonValue* counters = doc.find("counters");
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, v] : counters->members()) {
+      if (v.is_number()) {
+        out << util::strf("  %s = %.0f\n", name.c_str(), v.as_number());
+      }
+    }
+  }
+  const service::JsonValue* gauges = doc.find("gauges");
+  if (gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, v] : gauges->members()) {
+      if (v.is_number()) {
+        out << util::strf("  %s = %g\n", name.c_str(), v.as_number());
+      }
+    }
+  }
+  const service::JsonValue* histograms = doc.find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, h] : histograms->members()) {
+      if (!h.is_object()) continue;
+      const service::JsonValue* count = h.find("count");
+      const service::JsonValue* p50 = h.find("p50");
+      const service::JsonValue* p99 = h.find("p99");
+      out << util::strf(
+          "  %s: count %.0f, p50 %g, p99 %g\n", name.c_str(),
+          count != nullptr && count->is_number() ? count->as_number() : 0.0,
+          p50 != nullptr && p50->is_number() ? p50->as_number() : 0.0,
+          p99 != nullptr && p99->is_number() ? p99->as_number() : 0.0);
+    }
+  }
+}
+
+// Streaming telemetry client: sends one subscribe, prints the ack facts,
+// then renders metric-delta ticks until the server's tick budget runs out,
+// a drain writes the closing tick, or the connection drops.
+int cmd_watch(util::CliFlags& flags, int argc, const char* const* argv,
+              std::ostream& out, std::ostream& err) {
+  flags.define("host", "cooloptd address", "127.0.0.1");
+  flags.define("port", "cooloptd port", "7077");
+  flags.define("id", "subscribe request id, echoed in every tick", "1");
+  flags.define("interval-ms",
+               "milliseconds between ticks (the server clamps out-of-range "
+               "values and echoes the effective interval in the ack)",
+               "1000");
+  flags.define("ticks", "stop after N ticks (0 = stream until drain)", "0");
+  flags.define("raw", "print raw NDJSON tick lines instead of rendering", "false");
+  std::string error;
+  if (!flags.parse(argc, argv, error)) {
+    err << error << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    out << flags.usage("cooloptctl watch");
+    return 0;
+  }
+
+  const int interval_ms = flags.get_int("interval-ms", 1000);
+  const int ticks = flags.get_int("ticks", 0);
+  if (interval_ms <= 0 || ticks < 0) {
+    err << "watch: --interval-ms must be positive, --ticks non-negative\n";
+    return 2;
+  }
+  service::WireRequest request;
+  request.verb = service::Verb::kSubscribe;
+  request.id = static_cast<uint64_t>(flags.get_int("id", 1));
+  request.interval_ms = static_cast<uint64_t>(interval_ms);
+  request.ticks = static_cast<uint64_t>(ticks);
+
+  service::ServiceClient client;
+  if (!client.connect(flags.get_string("host", "127.0.0.1"),
+                      static_cast<uint16_t>(flags.get_int("port", 7077)))) {
+    err << client.last_error() << "\n";
+    return 1;
+  }
+  const std::optional<std::string> ack =
+      client.call(service::encode_request(request));
+  if (!ack.has_value()) {
+    err << client.last_error() << "\n";
+    return 1;
+  }
+  service::JsonValue doc;
+  std::string parse_error;
+  if (!service::parse_json(*ack, doc, parse_error)) {
+    err << "watch: unparseable ack: " << parse_error << "\n";
+    return 1;
+  }
+  const service::JsonValue* ok = doc.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    err << *ack << "\n";
+    return 1;
+  }
+  const bool raw = flags.get_bool("raw", false);
+  // The ack echoes the budget the server accepted; counting received ticks
+  // against it is what ends a bounded watch (the server stops streaming
+  // after the budget but keeps the connection open for other verbs).
+  const service::JsonValue* result = doc.find("result");
+  const service::JsonValue* accepted =
+      result != nullptr ? result->find("ticks") : nullptr;
+  const uint64_t budget =
+      accepted != nullptr && accepted->is_number()
+          ? static_cast<uint64_t>(accepted->as_number())
+          : static_cast<uint64_t>(ticks);
+  if (!raw) {
+    const service::JsonValue* eff =
+        result != nullptr ? result->find("interval_ms") : nullptr;
+    out << util::strf(
+        "subscribed (every %.0f ms%s); ctrl-c to stop\n",
+        eff != nullptr && eff->is_number()
+            ? eff->as_number()
+            : static_cast<double>(interval_ms),
+        ticks > 0 ? util::strf(", %d ticks", ticks).c_str() : "");
+  }
+
+  uint64_t received = 0;
+  for (;;) {
+    const std::optional<std::string> line = client.recv_line();
+    if (!line.has_value()) {
+      // EOF without a closing tick: the connection dropped.
+      return 0;
+    }
+    if (raw) {
+      out << *line << "\n";
+    }
+    service::JsonValue tick_doc;
+    if (!service::parse_json(*line, tick_doc, parse_error)) continue;
+    if (!raw) print_tick(tick_doc, out);
+    const service::JsonValue* closing = tick_doc.find("closing");
+    if (closing != nullptr && closing->is_bool() && closing->as_bool()) {
+      return 0;
+    }
+    ++received;
+    if (budget > 0 && received >= budget) return 0;
+  }
 }
 
 }  // namespace
@@ -490,6 +654,7 @@ int run_cooloptctl(int argc, const char* const* argv, std::ostream& out,
     if (command == "frontier") return cmd_frontier(flags, sub_argc, sub_argv, out, err);
     if (command == "inject") return cmd_inject(flags, sub_argc, sub_argv, out, err);
     if (command == "client") return cmd_client(flags, sub_argc, sub_argv, out, err);
+    if (command == "watch") return cmd_watch(flags, sub_argc, sub_argv, out, err);
   } catch (const std::exception& e) {
     err << "cooloptctl " << command << ": " << e.what() << "\n";
     return 1;
