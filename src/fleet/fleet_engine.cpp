@@ -27,12 +27,35 @@ int scenario_key(const core::Scenario& s) {
 
 }  // namespace
 
+const char* to_string(ShardStatus status) {
+  switch (status) {
+    case ShardStatus::kOk: return "ok";
+    case ShardStatus::kDegraded: return "degraded";
+    case ShardStatus::kDown: return "down";
+  }
+  return "?";
+}
+
+size_t FleetPlanResult::shards_down() const {
+  size_t n = 0;
+  for (const ShardStatus s : shard_status) {
+    if (s == ShardStatus::kDown) ++n;
+  }
+  return n;
+}
+
 bool FleetPlanResult::feasible() const {
   if (shed_load > 0.0) return false;
-  for (const core::PlanResult& r : shard_results) {
+  bool any_serving = false;
+  for (size_t s = 0; s < shard_results.size(); ++s) {
+    if (s < shard_status.size() && shard_status[s] == ShardStatus::kDown) {
+      continue;  // excluded: its load lives on in the survivors' plans
+    }
+    any_serving = true;
+    const core::PlanResult& r = shard_results[s];
     if (!r.error.empty() || !r.plan.has_value()) return false;
   }
-  return !shard_results.empty();
+  return any_serving;
 }
 
 FleetEngine::FleetEngine(FleetTopology topology, FleetOptions options)
@@ -210,6 +233,26 @@ FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
     }
     quarantined[q.shard].push_back(q.machine);
   }
+  std::vector<char> down(nshards, 0);
+  for (const size_t s : request.down_shards) {
+    if (s >= nshards) {
+      throw std::invalid_argument(
+          util::strf("FleetEngine: down_shards names shard %zu but the "
+                     "fleet has %zu shards",
+                     s, nshards));
+    }
+    down[s] = 1;
+  }
+  std::vector<char> faulted(nshards, 0);
+  for (const size_t s : request.fault_shards) {
+    if (s >= nshards) {
+      throw std::invalid_argument(
+          util::strf("FleetEngine: fault_shards names shard %zu but the "
+                     "fleet has %zu shards",
+                     s, nshards));
+    }
+    faulted[s] = 1;
+  }
 
   const double t0 = now_us();
   obs::SpanContext* const spans = request.spans;
@@ -218,17 +261,28 @@ FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
   // Surviving capacity per shard: the frontier is sampled on the healthy
   // room; quarantines tighten the cap here and are planned exactly by the
   // shard's own (incremental) restricted solve.
-  std::vector<double> caps(nshards, 0.0);
+  std::vector<double> healthy_caps(nshards, 0.0);
   for (size_t s = 0; s < nshards; ++s) {
     const core::RoomModel& m = *topology_.shards[s].model;
     std::vector<char> mask(m.size(), 1);
     for (const size_t i : quarantined[s]) mask[i] = 0;
     for (size_t i = 0; i < m.size(); ++i) {
-      if (mask[i] != 0) caps[s] += m.machines[i].capacity;
+      if (mask[i] != 0) healthy_caps[s] += m.machines[i].capacity;
     }
+  }
+  // A down shard is a zero-capacity shard: the same water-filling that
+  // splits the healthy fleet deterministically re-fills its share across
+  // the survivors' remaining frontier segments.
+  std::vector<double> caps = healthy_caps;
+  for (size_t s = 0; s < nshards; ++s) {
+    if (down[s] != 0) caps[s] = 0.0;
   }
 
   FleetPlanResult out;
+  out.shard_status.assign(nshards, ShardStatus::kOk);
+  for (size_t s = 0; s < nshards; ++s) {
+    if (down[s] != 0) out.shard_status[s] = ShardStatus::kDown;
+  }
   const int split_span = spans != nullptr ? spans->begin("fleet.split") : -1;
   out.shard_loads = split_load(request.scenario, request.load, caps);
   if (split_span >= 0) spans->end(split_span);
@@ -255,30 +309,79 @@ FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
     }
   }
   // Index-addressed slots + per-shard immutable engines: the schedule
-  // cannot change a byte of the merged result.
-  pool->parallel_for(nshards, [&](size_t s) {
-    core::PlanRequest req(request.scenario, out.shard_loads[s], quarantined[s]);
-    req.shard = static_cast<int>(s);
-    if (spans != nullptr) spans->slot_begin(shard_spans[s]);
-    try {
-      engines_[s]->solve_into(req, core::SolveScratch::local(),
-                              out.shard_results[s]);
-    } catch (const std::exception& e) {
-      out.shard_results[s] = core::PlanResult{};
-      out.shard_results[s].shard = static_cast<int>(s);
-      out.shard_results[s].error = e.what();
+  // cannot change a byte of the merged result. A shard whose solve throws
+  // (a crash, or the fault_shards test seam) is marked down, its cap is
+  // zeroed and the split recomputed, and the survivors re-solve — so a
+  // crash mid-solve loses no load either. Each pass downs at least one
+  // shard, bounding the loop at nshards passes; the thrown set is a pure
+  // function of the request, keeping degraded plans bit-for-bit
+  // reproducible.
+  for (size_t pass = 0; pass < nshards + 1; ++pass) {
+    pool->parallel_for(nshards, [&](size_t s) {
+      if (spans != nullptr) spans->slot_begin(shard_spans[s]);
+      if (out.shard_status[s] == ShardStatus::kDown) {
+        if (spans != nullptr) spans->slot_end(shard_spans[s]);
+        return;  // excluded: zero-duration span, untouched result slot
+      }
+      core::PlanRequest req(request.scenario, out.shard_loads[s],
+                            quarantined[s]);
+      req.shard = static_cast<int>(s);
+      try {
+        if (faulted[s] != 0) {
+          throw std::runtime_error(
+              util::strf("injected fault in shard %zu", s));
+        }
+        engines_[s]->solve_into(req, core::SolveScratch::local(),
+                                out.shard_results[s]);
+      } catch (const std::exception& e) {
+        out.shard_results[s] = core::PlanResult{};
+        out.shard_results[s].shard = static_cast<int>(s);
+        out.shard_results[s].error = e.what();
+      }
+      if (spans != nullptr) spans->slot_end(shard_spans[s]);
+    });
+    bool crashed = false;
+    for (size_t s = 0; s < nshards; ++s) {
+      if (out.shard_status[s] == ShardStatus::kDown) continue;
+      if (!out.shard_results[s].error.empty()) {
+        out.shard_status[s] = ShardStatus::kDown;
+        caps[s] = 0.0;
+        crashed = true;
+      }
     }
-    if (spans != nullptr) spans->slot_end(shard_spans[s]);
-  });
+    if (!crashed) break;
+    out.shard_loads = split_load(request.scenario, request.load, caps);
+  }
+
+  // Redistribution accounting: compare against the all-healthy split. A
+  // survivor carrying more than its healthy share is degraded — still
+  // serving, but paying for someone else's failure domain.
+  if (out.shards_down() > 0) {
+    const std::vector<double> healthy =
+        split_load(request.scenario, request.load, healthy_caps);
+    for (size_t s = 0; s < nshards; ++s) {
+      if (out.shard_status[s] == ShardStatus::kDown) continue;
+      const double extra = out.shard_loads[s] - healthy[s];
+      if (extra > 1e-9) {
+        out.redistributed_load += extra;
+        out.shard_status[s] = ShardStatus::kDegraded;
+      }
+    }
+  }
 
   double assigned = 0.0;
   for (const double l : out.shard_loads) assigned += l;
   out.unassigned_load = std::max(0.0, request.load - assigned);
   if (out.unassigned_load <= 1e-9) out.unassigned_load = 0.0;
   out.shed_load = out.unassigned_load;
-  for (const core::PlanResult& r : out.shard_results) {
+  for (size_t s = 0; s < nshards; ++s) {
+    const core::PlanResult& r = out.shard_results[s];
+    if (out.shard_status[s] == ShardStatus::kDown) continue;
     if (r.plan) out.total_power_w += r.plan->allocation.total_power_w;
     out.shed_load += r.shed_load;
+    if (r.shed_load > 0.0 && out.shard_status[s] == ShardStatus::kOk) {
+      out.shard_status[s] = ShardStatus::kDegraded;
+    }
   }
   if (fleet_span >= 0) spans->end(fleet_span);
   out.solve_us = now_us() - t0;
@@ -287,6 +390,8 @@ FleetPlanResult FleetEngine::solve(const FleetPlanRequest& request,
   obs::count("fleet.solves");
   obs::observe("fleet.solve_us", out.solve_us);
   if (out.shed_load > 0.0) obs::observe("fleet.shed_load", out.shed_load);
+  obs::gauge_set("fleet.shards_down", static_cast<double>(out.shards_down()));
+  obs::gauge_set("fleet.redistributed_load", out.redistributed_load);
   return out;
 }
 

@@ -47,6 +47,14 @@ struct ShardMachine {
   size_t machine = 0;
 };
 
+/// Per-shard serving status after a fleet solve. A shard is `kDown` when
+/// the caller declared it unavailable or its solve threw; `kDegraded` when
+/// it survived but absorbed load redistributed off a down shard (or shed
+/// some of its own); `kOk` when it served exactly its healthy share.
+enum class ShardStatus { kOk, kDegraded, kDown };
+
+const char* to_string(ShardStatus status);
+
 /// A fleet-level planning query: one scenario and one global load target.
 struct FleetPlanRequest {
   core::Scenario scenario = core::Scenario::by_number(8);
@@ -54,6 +62,15 @@ struct FleetPlanRequest {
   /// Machines the planner must leave OFF, addressed as (shard, machine).
   /// Out-of-range indices throw, naming the offending shard.
   std::vector<ShardMachine> quarantined;
+  /// Shards declared unavailable before the solve (failed health checks,
+  /// maintenance). They are excluded from the split, never solved, and
+  /// their healthy share of the load is re-water-filled across the
+  /// survivors against the cached frontiers. Out-of-range indices throw.
+  std::vector<size_t> down_shards;
+  /// Test seam for the crashed-shard path: these shards' solves throw
+  /// deterministically, which the engine treats exactly like a real crash
+  /// (mark down, record the error, redistribute the load).
+  std::vector<size_t> fault_shards;
   /// Optional request tracing: when non-null, solve() records a
   /// "fleet.solve" span with a "fleet.split" child and one
   /// "shard.engine.solve" slot per shard (detail = shard index). Slots are
@@ -76,8 +93,19 @@ struct FleetPlanResult {
   /// Total files/s shed: unassigned_load plus the shards' own shed_load.
   double shed_load = 0.0;
   double solve_us = 0.0;
+  /// Per-shard status (index == shard). Down shards keep the solve error
+  /// (when they crashed rather than being declared down) in
+  /// `shard_results[s].error`.
+  std::vector<ShardStatus> shard_status;
+  /// Load moved onto survivors relative to the all-shards-healthy split —
+  /// what the failure domain cost the rest of the fleet.
+  double redistributed_load = 0.0;
 
-  /// True only when every shard produced a plan and nothing was shed.
+  size_t shards_down() const;
+
+  /// True only when every *serving* shard produced a plan and nothing was
+  /// shed: down shards whose load the survivors fully absorbed do not make
+  /// the fleet plan infeasible — that is the point of the failure domain.
   bool feasible() const;
 };
 

@@ -24,9 +24,9 @@ namespace coolopt::service {
 
 namespace {
 
-/// A request line longer than this is a protocol violation (the connection
-/// is closed after an explanatory bad_request response).
-constexpr size_t kMaxLineBytes = 1 << 20;
+// A request line longer than wire.h's kMaxLineBytes is a protocol
+// violation: the connection is closed after an explanatory bad_request
+// response, never buffered past the bound.
 
 /// Reader/accept poll granularity: how quickly threads notice stop flags.
 /// Also the telemetry mailbox flush granularity, which is why the
@@ -88,6 +88,11 @@ PlanningService::PlanningService(ServiceConfig config)
     fleet_engine_ = std::make_unique<fleet::FleetEngine>(
         fleet::partition_room(plan_engine_->model(), config_.fleet_shards),
         fleet_options);
+    shard_status_.assign(fleet_engine_->shard_count(),
+                         fleet::to_string(fleet::ShardStatus::kOk));
+  }
+  if (config_.chaos.enabled()) {
+    chaos_ = std::make_unique<ChaosInjector>(config_.chaos);
   }
   info_.machines = plan_engine_->model().size();
   info_.capacity_files_s = plan_engine_->aggregates().total_capacity;
@@ -255,6 +260,12 @@ void PlanningService::accept_loop() {
     if (ready == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    // Chaos: an accepted-then-dropped connection, the classic LB/network
+    // blip. No bytes are served; the client sees a clean EOF and retries.
+    if (chaos_ != nullptr && chaos_->drop_connection()) {
+      ::close(fd);
+      continue;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
@@ -316,6 +327,13 @@ void PlanningService::reader_loop(std::shared_ptr<Session> session) {
       if (errno == EINTR || errno == EAGAIN) continue;
       break;
     }
+    // Chaos: a slow network path. Stalls only this connection's reader.
+    if (chaos_ != nullptr) {
+      uint64_t delay_ms = 0;
+      if (chaos_->delay_read(delay_ms)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+    }
     buffer.append(chunk, static_cast<size_t>(n));
     size_t start = 0;
     for (;;) {
@@ -353,6 +371,23 @@ void PlanningService::handle_line(const std::shared_ptr<Session>& session,
     }
     write_line(session,
                encode_error(request.id, request.verb, kErrBadRequest, error));
+    return;
+  }
+  if (request.verb == Verb::kHealth) {
+    // Probe plane: answered right here on the reader thread, never queued,
+    // so liveness checks keep answering under a saturated admission queue
+    // and during a drain (reported as draining:true, not shed).
+    HealthInfo health;
+    health.queue_depth = queue_.size();
+    health.queue_capacity = queue_.capacity();
+    health.workers = config_.workers;
+    health.draining = draining_.load(std::memory_order_acquire);
+    if (fleet_engine_ != nullptr) {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      health.shard_status = shard_status_;
+    }
+    obs::count("service.health.requests");
+    write_line(session, encode_health_response(request.id, health));
     return;
   }
   if (!sim_backed_ && request.verb != Verb::kPing &&
@@ -594,6 +629,41 @@ void PlanningService::dispatch_loop() {
 }
 
 void PlanningService::run_job(const Job& job) {
+  // Chaos: a stalled worker (page fault storm, noisy neighbor). Fires
+  // before the deadline gate so stalls age queued work realistically.
+  if (chaos_ != nullptr) {
+    uint64_t stall_ms = 0;
+    if (chaos_->stall_solve(stall_ms)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    }
+  }
+  // Deadline gate: work whose deadline passed while it queued is dropped
+  // before the solve — the client has already moved on, so burning a
+  // worker on it only delays live requests further (overload aging).
+  if (job.request.deadline_ms.has_value()) {
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - job.admitted_at)
+            .count();
+    if (waited_ms > static_cast<double>(*job.request.deadline_ms)) {
+      obs::count("service.deadline.expired");
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.deadline_expired;
+      }
+      write_line(job.session,
+                 encode_error(job.request.id, job.request.verb,
+                              kErrDeadlineExceeded,
+                              util::strf("deadline of %llu ms expired after "
+                                         "%.1f ms in the queue",
+                                         static_cast<unsigned long long>(
+                                             *job.request.deadline_ms),
+                                         waited_ms),
+                              queue_.size()));
+      observe_latency(job.request.verb, waited_ms * 1000.0);
+      return;
+    }
+  }
   std::string response;
   try {
     response = handle_request(job.request);
@@ -641,9 +711,13 @@ std::string PlanningService::handle_request(const WireRequest& request) {
         }
         plan_engine_->solve_into(plan_request, core::SolveScratch::local(),
                                  slot);
-        if (!traced) return encode_plan_response(request.id, slot);
+        if (!traced) {
+          return encode_plan_response(request.id, slot, nullptr,
+                                      request.deadline_ms);
+        }
         spans.end(root);
-        return encode_plan_response(request.id, slot, &spans);
+        return encode_plan_response(request.id, slot, &spans,
+                                    request.deadline_ms);
       } catch (const std::invalid_argument& e) {
         return encode_error(request.id, Verb::kPlan, kErrInvalidArgument,
                             e.what());
@@ -660,6 +734,7 @@ std::string PlanningService::handle_request(const WireRequest& request) {
       fleet_request.scenario = core::Scenario::by_number(request.scenario);
       fleet_request.load = load;
       fleet_request.quarantined = request.fleet_quarantined;
+      fleet_request.down_shards = request.down_shards;
       try {
         thread_local obs::SpanContext spans;
         const bool traced = request.trace_id.has_value();
@@ -671,9 +746,22 @@ std::string PlanningService::handle_request(const WireRequest& request) {
           obs::count("service.trace.requests");
         }
         const fleet::FleetPlanResult result = fleet_engine_->solve(fleet_request);
-        if (!traced) return encode_fleetplan_response(request.id, result);
+        {
+          // Remember the statuses for the health verb's probe answers.
+          std::lock_guard<std::mutex> lock(health_mu_);
+          for (size_t s = 0; s < result.shard_status.size() &&
+                             s < shard_status_.size();
+               ++s) {
+            shard_status_[s] = fleet::to_string(result.shard_status[s]);
+          }
+        }
+        if (!traced) {
+          return encode_fleetplan_response(request.id, result, nullptr,
+                                           request.deadline_ms);
+        }
         spans.end(root);
-        return encode_fleetplan_response(request.id, result, &spans);
+        return encode_fleetplan_response(request.id, result, &spans,
+                                         request.deadline_ms);
       } catch (const std::invalid_argument& e) {
         return encode_error(request.id, Verb::kFleetplan, kErrInvalidArgument,
                             e.what());
@@ -728,7 +816,8 @@ std::string PlanningService::handle_request(const WireRequest& request) {
                                     control::run_fault_campaign(options));
     }
     case Verb::kSubscribe:
-      // Registered on the reader thread (handle_subscribe); never admitted.
+    case Verb::kHealth:
+      // Both answered on the reader thread; never admitted.
       break;
   }
   return encode_error(request.id, request.verb, kErrInternal, "unreachable");
@@ -742,6 +831,14 @@ bool PlanningService::write_line(const std::shared_ptr<Session>& session,
   framed.reserve(line.size() + 1);
   framed.append(line);
   framed.push_back('\n');
+  // Chaos: a crash mid-write. The peer gets a strict prefix of the frame
+  // (never corrupted bytes) and then EOF — a desync it must detect by
+  // framing, never by content. The reader sees the shutdown and closes.
+  if (chaos_ != nullptr && chaos_->truncate_write()) {
+    send_all(session->fd, std::string_view(framed).substr(0, framed.size() / 2));
+    ::shutdown(session->fd, SHUT_RDWR);
+    return false;
+  }
   return send_all(session->fd, framed);
 }
 
@@ -768,7 +865,8 @@ void PlanningService::observe_latency(Verb verb, double us) {
       obs::observe("service.latency.inject_us", us);
       break;
     case Verb::kSubscribe:
-      break;  // never dispatched; ticks are books of their own
+    case Verb::kHealth:
+      break;  // never dispatched; answered on the reader thread
   }
 }
 

@@ -49,6 +49,7 @@
 #include "core/engine.h"
 #include "fleet/fleet_engine.h"
 #include "obs/telemetry.h"
+#include "service/chaos.h"
 #include "service/mpsc_queue.h"
 #include "service/wire.h"
 #include "util/thread_pool.h"
@@ -87,6 +88,11 @@ struct ServiceConfig {
   /// in both backing modes; 0 keeps the server monolithic (fleetplan
   /// answers unsupported_verb). This is `cooloptd --fleet-shards`.
   size_t fleet_shards = 0;
+
+  /// Deterministic fault injection (chaos.h). Default-disabled: with every
+  /// probability at 0 no injector is even constructed and the server runs
+  /// the exact unchaoticized code paths. This is `cooloptd --chaos-*`.
+  ChaosOptions chaos;
 };
 
 class PlanningService {
@@ -127,6 +133,9 @@ class PlanningService {
   control::EvalEngine* eval_engine() { return eval_engine_.get(); }
   /// nullptr unless config.fleet_shards > 0.
   const fleet::FleetEngine* fleet_engine() const { return fleet_engine_.get(); }
+  /// nullptr unless config.chaos enabled a fault; exposes fired-fault
+  /// counters to the chaos tests and bench.
+  const ChaosInjector* chaos() const { return chaos_.get(); }
 
   /// Test seam: while paused the dispatch thread leaves admitted requests
   /// in the queue, so tests can fill it to known depths and observe shed
@@ -147,6 +156,7 @@ class PlanningService {
     uint64_t subscriptions = 0;     ///< subscribe verbs accepted
     uint64_t telemetry_ticks = 0;   ///< tick lines handed to sessions
     uint64_t dropped_ticks = 0;     ///< ticks dropped on slow subscribers
+    uint64_t deadline_expired = 0;  ///< admitted jobs dropped at dispatch
   };
   Stats stats() const;
 
@@ -227,7 +237,13 @@ class PlanningService {
   std::unique_ptr<control::EvalEngine> eval_engine_;  // sim-backed mode
   std::shared_ptr<core::PlanEngine> plan_engine_;     // always set
   std::unique_ptr<fleet::FleetEngine> fleet_engine_;  // fleet_shards > 0
+  std::unique_ptr<ChaosInjector> chaos_;              // config.chaos enabled
   ServerInfo info_;
+
+  /// Shard statuses observed on the most recent fleetplan solve, served by
+  /// the health verb ("ok" until one runs). Empty when monolithic.
+  mutable std::mutex health_mu_;
+  std::vector<std::string> shard_status_;
 
   int listen_fd_ = -1;
   uint16_t bound_port_ = 0;

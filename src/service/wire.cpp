@@ -249,6 +249,7 @@ const char* to_string(Verb verb) {
     case Verb::kSweep: return "sweep";
     case Verb::kInject: return "inject";
     case Verb::kSubscribe: return "subscribe";
+    case Verb::kHealth: return "health";
   }
   return "?";
 }
@@ -272,6 +273,7 @@ bool parse_verb(const std::string& name, Verb& out) {
   else if (name == "sweep") out = Verb::kSweep;
   else if (name == "inject") out = Verb::kInject;
   else if (name == "subscribe") out = Verb::kSubscribe;
+  else if (name == "health") out = Verb::kHealth;
   else return false;
   return true;
 }
@@ -302,11 +304,15 @@ bool field_allowed(Verb verb, const std::string& key) {
   }
   switch (verb) {
     case Verb::kPing:
+    case Verb::kHealth:
       return false;
     case Verb::kPlan:
+      return key == "scenario" || key == "load_pct" || key == "load" ||
+             key == "quarantined" || key == "trace_id" || key == "deadline_ms";
     case Verb::kFleetplan:
       return key == "scenario" || key == "load_pct" || key == "load" ||
-             key == "quarantined" || key == "trace_id";
+             key == "quarantined" || key == "trace_id" ||
+             key == "deadline_ms" || key == "down_shards";
     case Verb::kMeasure:
       return key == "scenario" || key == "load_pct";
     case Verb::kSweep:
@@ -342,7 +348,7 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
   if (verb == nullptr || !verb->is_string() ||
       !parse_verb(verb->as_string(), out.verb)) {
     error = "\"verb\" must be one of "
-            "ping|plan|fleetplan|measure|sweep|inject|subscribe";
+            "ping|plan|fleetplan|measure|sweep|inject|subscribe|health";
     return false;
   }
   for (const auto& [key, value] : doc.members()) {
@@ -388,6 +394,17 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
     }
     return true;
   };
+  auto deadline_field = [&]() {
+    if (const JsonValue* d = doc.find("deadline_ms")) {
+      uint64_t v = 0;
+      if (!as_uint(*d, v) || v == 0) {
+        error = "\"deadline_ms\" must be a positive integer";
+        return false;
+      }
+      out.deadline_ms = v;
+    }
+    return true;
+  };
 
   switch (out.verb) {
     case Verb::kPing:
@@ -429,6 +446,7 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
         }
       }
       if (!trace_field()) return false;
+      if (!deadline_field()) return false;
       break;
     }
     case Verb::kFleetplan: {
@@ -476,7 +494,22 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
                                   static_cast<size_t>(m_index)});
         }
       }
+      if (const JsonValue* d = doc.find("down_shards")) {
+        if (!d->is_array()) {
+          error = "\"down_shards\" must be an array of shard indices";
+          return false;
+        }
+        for (const JsonValue& item : d->items()) {
+          uint64_t index = 0;
+          if (!as_uint(item, index)) {
+            error = "\"down_shards\" entries must be non-negative integers";
+            return false;
+          }
+          out.down_shards.push_back(static_cast<size_t>(index));
+        }
+      }
       if (!trace_field()) return false;
+      if (!deadline_field()) return false;
       break;
     }
     case Verb::kMeasure: {
@@ -573,6 +606,8 @@ bool parse_request(std::string_view line, WireRequest& out, std::string& error) 
       }
       break;
     }
+    case Verb::kHealth:
+      break;
   }
   return true;
 }
@@ -698,6 +733,7 @@ std::string encode_ping_response(uint64_t id, const ServerInfo& info) {
     w.value("inject");
   }
   w.value("subscribe");
+  w.value("health");
   w.end_array();
   w.end_object();
   w.end_object();
@@ -705,7 +741,8 @@ std::string encode_ping_response(uint64_t id, const ServerInfo& info) {
 }
 
 std::string encode_plan_response(uint64_t id, const core::PlanResult& result,
-                                 const obs::SpanContext* spans) {
+                                 const obs::SpanContext* spans,
+                                 std::optional<uint64_t> deadline_ms) {
   if (!result.error.empty()) {
     return encode_error(id, Verb::kPlan, kErrInvalidArgument, result.error);
   }
@@ -737,13 +774,15 @@ std::string encode_plan_response(uint64_t id, const core::PlanResult& result,
   }
   w.end_object();
   if (spans != nullptr) write_trace_object(w, *spans);
+  if (deadline_ms.has_value()) w.kv("deadline_ms", *deadline_ms);
   w.end_object();
   return os.str();
 }
 
 std::string encode_fleetplan_response(uint64_t id,
                                       const fleet::FleetPlanResult& result,
-                                      const obs::SpanContext* spans) {
+                                      const obs::SpanContext* spans,
+                                      std::optional<uint64_t> deadline_ms) {
   std::ostringstream os;
   obs::JsonWriter w(os);
   begin_response(w, id, Verb::kFleetplan, true);
@@ -753,6 +792,12 @@ std::string encode_fleetplan_response(uint64_t id,
   w.kv("total_power_w", result.total_power_w);
   w.kv("unassigned_load", result.unassigned_load);
   w.kv("shed_load", result.shed_load);
+  // Degradation accounting appears only when shards are down, keeping
+  // fully healthy responses byte-identical to their historical form.
+  if (result.shards_down() > 0) {
+    w.kv("shards_down", static_cast<uint64_t>(result.shards_down()));
+    w.kv("redistributed_load", result.redistributed_load);
+  }
   w.key("shard_loads");
   w.begin_array();
   for (const double load : result.shard_loads) w.value(load);
@@ -763,6 +808,12 @@ std::string encode_fleetplan_response(uint64_t id,
     const core::PlanResult& r = result.shard_results[s];
     w.begin_object();
     w.kv("shard", static_cast<uint64_t>(s));
+    const fleet::ShardStatus status = s < result.shard_status.size()
+                                          ? result.shard_status[s]
+                                          : fleet::ShardStatus::kOk;
+    if (status != fleet::ShardStatus::kOk) {
+      w.kv("status", fleet::to_string(status));
+    }
     if (!r.error.empty()) w.kv("error", r.error);
     w.kv("feasible", r.feasible());
     w.kv("shed_load", r.shed_load);
@@ -777,6 +828,7 @@ std::string encode_fleetplan_response(uint64_t id,
   w.end_array();
   w.end_object();
   if (spans != nullptr) write_trace_object(w, *spans);
+  if (deadline_ms.has_value()) w.kv("deadline_ms", *deadline_ms);
   w.end_object();
   return os.str();
 }
@@ -852,6 +904,32 @@ std::string encode_subscribe_response(uint64_t id, uint64_t interval_ms,
   return os.str();
 }
 
+std::string encode_health_response(uint64_t id, const HealthInfo& health) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  begin_response(w, id, Verb::kHealth, true);
+  w.key("result");
+  w.begin_object();
+  w.kv("queue_depth", static_cast<uint64_t>(health.queue_depth));
+  w.kv("queue_capacity", static_cast<uint64_t>(health.queue_capacity));
+  w.kv("workers", static_cast<uint64_t>(health.workers));
+  w.kv("draining", health.draining);
+  if (!health.shard_status.empty()) {
+    w.key("shards");
+    w.begin_array();
+    for (size_t s = 0; s < health.shard_status.size(); ++s) {
+      w.begin_object();
+      w.kv("shard", static_cast<uint64_t>(s));
+      w.kv("status", health.shard_status[s]);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
 std::string encode_telemetry_tick(uint64_t subscription_id, uint64_t tick,
                                   const obs::MetricsDelta& delta,
                                   bool closing) {
@@ -917,6 +995,9 @@ std::string encode_request(const WireRequest& request) {
         w.end_array();
       }
       if (request.trace_id.has_value()) w.kv("trace_id", *request.trace_id);
+      if (request.deadline_ms.has_value()) {
+        w.kv("deadline_ms", *request.deadline_ms);
+      }
       break;
     case Verb::kFleetplan:
       w.kv("scenario", static_cast<uint64_t>(request.scenario));
@@ -936,7 +1017,18 @@ std::string encode_request(const WireRequest& request) {
         }
         w.end_array();
       }
+      if (!request.down_shards.empty()) {
+        w.key("down_shards");
+        w.begin_array();
+        for (const size_t index : request.down_shards) {
+          w.value(static_cast<uint64_t>(index));
+        }
+        w.end_array();
+      }
       if (request.trace_id.has_value()) w.kv("trace_id", *request.trace_id);
+      if (request.deadline_ms.has_value()) {
+        w.kv("deadline_ms", *request.deadline_ms);
+      }
       break;
     case Verb::kMeasure:
       w.kv("scenario", static_cast<uint64_t>(request.scenario));
@@ -968,6 +1060,8 @@ std::string encode_request(const WireRequest& request) {
     case Verb::kSubscribe:
       w.kv("interval_ms", request.interval_ms);
       if (request.ticks > 0) w.kv("ticks", request.ticks);
+      break;
+    case Verb::kHealth:
       break;
   }
   w.end_object();

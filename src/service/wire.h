@@ -76,7 +76,16 @@ inline constexpr size_t kMaxJsonDepth = 32;
 
 // --- protocol: requests ---
 
-enum class Verb { kPing, kPlan, kFleetplan, kMeasure, kSweep, kInject, kSubscribe };
+enum class Verb {
+  kPing,
+  kPlan,
+  kFleetplan,
+  kMeasure,
+  kSweep,
+  kInject,
+  kSubscribe,
+  kHealth,
+};
 enum class Priority { kHigh, kNormal, kLow };
 
 const char* to_string(Verb verb);
@@ -98,6 +107,10 @@ struct WireRequest {
   // fleetplan: quarantines addressed as {"shard":s,"machine":m} objects
   std::vector<fleet::ShardMachine> fleet_quarantined;
 
+  // fleetplan: shards declared unavailable by the caller. Their healthy
+  // share of the load is re-water-filled across the survivors.
+  std::vector<size_t> down_shards;
+
   // sweep
   std::vector<int> scenarios;             ///< empty == all eight
   std::vector<double> load_pcts;          ///< empty == the paper's axis
@@ -113,6 +126,13 @@ struct WireRequest {
   // keeps the historical response bytes exactly.
   std::optional<uint64_t> trace_id;
 
+  // plan / fleetplan: relative deadline in milliseconds, measured from
+  // admission. Work still queued when the deadline passes is dropped by
+  // dispatch with the `deadline_exceeded` shed code instead of burning a
+  // worker on an answer nobody is waiting for. Absence keeps the
+  // historical response bytes exactly; presence echoes the deadline.
+  std::optional<uint64_t> deadline_ms;
+
   // subscribe
   uint64_t interval_ms = kDefaultTickIntervalMs;  ///< clamped by the server
   uint64_t ticks = 0;                             ///< 0 == unbounded stream
@@ -127,6 +147,12 @@ struct WireRequest {
 /// minute between proofs of life.
 inline constexpr uint64_t kMinTickIntervalMs = 100;
 inline constexpr uint64_t kMaxTickIntervalMs = 60000;
+
+/// Hard ceiling on one request line (terminator included). A connection
+/// that exceeds it gets a `bad_request` error response and is closed —
+/// the server never buffers an unbounded frame from a hostile or broken
+/// peer (docs/service.md "Framing").
+inline constexpr size_t kMaxLineBytes = 1 << 20;
 
 /// Decodes one request line. On failure returns false, fills `error` with
 /// a human-readable reason, and still recovers the request `id` when the
@@ -146,6 +172,7 @@ inline constexpr const char* kErrUnsupportedVerb = "unsupported_verb";
 inline constexpr const char* kErrShedQueueFull = "shed_queue_full";
 inline constexpr const char* kErrShedPriority = "shed_priority";
 inline constexpr const char* kErrShedDraining = "shed_draining";
+inline constexpr const char* kErrDeadlineExceeded = "deadline_exceeded";
 inline constexpr const char* kErrTooManyConnections = "too_many_connections";
 inline constexpr const char* kErrInternal = "internal_error";
 
@@ -171,12 +198,20 @@ struct ServerInfo {
 std::string encode_ping_response(uint64_t id, const ServerInfo& info);
 /// Plan responses: `spans` non-null appends a "trace" block (trace_id +
 /// every recorded span) after "result"; null keeps the historical bytes.
-std::string encode_plan_response(uint64_t id, const core::PlanResult& result,
-                                 const obs::SpanContext* spans = nullptr);
+/// `deadline_ms` echoes the request's relative deadline after the result
+/// (and trace, when present); absence keeps the historical bytes.
+std::string encode_plan_response(
+    uint64_t id, const core::PlanResult& result,
+    const obs::SpanContext* spans = nullptr,
+    std::optional<uint64_t> deadline_ms = std::nullopt);
 /// Fleet solve: global split + per-shard plans, each with attribution.
-std::string encode_fleetplan_response(uint64_t id,
-                                      const fleet::FleetPlanResult& result,
-                                      const obs::SpanContext* spans = nullptr);
+/// Degraded solves additionally carry per-shard "status" entries plus the
+/// "shards_down"/"redistributed_load" accounting; fully healthy solves
+/// keep their exact historical bytes.
+std::string encode_fleetplan_response(
+    uint64_t id, const fleet::FleetPlanResult& result,
+    const obs::SpanContext* spans = nullptr,
+    std::optional<uint64_t> deadline_ms = std::nullopt);
 std::string encode_measure_response(uint64_t id,
                                     const control::EvalPoint& point);
 std::string encode_sweep_response(uint64_t id,
@@ -188,6 +223,21 @@ std::string encode_inject_response(uint64_t id,
 /// drain).
 std::string encode_subscribe_response(uint64_t id, uint64_t interval_ms,
                                       uint64_t ticks);
+
+/// Liveness/readiness snapshot served directly on the reader thread (never
+/// queued), so probes keep answering even when the admission queue is
+/// saturated. `shard_status` entries are the statuses observed on the most
+/// recent fleetplan solve ("ok" until one runs); empty == monolithic
+/// server (the field is omitted).
+struct HealthInfo {
+  size_t queue_depth = 0;
+  size_t queue_capacity = 0;
+  size_t workers = 0;
+  bool draining = false;
+  std::vector<std::string> shard_status;
+};
+
+std::string encode_health_response(uint64_t id, const HealthInfo& health);
 
 // --- protocol: telemetry ticks (pushed lines, not responses) ---
 

@@ -231,6 +231,145 @@ TEST(FleetEngine, FleetplanVerbServesDirectEngineBytes) {
   server.stop();
 }
 
+// --- shard failure domains (issue 10) ---
+
+TEST(FleetFailure, DownShardLoadIsRedistributedAcrossSurvivors) {
+  FleetEngine fleet(partition_room(test_room(24), 4));
+  FleetPlanRequest request;
+  request.load = 0.5 * fleet.total_capacity();
+  request.down_shards = {1};
+  const FleetPlanResult result = fleet.solve(request);
+
+  ASSERT_EQ(result.shard_status.size(), 4u);
+  EXPECT_EQ(result.shard_status[1], ShardStatus::kDown);
+  EXPECT_EQ(result.shards_down(), 1u);
+  EXPECT_EQ(result.shard_loads[1], 0.0);
+  // The down shard's share lives on in the survivors: nothing is lost.
+  double assigned = 0.0;
+  for (const double l : result.shard_loads) assigned += l;
+  EXPECT_NEAR(assigned, request.load, 1e-9);
+  EXPECT_EQ(result.shed_load, 0.0);
+  EXPECT_TRUE(result.feasible());
+  // Someone had to absorb the displaced load, and the books say who/how much.
+  EXPECT_GT(result.redistributed_load, 0.0);
+  bool any_degraded = false;
+  for (const ShardStatus s : result.shard_status) {
+    any_degraded = any_degraded || s == ShardStatus::kDegraded;
+  }
+  EXPECT_TRUE(any_degraded);
+}
+
+TEST(FleetFailure, DegradedPlanIsBitForBitReproducible) {
+  FleetEngine fleet(partition_room(test_room(24), 4));
+  FleetPlanRequest request;
+  request.load = 0.45 * fleet.total_capacity();
+  request.down_shards = {0, 2};
+  const FleetPlanResult a = fleet.solve(request, 1);
+  const FleetPlanResult b = fleet.solve(request, 8);
+  EXPECT_EQ(a.shard_loads, b.shard_loads);
+  EXPECT_EQ(a.total_power_w, b.total_power_w);
+  EXPECT_EQ(a.redistributed_load, b.redistributed_load);
+  EXPECT_EQ(a.shard_status, b.shard_status);
+  for (size_t s = 0; s < a.shard_results.size(); ++s) {
+    if (a.shard_status[s] == ShardStatus::kDown) continue;
+    ASSERT_TRUE(a.shard_results[s].plan.has_value());
+    EXPECT_EQ(a.shard_results[s].plan->allocation.loads,
+              b.shard_results[s].plan->allocation.loads);
+    EXPECT_EQ(a.shard_results[s].plan->allocation.on,
+              b.shard_results[s].plan->allocation.on);
+  }
+}
+
+TEST(FleetFailure, CrashedShardSolveIsTreatedLikeADeclaredDownShard) {
+  FleetEngine fleet(partition_room(test_room(24), 4));
+  FleetPlanRequest crash;
+  crash.load = 0.5 * fleet.total_capacity();
+  crash.fault_shards = {2};
+  const FleetPlanResult crashed = fleet.solve(crash);
+  EXPECT_EQ(crashed.shard_status[2], ShardStatus::kDown);
+  EXPECT_NE(crashed.shard_results[2].error.find("injected fault in shard 2"),
+            std::string::npos);
+  EXPECT_TRUE(crashed.feasible());
+
+  // The surviving plan is identical to declaring the shard down up front:
+  // the crash path converges to the same zero-capacity re-split.
+  FleetPlanRequest declared;
+  declared.load = crash.load;
+  declared.down_shards = {2};
+  const FleetPlanResult down = fleet.solve(declared);
+  EXPECT_EQ(crashed.shard_loads, down.shard_loads);
+  EXPECT_EQ(crashed.total_power_w, down.total_power_w);
+  EXPECT_EQ(crashed.redistributed_load, down.redistributed_load);
+}
+
+TEST(FleetFailure, OutOfRangeFailureIndicesThrow) {
+  FleetEngine fleet(partition_room(test_room(12), 3));
+  FleetPlanRequest down;
+  down.load = 10.0;
+  down.down_shards = {9};
+  EXPECT_NE(error_of([&] { fleet.solve(down); })
+                .find("shard 9 but the fleet has 3 shards"),
+            std::string::npos);
+  FleetPlanRequest fault;
+  fault.load = 10.0;
+  fault.fault_shards = {3};
+  EXPECT_NE(error_of([&] { fleet.solve(fault); })
+                .find("shard 3 but the fleet has 3 shards"),
+            std::string::npos);
+}
+
+TEST(FleetFailure, AllShardsDownShedsEverythingInfeasibly) {
+  FleetEngine fleet(partition_room(test_room(12), 3));
+  FleetPlanRequest request;
+  request.load = 0.3 * fleet.total_capacity();
+  request.down_shards = {0, 1, 2};
+  const FleetPlanResult result = fleet.solve(request);
+  EXPECT_EQ(result.shards_down(), 3u);
+  EXPECT_NEAR(result.unassigned_load, request.load, 1e-9);
+  EXPECT_FALSE(result.feasible());
+}
+
+/// The degraded fleetplan response is still exactly the direct engine's
+/// bytes, and it carries the failure-domain accounting.
+TEST(FleetFailure, FleetplanVerbServesDegradedBytes) {
+  service::ServiceConfig config;
+  config.model = core::share_model(test_room(24));
+  config.fleet_shards = 8;
+  service::PlanningService server(std::move(config));
+  server.start();
+
+  service::ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  service::WireRequest request;
+  request.id = 41;
+  request.verb = service::Verb::kFleetplan;
+  request.load_pct = 50.0;
+  request.down_shards = {2, 5};
+  ASSERT_TRUE(client.send_line(service::encode_request(request)));
+  const auto line = client.recv_line();
+  ASSERT_TRUE(line.has_value());
+
+  FleetPlanRequest direct;
+  direct.scenario = core::Scenario::by_number(request.scenario);
+  direct.load = request.load_pct / 100.0 * server.info().capacity_files_s;
+  direct.down_shards = request.down_shards;
+  EXPECT_EQ(*line, service::encode_fleetplan_response(
+                       request.id, server.fleet_engine()->solve(direct)));
+  EXPECT_NE(line->find("\"shards_down\":2"), std::string::npos);
+  EXPECT_NE(line->find("\"status\":\"down\""), std::string::npos);
+
+  // The health verb now reports the statuses that solve observed.
+  service::WireRequest probe;
+  probe.id = 42;
+  probe.verb = service::Verb::kHealth;
+  ASSERT_TRUE(client.send_line(service::encode_request(probe)));
+  const auto health = client.recv_line();
+  ASSERT_TRUE(health.has_value());
+  EXPECT_NE(health->find("\"verb\":\"health\""), std::string::npos);
+  EXPECT_NE(health->find("\"status\":\"down\""), std::string::npos);
+  server.stop();
+}
+
 TEST(FleetEngine, MonolithicServerRejectsFleetplan) {
   service::ServiceConfig config;
   config.model = core::share_model(test_room(8));

@@ -8,7 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <string>
 #include <thread>
@@ -609,6 +615,191 @@ TEST(PlanningService, DrainWritesAClosingTickToSubscribers) {
   }
   stopper.join();
   EXPECT_TRUE(saw_closing);
+}
+
+// --- deadlines, timeouts, drain races (issue 10) ---
+
+TEST(PlanningService, ExpiredDeadlineIsShedAtDispatchLiveOneServed) {
+  ServiceConfig config = model_config();
+  PlanningService server(std::move(config));
+  server.pause_dispatch(true);  // hold the queue so the deadline can lapse
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  // One request that will expire while paused, one with no deadline.
+  ASSERT_TRUE(client.send_line(
+      R"({"id":1,"verb":"plan","load_pct":30,"deadline_ms":10})"));
+  ASSERT_TRUE(client.send_line(R"({"id":2,"verb":"plan","load_pct":30})"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().admitted < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.stats().admitted, 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.pause_dispatch(false);
+
+  std::map<uint64_t, JsonValue> responses;
+  for (int i = 0; i < 2; ++i) {
+    const auto line = client.recv_line();
+    ASSERT_TRUE(line.has_value()) << client.last_error();
+    JsonValue doc = must_parse(*line);
+    responses[static_cast<uint64_t>(doc.find("id")->as_number())] =
+        std::move(doc);
+  }
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_FALSE(responses[1].find("ok")->as_bool());
+  EXPECT_EQ(responses[1].find("error_code")->as_string(),
+            kErrDeadlineExceeded);
+  EXPECT_TRUE(responses[2].find("ok")->as_bool());
+  EXPECT_EQ(server.stats().deadline_expired, 1u);
+  server.stop();
+}
+
+TEST(PlanningService, GenerousDeadlineIsEchoedInTheResponse) {
+  PlanningService server(model_config());
+  server.start();
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const auto response = client.call(
+      R"({"id":7,"verb":"plan","load_pct":30,"deadline_ms":60000})");
+  ASSERT_TRUE(response.has_value()) << client.last_error();
+  const JsonValue doc = must_parse(*response);
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  ASSERT_NE(doc.find("deadline_ms"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find("deadline_ms")->as_number(), 60000.0);
+  server.stop();
+}
+
+/// Satellite: SIGTERM (-> stop()) racing a queue of mixed expired/live
+/// requests. Every admitted request is answered exactly once — expired
+/// ones with deadline_exceeded, live ones with their plan — and the
+/// subscriber still gets its closing tick.
+TEST(PlanningService, DrainRacingDeadlineExpiryAnswersEachExactlyOnce) {
+  obs::MetricsRegistry registry;
+  obs::ScopedObservation scope(&registry);
+  ServiceConfig config = model_config();
+  config.queue_capacity = 16;
+  PlanningService server(std::move(config));
+  server.pause_dispatch(true);
+  server.start();
+
+  ServiceClient subscriber;
+  ASSERT_TRUE(subscriber.connect("127.0.0.1", server.port()));
+  const auto ack = subscriber.call(
+      R"({"id":90,"verb":"subscribe","interval_ms":100})");
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_TRUE(must_parse(*ack).find("ok")->as_bool());
+
+  ServiceClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  for (uint64_t id = 0; id < 8; ++id) {
+    const bool expiring = id < 4;
+    ASSERT_TRUE(client.send_line(util::strf(
+        expiring ? R"({"id":%llu,"verb":"plan","load_pct":30,"deadline_ms":5})"
+                 : R"({"id":%llu,"verb":"plan","load_pct":30})",
+        static_cast<unsigned long long>(id))));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().admitted < 8 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.stats().admitted, 8u);
+  // Let the deadlined half lapse, then drain while the queue is mixed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread stopper([&] { server.stop(); });
+
+  std::map<uint64_t, int> answers;
+  for (int i = 0; i < 8; ++i) {
+    const auto line = client.recv_line();
+    ASSERT_TRUE(line.has_value()) << client.last_error();
+    const JsonValue doc = must_parse(*line);
+    const uint64_t id = static_cast<uint64_t>(doc.find("id")->as_number());
+    ++answers[id];
+    if (id < 4) {
+      EXPECT_FALSE(doc.find("ok")->as_bool());
+      EXPECT_EQ(doc.find("error_code")->as_string(), kErrDeadlineExceeded);
+    } else {
+      EXPECT_TRUE(doc.find("ok")->as_bool());
+    }
+  }
+  EXPECT_FALSE(client.recv_line().has_value());  // exactly once, then EOF
+  ASSERT_EQ(answers.size(), 8u);
+  for (const auto& [id, count] : answers) EXPECT_EQ(count, 1) << id;
+
+  bool saw_closing = false;
+  for (;;) {
+    const auto line = subscriber.recv_line();
+    if (!line.has_value()) break;
+    if (!is_telemetry_line(*line)) continue;
+    const JsonValue tick = must_parse(*line);
+    const JsonValue* closing = tick.find("closing");
+    saw_closing = saw_closing ||
+                  (closing != nullptr && closing->as_bool());
+  }
+  stopper.join();
+  EXPECT_TRUE(saw_closing);
+  EXPECT_EQ(server.stats().deadline_expired, 4u);
+}
+
+/// Satellite bugfix: a server that dies mid-response (or stalls forever)
+/// must not hang the client. The timeout path reports timed_out(); the
+/// mid-response kill path reports EOF — both clean errors, never a hang.
+TEST(ServiceClient, TimeoutAndMidResponseKillAreCleanErrors) {
+  // A raw listener the test controls byte-for-byte.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  // Stalled server: accepts, reads, never answers.
+  std::thread stall_server([&] {
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    char buf[512];
+    [[maybe_unused]] const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    ::close(fd);
+  });
+  ServiceClient client;
+  client.set_timeout_ms(50);
+  ASSERT_TRUE(client.connect("127.0.0.1", port));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.call(R"({"id":1,"verb":"ping"})").has_value());
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(client.timed_out());
+  EXPECT_NE(client.last_error().find("timeout"), std::string::npos);
+  EXPECT_LT((std::chrono::duration<double, std::milli>(waited).count()),
+            450.0);
+  stall_server.join();
+
+  // Killed mid-response: half a frame, no newline, then the socket dies.
+  std::thread kill_server([&] {
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    char buf[512];
+    [[maybe_unused]] const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    const char partial[] = "{\"id\":1,\"ok\":tr";
+    [[maybe_unused]] const ssize_t m =
+        ::send(fd, partial, sizeof partial - 1, MSG_NOSIGNAL);
+    ::close(fd);
+  });
+  ServiceClient victim;
+  victim.set_timeout_ms(2000);
+  ASSERT_TRUE(victim.connect("127.0.0.1", port));
+  EXPECT_FALSE(victim.call(R"({"id":1,"verb":"ping"})").has_value());
+  EXPECT_FALSE(victim.timed_out());
+  EXPECT_NE(victim.last_error().find("closed"), std::string::npos);
+  kill_server.join();
+  ::close(lfd);
 }
 
 }  // namespace

@@ -289,13 +289,14 @@ TEST(EncodeResponse, PingResponseListsVerbsByBackend) {
   info.workers = 4;
   info.sim_backed = false;
   const JsonValue model_backed = parse_ok(encode_ping_response(1, info));
-  EXPECT_EQ(model_backed.find("result")->find("verbs")->items().size(), 3u);
+  EXPECT_EQ(model_backed.find("result")->find("verbs")->items().size(), 4u);
   info.sim_backed = true;
   const JsonValue sim_backed = parse_ok(encode_ping_response(1, info));
   const JsonValue* verbs = sim_backed.find("result")->find("verbs");
-  EXPECT_EQ(verbs->items().size(), 6u);
-  // subscribe is served in both backing modes, so it is always advertised.
-  EXPECT_EQ(verbs->items().back().as_string(), "subscribe");
+  EXPECT_EQ(verbs->items().size(), 7u);
+  // subscribe and health are served in both backing modes, so they are
+  // always advertised (health last).
+  EXPECT_EQ(verbs->items().back().as_string(), "health");
 }
 
 // --- subscribe + tracing (issue 9) ---
@@ -476,6 +477,148 @@ TEST(EncodeResponse, TracedPlanResponseAppendsTheSpanTree) {
   EXPECT_EQ(shard_span.find("name")->as_string(), "shard.engine.solve");
   EXPECT_DOUBLE_EQ(shard_span.find("parent")->as_number(), 0.0);
   EXPECT_DOUBLE_EQ(shard_span.find("shard")->as_number(), 2.0);
+}
+
+// --- deadlines, health, shard failure domains (issue 10) ---
+
+TEST(ParseRequest, DeadlineOnPlanAndFleetplan) {
+  const WireRequest plan =
+      request_ok(R"({"id":1,"verb":"plan","load_pct":10,"deadline_ms":250})");
+  ASSERT_TRUE(plan.deadline_ms.has_value());
+  EXPECT_EQ(*plan.deadline_ms, 250u);
+  const WireRequest fleet = request_ok(
+      R"({"id":2,"verb":"fleetplan","load_pct":10,"deadline_ms":1})");
+  ASSERT_TRUE(fleet.deadline_ms.has_value());
+  EXPECT_EQ(*fleet.deadline_ms, 1u);
+  // No deadline field means no deadline — the historical behavior.
+  EXPECT_FALSE(request_ok(R"({"id":3,"verb":"plan","load_pct":10})")
+                   .deadline_ms.has_value());
+}
+
+TEST(ParseRequest, DeadlineMustBeAPositiveInteger) {
+  const std::string error = request_fail(
+      R"({"id":4,"verb":"plan","load_pct":10,"deadline_ms":0})", 4);
+  EXPECT_NE(error.find("deadline_ms"), std::string::npos);
+  request_fail(R"({"id":4,"verb":"plan","load_pct":10,"deadline_ms":-5})", 4);
+  request_fail(R"({"id":4,"verb":"plan","load_pct":10,"deadline_ms":2.5})", 4);
+  request_fail(R"({"id":4,"verb":"plan","load_pct":10,"deadline_ms":"9"})", 4);
+}
+
+TEST(ParseRequest, DeadlineScopedToPlanVerbs) {
+  // Only plan/fleetplan queue behind the dispatcher, so only they take a
+  // deadline; elsewhere the field is rejected by name like any stranger.
+  const std::string error = request_fail(
+      R"({"id":5,"verb":"measure","load_pct":10,"deadline_ms":100})", 5);
+  EXPECT_NE(error.find("deadline_ms"), std::string::npos);
+  request_fail(R"({"id":5,"verb":"ping","deadline_ms":100})", 5);
+}
+
+TEST(ParseRequest, DownShardsOnFleetplanOnly) {
+  const WireRequest r = request_ok(
+      R"({"id":6,"verb":"fleetplan","load_pct":10,"down_shards":[2,5]})");
+  EXPECT_EQ(r.down_shards, (std::vector<size_t>{2, 5}));
+  EXPECT_TRUE(request_ok(R"({"id":6,"verb":"fleetplan","load_pct":10})")
+                  .down_shards.empty());
+  const std::string error = request_fail(
+      R"({"id":7,"verb":"plan","load_pct":10,"down_shards":[1]})", 7);
+  EXPECT_NE(error.find("down_shards"), std::string::npos);
+}
+
+TEST(ParseRequest, DownShardsValidated) {
+  request_fail(
+      R"({"id":8,"verb":"fleetplan","load_pct":10,"down_shards":3})", 8);
+  request_fail(
+      R"({"id":8,"verb":"fleetplan","load_pct":10,"down_shards":[-1]})", 8);
+  request_fail(
+      R"({"id":8,"verb":"fleetplan","load_pct":10,"down_shards":[1.5]})", 8);
+}
+
+TEST(ParseRequest, HealthTakesNoPayloadFields) {
+  EXPECT_EQ(request_ok(R"({"id":9,"verb":"health"})").verb, Verb::kHealth);
+  const std::string error =
+      request_fail(R"({"id":10,"verb":"health","scenario":8})", 10);
+  EXPECT_NE(error.find("scenario"), std::string::npos);
+}
+
+TEST(EncodeRequest, DeadlineAndDownShardsRoundTrip) {
+  WireRequest request;
+  request.id = 11;
+  request.verb = Verb::kFleetplan;
+  request.load_pct = 40.0;
+  request.down_shards = {2, 5};
+  request.deadline_ms = 750;
+  const WireRequest back = request_ok(encode_request(request));
+  EXPECT_EQ(back.down_shards, (std::vector<size_t>{2, 5}));
+  ASSERT_TRUE(back.deadline_ms.has_value());
+  EXPECT_EQ(*back.deadline_ms, 750u);
+
+  WireRequest plan;
+  plan.id = 12;
+  plan.verb = Verb::kPlan;
+  plan.load_pct = 40.0;
+  plan.deadline_ms = 90;
+  ASSERT_TRUE(request_ok(encode_request(plan)).deadline_ms.has_value());
+  EXPECT_EQ(*request_ok(encode_request(plan)).deadline_ms, 90u);
+
+  WireRequest health;
+  health.id = 13;
+  health.verb = Verb::kHealth;
+  EXPECT_EQ(request_ok(encode_request(health)).verb, Verb::kHealth);
+}
+
+TEST(EncodeResponse, PlanResponseEchoesDeadlineOnlyWhenSet) {
+  core::SyntheticModelOptions options;
+  options.machines = 8;
+  options.seed = 5;
+  const core::PlanEngine engine(core::make_synthetic_model(options));
+  const core::PlanResult result = engine.solve(core::PlanRequest(
+      core::Scenario::by_number(8), 0.4 * engine.aggregates().total_capacity));
+
+  const std::string bare = encode_plan_response(20, result);
+  EXPECT_EQ(bare.find("\"deadline_ms\""), std::string::npos);
+  const std::string echoed =
+      encode_plan_response(20, result, nullptr, uint64_t{300});
+  // The echo is strictly appended, preserving historical bytes exactly.
+  EXPECT_EQ(echoed.rfind(bare.substr(0, bare.size() - 1), 0), 0u);
+  const JsonValue doc = parse_ok(echoed);
+  EXPECT_DOUBLE_EQ(doc.find("deadline_ms")->as_number(), 300.0);
+}
+
+TEST(EncodeResponse, HealthResponseReportsQueueAndShards) {
+  HealthInfo health;
+  health.queue_depth = 3;
+  health.queue_capacity = 256;
+  health.workers = 4;
+  health.draining = false;
+  const JsonValue mono = parse_ok(encode_health_response(14, health));
+  EXPECT_TRUE(mono.find("ok")->as_bool());
+  EXPECT_EQ(mono.find("verb")->as_string(), "health");
+  const JsonValue* result = mono.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_DOUBLE_EQ(result->find("queue_depth")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(result->find("queue_capacity")->as_number(), 256.0);
+  EXPECT_FALSE(result->find("draining")->as_bool());
+  // A monolithic server has no shard table at all.
+  EXPECT_EQ(result->find("shards"), nullptr);
+
+  health.draining = true;
+  health.shard_status = {"ok", "degraded", "down"};
+  const JsonValue fleet = parse_ok(encode_health_response(14, health));
+  const JsonValue* shards = fleet.find("result")->find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_EQ(shards->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(shards->items()[2].find("shard")->as_number(), 2.0);
+  EXPECT_EQ(shards->items()[2].find("status")->as_string(), "down");
+  EXPECT_TRUE(fleet.find("result")->find("draining")->as_bool());
+}
+
+TEST(ErrorCodes, DeadlineExceededIsMachineReadable) {
+  const JsonValue doc = parse_ok(
+      encode_error(15, Verb::kPlan, kErrDeadlineExceeded,
+                   "deadline of 10 ms expired after 25.0 ms in the queue"));
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("error_code")->as_string(), "deadline_exceeded");
+  EXPECT_NE(doc.find("error")->as_string().find("expired"), std::string::npos);
 }
 
 }  // namespace

@@ -103,6 +103,49 @@ for f in "${files[@]}"; do
       continue
     fi
   fi
+  # Bench-specific schema: the chaos artifact carries goodput per
+  # client-count case, the fired-fault counts, the retry histogram, and the
+  # degraded-plan reproducibility verdict (perf_chaos's self-gated targets:
+  # goodput >= 95% with faults firing, and a fault never corrupts bytes).
+  if [ "$(jq -r '.bench' "$f")" = "chaos" ]; then
+    if ! jq -e '.cases | all((.clients | type == "number")
+                             and (.calls | type == "number")
+                             and (.succeeded | type == "number")
+                             and (.goodput_pct | type == "number")
+                             and (.retried_calls | type == "number")
+                             and (.mismatches == 0))' "$f" >/dev/null; then
+      echo "check_bench: $f lacks the chaos case schema (numeric clients/calls/succeeded/goodput_pct/retried_calls, mismatches == 0)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! jq -e '(.goodput_pct | type == "number" and . >= 95)
+                and (.cases | all(.goodput_pct >= 95))' "$f" >/dev/null; then
+      echo "check_bench: $f reports goodput below the 95% floor (goodput_pct=$(jq -r '.goodput_pct' "$f"))" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! jq -e '.drops | type == "object"
+                and (.dropped_connections | type == "number")
+                and (.delayed_reads | type == "number")
+                and (.truncated_writes | type == "number")
+                and (.stalled_solves | type == "number")' "$f" >/dev/null; then
+      echo "check_bench: $f lacks the fired-fault counts (object \"drops\" with numeric dropped_connections/delayed_reads/truncated_writes/stalled_solves)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! jq -e '.retry_histogram | type == "array" and length > 0
+                and all((.attempts | type == "number")
+                        and (.calls | type == "number"))' "$f" >/dev/null; then
+      echo "check_bench: $f lacks the retry histogram (non-empty array of {attempts, calls})" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! jq -e '.reproducible == true' "$f" >/dev/null; then
+      echo "check_bench: $f reports a degraded plan that did not reproduce bit-for-bit (reproducible=$(jq -r '.reproducible' "$f"))" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+  fi
   echo "check_bench: $f ok ($(jq -r '.bench' "$f"), $(jq '.cases | length' "$f") cases, pass=$(jq -r '.pass' "$f"))"
 done
 

@@ -40,7 +40,8 @@ done
 # removal has to show up here, not in a consumer.
 required="service.telemetry.subscribed service.telemetry.subscribers
 service.telemetry.ticks service.telemetry.dropped_ticks
-service.trace.requests"
+service.trace.requests
+service.deadline.expired fleet.shards_down fleet.redistributed_load"
 for name in $required; do
   if ! printf '%s\n' "$emitted" | grep -Fxq "$name"; then
     echo "check_metrics: required metric \`$name\` is no longer emitted from src/" >&2

@@ -10,6 +10,12 @@
 // admission bound behind every shed threshold), --workers (engine
 // threads), --max-connections. See docs/service.md for tuning guidance.
 //
+// Deterministic fault injection (service/chaos.h; all default-off):
+// --chaos-drop-conn-pct / --chaos-delay-read-pct /
+// --chaos-truncate-write-pct / --chaos-stall-solve-pct arm the four
+// hooks, --chaos-seed fixes the fault streams. Any armed hook prints a
+// CHAOS banner after the serving line.
+//
 // SIGTERM / SIGINT trigger a graceful drain: the listener closes, every
 // queued request still gets its response, in-flight connections are then
 // closed, and the process exits 0. The handler only writes one byte to a
@@ -68,6 +74,17 @@ int main(int argc, char** argv) {
   flags.define("queue-capacity", "admission queue bound (requests)", "256");
   flags.define("workers", "engine worker threads (0 = hardware default)", "0");
   flags.define("max-connections", "concurrent client connections", "64");
+  flags.define("chaos-seed",
+               "seed for the deterministic fault injector (docs/robustness.md)",
+               "1");
+  flags.define("chaos-drop-conn-pct",
+               "percent of accepted connections to close immediately", "0");
+  flags.define("chaos-delay-read-pct",
+               "percent of socket reads to delay before parsing", "0");
+  flags.define("chaos-truncate-write-pct",
+               "percent of response writes to truncate mid-frame", "0");
+  flags.define("chaos-stall-solve-pct",
+               "percent of dispatched solves to stall before running", "0");
   std::string error;
   if (!flags.parse(static_cast<int>(argv_stripped.size()),
                    argv_stripped.data(), error)) {
@@ -88,6 +105,21 @@ int main(int argc, char** argv) {
   config.max_connections =
       static_cast<size_t>(flags.get_int("max-connections", 64));
   config.fleet_shards = static_cast<size_t>(flags.get_int("fleet-shards", 0));
+  config.chaos.seed = static_cast<uint64_t>(flags.get_int("chaos-seed", 1));
+  config.chaos.drop_connection_pct =
+      flags.get_double("chaos-drop-conn-pct", 0.0);
+  config.chaos.delay_read_pct = flags.get_double("chaos-delay-read-pct", 0.0);
+  config.chaos.truncate_write_pct =
+      flags.get_double("chaos-truncate-write-pct", 0.0);
+  config.chaos.stall_solve_pct =
+      flags.get_double("chaos-stall-solve-pct", 0.0);
+  if (config.chaos.drop_connection_pct < 0.0 ||
+      config.chaos.delay_read_pct < 0.0 ||
+      config.chaos.truncate_write_pct < 0.0 ||
+      config.chaos.stall_solve_pct < 0.0) {
+    std::cerr << "chaos percentages must be non-negative\n";
+    return 2;
+  }
   const std::string model_path = flags.get_string("model", "");
   if (!model_path.empty()) {
     try {
@@ -133,6 +165,15 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(server.port()),
         server.info().sim_backed ? "simulator-backed" : "model-backed",
         server.info().queue_capacity, server.info().workers);
+    if (server.chaos() != nullptr) {
+      const service::ChaosOptions& chaos = server.chaos()->options();
+      std::cout << util::strf(
+          "cooloptd CHAOS enabled (seed %llu): drop-conn %.2f%%, delay-read "
+          "%.2f%%, truncate-write %.2f%%, stall-solve %.2f%%\n",
+          static_cast<unsigned long long>(chaos.seed),
+          chaos.drop_connection_pct, chaos.delay_read_pct,
+          chaos.truncate_write_pct, chaos.stall_solve_pct);
+    }
     std::cout.flush();
 
     // Block until a termination signal lands on the self-pipe.

@@ -311,6 +311,22 @@ int cmd_frontier(util::CliFlags& flags, int argc, const char* const* argv,
   return 0;
 }
 
+/// Parses a comma-separated list of non-negative shard/machine indices.
+/// Returns false (and reports via `err`) on any malformed entry.
+bool parse_index_list(const std::string& csv, const char* what,
+                      std::vector<size_t>& indices, std::ostream& err) {
+  for (const std::string& tok : util::split(csv, ',')) {
+    if (tok.empty()) continue;
+    int index = 0;
+    if (!util::parse_int(tok, index) || index < 0) {
+      err << "bad " << what << " index: '" << tok << "'\n";
+      return false;
+    }
+    indices.push_back(static_cast<size_t>(index));
+  }
+  return true;
+}
+
 int cmd_inject(util::CliFlags& flags, int argc, const char* const* argv,
                std::ostream& out, std::ostream& err) {
   flags.define("servers", "machines in the room", "20");
@@ -321,6 +337,16 @@ int cmd_inject(util::CliFlags& flags, int argc, const char* const* argv,
   flags.define("load-pct", "offered load, percent of fitted capacity", "60");
   flags.define("duration", "simulated seconds to run", "3600");
   flags.define("control-period", "seconds between controller updates", "30");
+  flags.define("down-shards",
+               "comma-separated fleet shard indices to declare down; sends a "
+               "degraded fleetplan to a live cooloptd instead of running a "
+               "local room campaign",
+               "");
+  flags.define("host", "cooloptd address (--down-shards mode)", "127.0.0.1");
+  flags.define("port", "cooloptd port (--down-shards mode)", "7077");
+  flags.define("plan-scenario",
+               "Fig. 4 scenario number for the degraded fleetplan", "8");
+  flags.define("id", "request id (--down-shards mode)", "1");
   std::string error;
   if (!flags.parse(argc, argv, error)) {
     err << error << "\n";
@@ -333,6 +359,39 @@ int cmd_inject(util::CliFlags& flags, int argc, const char* const* argv,
       out << " " << name;
     }
     out << "\n";
+    return 0;
+  }
+
+  // Shard-failure mode: exercise the fleet failure-domain path end to end
+  // against a running daemon rather than simulating a room-level fault.
+  const std::string down_csv = flags.get_string("down-shards", "");
+  if (!down_csv.empty()) {
+    service::WireRequest request;
+    request.verb = service::Verb::kFleetplan;
+    request.id = static_cast<uint64_t>(flags.get_int("id", 1));
+    request.scenario = flags.get_int("plan-scenario", 8);
+    request.load_pct = flags.get_double("load-pct", 60.0);
+    if (!parse_index_list(down_csv, "shard", request.down_shards, err)) {
+      return 2;
+    }
+    service::ServiceClient client;
+    if (!client.connect(flags.get_string("host", "127.0.0.1"),
+                        static_cast<uint16_t>(flags.get_int("port", 7077)))) {
+      err << client.last_error() << "\n";
+      return 1;
+    }
+    const std::optional<std::string> response = client.call_with_retry(request);
+    if (!response.has_value()) {
+      err << client.last_error() << "\n";
+      return 1;
+    }
+    out << *response << "\n";
+    service::JsonValue doc;
+    std::string parse_error;
+    if (service::parse_json(*response, doc, parse_error)) {
+      const service::JsonValue* ok = doc.find("ok");
+      if (ok != nullptr && ok->is_bool() && !ok->as_bool()) return 1;
+    }
     return 0;
   }
 
@@ -375,12 +434,29 @@ int cmd_client(util::CliFlags& flags, int argc, const char* const* argv,
                std::ostream& out, std::ostream& err) {
   flags.define("host", "cooloptd address", "127.0.0.1");
   flags.define("port", "cooloptd port", "7077");
-  flags.define("verb", "ping | plan | fleetplan | measure | sweep | inject", "ping");
+  flags.define("verb",
+               "ping | health | plan | fleetplan | measure | sweep | inject",
+               "ping");
   flags.define("priority", "admission priority: high | normal | low", "normal");
   flags.define("id", "request id echoed in the response", "1");
   flags.define("scenario", "Fig. 4 scenario number (plan/measure)", "8");
   flags.define("load-pct", "load, percent of fitted capacity", "50");
   flags.define("quarantined", "comma-separated machine indices (plan)", "");
+  flags.define("down-shards",
+               "comma-separated fleet shard indices to treat as unavailable "
+               "(fleetplan)",
+               "");
+  flags.define("deadline-ms",
+               "drop the request unanswered-by-solve if it waits longer than "
+               "this in the server queue (plan/fleetplan)",
+               "0");
+  flags.define("timeout-ms",
+               "ceiling on each wait for a response line (0 = block forever)",
+               "0");
+  flags.define("retries",
+               "total attempts for idempotent verbs (reconnect + resend with "
+               "capped exponential backoff)",
+               "1");
   flags.define("trace-id",
                "attach this trace id to plan/fleetplan; the response then "
                "carries a trace block with timed spans",
@@ -398,12 +474,20 @@ int cmd_client(util::CliFlags& flags, int argc, const char* const* argv,
     return 0;
   }
 
+  const int timeout_ms = flags.get_int("timeout-ms", 0);
+  const int retries = flags.get_int("retries", 1);
+  if (timeout_ms < 0 || retries < 1) {
+    err << "client: --timeout-ms must be non-negative, --retries >= 1\n";
+    return 2;
+  }
+
   std::string line = flags.get_string("line", "");
+  service::WireRequest request;
   if (line.empty()) {
-    service::WireRequest request;
     request.id = static_cast<uint64_t>(flags.get_int("id", 1));
     const std::string verb = flags.get_string("verb", "ping");
     if (verb == "ping") request.verb = service::Verb::kPing;
+    else if (verb == "health") request.verb = service::Verb::kHealth;
     else if (verb == "plan") request.verb = service::Verb::kPlan;
     else if (verb == "fleetplan") request.verb = service::Verb::kFleetplan;
     else if (verb == "measure") request.verb = service::Verb::kMeasure;
@@ -423,15 +507,21 @@ int cmd_client(util::CliFlags& flags, int argc, const char* const* argv,
     }
     request.scenario = flags.get_int("scenario", 8);
     request.load_pct = flags.get_double("load-pct", 50.0);
-    for (const std::string& tok :
-         util::split(flags.get_string("quarantined", ""), ',')) {
-      if (tok.empty()) continue;
-      int index = 0;
-      if (!util::parse_int(tok, index) || index < 0) {
-        err << "bad quarantined index: '" << tok << "'\n";
-        return 2;
-      }
-      request.quarantined.push_back(static_cast<size_t>(index));
+    if (!parse_index_list(flags.get_string("quarantined", ""), "quarantined",
+                          request.quarantined, err)) {
+      return 2;
+    }
+    if (!parse_index_list(flags.get_string("down-shards", ""), "shard",
+                          request.down_shards, err)) {
+      return 2;
+    }
+    const int deadline_ms = flags.get_int("deadline-ms", 0);
+    if (deadline_ms < 0) {
+      err << "client: --deadline-ms must be non-negative\n";
+      return 2;
+    }
+    if (deadline_ms > 0) {
+      request.deadline_ms = static_cast<uint64_t>(deadline_ms);
     }
     request.fault = flags.get_string("fault", "fan-failure");
     request.defense = flags.get_string("defense", "supervisor");
@@ -449,12 +539,22 @@ int cmd_client(util::CliFlags& flags, int argc, const char* const* argv,
   }
 
   service::ServiceClient client;
+  client.set_timeout_ms(static_cast<uint64_t>(timeout_ms));
   if (!client.connect(flags.get_string("host", "127.0.0.1"),
                       static_cast<uint16_t>(flags.get_int("port", 7077)))) {
     err << client.last_error() << "\n";
     return 1;
   }
-  const std::optional<std::string> response = client.call(line);
+  std::optional<std::string> response;
+  if (flags.get_string("line", "").empty()) {
+    // Structured path: retries apply only to idempotent verbs (the client
+    // enforces this), so --retries can never double-run an inject.
+    service::ServiceClient::RetryPolicy policy;
+    policy.attempts = retries;
+    response = client.call_with_retry(request, policy);
+  } else {
+    response = client.call(line);
+  }
   if (!response.has_value()) {
     err << client.last_error() << "\n";
     return 1;
